@@ -1,0 +1,533 @@
+// Benchmarks E1..E12: one per experiment in DESIGN.md / EXPERIMENTS.md.
+//
+// The paper publishes no tables or figures, so each benchmark
+// operationalises one of its qualitative claims as a comparison between the
+// principled design and the conventional baseline. Numbers are reported as
+// ns/op plus experiment-specific metrics via b.ReportMetric (aborts/op,
+// apology rate, availability, lost updates, convergence time, ...).
+package repro_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+	"repro/internal/locks"
+	"repro/internal/lsdb"
+	"repro/internal/migrate"
+	"repro/internal/netsim"
+	"repro/internal/process"
+	"repro/internal/queue"
+	"repro/internal/replica"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func mustKernel(b *testing.B, opts repro.Options) *repro.Kernel {
+	b.Helper()
+	k, err := repro.Bootstrap(opts, repro.StandardTypes()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(k.Close)
+	return k
+}
+
+// --- E1: deferred vs synchronous hot aggregate (principle 2.3) --------------
+
+func BenchmarkE1AggregateSyncVsDeferred(b *testing.B) {
+	for _, mode := range []string{"sync", "deferred"} {
+		b.Run(mode, func(b *testing.B) {
+			deferred := mode == "deferred"
+			k := mustKernel(b, repro.Options{Node: "e1", DeferredAggregates: &deferred})
+			k.DefineSumAggregate("revenue", "Order", "total", "")
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					key := repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i)}
+					if _, err := k.Update(key, repro.Set("total", 10.0)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			k.CatchUpAggregates()
+			total, _ := k.Sum("revenue", "")
+			if total != float64(seq.Load())*10 {
+				b.Fatalf("aggregate wrong: %v vs %v writes", total, seq.Load())
+			}
+		})
+	}
+}
+
+// --- E2: SOUPS vs two-phase commit across partitions (principles 2.5/2.6) ---
+
+func BenchmarkE2SoupsVs2PC(b *testing.B) {
+	for _, cross := range []float64{0.0, 0.5, 1.0} {
+		for _, mode := range []string{"soups", "2pc"} {
+			b.Run(fmt.Sprintf("%s/cross=%.0f%%", mode, cross*100), func(b *testing.B) {
+				consistency := repro.EventualSOUPS
+				if mode == "2pc" {
+					consistency = repro.StrongSingleCopy
+				}
+				k := mustKernel(b, repro.Options{Node: "e2", Units: 4, Consistency: consistency})
+				gen := workload.NewTransfers(42, 1000, cross)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr := gen.Next()
+					err := k.TransactMulti([]repro.MultiWrite{
+						{Key: tr.From, Ops: []repro.Op{repro.Delta("balance", -tr.Amount)}},
+						{Key: tr.To, Ops: []repro.Op{repro.Delta("balance", tr.Amount)}},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if consistency == repro.EventualSOUPS {
+					k.Drain() // deliver the queued halves before verifying
+				}
+			})
+		}
+	}
+}
+
+// --- E3: solipsistic vs optimistic vs pessimistic CC (principle 2.10) -------
+
+func BenchmarkE3ConcurrencyControl(b *testing.B) {
+	modes := map[string]txn.Mode{"solipsistic": txn.Solipsistic, "optimistic": txn.Optimistic, "pessimistic": txn.Pessimistic}
+	for name, mode := range modes {
+		b.Run(name, func(b *testing.B) {
+			db := lsdb.Open(lsdb.Options{Node: "e3", SnapshotEvery: 64, Validation: entity.Managed})
+			if err := db.RegisterType(workload.AccountType()); err != nil {
+				b.Fatal(err)
+			}
+			mgr := txn.NewManager(db, nil, nil, txn.Options{Node: "e3", LockTimeout: 50 * time.Millisecond})
+			zipf := workload.NewZipf(7, 64, 1.2)
+			var aborts atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					key := repro.Key{Type: "Account", ID: fmt.Sprintf("acct-%d", zipf.Next())}
+					_, err := mgr.Run(mode, nil, 0, func(t *txn.Txn) error {
+						if _, err := t.Read(key); err != nil {
+							return err
+						}
+						return t.Update(key, repro.Delta("balance", 1))
+					})
+					if err != nil {
+						aborts.Add(1)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(aborts.Load())/float64(b.N), "aborts/op")
+		})
+	}
+}
+
+// --- E4: conflict resolution — LWW vs operation replay (principles 2.7/2.8) --
+
+func BenchmarkE4ConflictResolution(b *testing.B) {
+	typ := workload.AccountType()
+	key := repro.Key{Type: "Account", ID: "A"}
+	strategies := map[string]entity.MergeStrategy{
+		"last-writer-wins": entity.LastWriterWins,
+		"operation-replay": entity.OperationReplay,
+	}
+	for name, strategy := range strategies {
+		b.Run(name, func(b *testing.B) {
+			base := entity.NewState(key)
+			base.Fields["balance"] = float64(0)
+			var lost int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Two replicas concurrently deposit different amounts.
+				mkVersion := func(node string, amount float64, wall int64) *entity.Version {
+					ops := []repro.Op{repro.Delta("balance", amount), repro.InsertChild("entries", fmt.Sprintf("%s-%d", node, i), repro.Fields{"kind": "deposit", "amount": amount})}
+					st, _, err := entity.Apply(typ, base, ops, entity.Managed)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return &entity.Version{Key: key, Ops: ops, State: st, Stamp: clock.Timestamp{WallNanos: wall, Node: clock.NodeID(node)}}
+				}
+				a := mkVersion("r1", 10, int64(i*2+1))
+				c := mkVersion("r2", 7, int64(i*2+2))
+				res, err := entity.Merge(typ, base, a, c, strategy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lost += res.LostOps
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(lost)/float64(b.N), "lostops/op")
+		})
+	}
+}
+
+// --- E5: availability under partition (principle 2.11 / CAP) ----------------
+
+func BenchmarkE5AvailabilityUnderPartition(b *testing.B) {
+	for _, mode := range []replica.Mode{replica.Quorum, replica.Eventual} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cluster, err := replica.NewCluster(3, mode, netsim.Config{UnreachableDelay: 200 * time.Microsecond}, workload.AccountType())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Stop()
+			// r0 is cut off from the majority for the whole run: the client
+			// talking to it keeps trying to write.
+			cluster.Network().Partition([]clock.NodeID{"r0"}, []clock.NodeID{"r1", "r2"})
+			r0, _ := cluster.Replica(0)
+			success := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := r0.Write(repro.Key{Type: "Account", ID: "A"}, []repro.Op{repro.Delta("balance", 1)}, "")
+				if err == nil {
+					success++
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(success)/float64(b.N), "availability")
+		})
+	}
+}
+
+// --- E6: apologies vs strong consistency for overbooking (principle 2.9) ----
+
+func BenchmarkE6ApologyVsStrong(b *testing.B) {
+	const stock, demand = 5, 8
+	b.Run("eventual-apology", func(b *testing.B) {
+		var apologyRate float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			k := mustKernel(b, repro.Options{Node: "e6"})
+			key := repro.Key{Type: "Book", ID: "bestseller"}
+			k.Update(key, repro.Set("stock", stock))
+			store := workload.NewBookstore(stock, demand)
+			b.StartTimer()
+			// Order entry: every customer gets an immediate tentative
+			// confirmation (fast response, subjective consistency).
+			for _, o := range store.Orders() {
+				if _, err := k.UpdateTentative(key, o.Customer, "order-confirmation", float64(o.Qty),
+					repro.Delta("stock", -float64(o.Qty))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Fulfillment: reconcile against real stock; the overbooked tail
+			// gets apologies.
+			kept, apologies, err := k.ResolveOverbooking(key, stock, "only 5 copies in stock", "refund")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if kept != stock || len(apologies) != demand-stock {
+				b.Fatalf("kept=%d apologies=%d", kept, len(apologies))
+			}
+			apologyRate = k.Ledger().ApologyRate()
+		}
+		b.ReportMetric(apologyRate, "apology-rate")
+	})
+	b.Run("strong-reject", func(b *testing.B) {
+		var rejectRate float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			k := mustKernel(b, repro.Options{Node: "e6s", Consistency: repro.StrongSingleCopy})
+			key := repro.Key{Type: "Book", ID: "bestseller"}
+			k.Update(key, repro.Set("stock", stock))
+			store := workload.NewBookstore(stock, demand)
+			rejected := 0
+			b.StartTimer()
+			// Order entry checks stock synchronously under pessimistic locks:
+			// no apologies, but the tail of customers is turned away at order
+			// time (and every order pays the locking cost).
+			for _, o := range store.Orders() {
+				_, err := k.Transact(key, func(t *txn.Txn) error {
+					st, err := t.Read(key)
+					if err != nil {
+						return err
+					}
+					if st.Int("stock") < o.Qty {
+						return errors.New("out of stock")
+					}
+					return t.Update(key, repro.Delta("stock", -float64(o.Qty)))
+				})
+				if err != nil {
+					rejected++
+				}
+			}
+			rejectRate = float64(rejected) / float64(demand)
+		}
+		b.ReportMetric(rejectRate, "reject-rate")
+		b.ReportMetric(0, "apology-rate")
+	})
+}
+
+// --- E7: convergence / staleness vs anti-entropy (eventual consistency) -----
+
+func BenchmarkE7ConvergenceStaleness(b *testing.B) {
+	for _, replicas := range []int{3, 5} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			var totalConverge time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cluster, err := replica.NewCluster(replicas, replica.Eventual,
+					netsim.Config{LossRate: 0.3, Seed: int64(i + 1)}, workload.AccountType())
+				if err != nil {
+					b.Fatal(err)
+				}
+				key := repro.Key{Type: "Account", ID: "A"}
+				b.StartTimer()
+				for r := 0; r < replicas; r++ {
+					rep, _ := cluster.Replica(r)
+					if _, err := rep.Write(key, []repro.Op{repro.Delta("balance", 1)}, ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+				start := time.Now()
+				for {
+					cluster.SyncRound()
+					done := true
+					for r := 0; r < replicas; r++ {
+						rep, _ := cluster.Replica(r)
+						st, err := rep.ReadResolved(key)
+						if err != nil || st.Float("balance") != float64(replicas) {
+							done = false
+							break
+						}
+					}
+					if done {
+						break
+					}
+				}
+				totalConverge += time.Since(start)
+				b.StopTimer()
+				cluster.Stop()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(totalConverge.Microseconds())/float64(b.N), "convergence-us/op")
+		})
+	}
+}
+
+// --- E8: step collapsing (section 3.1) ---------------------------------------
+
+func BenchmarkE8StepCollapsing(b *testing.B) {
+	pipeline := func() *repro.ProcessDefinition {
+		def := repro.NewProcess("order-to-cash")
+		def.Step("order.created", func(ctx *process.StepContext) error {
+			if err := ctx.Txn.Update(ctx.Event.Entity, repro.Set("status", "OPEN")); err != nil {
+				return err
+			}
+			ctx.Emit(queue.Event{Name: "inventory.reserve", Entity: repro.Key{Type: "Inventory", ID: "widget"}})
+			return nil
+		})
+		def.Step("inventory.reserve", func(ctx *process.StepContext) error {
+			if err := ctx.Txn.Update(ctx.Event.Entity, repro.Delta("onhand", -1)); err != nil {
+				return err
+			}
+			ctx.Emit(queue.Event{Name: "shipment.create", Entity: repro.Key{Type: "Order", ID: "ship-" + ctx.Event.TxnID}})
+			return nil
+		})
+		def.Step("shipment.create", func(ctx *process.StepContext) error {
+			return ctx.Txn.Update(ctx.Event.Entity, repro.Set("status", "PLANNED"))
+		})
+		return def
+	}
+	for _, collapse := range []bool{false, true} {
+		name := "queued"
+		if collapse {
+			name = "vertical-collapse"
+		}
+		b.Run(name, func(b *testing.B) {
+			k := mustKernel(b, repro.Options{Node: "e8", CollapseVertical: collapse})
+			if err := k.DefineProcess(pipeline()); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Submit(repro.Event{Name: "order.created", Entity: repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i)}, TxnID: fmt.Sprintf("e8-%d", i)})
+				k.Drain()
+			}
+		})
+	}
+}
+
+// --- E9: LSDB rollup cost vs log length (section 3.1) ------------------------
+
+func BenchmarkE9LSDBRollup(b *testing.B) {
+	for _, logLen := range []int{100, 10000} {
+		for _, snapshot := range []bool{false, true} {
+			name := fmt.Sprintf("events=%d/snapshot=%v", logLen, snapshot)
+			b.Run(name, func(b *testing.B) {
+				snapEvery := 0
+				if snapshot {
+					snapEvery = 256
+				}
+				db := lsdb.Open(lsdb.Options{Node: "e9", SnapshotEvery: snapEvery, Validation: entity.Managed})
+				if err := db.RegisterType(workload.AccountType()); err != nil {
+					b.Fatal(err)
+				}
+				key := repro.Key{Type: "Account", ID: "A"}
+				for i := 0; i < logLen; i++ {
+					if _, err := db.Append(key, []repro.Op{repro.Delta("balance", 1)}, clock.Timestamp{WallNanos: int64(i + 1), Node: "e9"}, "e9", ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := db.Current(key); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E10: out-of-order data entry — strict vs managed (principle 2.2) --------
+
+func BenchmarkE10OutOfOrderEntry(b *testing.B) {
+	for _, mode := range []string{"strict", "managed"} {
+		b.Run(mode, func(b *testing.B) {
+			consistency := repro.EventualSOUPS
+			if mode == "strict" {
+				consistency = repro.StrongSingleCopy
+			}
+			k := mustKernel(b, repro.Options{Node: "e10", Consistency: consistency})
+			gen := workload.NewOrderToCash(7, 0.3)
+			rejected, entered := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				events := gen.NextCase()
+				if !events[1].ForwardReference {
+					// In-order case: the referenced customer master record is
+					// entered before the opportunity and order.
+					custID := events[1].Ops[0].Value.(string)
+					custKey, _ := entity.ParseKey(custID)
+					if _, err := k.Update(custKey, repro.Set("name", "known customer")); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, ev := range events {
+					_, err := k.Update(ev.Key, ev.Ops...)
+					if err != nil {
+						rejected++
+						continue
+					}
+					entered++
+				}
+			}
+			b.StopTimer()
+			total := rejected + entered
+			if total > 0 {
+				b.ReportMetric(float64(rejected)/float64(total), "reject-rate")
+			}
+			b.ReportMetric(float64(len(k.Warnings()))/float64(b.N), "managed-warnings/op")
+		})
+	}
+}
+
+// --- E11: coarse logical locks vs per-entity locks (section 3.1) -------------
+
+func BenchmarkE11LogicalLocks(b *testing.B) {
+	for _, granularity := range []string{"coarse", "fine"} {
+		b.Run(granularity, func(b *testing.B) {
+			lm := locks.NewManager(locks.Options{})
+			zipf := workload.NewZipf(5, 256, 1.1)
+			var conflicts atomic.Int64
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					item := zipf.Next()
+					owner := locks.Owner(fmt.Sprintf("w%d", seq.Add(1)))
+					var res string
+					if granularity == "coarse" {
+						res = locks.CoarseResource("Inventory", "plant-1")
+					} else {
+						res = locks.FineResource("Inventory", fmt.Sprintf("item-%d", item))
+					}
+					if err := lm.Acquire(owner, res, locks.Exclusive, 0, 100*time.Millisecond); err != nil {
+						conflicts.Add(1)
+						continue
+					}
+					// Simulated deferred update protected by the lock.
+					lm.Release(owner, res)
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(conflicts.Load())/float64(b.N), "timeouts/op")
+		})
+	}
+}
+
+// --- E12: online vs stop-the-world schema migration (section 3.1) -----------
+
+func BenchmarkE12OnlineMigration(b *testing.B) {
+	for _, strategy := range []migrate.Strategy{migrate.Online, migrate.StopTheWorld} {
+		b.Run(strategy.String(), func(b *testing.B) {
+			k := mustKernel(b, repro.Options{Node: clock.NodeID("e12-" + strategy.String())})
+			const entities = 300
+			for i := 0; i < entities; i++ {
+				k.Update(repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i)}, repro.Set("status", "OPEN"))
+			}
+			// Live writers run during the migration; their blocked/failed
+			// attempts are the availability cost.
+			stop := make(chan struct{})
+			var liveWrites, liveBlocked atomic.Int64
+			go func() {
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					owner := locks.Owner(fmt.Sprintf("live-%d", i))
+					if k.Locks().IsLockedByOther(owner, migrate.MigrationLockResource("Order"), locks.Shared) {
+						liveBlocked.Add(1)
+						time.Sleep(100 * time.Microsecond)
+						continue
+					}
+					if _, err := k.Update(repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i%entities)}, repro.Set("status", "TOUCHED")); err != nil {
+						liveBlocked.Add(1)
+					} else {
+						liveWrites.Add(1)
+					}
+					i++
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				field := fmt.Sprintf("channel_%s_%d", strategy.String(), i)
+				_, err := k.Migrate(migrate.Migration{
+					Type:      "Order",
+					AddFields: []repro.Field{{Name: field, Type: repro.String}},
+					Backfill: func(st *repro.State) []repro.Op {
+						return []repro.Op{repro.Set(field, "direct")}
+					},
+				}, strategy, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			total := liveWrites.Load() + liveBlocked.Load()
+			if total > 0 {
+				b.ReportMetric(float64(liveBlocked.Load())/float64(total), "writer-blocked-ratio")
+			}
+		})
+	}
+}

@@ -1,0 +1,515 @@
+// Command benchharness runs scaled-down versions of the twelve experiments
+// (E1..E12 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
+// experiment, the way the paper's evaluation section would have reported
+// them. The authoritative, parameter-swept versions are the testing.B
+// benchmarks in bench_test.go; this command exists to regenerate the tables
+// quickly without the Go test machinery.
+//
+// Usage:
+//
+//	benchharness [-ops N] [-only E5]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+	"repro/internal/locks"
+	"repro/internal/lsdb"
+	"repro/internal/metrics"
+	"repro/internal/migrate"
+	"repro/internal/netsim"
+	"repro/internal/replica"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+var (
+	ops  = flag.Int("ops", 2000, "operations per experiment configuration")
+	only = flag.String("only", "", "run only the named experiment (e.g. E5)")
+)
+
+func main() {
+	flag.Parse()
+	experiments := []struct {
+		name string
+		run  func(int) *metrics.Table
+	}{
+		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6},
+		{"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11}, {"E12", e12},
+	}
+	for _, ex := range experiments {
+		if *only != "" && !strings.EqualFold(*only, ex.name) {
+			continue
+		}
+		tbl := ex.run(*ops)
+		fmt.Println(tbl.String())
+	}
+}
+
+func mustKernel(opts repro.Options) *repro.Kernel {
+	k, err := repro.Bootstrap(opts, repro.StandardTypes()...)
+	if err != nil {
+		log.Fatalf("bootstrap: %v", err)
+	}
+	return k
+}
+
+func opsPerSec(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// E1: hot aggregate, synchronous vs deferred maintenance.
+func e1(n int) *metrics.Table {
+	tbl := metrics.NewTable("E1 — deferred vs synchronous hot aggregate (principle 2.3)",
+		"mode", "writers", "ops/sec", "aggregate staleness after load")
+	for _, deferred := range []bool{false, true} {
+		mode := "sync"
+		if deferred {
+			mode = "deferred"
+		}
+		d := deferred
+		k := mustKernel(repro.Options{Node: "e1", DeferredAggregates: &d})
+		k.DefineSumAggregate("revenue", "Order", "total", "")
+		const writers = 8
+		var wg sync.WaitGroup
+		var seq atomic.Int64
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for int(seq.Add(1)) <= n {
+					i := seq.Load()
+					k.Update(repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i)}, repro.Set("total", 10.0))
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		tbl.AddRow(mode, writers, opsPerSec(n, elapsed), k.AggregateStaleness())
+		k.Close()
+	}
+	return tbl
+}
+
+// E2: focused transactions + queued propagation vs two-phase commit.
+func e2(n int) *metrics.Table {
+	tbl := metrics.NewTable("E2 — SOUPS vs 2PC across 4 serialization units (principles 2.5/2.6)",
+		"mode", "cross-unit ratio", "ops/sec", "p99 latency")
+	for _, cross := range []float64{0, 0.5, 1.0} {
+		for _, mode := range []repro.Consistency{repro.EventualSOUPS, repro.StrongSingleCopy} {
+			k := mustKernel(repro.Options{Node: "e2", Units: 4, Consistency: mode})
+			gen := workload.NewTransfers(42, 500, cross)
+			hist := metrics.NewHistogram()
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				tr := gen.Next()
+				t0 := time.Now()
+				if err := k.TransactMulti([]repro.MultiWrite{
+					{Key: tr.From, Ops: []repro.Op{repro.Delta("balance", -tr.Amount)}},
+					{Key: tr.To, Ops: []repro.Op{repro.Delta("balance", tr.Amount)}},
+				}); err != nil {
+					log.Fatalf("E2: %v", err)
+				}
+				hist.Record(time.Since(t0))
+			}
+			elapsed := time.Since(start)
+			if mode == repro.EventualSOUPS {
+				k.Drain()
+			}
+			name := "soups"
+			if mode == repro.StrongSingleCopy {
+				name = "2pc"
+			}
+			tbl.AddRow(name, fmt.Sprintf("%.0f%%", cross*100), opsPerSec(n, elapsed), hist.Quantile(0.99))
+			k.Close()
+		}
+	}
+	return tbl
+}
+
+// E3: concurrency-control disciplines under Zipfian contention.
+func e3(n int) *metrics.Table {
+	tbl := metrics.NewTable("E3 — solipsistic vs optimistic vs pessimistic CC (principle 2.10)",
+		"mode", "ops/sec", "aborts", "lock timeouts")
+	for _, mode := range []txn.Mode{txn.Solipsistic, txn.Optimistic, txn.Pessimistic} {
+		db := lsdb.Open(lsdb.Options{Node: "e3", SnapshotEvery: 64, Validation: entity.Managed})
+		db.RegisterType(workload.AccountType())
+		mgr := txn.NewManager(db, nil, nil, txn.Options{Node: "e3", LockTimeout: 20 * time.Millisecond})
+		zipf := workload.NewZipf(7, 32, 1.3)
+		var wg sync.WaitGroup
+		var aborted atomic.Int64
+		per := n / 8
+		start := time.Now()
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					key := repro.Key{Type: "Account", ID: fmt.Sprintf("a%d", zipf.Next())}
+					if _, err := mgr.Run(mode, nil, 0, func(t *txn.Txn) error {
+						if _, err := t.Read(key); err != nil {
+							return err
+						}
+						return t.Update(key, repro.Delta("balance", 1))
+					}); err != nil {
+						aborted.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		tbl.AddRow(mode.String(), opsPerSec(8*per, elapsed), aborted.Load(), mgr.Stats().LockTimeouts)
+	}
+	return tbl
+}
+
+// E4: conflict resolution strategies on concurrent replica updates.
+func e4(n int) *metrics.Table {
+	tbl := metrics.NewTable("E4 — conflict resolution: state LWW vs operation replay (principles 2.7/2.8)",
+		"strategy", "merges", "lost operations", "final value correct")
+	typ := workload.AccountType()
+	key := repro.Key{Type: "Account", ID: "A"}
+	for _, strategy := range []entity.MergeStrategy{entity.LastWriterWins, entity.OperationReplay} {
+		base := entity.NewState(key)
+		lost, correct := 0, 0
+		for i := 0; i < n; i++ {
+			mk := func(node string, amt float64, w int64) *entity.Version {
+				ops := []repro.Op{repro.Delta("balance", amt)}
+				st, _, _ := entity.Apply(typ, base, ops, entity.Managed)
+				return &entity.Version{Key: key, Ops: ops, State: st, Stamp: clock.Timestamp{WallNanos: w, Node: clock.NodeID(node)}}
+			}
+			a := mk("r1", 10, int64(2*i+1))
+			b := mk("r2", 7, int64(2*i+2))
+			res, err := entity.Merge(typ, base, a, b, strategy)
+			if err != nil {
+				log.Fatalf("E4: %v", err)
+			}
+			lost += res.LostOps
+			if res.State.Float("balance") == 17 {
+				correct++
+			}
+		}
+		tbl.AddRow(strategy.String(), n, lost, fmt.Sprintf("%d/%d", correct, n))
+	}
+	return tbl
+}
+
+// E5: availability during a network partition.
+func e5(n int) *metrics.Table {
+	tbl := metrics.NewTable("E5 — availability under partition (principle 2.11 / CAP)",
+		"replication", "side", "writes attempted", "success ratio")
+	for _, mode := range []replica.Mode{replica.Quorum, replica.Eventual} {
+		cluster, err := replica.NewCluster(3, mode, netsim.Config{UnreachableDelay: 100 * time.Microsecond}, workload.AccountType())
+		if err != nil {
+			log.Fatalf("E5: %v", err)
+		}
+		cluster.Network().Partition([]clock.NodeID{"r0"}, []clock.NodeID{"r1", "r2"})
+		for side, idx := range map[string]int{"minority (r0)": 0, "majority (r1)": 1} {
+			rep, _ := cluster.Replica(idx)
+			ok := 0
+			attempts := n / 10
+			for i := 0; i < attempts; i++ {
+				if _, err := rep.Write(repro.Key{Type: "Account", ID: "A"}, []repro.Op{repro.Delta("balance", 1)}, ""); err == nil {
+					ok++
+				}
+			}
+			tbl.AddRow(mode.String(), side, attempts, float64(ok)/float64(attempts))
+		}
+		cluster.Stop()
+	}
+	return tbl
+}
+
+// E6: apology rate vs strong rejection for the overbooked bookstore.
+func e6(int) *metrics.Table {
+	tbl := metrics.NewTable("E6 — tentative orders + apologies vs synchronous stock checks (principle 2.9)",
+		"mode", "stock", "demand", "confirmed at entry", "apologies", "rejected at entry", "mean entry latency")
+	const stock, demand = 5, 9
+	// Eventual / apology-oriented.
+	{
+		k := mustKernel(repro.Options{Node: "e6"})
+		key := repro.Key{Type: "Book", ID: "bestseller"}
+		k.Update(key, repro.Set("stock", stock))
+		hist := metrics.NewHistogram()
+		for _, o := range workload.NewBookstore(stock, demand).Orders() {
+			t0 := time.Now()
+			if _, err := k.UpdateTentative(key, o.Customer, "order-confirmation", 1, repro.Delta("stock", -1)); err != nil {
+				log.Fatalf("E6: %v", err)
+			}
+			hist.Record(time.Since(t0))
+		}
+		_, apologies, _ := k.ResolveOverbooking(key, stock, "out of stock", "refund")
+		tbl.AddRow("eventual+apology", stock, demand, demand, len(apologies), 0, hist.Mean())
+		k.Close()
+	}
+	// Strong / reject at entry.
+	{
+		k := mustKernel(repro.Options{Node: "e6s", Consistency: repro.StrongSingleCopy})
+		key := repro.Key{Type: "Book", ID: "bestseller"}
+		k.Update(key, repro.Set("stock", stock))
+		hist := metrics.NewHistogram()
+		rejected := 0
+		for range workload.NewBookstore(stock, demand).Orders() {
+			t0 := time.Now()
+			_, err := k.Transact(key, func(t *txn.Txn) error {
+				st, err := t.Read(key)
+				if err != nil {
+					return err
+				}
+				if st.Int("stock") < 1 {
+					return errors.New("out of stock")
+				}
+				return t.Update(key, repro.Delta("stock", -1))
+			})
+			hist.Record(time.Since(t0))
+			if err != nil {
+				rejected++
+			}
+		}
+		tbl.AddRow("strong reject", stock, demand, demand-rejected, 0, rejected, hist.Mean())
+		k.Close()
+	}
+	return tbl
+}
+
+// E7: convergence time vs replica count under message loss.
+func e7(int) *metrics.Table {
+	tbl := metrics.NewTable("E7 — eventual convergence via anti-entropy (loss rate 30%)",
+		"replicas", "writes", "sync rounds to converge", "converged value correct")
+	for _, replicas := range []int{3, 5, 7} {
+		cluster, err := replica.NewCluster(replicas, replica.Eventual, netsim.Config{LossRate: 0.3, Seed: 11}, workload.AccountType())
+		if err != nil {
+			log.Fatalf("E7: %v", err)
+		}
+		key := repro.Key{Type: "Account", ID: "A"}
+		for i := 0; i < replicas; i++ {
+			rep, _ := cluster.Replica(i)
+			rep.Write(key, []repro.Op{repro.Delta("balance", 1)}, "")
+		}
+		rounds := 0
+		for {
+			rounds++
+			cluster.SyncRound()
+			done := true
+			for i := 0; i < replicas; i++ {
+				rep, _ := cluster.Replica(i)
+				st, err := rep.ReadResolved(key)
+				if err != nil || st.Float("balance") != float64(replicas) {
+					done = false
+					break
+				}
+			}
+			if done || rounds > 1000 {
+				break
+			}
+		}
+		tbl.AddRow(replicas, replicas, rounds, rounds <= 1000)
+		cluster.Stop()
+	}
+	return tbl
+}
+
+// E8: step collapsing.
+func e8(n int) *metrics.Table {
+	tbl := metrics.NewTable("E8 — vertical step collapsing (section 3.1)",
+		"mode", "pipelines", "steps executed", "collapsed inline", "pipelines/sec")
+	for _, collapse := range []bool{false, true} {
+		k := mustKernel(repro.Options{Node: "e8", CollapseVertical: collapse})
+		def := repro.NewProcess("pipeline")
+		def.Step("a", func(ctx *repro.StepContext) error {
+			if err := ctx.Txn.Update(ctx.Event.Entity, repro.Set("status", "A")); err != nil {
+				return err
+			}
+			ctx.Emit(repro.Event{Name: "b", Entity: repro.Key{Type: "Inventory", ID: "widget"}})
+			return nil
+		})
+		def.Step("b", func(ctx *repro.StepContext) error {
+			return ctx.Txn.Update(ctx.Event.Entity, repro.Delta("onhand", -1))
+		})
+		k.DefineProcess(def)
+		pipelines := n / 4
+		start := time.Now()
+		for i := 0; i < pipelines; i++ {
+			k.Submit(repro.Event{Name: "a", Entity: repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i)}, TxnID: fmt.Sprintf("p%d", i)})
+			k.Drain()
+		}
+		elapsed := time.Since(start)
+		name := "queued"
+		if collapse {
+			name = "vertical-collapse"
+		}
+		stats := k.ProcessStats()
+		tbl.AddRow(name, pipelines, stats.StepsExecuted, stats.Collapsed, opsPerSec(pipelines, elapsed))
+		k.Close()
+	}
+	return tbl
+}
+
+// E9: rollup read cost vs log length, with and without snapshots.
+func e9(n int) *metrics.Table {
+	tbl := metrics.NewTable("E9 — LSDB rollup read cost (section 3.1)",
+		"log records", "snapshots", "reads", "mean read latency")
+	for _, logLen := range []int{100, 10000} {
+		for _, snap := range []bool{false, true} {
+			every := 0
+			if snap {
+				every = 256
+			}
+			db := lsdb.Open(lsdb.Options{Node: "e9", SnapshotEvery: every, Validation: entity.Managed})
+			db.RegisterType(workload.AccountType())
+			key := repro.Key{Type: "Account", ID: "A"}
+			for i := 0; i < logLen; i++ {
+				db.Append(key, []repro.Op{repro.Delta("balance", 1)}, clock.Timestamp{WallNanos: int64(i + 1), Node: "e9"}, "e9", "")
+			}
+			hist := metrics.NewHistogram()
+			reads := n / 4
+			for i := 0; i < reads; i++ {
+				t0 := time.Now()
+				db.Current(key)
+				hist.Record(time.Since(t0))
+			}
+			tbl.AddRow(logLen, snap, reads, hist.Mean())
+		}
+	}
+	return tbl
+}
+
+// E10: out-of-order data entry.
+func e10(n int) *metrics.Table {
+	tbl := metrics.NewTable("E10 — out-of-order data entry: strict vs managed exceptions (principle 2.2)",
+		"mode", "entries", "rejected", "managed warnings")
+	for _, mode := range []repro.Consistency{repro.StrongSingleCopy, repro.EventualSOUPS} {
+		k := mustKernel(repro.Options{Node: "e10", Consistency: mode})
+		gen := workload.NewOrderToCash(7, 0.3)
+		rejected, entered := 0, 0
+		cases := n / 10
+		for i := 0; i < cases; i++ {
+			events := gen.NextCase()
+			if !events[1].ForwardReference {
+				custKey, _ := entity.ParseKey(events[1].Ops[0].Value.(string))
+				k.Update(custKey, repro.Set("name", "known"))
+			}
+			for _, ev := range events {
+				if _, err := k.Update(ev.Key, ev.Ops...); err != nil {
+					rejected++
+				} else {
+					entered++
+				}
+			}
+		}
+		name := "strict"
+		if mode == repro.EventualSOUPS {
+			name = "managed"
+		}
+		tbl.AddRow(name, rejected+entered, rejected, len(k.Warnings()))
+		k.Close()
+	}
+	return tbl
+}
+
+// E11: coarse vs fine logical locks.
+func e11(n int) *metrics.Table {
+	tbl := metrics.NewTable("E11 — coarse vs fine logical locks under contention (section 3.1)",
+		"granularity", "acquisitions", "ops/sec", "timeouts")
+	for _, coarse := range []bool{true, false} {
+		lm := locks.NewManager(locks.Options{})
+		zipf := workload.NewZipf(5, 256, 1.1)
+		var wg sync.WaitGroup
+		var timeouts atomic.Int64
+		per := n / 8
+		start := time.Now()
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					owner := locks.Owner(fmt.Sprintf("w%d-%d", w, i))
+					res := locks.FineResource("Inventory", fmt.Sprintf("item-%d", zipf.Next()))
+					if coarse {
+						res = locks.CoarseResource("Inventory", "plant-1")
+					}
+					if err := lm.Acquire(owner, res, locks.Exclusive, 0, 50*time.Millisecond); err != nil {
+						timeouts.Add(1)
+						continue
+					}
+					lm.Release(owner, res)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		name := "fine (per item)"
+		if coarse {
+			name = "coarse (per plant)"
+		}
+		tbl.AddRow(name, 8*per, opsPerSec(8*per, elapsed), timeouts.Load())
+	}
+	return tbl
+}
+
+// E12: online vs stop-the-world schema migration with live writers.
+func e12(n int) *metrics.Table {
+	tbl := metrics.NewTable("E12 — online vs stop-the-world schema migration (section 3.1)",
+		"strategy", "entities backfilled", "migration time", "live writes", "live writes blocked")
+	for _, strategy := range []migrate.Strategy{migrate.Online, migrate.StopTheWorld} {
+		k := mustKernel(repro.Options{Node: clock.NodeID("e12-" + strategy.String())})
+		entities := n / 4
+		for i := 0; i < entities; i++ {
+			k.Update(repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i)}, repro.Set("status", "OPEN"))
+		}
+		stop := make(chan struct{})
+		var writes, blocked atomic.Int64
+		go func() {
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				owner := locks.Owner(fmt.Sprintf("live-%d", i))
+				if k.Locks().IsLockedByOther(owner, migrate.MigrationLockResource("Order"), locks.Shared) {
+					blocked.Add(1)
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
+				if _, err := k.Update(repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i%entities)}, repro.Set("status", "TOUCHED")); err != nil {
+					blocked.Add(1)
+				} else {
+					writes.Add(1)
+				}
+				i++
+			}
+		}()
+		start := time.Now()
+		_, err := k.Migrate(migrate.Migration{
+			Type:      "Order",
+			AddFields: []repro.Field{{Name: "channel", Type: repro.String}},
+			Backfill:  func(*repro.State) []repro.Op { return []repro.Op{repro.Set("channel", "direct")} },
+		}, strategy, 32)
+		elapsed := time.Since(start)
+		close(stop)
+		if err != nil {
+			log.Fatalf("E12: %v", err)
+		}
+		tbl.AddRow(strategy.String(), entities, elapsed, writes.Load(), blocked.Load())
+		k.Close()
+	}
+	return tbl
+}

@@ -1,0 +1,125 @@
+// Command soupsctl is a small client for soupsd.
+//
+// Usage:
+//
+//	soupsctl -server http://localhost:8080 get Order O-1
+//	soupsctl -server http://localhost:8080 set Order O-1 status=OPEN total=99.5
+//	soupsctl -server http://localhost:8080 delta Account A-1 balance=-25
+//	soupsctl -server http://localhost:8080 history Order O-1
+//	soupsctl -server http://localhost:8080 metrics
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+var server = flag.String("server", "http://localhost:8080", "soupsd base URL")
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "get":
+		requireArgs(args, 3)
+		get(fmt.Sprintf("%s/entities/%s/%s", *server, args[1], args[2]))
+	case "history":
+		requireArgs(args, 3)
+		get(fmt.Sprintf("%s/history/%s/%s", *server, args[1], args[2]))
+	case "warnings":
+		get(*server + "/warnings")
+	case "metrics":
+		get(*server + "/metrics")
+	case "set", "delta":
+		requireArgs(args, 4)
+		post(args[0], args[1], args[2], args[3:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: soupsctl [-server URL] get|set|delta|history|warnings|metrics [Type ID] [field=value ...]")
+	os.Exit(2)
+}
+
+func requireArgs(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Printf("%s\n", bytes.TrimSpace(body))
+	if resp.StatusCode >= 300 {
+		os.Exit(1)
+	}
+}
+
+func post(kind, typeName, id string, assignments []string) {
+	payload := map[string]interface{}{}
+	values := map[string]interface{}{}
+	for _, a := range assignments {
+		parts := strings.SplitN(a, "=", 2)
+		if len(parts) != 2 {
+			log.Fatalf("malformed assignment %q (want field=value)", a)
+		}
+		values[parts[0]] = parseValue(parts[1])
+	}
+	if kind == "set" {
+		payload["set"] = values
+	} else {
+		deltas := map[string]float64{}
+		for k, v := range values {
+			f, ok := v.(float64)
+			if !ok {
+				log.Fatalf("delta value for %s must be numeric", k)
+			}
+			deltas[k] = f
+		}
+		payload["delta"] = deltas
+	}
+	body, _ := json.Marshal(payload)
+	url := fmt.Sprintf("%s/entities/%s/%s", *server, typeName, id)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	fmt.Printf("%s\n", bytes.TrimSpace(out))
+	if resp.StatusCode >= 300 {
+		os.Exit(1)
+	}
+}
+
+// parseValue interprets booleans and numbers; everything else stays a string.
+func parseValue(s string) interface{} {
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

@@ -1,0 +1,181 @@
+// Command soupsd runs one kernel node behind an HTTP/JSON API, so the system
+// can be exercised from outside Go.
+//
+// Endpoints:
+//
+//	GET  /entities/{Type}/{ID}            current subjective state
+//	POST /entities/{Type}/{ID}            apply operations: {"set":{"f":v}, "delta":{"f":n}, "describe":"..."}
+//	GET  /history/{Type}/{ID}             insert-only version trace
+//	GET  /warnings                        managed constraint violations so far
+//	GET  /metrics                         kernel metric dump (plain text)
+//	GET  /healthz                         liveness probe
+//
+// Usage: soupsd [-addr :8080] [-units 4] [-consistency eventual|strong]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro"
+	"repro/internal/lsdb"
+)
+
+var (
+	addr        = flag.String("addr", ":8080", "listen address")
+	units       = flag.Int("units", 4, "number of serialization units")
+	consistency = flag.String("consistency", "eventual", "eventual or strong")
+)
+
+type server struct {
+	kernel *repro.Kernel
+}
+
+type opRequest struct {
+	Set      map[string]interface{} `json:"set,omitempty"`
+	Delta    map[string]float64     `json:"delta,omitempty"`
+	Describe string                 `json:"describe,omitempty"`
+}
+
+type stateResponse struct {
+	Key       string                 `json:"key"`
+	Fields    map[string]interface{} `json:"fields"`
+	Tentative bool                   `json:"tentative,omitempty"`
+	Deleted   bool                   `json:"deleted,omitempty"`
+}
+
+func main() {
+	flag.Parse()
+	mode := repro.EventualSOUPS
+	if strings.HasPrefix(strings.ToLower(*consistency), "strong") {
+		mode = repro.StrongSingleCopy
+	}
+	k, err := repro.Bootstrap(repro.Options{Node: "soupsd", Units: *units, Consistency: mode}, repro.StandardTypes()...)
+	if err != nil {
+		log.Fatalf("bootstrap: %v", err)
+	}
+	defer k.Close()
+	k.Start()
+	defer k.Stop()
+
+	s := &server{kernel: k}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/entities/", s.handleEntity)
+	mux.HandleFunc("/history/", s.handleHistory)
+	mux.HandleFunc("/warnings", s.handleWarnings)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
+
+	log.Printf("soupsd listening on %s (units=%d consistency=%s)", *addr, *units, mode)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseKey extracts "Type/ID" from a path like /entities/Type/ID.
+func parseKey(path, prefix string) (repro.Key, error) {
+	rest := strings.TrimPrefix(path, prefix)
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return repro.Key{}, fmt.Errorf("path must be %sType/ID", prefix)
+	}
+	return repro.Key{Type: parts[0], ID: parts[1]}, nil
+}
+
+func (s *server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r.URL.Path, "/entities/")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		st, err := s.kernel.Read(key)
+		if errors.Is(err, lsdb.ErrNotFound) {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, stateResponse{Key: key.String(), Fields: st.Fields, Tentative: st.Tentative, Deleted: st.Deleted})
+	case http.MethodPost:
+		var req opRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "malformed body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		var ops []repro.Op
+		for field, value := range req.Set {
+			ops = append(ops, repro.Set(field, normalise(value)).Described(req.Describe))
+		}
+		for field, delta := range req.Delta {
+			ops = append(ops, repro.Delta(field, delta).Described(req.Describe))
+		}
+		if len(ops) == 0 {
+			http.Error(w, "no operations", http.StatusBadRequest)
+			return
+		}
+		res, err := s.kernel.Update(key, ops...)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]interface{}{"txn": res.TxnID, "warnings": len(res.Warnings)})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// normalise maps JSON numbers that are integral onto int64 so Int fields
+// accept them.
+func normalise(v interface{}) interface{} {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return int64(f)
+	}
+	return v
+}
+
+func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r.URL.Path, "/history/")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h, err := s.kernel.History(key)
+	if errors.Is(err, lsdb.ErrNotFound) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, h.Trace())
+}
+
+func (s *server) handleWarnings(w http.ResponseWriter, _ *http.Request) {
+	var out []string
+	for _, warning := range s.kernel.Warnings() {
+		out = append(out, warning.String())
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, s.kernel.Metrics().Dump())
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,63 @@
+// Command quickstart shows the minimal use of the kernel: open it, write an
+// entity with focused transactions, read it back subjectively, and inspect
+// its insert-only history.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	k, err := repro.Bootstrap(repro.Options{Node: "quickstart", Units: 2}, repro.StandardTypes()...)
+	if err != nil {
+		log.Fatalf("bootstrap: %v", err)
+	}
+	defer k.Close()
+
+	account := repro.Key{Type: "Account", ID: "ACC-1001"}
+
+	// Every write is one focused transaction on one entity (principle 2.5).
+	// Operations describe what happened, not just the consequence (2.8), and
+	// numeric changes are commutative deltas (2.7).
+	if _, err := k.Update(account,
+		repro.Set("owner", "Ada Lovelace"),
+		repro.Delta("balance", 250).Described("opening deposit of 250"),
+	); err != nil {
+		log.Fatalf("open account: %v", err)
+	}
+	if _, err := k.Update(account,
+		repro.InsertChild("entries", "E1", repro.Fields{"kind": "withdrawal", "amount": -75.0}),
+		repro.Delta("balance", -75).Described("ATM withdrawal of 75"),
+	); err != nil {
+		log.Fatalf("withdraw: %v", err)
+	}
+
+	// Subjective read: what this node currently knows (principle 2.1).
+	state, err := k.Read(account)
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	fmt.Printf("account %s: owner=%s balance=%.2f entries=%d\n",
+		account.ID, state.StringField("owner"), state.Float("balance"), len(state.LiveChildren("entries")))
+
+	// The full history is retained (principle 2.7: updates are inserts).
+	history, err := k.History(account)
+	if err != nil {
+		log.Fatalf("history: %v", err)
+	}
+	fmt.Println("history:")
+	for _, line := range history.Trace() {
+		fmt.Println("  " + line)
+	}
+
+	// Deferred secondary data (principle 2.3): a balance-sum aggregate that
+	// lags the primary until the maintainer catches up.
+	k.DefineSumAggregate("total-deposits", "Account", "balance", "")
+	fmt.Printf("aggregate before catch-up: staleness=%d records\n", k.AggregateStaleness())
+	k.CatchUpAggregates()
+	total, _ := k.Sum("total-deposits", "")
+	fmt.Printf("aggregate after catch-up: total balance=%.2f\n", total)
+}

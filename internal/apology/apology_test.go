@@ -1,0 +1,240 @@
+package apology
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/entity"
+)
+
+func book(id string) entity.Key { return entity.Key{Type: "Book", ID: id} }
+
+func fixedClock(start time.Time) (func() time.Time, func(time.Duration)) {
+	var mu sync.Mutex
+	now := start
+	return func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		}, func(d time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			now = now.Add(d)
+		}
+}
+
+func TestMakeKeepBreakLifecycle(t *testing.T) {
+	l := NewLedger(Options{})
+	p := l.Make(Promise{Kind: "order-confirmation", Entity: book("b1"), Partner: "alice", Quantity: 1})
+	if p.ID == "" || p.Status != Pending {
+		t.Fatalf("Make returned %+v", p)
+	}
+	got, err := l.Get(p.ID)
+	if err != nil || got.Partner != "alice" {
+		t.Fatalf("Get: %+v %v", got, err)
+	}
+	if err := l.Keep(p.ID); err != nil {
+		t.Fatalf("Keep: %v", err)
+	}
+	if err := l.Keep(p.ID); !errors.Is(err, ErrAlreadySettled) {
+		t.Fatalf("double Keep: %v", err)
+	}
+	if _, err := l.Break(p.ID, "too late", ""); !errors.Is(err, ErrAlreadySettled) {
+		t.Fatalf("Break after Keep: %v", err)
+	}
+	pending, kept, broken := l.Counts()
+	if pending != 0 || kept != 1 || broken != 0 {
+		t.Fatalf("Counts = %d/%d/%d", pending, kept, broken)
+	}
+	if l.ApologyRate() != 0 {
+		t.Fatalf("ApologyRate = %v", l.ApologyRate())
+	}
+}
+
+func TestBreakIssuesApologyAndHook(t *testing.T) {
+	var hooked []string
+	l := NewLedger(Options{OnBreak: func(p Promise, reason string) {
+		hooked = append(hooked, p.ID+":"+reason)
+	}})
+	p := l.Make(Promise{Kind: "order-confirmation", Entity: book("b1"), Partner: "bob", TxnID: "txn-9"})
+	a, err := l.Break(p.ID, "out of stock", "10% discount on next order")
+	if err != nil {
+		t.Fatalf("Break: %v", err)
+	}
+	if a.Partner != "bob" || a.Reason != "out of stock" {
+		t.Fatalf("apology = %+v", a)
+	}
+	if !strings.Contains(a.String(), "compensation") {
+		t.Fatalf("apology text: %s", a)
+	}
+	if len(hooked) != 1 || !strings.Contains(hooked[0], "out of stock") {
+		t.Fatalf("hook = %v", hooked)
+	}
+	if len(l.Apologies()) != 1 {
+		t.Fatalf("apologies = %v", l.Apologies())
+	}
+	if l.ApologyRate() != 1.0 {
+		t.Fatalf("ApologyRate = %v", l.ApologyRate())
+	}
+}
+
+func TestUnknownPromiseErrors(t *testing.T) {
+	l := NewLedger(Options{})
+	if _, err := l.Get("nope"); !errors.Is(err, ErrUnknownPromise) {
+		t.Fatal("Get should fail")
+	}
+	if err := l.Keep("nope"); !errors.Is(err, ErrUnknownPromise) {
+		t.Fatal("Keep should fail")
+	}
+	if _, err := l.Break("nope", "r", ""); !errors.Is(err, ErrUnknownPromise) {
+		t.Fatal("Break should fail")
+	}
+}
+
+func TestPendingOrderedByTime(t *testing.T) {
+	clk, advance := fixedClock(time.Unix(100, 0))
+	l := NewLedger(Options{Clock: clk})
+	first := l.Make(Promise{Kind: "k", Partner: "p1", Entity: book("b")})
+	advance(time.Second)
+	second := l.Make(Promise{Kind: "k", Partner: "p2", Entity: book("b")})
+	pending := l.Pending()
+	if len(pending) != 2 || pending[0].ID != first.ID || pending[1].ID != second.ID {
+		t.Fatalf("Pending order wrong: %+v", pending)
+	}
+	other := l.Make(Promise{Kind: "k", Partner: "p3", Entity: book("other")})
+	forB := l.PendingFor(book("b"))
+	if len(forB) != 2 {
+		t.Fatalf("PendingFor = %+v", forB)
+	}
+	_ = other
+}
+
+func TestResolveOverbookingKeepsFIFO(t *testing.T) {
+	// The paper's example: only 5 copies of the book, more than 5 sold.
+	clk, advance := fixedClock(time.Unix(0, 0))
+	l := NewLedger(Options{Clock: clk})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		p := l.Make(Promise{
+			Kind:     "order-confirmation",
+			Entity:   book("bestseller"),
+			Partner:  fmt.Sprintf("customer-%d", i),
+			Quantity: 1,
+		})
+		ids = append(ids, p.ID)
+		advance(time.Millisecond)
+	}
+	kept, apologies, err := l.ResolveOverbooking(book("bestseller"), 5, "only 5 copies in stock", "full refund")
+	if err != nil {
+		t.Fatalf("ResolveOverbooking: %v", err)
+	}
+	if kept != 5 || len(apologies) != 3 {
+		t.Fatalf("kept=%d apologies=%d", kept, len(apologies))
+	}
+	// The first five promises (FIFO) were honoured.
+	for i := 0; i < 5; i++ {
+		p, _ := l.Get(ids[i])
+		if p.Status != Kept {
+			t.Fatalf("promise %d status = %s", i, p.Status)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		p, _ := l.Get(ids[i])
+		if p.Status != Broken {
+			t.Fatalf("promise %d status = %s", i, p.Status)
+		}
+	}
+	if rate := l.ApologyRate(); rate != 3.0/8.0 {
+		t.Fatalf("ApologyRate = %v", rate)
+	}
+}
+
+func TestResolveOverbookingWithQuantities(t *testing.T) {
+	l := NewLedger(Options{})
+	l.Make(Promise{Kind: "atp", Entity: book("widget"), Partner: "a", Quantity: 3})
+	l.Make(Promise{Kind: "atp", Entity: book("widget"), Partner: "b", Quantity: 4})
+	l.Make(Promise{Kind: "atp", Entity: book("widget"), Partner: "c", Quantity: 2})
+	kept, apologies, err := l.ResolveOverbooking(book("widget"), 5, "capacity", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a (3) fits, b (4) does not (only 2 left), c (2) fits.
+	if kept != 2 || len(apologies) != 1 || apologies[0].Partner != "b" {
+		t.Fatalf("kept=%d apologies=%+v", kept, apologies)
+	}
+}
+
+func TestResolveOverbookingZeroQuantityTreatedAsOne(t *testing.T) {
+	l := NewLedger(Options{})
+	l.Make(Promise{Kind: "k", Entity: book("x"), Partner: "a"})
+	l.Make(Promise{Kind: "k", Entity: book("x"), Partner: "b"})
+	kept, apologies, err := l.ResolveOverbooking(book("x"), 1, "capacity", "")
+	if err != nil || kept != 1 || len(apologies) != 1 {
+		t.Fatalf("kept=%d apologies=%d err=%v", kept, len(apologies), err)
+	}
+}
+
+func TestExpireOverdue(t *testing.T) {
+	clk, advance := fixedClock(time.Unix(1000, 0))
+	l := NewLedger(Options{Clock: clk})
+	l.Make(Promise{Kind: "atp", Entity: book("w"), Partner: "a", Deadline: time.Unix(1500, 0)})
+	l.Make(Promise{Kind: "atp", Entity: book("w"), Partner: "b", Deadline: time.Unix(3000, 0)})
+	l.Make(Promise{Kind: "atp", Entity: book("w"), Partner: "c"}) // no deadline
+	advance(1000 * time.Second)                                   // now = 2000
+	apologies := l.ExpireOverdue("offer expired")
+	if len(apologies) != 1 || apologies[0].Partner != "a" {
+		t.Fatalf("apologies = %+v", apologies)
+	}
+	pending, _, broken := l.Counts()
+	if pending != 2 || broken != 1 {
+		t.Fatalf("counts = %d pending %d broken", pending, broken)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Pending.String() != "pending" || Kept.String() != "kept" || Broken.String() != "broken" {
+		t.Fatal("status names wrong")
+	}
+	if Status(9).String() == "" {
+		t.Fatal("unknown status should render")
+	}
+}
+
+func TestConcurrentMakeAndSettle(t *testing.T) {
+	l := NewLedger(Options{})
+	const n = 200
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := l.Make(Promise{Kind: "k", Entity: book("b"), Partner: fmt.Sprintf("p%d", i), Quantity: 1})
+			ids[i] = p.ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				l.Keep(ids[i])
+			} else {
+				l.Break(ids[i], "r", "")
+			}
+		}(i)
+	}
+	wg.Wait()
+	pending, kept, broken := l.Counts()
+	if pending != 0 || kept != n/2 || broken != n/2 {
+		t.Fatalf("counts = %d/%d/%d", pending, kept, broken)
+	}
+	if l.ApologyRate() != 0.5 {
+		t.Fatalf("rate = %v", l.ApologyRate())
+	}
+}

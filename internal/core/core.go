@@ -1,0 +1,936 @@
+// Package core implements the kernel of the inconsistency-principled data
+// management system: it composes the log-structured storage, serialization
+// units, transaction managers, event queues, the process-step engine,
+// deferred secondary data, logical locks, tentative operations and apologies,
+// and online schema migration into a single embeddable component with a
+// selectable consistency discipline.
+//
+// The programming model follows principles 2.4–2.6 (SOUPS): applications are
+// written as process steps, each containing at most one transaction that
+// updates one entity and emits events; the kernel routes entities to
+// serialization units, schedules steps, maintains aggregates asynchronously
+// and handles constraint violations and conflicts as managed exceptions
+// rather than refusals.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/apology"
+	"repro/internal/clock"
+	"repro/internal/entity"
+	"repro/internal/locks"
+	"repro/internal/lsdb"
+	"repro/internal/metrics"
+	"repro/internal/migrate"
+	"repro/internal/partition"
+	"repro/internal/process"
+	"repro/internal/queue"
+	"repro/internal/txn"
+)
+
+// Common errors.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("core: kernel closed")
+	// ErrMultiUnit is returned when a strongly consistent multi-entity
+	// transaction is requested but the kernel runs in SOUPS mode.
+	ErrMultiUnit = errors.New("core: multi-unit transaction not allowed in SOUPS mode")
+)
+
+// Consistency selects the kernel-wide discipline.
+type Consistency int
+
+// Consistency disciplines.
+const (
+	// EventualSOUPS is the paper's recommendation: solipsistic single-entity
+	// transactions, deferred secondary data, queued propagation, managed
+	// constraint violations.
+	EventualSOUPS Consistency = iota
+	// StrongSingleCopy is the conventional baseline: pessimistic concurrency
+	// control, two-phase commit for multi-entity work, synchronous
+	// aggregates, strict validation.
+	StrongSingleCopy
+)
+
+// String returns the discipline name.
+func (c Consistency) String() string {
+	if c == StrongSingleCopy {
+		return "strong-single-copy"
+	}
+	return "eventual-soups"
+}
+
+// Options configure a Kernel.
+type Options struct {
+	// Node names this kernel instance.
+	Node clock.NodeID
+	// Units is the number of serialization units (partitions). Default 1.
+	Units int
+	// Consistency selects the kernel-wide discipline. Default EventualSOUPS.
+	Consistency Consistency
+	// TxnMode overrides the concurrency-control mode implied by Consistency.
+	TxnMode *txn.Mode
+	// Validation overrides the validation mode implied by Consistency.
+	Validation *entity.ValidationMode
+	// SnapshotEvery configures LSDB snapshot frequency (default 32).
+	SnapshotEvery int
+	// DeferredAggregates maintains secondary data asynchronously; the
+	// default follows the consistency discipline.
+	DeferredAggregates *bool
+	// CollapseVertical enables inline execution of follow-up steps.
+	CollapseVertical bool
+	// Workers is the number of process workers per unit when Start is used.
+	Workers int
+	// TxnRetries is how many times Transact retries optimistic conflicts.
+	TxnRetries int
+}
+
+func (o *Options) fill() {
+	if o.Node == "" {
+		o.Node = "kernel"
+	}
+	if o.Units <= 0 {
+		o.Units = 1
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 32
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.TxnRetries < 0 {
+		o.TxnRetries = 0
+	}
+}
+
+// txnMode returns the effective concurrency-control mode.
+func (o Options) txnMode() txn.Mode {
+	if o.TxnMode != nil {
+		return *o.TxnMode
+	}
+	if o.Consistency == StrongSingleCopy {
+		return txn.Pessimistic
+	}
+	return txn.Solipsistic
+}
+
+// validation returns the effective validation mode.
+func (o Options) validation() entity.ValidationMode {
+	if o.Validation != nil {
+		return *o.Validation
+	}
+	if o.Consistency == StrongSingleCopy {
+		return entity.Strict
+	}
+	return entity.Managed
+}
+
+// deferredAggregates returns whether secondary data is maintained lazily.
+func (o Options) deferredAggregates() bool {
+	if o.DeferredAggregates != nil {
+		return *o.DeferredAggregates
+	}
+	return o.Consistency == EventualSOUPS
+}
+
+// unit bundles the per-serialization-unit machinery.
+type unit struct {
+	id     partition.UnitID
+	db     *lsdb.DB
+	mgr    *txn.Manager
+	queue  *queue.Queue
+	engine *process.Engine
+	maint  *aggregate.Maintainer
+}
+
+// Kernel is one node of the inconsistency-principled DMS.
+type Kernel struct {
+	opts Options
+
+	mu       sync.Mutex
+	closed   bool
+	units    map[partition.UnitID]*unit
+	unitIDs  []partition.UnitID
+	dir      *partition.Directory
+	locks    *locks.Manager
+	hlc      *clock.HLC
+	ledger   *apology.Ledger
+	registry *migrate.Registry
+	metrics  *metrics.Registry
+	coord    *txn.Coordinator
+	warnings []entity.Warning
+	started  bool
+}
+
+// Open creates a kernel.
+func Open(opts Options) (*Kernel, error) {
+	opts.fill()
+	k := &Kernel{
+		opts:     opts,
+		units:    map[partition.UnitID]*unit{},
+		locks:    locks.NewManager(locks.Options{}),
+		hlc:      clock.NewHLC(opts.Node),
+		registry: migrate.NewRegistry(),
+		metrics:  metrics.NewRegistry(),
+	}
+	k.ledger = apology.NewLedger(apology.Options{OnBreak: k.onPromiseBroken})
+	locator := partition.NewHashLocator(64)
+	var participants []txn.Participant
+	for i := 0; i < opts.Units; i++ {
+		id := partition.UnitID(fmt.Sprintf("%s-u%d", opts.Node, i))
+		if err := locator.AddUnit(id); err != nil {
+			return nil, err
+		}
+		db := lsdb.Open(lsdb.Options{
+			Node:          clock.NodeID(id),
+			SnapshotEvery: opts.SnapshotEvery,
+			Validation:    opts.validation(),
+		})
+		mgr := txn.NewManager(db, k.locks, k.hlc, txn.Options{
+			Node:                clock.NodeID(id),
+			EnforceSingleEntity: opts.Consistency == EventualSOUPS,
+		})
+		q := queue.New(string(id), queue.Options{})
+		engine := process.NewEngine(mgr, q, process.Options{
+			Workers:          opts.Workers,
+			TxnMode:          opts.txnMode(),
+			CollapseVertical: opts.CollapseVertical,
+			Route:            k.routeQueue,
+		})
+		maintMode := aggregate.Deferred
+		if !opts.deferredAggregates() {
+			maintMode = aggregate.Synchronous
+		}
+		u := &unit{
+			id:     id,
+			db:     db,
+			mgr:    mgr,
+			queue:  q,
+			engine: engine,
+			maint:  aggregate.NewMaintainer(db, maintMode),
+		}
+		k.units[id] = u
+		k.unitIDs = append(k.unitIDs, id)
+		participants = append(participants, txn.Participant{Manager: mgr})
+	}
+	sort.Slice(k.unitIDs, func(i, j int) bool { return k.unitIDs[i] < k.unitIDs[j] })
+	k.dir = partition.NewDirectory(locator)
+	k.coord = txn.NewCoordinator(participants...)
+	return k, nil
+}
+
+// Options returns the kernel's effective options.
+func (k *Kernel) Options() Options { return k.opts }
+
+// Consistency returns the configured discipline.
+func (k *Kernel) Consistency() Consistency { return k.opts.Consistency }
+
+// Units returns the serialization unit ids, sorted.
+func (k *Kernel) Units() []partition.UnitID {
+	return append([]partition.UnitID(nil), k.unitIDs...)
+}
+
+// Locks exposes the shared logical lock manager.
+func (k *Kernel) Locks() *locks.Manager { return k.locks }
+
+// Metrics exposes the kernel's metric registry.
+func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
+
+// Ledger exposes the promise/apology ledger.
+func (k *Kernel) Ledger() *apology.Ledger { return k.ledger }
+
+// SchemaRegistry exposes the schema version registry.
+func (k *Kernel) SchemaRegistry() *migrate.Registry { return k.registry }
+
+// routeQueue returns the queue of the serialization unit owning an event's
+// entity, so emitted events always land where their step must execute.
+func (k *Kernel) routeQueue(ev queue.Event) *queue.Queue {
+	u, err := k.unitFor(ev.Entity)
+	if err != nil {
+		return nil
+	}
+	return u.queue
+}
+
+// unitFor returns the unit owning the key.
+func (k *Kernel) unitFor(key entity.Key) (*unit, error) {
+	id, err := k.dir.Locate(key)
+	if err != nil {
+		return nil, err
+	}
+	u, ok := k.units[id]
+	if !ok {
+		return nil, fmt.Errorf("core: directory points at unknown unit %s", id)
+	}
+	return u, nil
+}
+
+// unitIndex returns the participant index of a unit for the 2PC coordinator.
+func (k *Kernel) unitIndex(id partition.UnitID) int {
+	for i, u := range k.unitIDs {
+		if u == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// RegisterType registers an entity type on every unit and in the schema
+// registry.
+func (k *Kernel) RegisterType(t *entity.Type) error {
+	if err := k.registry.Register(t); err != nil {
+		return err
+	}
+	for _, u := range k.units {
+		if err := u.db.RegisterType(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterTypes registers several types, stopping at the first error.
+func (k *Kernel) RegisterTypes(types ...*entity.Type) error {
+	for _, t := range types {
+		if err := k.RegisterType(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Transactions -----------------------------------------------------------
+
+// checkReferences enforces referential integrity for Reference fields set by
+// ops: in strict mode a dangling reference is an error; in managed mode it is
+// recorded as a warning and handled by later process steps (principle 2.2).
+func (k *Kernel) checkReferences(key entity.Key, ops []entity.Op) error {
+	u, err := k.unitFor(key)
+	if err != nil {
+		return err
+	}
+	typ, ok := u.db.TypeOf(key.Type)
+	if !ok {
+		return nil // the append itself will report the unknown type
+	}
+	refTypes := map[string]string{}
+	for _, f := range typ.Fields {
+		if f.Type == entity.Reference {
+			refTypes[f.Name] = f.RefType
+		}
+	}
+	for _, op := range ops {
+		if op.Kind != entity.OpSet {
+			continue
+		}
+		refType, isRef := refTypes[op.Field]
+		if !isRef {
+			continue
+		}
+		val, _ := op.Value.(string)
+		if val == "" {
+			continue
+		}
+		refKey, err := entity.ParseKey(val)
+		if err != nil {
+			refKey = entity.Key{Type: refType, ID: val}
+		}
+		if k.Exists(refKey) {
+			continue
+		}
+		problem := fmt.Sprintf("dangling reference %s.%s -> %s", key.Type, op.Field, refKey)
+		if k.opts.validation() == entity.Strict {
+			return fmt.Errorf("core: %s", problem)
+		}
+		k.recordWarnings([]entity.Warning{{Key: key, Op: op, Problem: problem}})
+	}
+	return nil
+}
+
+// Transact runs fn inside one focused transaction against the unit owning
+// key and commits it. Events emitted via Txn.Emit go to that unit's queue.
+func (k *Kernel) Transact(key entity.Key, fn func(*txn.Txn) error) (txn.CommitResult, error) {
+	u, err := k.unitFor(key)
+	if err != nil {
+		return txn.CommitResult{}, err
+	}
+	start := time.Now()
+	res, err := u.mgr.Run(k.opts.txnMode(), u.queue, k.opts.TxnRetries, fn)
+	k.metrics.Histogram("txn.latency").Record(time.Since(start))
+	if err != nil {
+		k.metrics.Counter("txn.failed").Inc()
+		return res, err
+	}
+	k.metrics.Counter("txn.committed").Inc()
+	k.recordWarnings(res.Warnings)
+	if !k.opts.deferredAggregates() {
+		u.maint.CatchUp()
+	}
+	return res, nil
+}
+
+// Update is the single-shot convenience: apply ops to key in one focused
+// transaction. Referential integrity of Reference fields is enforced in
+// strict mode and turned into managed warnings otherwise.
+func (k *Kernel) Update(key entity.Key, ops ...entity.Op) (txn.CommitResult, error) {
+	if err := k.checkReferences(key, ops); err != nil {
+		k.metrics.Counter("txn.failed").Inc()
+		return txn.CommitResult{}, err
+	}
+	return k.Transact(key, func(t *txn.Txn) error {
+		return t.Update(key, ops...)
+	})
+}
+
+// UpdateTentative applies ops as a tentative promise and registers it in the
+// apology ledger. The returned promise can later be kept or broken.
+func (k *Kernel) UpdateTentative(key entity.Key, partner, kind string, quantity float64, ops ...entity.Op) (apology.Promise, error) {
+	u, err := k.unitFor(key)
+	if err != nil {
+		return apology.Promise{}, err
+	}
+	res, err := u.mgr.Run(k.opts.txnMode(), u.queue, k.opts.TxnRetries, func(t *txn.Txn) error {
+		return t.UpdateTentative(key, ops...)
+	})
+	if err != nil {
+		return apology.Promise{}, err
+	}
+	k.metrics.Counter("promise.made").Inc()
+	p := k.ledger.Make(apology.Promise{
+		Kind:     kind,
+		Entity:   key,
+		TxnID:    res.TxnID,
+		Partner:  partner,
+		Quantity: quantity,
+	})
+	return p, nil
+}
+
+// MultiWrite is one entity write inside a multi-entity request.
+type MultiWrite struct {
+	Key entity.Key
+	Ops []entity.Op
+	// Event optionally names the process-step event used to propagate this
+	// write asynchronously in SOUPS mode ("" uses "core.apply").
+	Event string
+}
+
+// ApplyEventName is the built-in process step that applies propagated writes.
+const ApplyEventName = "core.apply"
+
+// TransactMulti applies writes that may span entities and serialization
+// units.
+//
+// In StrongSingleCopy mode it runs a two-phase commit across the owning
+// units (the baseline the paper argues against). In EventualSOUPS mode the
+// first write is applied in a focused local transaction and the remaining
+// writes are propagated as process-step events to their owning units
+// (principles 2.5/2.6); callers observe them once the steps execute.
+func (k *Kernel) TransactMulti(writes []MultiWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	if k.opts.Consistency == StrongSingleCopy {
+		var dws []txn.DistributedWrite
+		for _, w := range writes {
+			u, err := k.unitFor(w.Key)
+			if err != nil {
+				return err
+			}
+			dws = append(dws, txn.DistributedWrite{Participant: k.unitIndex(u.id), Key: w.Key, Ops: w.Ops})
+		}
+		start := time.Now()
+		err := k.coord.Execute(dws, nil)
+		k.metrics.Histogram("txn2pc.latency").Record(time.Since(start))
+		if err != nil {
+			k.metrics.Counter("txn2pc.failed").Inc()
+			return err
+		}
+		k.metrics.Counter("txn2pc.committed").Inc()
+		return nil
+	}
+	first := writes[0]
+	res, err := k.Transact(first.Key, func(t *txn.Txn) error {
+		return t.Update(first.Key, first.Ops...)
+	})
+	if err != nil {
+		return err
+	}
+	// The remaining writes propagate as process-step events to their owning
+	// units once the first transaction committed (principle 2.4: a committed
+	// transaction may enqueue events that result in additional process
+	// steps).
+	for i, w := range writes[1:] {
+		name := w.Event
+		if name == "" {
+			name = ApplyEventName
+		}
+		ev := queue.Event{
+			Name:   name,
+			Entity: w.Key,
+			TxnID:  fmt.Sprintf("%s/propagate-%d", res.TxnID, i),
+			Data:   map[string]interface{}{"ops": w.Ops},
+		}
+		if err := k.Submit(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Reads -------------------------------------------------------------------
+
+// Read returns the subjective current state of an entity.
+func (k *Kernel) Read(key entity.Key) (*entity.State, error) {
+	u, err := k.unitFor(key)
+	if err != nil {
+		return nil, err
+	}
+	st, _, err := u.db.Current(key)
+	return st, err
+}
+
+// ReadAsOf returns the entity state as of a timestamp.
+func (k *Kernel) ReadAsOf(key entity.Key, ts clock.Timestamp) (*entity.State, error) {
+	u, err := k.unitFor(key)
+	if err != nil {
+		return nil, err
+	}
+	return u.db.AsOf(key, ts)
+}
+
+// History returns the insert-only version history of an entity.
+func (k *Kernel) History(key entity.Key) (*entity.History, error) {
+	u, err := k.unitFor(key)
+	if err != nil {
+		return nil, err
+	}
+	return u.db.History(key)
+}
+
+// Exists reports whether the entity has any recorded state.
+func (k *Kernel) Exists(key entity.Key) bool {
+	u, err := k.unitFor(key)
+	if err != nil {
+		return false
+	}
+	return u.db.Exists(key)
+}
+
+// Query scans every unit for entities of a type and calls fn with each
+// current state; returning false stops the scan.
+func (k *Kernel) Query(typeName string, fn func(*entity.State) bool) error {
+	for _, id := range k.unitIDs {
+		u := k.units[id]
+		stop := false
+		err := u.db.Scan(typeName, func(st *entity.State) bool {
+			cont := fn(st)
+			if !cont {
+				stop = true
+			}
+			return cont
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Now returns a kernel timestamp (useful for ReadAsOf).
+func (k *Kernel) Now() clock.Timestamp { return k.hlc.Now() }
+
+// Warnings returns constraint violations accepted as managed exceptions so
+// far (principle 2.2). The slice is a copy.
+func (k *Kernel) Warnings() []entity.Warning {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]entity.Warning(nil), k.warnings...)
+}
+
+func (k *Kernel) recordWarnings(ws []entity.Warning) {
+	if len(ws) == 0 {
+		return
+	}
+	k.mu.Lock()
+	k.warnings = append(k.warnings, ws...)
+	k.mu.Unlock()
+	k.metrics.Counter("constraint.managed").Add(uint64(len(ws)))
+}
+
+// --- Process steps ------------------------------------------------------------
+
+// DefineProcess registers the process definition on every unit's engine and
+// installs the built-in propagation step.
+func (k *Kernel) DefineProcess(def *process.Definition) error {
+	for _, u := range k.units {
+		if err := u.engine.Register(def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureApplyStep installs the built-in step that applies propagated writes.
+func (k *Kernel) ensureApplyStep() error {
+	def := process.NewDefinition("core-propagation")
+	def.Step(ApplyEventName, func(ctx *process.StepContext) error {
+		rawOps, _ := ctx.Event.Data["ops"].([]entity.Op)
+		return ctx.Txn.Update(ctx.Event.Entity, rawOps...)
+	})
+	return k.DefineProcess(def)
+}
+
+// Submit enqueues an event on the unit owning its entity.
+func (k *Kernel) Submit(ev queue.Event) error {
+	u, err := k.unitFor(ev.Entity)
+	if err != nil {
+		return err
+	}
+	return u.engine.Submit(ev)
+}
+
+// Drain processes queued events synchronously on every unit until all queues
+// are empty. Events emitted by steps are routed to the owning unit's queue,
+// so the loop keeps going until a full pass over all units processes nothing.
+func (k *Kernel) Drain() int {
+	total := 0
+	for {
+		ran := 0
+		for _, id := range k.unitIDs {
+			ran += k.units[id].engine.Drain()
+		}
+		total += ran
+		if ran == 0 {
+			return total
+		}
+	}
+}
+
+// Start launches process workers and deferred-aggregate maintainers on every
+// unit.
+func (k *Kernel) Start() {
+	k.mu.Lock()
+	if k.started || k.closed {
+		k.mu.Unlock()
+		return
+	}
+	k.started = true
+	k.mu.Unlock()
+	for _, u := range k.units {
+		u.engine.Start()
+	}
+}
+
+// Stop halts workers started by Start.
+func (k *Kernel) Stop() {
+	k.mu.Lock()
+	if !k.started {
+		k.mu.Unlock()
+		return
+	}
+	k.started = false
+	k.mu.Unlock()
+	for _, u := range k.units {
+		u.engine.Stop()
+	}
+}
+
+// Close shuts the kernel down.
+func (k *Kernel) Close() {
+	k.Stop()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return
+	}
+	k.closed = true
+	for _, u := range k.units {
+		u.queue.Close()
+	}
+}
+
+// ProcessStats sums process-engine statistics across units.
+func (k *Kernel) ProcessStats() process.Stats {
+	var total process.Stats
+	for _, u := range k.units {
+		s := u.engine.Stats()
+		total.StepsExecuted += s.StepsExecuted
+		total.StepsFailed += s.StepsFailed
+		total.Retries += s.Retries
+		total.Compensations += s.Compensations
+		total.Collapsed += s.Collapsed
+		total.EventsEmitted += s.EventsEmitted
+		total.AuditLines += s.AuditLines
+		total.UnknownEvents += s.UnknownEvents
+		total.EnqueuedEvents += s.EnqueuedEvents
+	}
+	return total
+}
+
+// TxnStats sums transaction statistics across units.
+func (k *Kernel) TxnStats() txn.Stats {
+	var total txn.Stats
+	for _, u := range k.units {
+		s := u.mgr.Stats()
+		total.Commits += s.Commits
+		total.Aborts += s.Aborts
+		total.Conflicts += s.Conflicts
+		total.LockTimeouts += s.LockTimeouts
+	}
+	return total
+}
+
+// QueueDepth returns the number of pending events across all units.
+func (k *Kernel) QueueDepth() int {
+	total := 0
+	for _, u := range k.units {
+		total += u.queue.Len()
+	}
+	return total
+}
+
+// --- Secondary data ------------------------------------------------------------
+
+// DefineSumAggregate declares a sum aggregate on every unit. Reading it sums
+// the per-unit partial aggregates.
+func (k *Kernel) DefineSumAggregate(name, entityType, field, groupBy string) {
+	for _, u := range k.units {
+		u.maint.DefineSum(name, entityType, field, groupBy)
+	}
+}
+
+// DefineCountAggregate declares a count aggregate on every unit.
+func (k *Kernel) DefineCountAggregate(name, entityType, groupBy string) {
+	for _, u := range k.units {
+		u.maint.DefineCount(name, entityType, groupBy)
+	}
+}
+
+// DefineIndex declares a secondary index on every unit.
+func (k *Kernel) DefineIndex(name, entityType, field string) {
+	for _, u := range k.units {
+		u.maint.DefineIndex(name, entityType, field)
+	}
+}
+
+// CatchUpAggregates folds all unprocessed records into secondary data and
+// returns how many records were processed.
+func (k *Kernel) CatchUpAggregates() int {
+	total := 0
+	for _, u := range k.units {
+		total += u.maint.CatchUp()
+	}
+	return total
+}
+
+// Sum reads a sum aggregate (summed across units).
+func (k *Kernel) Sum(name, group string) (float64, error) {
+	total := 0.0
+	for _, u := range k.units {
+		v, err := u.maint.Sum(name, group)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// Count reads a count aggregate (summed across units).
+func (k *Kernel) Count(name, group string) (int, error) {
+	total := 0
+	for _, u := range k.units {
+		v, err := u.maint.Count(name, group)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// Lookup merges a secondary-index lookup across units.
+func (k *Kernel) Lookup(name string, value interface{}) ([]string, error) {
+	var out []string
+	for _, id := range k.unitIDs {
+		ids, err := k.units[id].maint.Lookup(name, value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ids...)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// AggregateStaleness returns the total number of records not yet folded into
+// secondary data across units (principle 2.3's inconsistency window).
+func (k *Kernel) AggregateStaleness() int {
+	total := 0
+	for _, u := range k.units {
+		pending, _ := u.maint.Staleness()
+		total += pending
+	}
+	return total
+}
+
+// --- Promises and apologies -----------------------------------------------------
+
+// onPromiseBroken withdraws the tentative record backing a broken promise.
+func (k *Kernel) onPromiseBroken(p apology.Promise, reason string) {
+	k.metrics.Counter("apology.issued").Inc()
+	if p.TxnID == "" {
+		return
+	}
+	if u, err := k.unitFor(p.Entity); err == nil {
+		_ = u.db.MarkObsolete(p.Entity, p.TxnID)
+	}
+}
+
+// KeepPromise marks a promise as fulfilled and confirms the tentative state.
+func (k *Kernel) KeepPromise(id string) error {
+	p, err := k.ledger.Get(id)
+	if err != nil {
+		return err
+	}
+	if err := k.ledger.Keep(id); err != nil {
+		return err
+	}
+	k.metrics.Counter("promise.kept").Inc()
+	_, err = k.Update(p.Entity, entity.Confirm())
+	return err
+}
+
+// BreakPromise withdraws a promise and issues an apology.
+func (k *Kernel) BreakPromise(id, reason, compensation string) (apology.Apology, error) {
+	return k.ledger.Break(id, reason, compensation)
+}
+
+// ResolveOverbooking settles pending promises for an entity against actual
+// availability, keeping them first-come-first-served.
+func (k *Kernel) ResolveOverbooking(key entity.Key, available float64, reason, compensation string) (int, []apology.Apology, error) {
+	kept, apologies, err := k.ledger.ResolveOverbooking(key, available, reason, compensation)
+	if err != nil {
+		return kept, apologies, err
+	}
+	for range apologies {
+		// Confirm is not needed for broken promises; the OnBreak hook already
+		// withdrew the tentative records.
+		k.metrics.Counter("promise.broken").Inc()
+	}
+	for _, p := range k.ledger.PendingFor(key) {
+		_ = p // remaining pending promises stay tentative
+	}
+	return kept, apologies, nil
+}
+
+// --- Schema migration -----------------------------------------------------------
+
+// Migrate applies a schema migration across every unit using the given
+// strategy and returns the aggregated progress.
+func (k *Kernel) Migrate(m migrate.Migration, strategy migrate.Strategy, batchSize int) (migrate.Progress, error) {
+	var total migrate.Progress
+	for i, id := range k.unitIDs {
+		u := k.units[id]
+		migrator := migrate.NewMigrator(k.registry, u.db, u.mgr, k.locks)
+		if i > 0 {
+			// The registry already advanced for the first unit; re-registering
+			// the same change would bump the version again, so apply the
+			// already-registered active type to the remaining units directly.
+			active, err := k.registry.Active(m.Type)
+			if err != nil {
+				return total, err
+			}
+			if err := u.db.RegisterType(active.Type); err != nil {
+				return total, err
+			}
+			p, err := backfillUnit(u, m, strategy, k.locks, batchSize)
+			if err != nil {
+				return total, err
+			}
+			accumulate(&total, p)
+			continue
+		}
+		_, p, err := migrator.Apply(m, strategy, batchSize)
+		if err != nil {
+			return total, err
+		}
+		accumulate(&total, p)
+	}
+	return total, nil
+}
+
+func accumulate(total *migrate.Progress, p migrate.Progress) {
+	total.Entities += p.Entities
+	total.Backfills += p.Backfills
+	total.Skipped += p.Skipped
+	total.Errors += p.Errors
+	total.Elapsed += p.Elapsed
+}
+
+// backfillUnit runs the backfill of an already-registered migration against
+// one additional unit.
+func backfillUnit(u *unit, m migrate.Migration, strategy migrate.Strategy, lm *locks.Manager, batchSize int) (migrate.Progress, error) {
+	var progress migrate.Progress
+	if m.Backfill == nil {
+		return progress, nil
+	}
+	start := time.Now()
+	if strategy == migrate.StopTheWorld {
+		owner := locks.Owner("migration:" + m.Type + ":" + string(u.id))
+		if err := lm.Acquire(owner, migrate.MigrationLockResource(m.Type), locks.Exclusive, 0, 30*time.Second); err != nil {
+			return progress, err
+		}
+		defer lm.ReleaseAll(owner)
+	}
+	for _, key := range u.db.KeysOfType(m.Type) {
+		progress.Entities++
+		st, _, err := u.db.Current(key)
+		if err != nil {
+			progress.Errors++
+			continue
+		}
+		ops := m.Backfill(st)
+		if len(ops) == 0 {
+			progress.Skipped++
+			continue
+		}
+		if _, err := u.mgr.Run(txn.Solipsistic, nil, 0, func(t *txn.Txn) error {
+			return t.Update(key, ops...)
+		}); err != nil {
+			progress.Errors++
+			continue
+		}
+		progress.Backfills++
+	}
+	progress.Elapsed = time.Since(start)
+	return progress, nil
+}
+
+// --- Setup helper ----------------------------------------------------------------
+
+// Bootstrap opens a kernel, registers the given types and installs the
+// built-in propagation step. Most examples and benchmarks start here.
+func Bootstrap(opts Options, types ...*entity.Type) (*Kernel, error) {
+	k, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.RegisterTypes(types...); err != nil {
+		return nil, err
+	}
+	if err := k.ensureApplyStep(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/entity"
+	"repro/internal/lsdb"
+	"repro/internal/migrate"
+	"repro/internal/process"
+	"repro/internal/queue"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func newKernel(t *testing.T, opts Options) *Kernel {
+	t.Helper()
+	k, err := Bootstrap(opts, workload.Types()...)
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	t.Cleanup(k.Close)
+	return k
+}
+
+func orderKey(id string) entity.Key   { return entity.Key{Type: "Order", ID: id} }
+func accountKey(id string) entity.Key { return entity.Key{Type: "Account", ID: id} }
+func invKey(id string) entity.Key     { return entity.Key{Type: "Inventory", ID: id} }
+
+func TestBootstrapAndBasicReadWrite(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 2})
+	res, err := k.Update(orderKey("O1"), entity.Set("status", "OPEN"), entity.Set("customer", "Customer/C1"))
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if res.TxnID == "" || len(res.Records) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	st, err := k.Read(orderKey("O1"))
+	if err != nil || st.StringField("status") != "OPEN" {
+		t.Fatalf("Read: %v %v", st, err)
+	}
+	if !k.Exists(orderKey("O1")) || k.Exists(orderKey("ghost")) {
+		t.Fatal("Exists wrong")
+	}
+	if k.TxnStats().Commits != 1 {
+		t.Fatalf("TxnStats = %+v", k.TxnStats())
+	}
+	if len(k.Units()) != 2 {
+		t.Fatalf("Units = %v", k.Units())
+	}
+	if k.Consistency() != EventualSOUPS {
+		t.Fatal("default consistency wrong")
+	}
+}
+
+func TestReadAsOfAndHistory(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1"})
+	k.Update(orderKey("O1"), entity.Set("status", "OPEN"))
+	mid := k.Now()
+	time.Sleep(time.Millisecond)
+	k.Update(orderKey("O1"), entity.Set("status", "SHIPPED"))
+	st, err := k.ReadAsOf(orderKey("O1"), mid)
+	if err != nil || st.StringField("status") != "OPEN" {
+		t.Fatalf("ReadAsOf: %v %v", st, err)
+	}
+	h, err := k.History(orderKey("O1"))
+	if err != nil || h.Len() != 2 {
+		t.Fatalf("History: %v %v", h, err)
+	}
+}
+
+func TestSOUPSEnforcesSingleEntityTransactions(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1"})
+	_, err := k.Transact(accountKey("A"), func(tx *txn.Txn) error {
+		if err := tx.Update(accountKey("A"), entity.Delta("balance", 1)); err != nil {
+			return err
+		}
+		return tx.Update(accountKey("B"), entity.Delta("balance", 1))
+	})
+	if !errors.Is(err, txn.ErrMultiEntity) {
+		t.Fatalf("want ErrMultiEntity, got %v", err)
+	}
+}
+
+func TestStrongModeAllowsMultiEntityVia2PC(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 4, Consistency: StrongSingleCopy})
+	err := k.TransactMulti([]MultiWrite{
+		{Key: accountKey("A"), Ops: []entity.Op{entity.Delta("balance", -50)}},
+		{Key: accountKey("B"), Ops: []entity.Op{entity.Delta("balance", 50)}},
+	})
+	if err != nil {
+		t.Fatalf("TransactMulti: %v", err)
+	}
+	a, _ := k.Read(accountKey("A"))
+	b, _ := k.Read(accountKey("B"))
+	if a.Float("balance") != -50 || b.Float("balance") != 50 {
+		t.Fatalf("balances = %v / %v", a.Float("balance"), b.Float("balance"))
+	}
+}
+
+func TestSOUPSTransactMultiPropagatesViaSteps(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 4})
+	err := k.TransactMulti([]MultiWrite{
+		{Key: accountKey("A"), Ops: []entity.Op{entity.Delta("balance", -50).Described("transfer out")}},
+		{Key: accountKey("B"), Ops: []entity.Op{entity.Delta("balance", 50).Described("transfer in")}},
+	})
+	if err != nil {
+		t.Fatalf("TransactMulti: %v", err)
+	}
+	// The first write is immediately visible; the second becomes visible once
+	// the propagation step runs (subjective consistency in between).
+	a, _ := k.Read(accountKey("A"))
+	if a.Float("balance") != -50 {
+		t.Fatalf("first write missing: %v", a.Float("balance"))
+	}
+	k.Drain()
+	b, err := k.Read(accountKey("B"))
+	if err != nil || b.Float("balance") != 50 {
+		t.Fatalf("propagated write missing after drain: %v %v", b, err)
+	}
+	if k.TransactMulti(nil) != nil {
+		t.Fatal("empty TransactMulti should be a no-op")
+	}
+}
+
+func TestProcessPipelineAcrossUnits(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 3})
+	def := process.NewDefinition("order-to-cash")
+	def.Step("order.created", func(ctx *process.StepContext) error {
+		if err := ctx.Txn.Update(ctx.Event.Entity, entity.Set("status", "OPEN")); err != nil {
+			return err
+		}
+		ctx.Emit(queue.Event{Name: "inventory.reserve", Entity: invKey("widget"),
+			Data: map[string]interface{}{"qty": int64(2)}})
+		return nil
+	})
+	def.Step("inventory.reserve", func(ctx *process.StepContext) error {
+		qty, _ := ctx.Event.Data["qty"].(int64)
+		return ctx.Txn.Update(ctx.Event.Entity, entity.Delta("onhand", -float64(qty)).Described("reserved"))
+	})
+	if err := k.DefineProcess(def); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := k.Submit(queue.Event{Name: "order.created", Entity: orderKey(fmt.Sprintf("O%d", i)), TxnID: fmt.Sprintf("ext-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := k.Drain()
+	if steps != 20 {
+		t.Fatalf("steps = %d, want 20", steps)
+	}
+	inv, err := k.Read(invKey("widget"))
+	if err != nil || inv.Int("onhand") != -20 {
+		t.Fatalf("inventory = %v %v (negative stock is allowed)", inv, err)
+	}
+	for i := 0; i < 10; i++ {
+		st, err := k.Read(orderKey(fmt.Sprintf("O%d", i)))
+		if err != nil || st.StringField("status") != "OPEN" {
+			t.Fatalf("order %d: %v %v", i, st, err)
+		}
+	}
+	ps := k.ProcessStats()
+	if ps.StepsExecuted != 20 || ps.EventsEmitted != 10 {
+		t.Fatalf("process stats = %+v", ps)
+	}
+	if k.QueueDepth() != 0 {
+		t.Fatalf("queue depth = %d", k.QueueDepth())
+	}
+}
+
+func TestBackgroundWorkers(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 2, Workers: 2})
+	def := process.NewDefinition("deposits")
+	def.Step("deposit", func(ctx *process.StepContext) error {
+		return ctx.Txn.Update(ctx.Event.Entity, entity.Delta("balance", 1))
+	})
+	k.DefineProcess(def)
+	k.Start()
+	defer k.Stop()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := k.Submit(queue.Event{Name: "deposit", Entity: accountKey("A"), TxnID: fmt.Sprintf("d%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := k.Read(accountKey("A"))
+		if err == nil && st.Float("balance") == n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, _ := k.Read(accountKey("A"))
+	t.Fatalf("workers never processed all deposits: %v", st.Float("balance"))
+}
+
+func TestManagedWarningsSurfaceOnKernel(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1"})
+	// Out-of-order reference plus unknown field: accepted with warnings.
+	_, err := k.Update(entity.Key{Type: "Opportunity", ID: "OP1"},
+		entity.Set("customer", "Customer/missing"),
+		entity.Set("forecast_category", "A"))
+	if err != nil {
+		t.Fatalf("managed-mode update rejected: %v", err)
+	}
+	if len(k.Warnings()) == 0 {
+		t.Fatal("no managed warnings recorded")
+	}
+}
+
+func TestStrictModeRejectsUnknownField(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Consistency: StrongSingleCopy})
+	_, err := k.Update(orderKey("O1"), entity.Set("bogus", 1))
+	if err == nil {
+		t.Fatal("strict kernel accepted unknown field")
+	}
+}
+
+func TestDeferredAggregates(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 2})
+	k.DefineSumAggregate("revenue", "Order", "total", "")
+	k.DefineCountAggregate("orders", "Order", "status")
+	k.DefineIndex("orders-by-status", "Order", "status")
+	for i := 0; i < 10; i++ {
+		k.Update(orderKey(fmt.Sprintf("O%d", i)), entity.Set("status", "OPEN"), entity.Set("total", 10.0))
+	}
+	// Deferred: stale until caught up.
+	if v, _ := k.Sum("revenue", ""); v != 0 {
+		t.Fatalf("deferred aggregate fresh too early: %v", v)
+	}
+	if k.AggregateStaleness() == 0 {
+		t.Fatal("staleness should be non-zero before catch-up")
+	}
+	k.CatchUpAggregates()
+	if v, _ := k.Sum("revenue", ""); v != 100 {
+		t.Fatalf("revenue = %v, want 100", v)
+	}
+	if n, _ := k.Count("orders", "OPEN"); n != 10 {
+		t.Fatalf("count = %d", n)
+	}
+	ids, err := k.Lookup("orders-by-status", "OPEN")
+	if err != nil || len(ids) != 10 {
+		t.Fatalf("lookup = %v %v", ids, err)
+	}
+	if k.AggregateStaleness() != 0 {
+		t.Fatalf("staleness after catch-up = %d", k.AggregateStaleness())
+	}
+}
+
+func TestSynchronousAggregatesInStrongMode(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Consistency: StrongSingleCopy})
+	k.DefineSumAggregate("revenue", "Order", "total", "")
+	k.Update(orderKey("O1"), entity.Set("total", 25.0))
+	if v, _ := k.Sum("revenue", ""); v != 25 {
+		t.Fatalf("synchronous aggregate stale: %v", v)
+	}
+}
+
+func TestQueryAcrossUnits(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 4})
+	for i := 0; i < 20; i++ {
+		k.Update(orderKey(fmt.Sprintf("O%d", i)), entity.Set("status", "OPEN"))
+	}
+	count := 0
+	if err := k.Query("Order", func(*entity.State) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 20 {
+		t.Fatalf("Query visited %d entities, want 20", count)
+	}
+	// Early termination.
+	count = 0
+	k.Query("Order", func(*entity.State) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	if err := k.Query("Ghost", func(*entity.State) bool { return true }); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+}
+
+func TestTentativePromiseKeepAndBreak(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1"})
+	// Seed the bestseller with 5 copies.
+	k.Update(entity.Key{Type: "Book", ID: "bestseller"}, entity.Set("stock", 5), entity.Set("title", "Principles"))
+	// Two tentative orders reserve a copy each.
+	p1, err := k.UpdateTentative(entity.Key{Type: "Book", ID: "bestseller"}, "alice", "order-confirmation", 1,
+		entity.Delta("stock", -1).Described("reserved for alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := k.UpdateTentative(entity.Key{Type: "Book", ID: "bestseller"}, "bob", "order-confirmation", 1,
+		entity.Delta("stock", -1).Described("reserved for bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := k.Read(entity.Key{Type: "Book", ID: "bestseller"})
+	if st.Int("stock") != 3 || !st.Tentative {
+		t.Fatalf("state after tentative reservations = %+v", st)
+	}
+	// Keep one promise, break the other: the broken reservation is withdrawn.
+	if err := k.KeepPromise(p1.ID); err != nil {
+		t.Fatal(err)
+	}
+	a, err := k.BreakPromise(p2.ID, "warehouse fire", "full refund")
+	if err != nil || a.Partner != "bob" {
+		t.Fatalf("BreakPromise: %+v %v", a, err)
+	}
+	st, _ = k.Read(entity.Key{Type: "Book", ID: "bestseller"})
+	if st.Int("stock") != 4 {
+		t.Fatalf("stock after withdrawal = %d, want 4", st.Int("stock"))
+	}
+	if st.Tentative {
+		t.Fatal("state should no longer be tentative after confirm")
+	}
+	if rate := k.Ledger().ApologyRate(); rate != 0.5 {
+		t.Fatalf("apology rate = %v", rate)
+	}
+}
+
+func TestResolveOverbookingThroughKernel(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1"})
+	key := entity.Key{Type: "Book", ID: "bestseller"}
+	k.Update(key, entity.Set("stock", 5))
+	for i := 0; i < 8; i++ {
+		if _, err := k.UpdateTentative(key, fmt.Sprintf("customer-%d", i), "order-confirmation", 1,
+			entity.Delta("stock", -1).Described("tentative sale")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kept, apologies, err := k.ResolveOverbooking(key, 5, "only 5 copies", "refund")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 5 || len(apologies) != 3 {
+		t.Fatalf("kept=%d apologies=%d", kept, len(apologies))
+	}
+	// The three withdrawn reservations leave stock at 0, not -3.
+	st, _ := k.Read(key)
+	if st.Int("stock") != 0 {
+		t.Fatalf("stock = %d, want 0", st.Int("stock"))
+	}
+}
+
+func TestKernelMigration(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 3})
+	for i := 0; i < 30; i++ {
+		k.Update(orderKey(fmt.Sprintf("O%d", i)), entity.Set("status", "OPEN"), entity.Set("total", 10.0))
+	}
+	progress, err := k.Migrate(migrate.Migration{
+		Type:      "Order",
+		AddFields: []entity.Field{{Name: "channel", Type: entity.String}},
+		Backfill: func(st *entity.State) []entity.Op {
+			return []entity.Op{entity.Set("channel", "direct")}
+		},
+	}, migrate.Online, 8)
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if progress.Backfills != 30 {
+		t.Fatalf("progress = %+v", progress)
+	}
+	st, _ := k.Read(orderKey("O7"))
+	if st.StringField("channel") != "direct" {
+		t.Fatalf("backfill missing: %+v", st.Fields)
+	}
+	// The new schema version is active.
+	active, err := k.SchemaRegistry().Active("Order")
+	if err != nil || active.Version != 2 {
+		t.Fatalf("active = %+v %v", active, err)
+	}
+	// Writes using the new field succeed on every unit.
+	for i := 0; i < 6; i++ {
+		if _, err := k.Update(orderKey(fmt.Sprintf("N%d", i)), entity.Set("channel", "web")); err != nil {
+			t.Fatalf("post-migration write: %v", err)
+		}
+	}
+}
+
+func TestUpdateUnknownTypeFails(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1"})
+	if _, err := k.Update(entity.Key{Type: "Ghost", ID: "1"}, entity.Set("x", 1)); !errors.Is(err, lsdb.ErrUnknownType) {
+		t.Fatalf("want ErrUnknownType, got %v", err)
+	}
+	if _, err := k.Read(entity.Key{Type: "Ghost", ID: "1"}); err == nil {
+		t.Fatal("read of unknown type should fail")
+	}
+}
+
+func TestConsistencyString(t *testing.T) {
+	if EventualSOUPS.String() != "eventual-soups" || StrongSingleCopy.String() != "strong-single-copy" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestMetricsExposed(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1"})
+	k.Update(orderKey("O1"), entity.Set("status", "OPEN"))
+	if k.Metrics().Counter("txn.committed").Value() != 1 {
+		t.Fatalf("metrics not recorded: %s", k.Metrics().Dump())
+	}
+	if k.Metrics().Histogram("txn.latency").Count() != 1 {
+		t.Fatal("latency histogram empty")
+	}
+}
+
+func TestCloseIsIdempotentAndStopsWorkers(t *testing.T) {
+	k, err := Bootstrap(Options{Node: "n1"}, workload.Types()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Start()
+	k.Close()
+	k.Close()
+	if err := k.Submit(queue.Event{Name: "x", Entity: orderKey("O1")}); err == nil {
+		t.Fatal("Submit after Close should fail")
+	}
+}
+
+func TestOptionsAccessors(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 2})
+	if k.Options().Units != 2 {
+		t.Fatalf("Options = %+v", k.Options())
+	}
+	if k.Locks() == nil || k.Ledger() == nil || k.SchemaRegistry() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}

@@ -1,0 +1,907 @@
+// Package entity implements the business-object model the paper's principles
+// are expressed against: hierarchical entities (an order and its line items),
+// insert-only versioning (principle 2.7 "I remember it well"), operation
+// descriptors that record what a transaction does rather than only its
+// consequences (principle 2.8 "Beware the consequences"), tentative versions
+// (principle 2.9 "I think I can"), and merge machinery for reconciling
+// concurrent versions produced by solipsistic or subjective transactions
+// (principle 2.10).
+package entity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// Common errors returned by the entity layer.
+var (
+	// ErrUnknownField is returned when an operation touches a field the
+	// schema does not declare.
+	ErrUnknownField = errors.New("entity: unknown field")
+	// ErrTypeMismatch is returned when a value does not match the declared
+	// field type.
+	ErrTypeMismatch = errors.New("entity: type mismatch")
+	// ErrUnknownCollection is returned for child operations against an
+	// undeclared child collection.
+	ErrUnknownCollection = errors.New("entity: unknown child collection")
+	// ErrMissingRequired is returned in strict mode when a required field is
+	// absent.
+	ErrMissingRequired = errors.New("entity: missing required field")
+	// ErrDeleted is returned when operating on a tombstoned entity.
+	ErrDeleted = errors.New("entity: entity is deleted")
+	// ErrNoSuchChild is returned when an operation references a child id that
+	// does not exist.
+	ErrNoSuchChild = errors.New("entity: no such child")
+)
+
+// FieldType enumerates the scalar types an entity field may hold.
+type FieldType int
+
+// Supported field types.
+const (
+	String FieldType = iota
+	Int
+	Float
+	Bool
+	Reference // a foreign key: the key string of another entity
+)
+
+// String returns the type name.
+func (t FieldType) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Reference:
+		return "reference"
+	default:
+		return fmt.Sprintf("FieldType(%d)", int(t))
+	}
+}
+
+// Field declares one attribute of an entity or of a child row.
+type Field struct {
+	Name     string
+	Type     FieldType
+	Required bool
+	// RefType names the entity type a Reference field points at. Referential
+	// integrity against it is checked by the kernel in strict mode and turned
+	// into a managed exception otherwise (principle 2.2).
+	RefType string
+}
+
+// ChildCollection declares a hierarchical child set, e.g. the line items of
+// an order. Children live inside the parent entity and are always updated in
+// the same (single-entity) transaction as the parent (principle 2.5).
+type ChildCollection struct {
+	Name   string
+	Fields []Field
+}
+
+// Type declares an entity type: its root fields and child collections.
+type Type struct {
+	Name     string
+	Fields   []Field
+	Children []ChildCollection
+}
+
+// Validate checks the type declaration itself for internal consistency.
+func (t *Type) Validate() error {
+	if t.Name == "" {
+		return errors.New("entity: type name must not be empty")
+	}
+	seen := map[string]bool{}
+	for _, f := range t.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("entity: type %s has a field with an empty name", t.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("entity: type %s declares field %s twice", t.Name, f.Name)
+		}
+		seen[f.Name] = true
+		if f.Type == Reference && f.RefType == "" {
+			return fmt.Errorf("entity: reference field %s.%s needs RefType", t.Name, f.Name)
+		}
+	}
+	childSeen := map[string]bool{}
+	for _, c := range t.Children {
+		if c.Name == "" {
+			return fmt.Errorf("entity: type %s has a child collection with an empty name", t.Name)
+		}
+		if childSeen[c.Name] {
+			return fmt.Errorf("entity: type %s declares child collection %s twice", t.Name, c.Name)
+		}
+		childSeen[c.Name] = true
+		cf := map[string]bool{}
+		for _, f := range c.Fields {
+			if cf[f.Name] {
+				return fmt.Errorf("entity: child %s.%s declares field %s twice", t.Name, c.Name, f.Name)
+			}
+			cf[f.Name] = true
+		}
+	}
+	return nil
+}
+
+// field looks up a root field declaration.
+func (t *Type) field(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// child looks up a child collection declaration.
+func (t *Type) child(name string) (ChildCollection, bool) {
+	for _, c := range t.Children {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ChildCollection{}, false
+}
+
+func (c ChildCollection) field(name string) (Field, bool) {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Key identifies an entity instance: its type name plus an application key.
+type Key struct {
+	Type string
+	ID   string
+}
+
+// String renders the key as "Type/ID".
+func (k Key) String() string { return k.Type + "/" + k.ID }
+
+// ParseKey parses the output of Key.String.
+func ParseKey(s string) (Key, error) {
+	i := strings.IndexByte(s, '/')
+	if i <= 0 || i == len(s)-1 {
+		return Key{}, fmt.Errorf("entity: malformed key %q", s)
+	}
+	return Key{Type: s[:i], ID: s[i+1:]}, nil
+}
+
+// Fields is the attribute map of an entity root or child row.
+type Fields map[string]interface{}
+
+// Clone deep-copies the field map (values are scalars, so a shallow value
+// copy suffices).
+func (f Fields) Clone() Fields {
+	out := make(Fields, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// Child is one row of a child collection.
+type Child struct {
+	ID     string
+	Fields Fields
+	// Deleted marks a tombstoned child row (principle 2.7: deletes are marks,
+	// not removals).
+	Deleted bool
+}
+
+// Clone deep-copies the child.
+func (c Child) Clone() Child {
+	return Child{ID: c.ID, Fields: c.Fields.Clone(), Deleted: c.Deleted}
+}
+
+// State is the materialised current value of an entity: root fields plus all
+// child collections. It is what a rollup over the version log produces.
+type State struct {
+	Key      Key
+	Fields   Fields
+	Children map[string][]Child
+	// Deleted marks a tombstoned entity.
+	Deleted bool
+	// Tentative marks state resulting from tentative operations that have not
+	// been confirmed (principle 2.9); it is visible and durable but may later
+	// be marked obsolete.
+	Tentative bool
+}
+
+// NewState returns an empty state for the given key.
+func NewState(key Key) *State {
+	return &State{Key: key, Fields: Fields{}, Children: map[string][]Child{}}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	out := &State{Key: s.Key, Fields: s.Fields.Clone(), Children: make(map[string][]Child, len(s.Children)), Deleted: s.Deleted, Tentative: s.Tentative}
+	for name, rows := range s.Children {
+		copied := make([]Child, len(rows))
+		for i, r := range rows {
+			copied[i] = r.Clone()
+		}
+		out.Children[name] = copied
+	}
+	return out
+}
+
+// ChildByID returns the child row with the given id in the named collection.
+func (s *State) ChildByID(collection, id string) (Child, bool) {
+	for _, c := range s.Children[collection] {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Child{}, false
+}
+
+// LiveChildren returns the non-tombstoned rows of a collection.
+func (s *State) LiveChildren(collection string) []Child {
+	var out []Child
+	for _, c := range s.Children[collection] {
+		if !c.Deleted {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Int returns the named root field as int64 (0 when absent or wrong type).
+func (s *State) Int(field string) int64 {
+	v, _ := s.Fields[field].(int64)
+	return v
+}
+
+// Float returns the named root field as float64.
+func (s *State) Float(field string) float64 {
+	switch v := s.Fields[field].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	default:
+		return 0
+	}
+}
+
+// StringField returns the named root field as string.
+func (s *State) StringField(field string) string {
+	v, _ := s.Fields[field].(string)
+	return v
+}
+
+// Bool returns the named root field as bool.
+func (s *State) Bool(field string) bool {
+	v, _ := s.Fields[field].(bool)
+	return v
+}
+
+// OpKind enumerates the operation descriptors a transaction may record.
+// Operations are the durable unit: the LSDB stores operations, and current
+// state is their rollup (section 3.1).
+type OpKind int
+
+// Supported operation kinds.
+const (
+	// OpSet assigns a root field (register semantics, last-writer-wins on
+	// merge).
+	OpSet OpKind = iota
+	// OpDelta adds a numeric amount to a root field (commutative; merges by
+	// applying both sides, the paper's "commutative update strategy").
+	OpDelta
+	// OpInsertChild appends a child row.
+	OpInsertChild
+	// OpSetChildField assigns a field of an existing child row.
+	OpSetChildField
+	// OpDeltaChildField adds a numeric amount to a field of a child row.
+	OpDeltaChildField
+	// OpDeleteChild tombstones a child row.
+	OpDeleteChild
+	// OpDelete tombstones the whole entity.
+	OpDelete
+	// OpUndelete clears the entity tombstone.
+	OpUndelete
+	// OpMarkTentative flags the entity state as tentative (principle 2.9).
+	OpMarkTentative
+	// OpConfirm clears the tentative flag (the promise was kept).
+	OpConfirm
+)
+
+// String returns the operation kind name.
+func (k OpKind) String() string {
+	names := [...]string{"set", "delta", "insert-child", "set-child-field",
+		"delta-child-field", "delete-child", "delete", "undelete", "mark-tentative", "confirm"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one operation descriptor. The fields used depend on Kind.
+type Op struct {
+	Kind       OpKind
+	Field      string
+	Value      interface{}
+	Delta      float64
+	Collection string
+	ChildID    string
+	ChildRow   Fields
+	// Describe optionally carries the business-level description of the
+	// operation ("withdrawal of 50 from account A"), kept alongside the
+	// mechanical effect per principle 2.8.
+	Describe string
+}
+
+// Set returns an operation assigning a root field.
+func Set(field string, value interface{}) Op { return Op{Kind: OpSet, Field: field, Value: value} }
+
+// Delta returns a commutative numeric increment of a root field.
+func Delta(field string, amount float64) Op { return Op{Kind: OpDelta, Field: field, Delta: amount} }
+
+// InsertChild returns an operation appending a child row.
+func InsertChild(collection, childID string, row Fields) Op {
+	return Op{Kind: OpInsertChild, Collection: collection, ChildID: childID, ChildRow: row}
+}
+
+// SetChildField returns an operation assigning one field of a child row.
+func SetChildField(collection, childID, field string, value interface{}) Op {
+	return Op{Kind: OpSetChildField, Collection: collection, ChildID: childID, Field: field, Value: value}
+}
+
+// DeltaChildField returns a commutative increment of one field of a child row.
+func DeltaChildField(collection, childID, field string, amount float64) Op {
+	return Op{Kind: OpDeltaChildField, Collection: collection, ChildID: childID, Field: field, Delta: amount}
+}
+
+// DeleteChild returns an operation tombstoning a child row.
+func DeleteChild(collection, childID string) Op {
+	return Op{Kind: OpDeleteChild, Collection: collection, ChildID: childID}
+}
+
+// Delete returns an operation tombstoning the entity.
+func Delete() Op { return Op{Kind: OpDelete} }
+
+// Undelete returns an operation clearing the entity tombstone.
+func Undelete() Op { return Op{Kind: OpUndelete} }
+
+// MarkTentative returns an operation marking the state tentative.
+func MarkTentative(describe string) Op { return Op{Kind: OpMarkTentative, Describe: describe} }
+
+// Confirm returns an operation confirming previously tentative state.
+func Confirm() Op { return Op{Kind: OpConfirm} }
+
+// Described attaches a business description to the operation (principle 2.8).
+func (o Op) Described(text string) Op {
+	o.Describe = text
+	return o
+}
+
+// Commutes reports whether the operation commutes with any other operation of
+// the same shape on the same entity. Commutative operations are merged by
+// replaying both sides; non-commutative ones need last-writer-wins or a
+// custom merger.
+func (o Op) Commutes() bool {
+	switch o.Kind {
+	case OpDelta, OpDeltaChildField, OpInsertChild:
+		return true
+	default:
+		return false
+	}
+}
+
+// String renders the operation for logs and apologies.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpSet:
+		return fmt.Sprintf("set %s=%v", o.Field, o.Value)
+	case OpDelta:
+		return fmt.Sprintf("delta %s%+g", o.Field, o.Delta)
+	case OpInsertChild:
+		return fmt.Sprintf("insert %s[%s]", o.Collection, o.ChildID)
+	case OpSetChildField:
+		return fmt.Sprintf("set %s[%s].%s=%v", o.Collection, o.ChildID, o.Field, o.Value)
+	case OpDeltaChildField:
+		return fmt.Sprintf("delta %s[%s].%s%+g", o.Collection, o.ChildID, o.Field, o.Delta)
+	case OpDeleteChild:
+		return fmt.Sprintf("delete %s[%s]", o.Collection, o.ChildID)
+	default:
+		return o.Kind.String()
+	}
+}
+
+// ValidationMode controls how schema and constraint violations are treated.
+type ValidationMode int
+
+// Validation modes.
+const (
+	// Strict rejects operations violating the schema (the conventional DMS
+	// behaviour the paper argues against for early-lifecycle data).
+	Strict ValidationMode = iota
+	// Managed accepts the operation and reports the violation as a Warning so
+	// the business process can handle it (principle 2.2 "Out-of-order works").
+	Managed
+)
+
+// Warning describes a constraint violation that was accepted and must be
+// handled by a later process step rather than blocking data entry.
+type Warning struct {
+	Key     Key
+	Op      Op
+	Problem string
+}
+
+// String renders the warning.
+func (w Warning) String() string {
+	return fmt.Sprintf("%s: %s (op %s)", w.Key, w.Problem, w.Op)
+}
+
+// Apply applies ops to a clone of prior and returns the new state plus any
+// managed-mode warnings. In Strict mode the first violation aborts the whole
+// application and the prior state is returned unchanged.
+func Apply(typ *Type, prior *State, ops []Op, mode ValidationMode) (*State, []Warning, error) {
+	next := prior.Clone()
+	var warnings []Warning
+	for _, op := range ops {
+		w, err := applyOne(typ, next, op, mode)
+		if err != nil {
+			return prior, nil, fmt.Errorf("applying %s to %s: %w", op, prior.Key, err)
+		}
+		warnings = append(warnings, w...)
+	}
+	return next, warnings, nil
+}
+
+func applyOne(typ *Type, s *State, op Op, mode ValidationMode) ([]Warning, error) {
+	var warnings []Warning
+	warn := func(problem string) error {
+		if mode == Strict {
+			return errors.New(problem)
+		}
+		warnings = append(warnings, Warning{Key: s.Key, Op: op, Problem: problem})
+		return nil
+	}
+	if s.Deleted && op.Kind != OpUndelete && op.Kind != OpDelete {
+		if err := warn(ErrDeleted.Error()); err != nil {
+			return nil, ErrDeleted
+		}
+	}
+	switch op.Kind {
+	case OpSet:
+		f, ok := typ.field(op.Field)
+		if !ok {
+			if err := warn(fmt.Sprintf("%v: %s", ErrUnknownField, op.Field)); err != nil {
+				return nil, ErrUnknownField
+			}
+			s.Fields[op.Field] = op.Value
+			return warnings, nil
+		}
+		v, err := coerce(f.Type, op.Value)
+		if err != nil {
+			if werr := warn(err.Error()); werr != nil {
+				return nil, err
+			}
+			return warnings, nil
+		}
+		s.Fields[op.Field] = v
+	case OpDelta:
+		f, ok := typ.field(op.Field)
+		if ok && f.Type != Int && f.Type != Float {
+			if err := warn(fmt.Sprintf("delta on non-numeric field %s", op.Field)); err != nil {
+				return nil, ErrTypeMismatch
+			}
+			return warnings, nil
+		}
+		applyDelta(s.Fields, op.Field, op.Delta, !ok || f.Type == Float)
+	case OpInsertChild:
+		coll, ok := typ.child(op.Collection)
+		if !ok {
+			if err := warn(fmt.Sprintf("%v: %s", ErrUnknownCollection, op.Collection)); err != nil {
+				return nil, ErrUnknownCollection
+			}
+			s.Children[op.Collection] = append(s.Children[op.Collection], Child{ID: op.ChildID, Fields: op.ChildRow.Clone()})
+			return warnings, nil
+		}
+		row := Fields{}
+		for k, v := range op.ChildRow {
+			f, ok := coll.field(k)
+			if !ok {
+				if err := warn(fmt.Sprintf("%v: %s.%s", ErrUnknownField, op.Collection, k)); err != nil {
+					return nil, ErrUnknownField
+				}
+				row[k] = v
+				continue
+			}
+			cv, err := coerce(f.Type, v)
+			if err != nil {
+				if werr := warn(err.Error()); werr != nil {
+					return nil, err
+				}
+				continue
+			}
+			row[k] = cv
+		}
+		for _, f := range coll.Fields {
+			if f.Required {
+				if _, present := row[f.Name]; !present {
+					if err := warn(fmt.Sprintf("%v: %s.%s", ErrMissingRequired, op.Collection, f.Name)); err != nil {
+						return nil, ErrMissingRequired
+					}
+				}
+			}
+		}
+		if existing, ok := s.ChildByID(op.Collection, op.ChildID); ok && !existing.Deleted {
+			// Insert of an existing id acts as an upsert of the provided
+			// fields; insert-only storage still records the operation.
+			for i := range s.Children[op.Collection] {
+				if s.Children[op.Collection][i].ID == op.ChildID {
+					for k, v := range row {
+						s.Children[op.Collection][i].Fields[k] = v
+					}
+				}
+			}
+			return warnings, nil
+		}
+		s.Children[op.Collection] = append(s.Children[op.Collection], Child{ID: op.ChildID, Fields: row})
+	case OpSetChildField, OpDeltaChildField:
+		coll, collOK := typ.child(op.Collection)
+		if !collOK {
+			if err := warn(fmt.Sprintf("%v: %s", ErrUnknownCollection, op.Collection)); err != nil {
+				return nil, ErrUnknownCollection
+			}
+		}
+		idx := -1
+		for i, c := range s.Children[op.Collection] {
+			if c.ID == op.ChildID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			if err := warn(fmt.Sprintf("%v: %s[%s]", ErrNoSuchChild, op.Collection, op.ChildID)); err != nil {
+				return nil, ErrNoSuchChild
+			}
+			// Managed mode: materialise the child so the update is not lost
+			// (data arrived out of order, principle 2.2).
+			s.Children[op.Collection] = append(s.Children[op.Collection], Child{ID: op.ChildID, Fields: Fields{}})
+			idx = len(s.Children[op.Collection]) - 1
+		}
+		row := s.Children[op.Collection][idx].Fields
+		if op.Kind == OpSetChildField {
+			value := op.Value
+			if collOK {
+				if f, ok := coll.field(op.Field); ok {
+					cv, err := coerce(f.Type, op.Value)
+					if err != nil {
+						if werr := warn(err.Error()); werr != nil {
+							return nil, err
+						}
+						return warnings, nil
+					}
+					value = cv
+				}
+			}
+			row[op.Field] = value
+		} else {
+			isFloat := true
+			if collOK {
+				if f, ok := coll.field(op.Field); ok {
+					isFloat = f.Type == Float
+				}
+			}
+			applyDelta(row, op.Field, op.Delta, isFloat)
+		}
+	case OpDeleteChild:
+		found := false
+		for i, c := range s.Children[op.Collection] {
+			if c.ID == op.ChildID {
+				s.Children[op.Collection][i].Deleted = true
+				found = true
+			}
+		}
+		if !found {
+			if err := warn(fmt.Sprintf("%v: %s[%s]", ErrNoSuchChild, op.Collection, op.ChildID)); err != nil {
+				return nil, ErrNoSuchChild
+			}
+		}
+	case OpDelete:
+		s.Deleted = true
+	case OpUndelete:
+		s.Deleted = false
+	case OpMarkTentative:
+		s.Tentative = true
+	case OpConfirm:
+		s.Tentative = false
+	default:
+		return nil, fmt.Errorf("entity: unsupported operation kind %v", op.Kind)
+	}
+	return warnings, nil
+}
+
+// applyDelta adds amount to the numeric field, creating it when absent.
+func applyDelta(fields Fields, name string, amount float64, asFloat bool) {
+	switch cur := fields[name].(type) {
+	case int64:
+		if asFloat {
+			fields[name] = float64(cur) + amount
+		} else {
+			fields[name] = cur + int64(amount)
+		}
+	case float64:
+		fields[name] = cur + amount
+	default:
+		if asFloat {
+			fields[name] = amount
+		} else {
+			fields[name] = int64(amount)
+		}
+	}
+}
+
+// coerce converts a value into the declared field type, accepting the natural
+// Go widenings (int → int64 → float64).
+func coerce(t FieldType, v interface{}) (interface{}, error) {
+	switch t {
+	case String, Reference:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("%w: want string, got %T", ErrTypeMismatch, v)
+		}
+		return s, nil
+	case Int:
+		switch x := v.(type) {
+		case int:
+			return int64(x), nil
+		case int64:
+			return x, nil
+		case float64:
+			if x == float64(int64(x)) {
+				return int64(x), nil
+			}
+			return nil, fmt.Errorf("%w: non-integral float %v for int field", ErrTypeMismatch, x)
+		default:
+			return nil, fmt.Errorf("%w: want int, got %T", ErrTypeMismatch, v)
+		}
+	case Float:
+		switch x := v.(type) {
+		case int:
+			return float64(x), nil
+		case int64:
+			return float64(x), nil
+		case float64:
+			return x, nil
+		default:
+			return nil, fmt.Errorf("%w: want float, got %T", ErrTypeMismatch, v)
+		}
+	case Bool:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("%w: want bool, got %T", ErrTypeMismatch, v)
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown field type %v", ErrTypeMismatch, t)
+	}
+}
+
+// Version is one immutable entry in an entity's insert-only history: the
+// operations performed, the resulting state, causal metadata and flags.
+type Version struct {
+	Key       Key
+	Seq       uint64 // per-entity monotonically increasing sequence
+	Ops       []Op
+	State     *State
+	Stamp     clock.Timestamp
+	DVV       clock.DottedVersionVector
+	Tentative bool
+	// Obsolete marks a tentative version whose promise was withdrawn; it
+	// stays in the history for audit and apology purposes.
+	Obsolete bool
+	// Origin names the node/replica that produced the version.
+	Origin clock.NodeID
+	// TxnID identifies the producing transaction for idempotence checks.
+	TxnID string
+}
+
+// History is the insert-only version chain of one entity (principle 2.7).
+type History struct {
+	Key      Key
+	Versions []*Version
+}
+
+// NewHistory returns an empty history for key.
+func NewHistory(key Key) *History { return &History{Key: key} }
+
+// Append adds a version; versions must be appended in Seq order per origin
+// but the history tolerates interleaving from multiple replicas.
+func (h *History) Append(v *Version) { h.Versions = append(h.Versions, v) }
+
+// Latest returns the most recent non-obsolete version (nil when empty).
+func (h *History) Latest() *Version {
+	for i := len(h.Versions) - 1; i >= 0; i-- {
+		if !h.Versions[i].Obsolete {
+			return h.Versions[i]
+		}
+	}
+	return nil
+}
+
+// Len returns the number of versions, including obsolete ones.
+func (h *History) Len() int { return len(h.Versions) }
+
+// AsOf returns the latest non-obsolete version whose timestamp does not
+// exceed ts (nil if none).
+func (h *History) AsOf(ts clock.Timestamp) *Version {
+	var best *Version
+	for _, v := range h.Versions {
+		if v.Obsolete {
+			continue
+		}
+		if v.Stamp.Compare(ts) == clock.After {
+			continue
+		}
+		if best == nil || v.Stamp.Compare(best.Stamp) == clock.After {
+			best = v
+		}
+	}
+	return best
+}
+
+// ContainsTxn reports whether a version produced by txnID is already present,
+// which is how idempotent re-application of at-least-once deliveries is
+// detected (principle 2.4).
+func (h *History) ContainsTxn(txnID string) bool {
+	if txnID == "" {
+		return false
+	}
+	for _, v := range h.Versions {
+		if v.TxnID == txnID {
+			return true
+		}
+	}
+	return false
+}
+
+// Trace renders the history as a human-readable audit trail: the paper's
+// negative-inventory example requires being able to show "the history that
+// resulted in negative inventory levels" (principle 2.1).
+func (h *History) Trace() []string {
+	out := make([]string, 0, len(h.Versions))
+	for _, v := range h.Versions {
+		var ops []string
+		for _, op := range v.Ops {
+			if op.Describe != "" {
+				ops = append(ops, op.Describe)
+			} else {
+				ops = append(ops, op.String())
+			}
+		}
+		flag := ""
+		if v.Obsolete {
+			flag = " [obsolete]"
+		} else if v.Tentative {
+			flag = " [tentative]"
+		}
+		out = append(out, fmt.Sprintf("#%d %s by %s: %s%s", v.Seq, v.Stamp, v.Origin, strings.Join(ops, "; "), flag))
+	}
+	return out
+}
+
+// MergeStrategy selects how two concurrent states of the same entity are
+// reconciled (principle 2.10: a single end-to-end conflict-handling
+// mechanism).
+type MergeStrategy int
+
+// Supported merge strategies.
+const (
+	// LastWriterWins keeps the state with the larger HLC timestamp; the other
+	// side's non-commutative effects are lost (and counted).
+	LastWriterWins MergeStrategy = iota
+	// OperationReplay reapplies both sides' operations on top of the common
+	// base; commutative operations merge losslessly, conflicting register
+	// writes fall back to timestamp order.
+	OperationReplay
+)
+
+// String returns the strategy name.
+func (m MergeStrategy) String() string {
+	switch m {
+	case LastWriterWins:
+		return "last-writer-wins"
+	case OperationReplay:
+		return "operation-replay"
+	default:
+		return fmt.Sprintf("MergeStrategy(%d)", int(m))
+	}
+}
+
+// MergeResult reports the outcome of reconciling two concurrent versions.
+type MergeResult struct {
+	State *State
+	// LostOps counts operations whose effect was discarded by the merge
+	// (e.g. the losing side of a register conflict). Zero means lossless.
+	LostOps int
+	// ConflictFields lists root fields where both sides wrote different
+	// values non-commutatively.
+	ConflictFields []string
+}
+
+// Merge reconciles two concurrent versions whose common ancestor produced
+// base (base may be an empty state). Both versions' operations and stamps
+// must be populated.
+func Merge(typ *Type, base *State, a, b *Version, strategy MergeStrategy) (MergeResult, error) {
+	switch strategy {
+	case LastWriterWins:
+		winner, loser := a, b
+		if b.Stamp.Compare(a.Stamp) == clock.After {
+			winner, loser = b, a
+		}
+		return MergeResult{State: winner.State.Clone(), LostOps: len(loser.Ops), ConflictFields: conflictFields(a, b)}, nil
+	case OperationReplay:
+		// Deterministic order: replay the earlier-stamped side first so both
+		// replicas converge to the same result regardless of merge direction.
+		first, second := a, b
+		if b.Stamp.Compare(a.Stamp) == clock.Before {
+			first, second = b, a
+		}
+		merged := base.Clone()
+		lost := 0
+		st, _, err := Apply(typ, merged, first.Ops, Managed)
+		if err != nil {
+			return MergeResult{}, fmt.Errorf("merge replay (first): %w", err)
+		}
+		st, _, err = Apply(typ, st, second.Ops, Managed)
+		if err != nil {
+			return MergeResult{}, fmt.Errorf("merge replay (second): %w", err)
+		}
+		conflicts := conflictFields(a, b)
+		// Register conflicts: the later write wins during replay; count the
+		// earlier side's overwritten sets as lost.
+		for _, f := range conflicts {
+			for _, op := range first.Ops {
+				if op.Kind == OpSet && op.Field == f {
+					lost++
+				}
+			}
+		}
+		return MergeResult{State: st, LostOps: lost, ConflictFields: conflicts}, nil
+	default:
+		return MergeResult{}, fmt.Errorf("entity: unknown merge strategy %v", strategy)
+	}
+}
+
+// conflictFields returns root fields written non-commutatively by both sides
+// with different values.
+func conflictFields(a, b *Version) []string {
+	setsA := map[string]interface{}{}
+	for _, op := range a.Ops {
+		if op.Kind == OpSet {
+			setsA[op.Field] = op.Value
+		}
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, op := range b.Ops {
+		if op.Kind != OpSet {
+			continue
+		}
+		if va, ok := setsA[op.Field]; ok && va != op.Value && !seen[op.Field] {
+			out = append(out, op.Field)
+			seen[op.Field] = true
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,716 @@
+package entity
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// orderType is the running example from the paper: an order with line items.
+func orderType() *Type {
+	return &Type{
+		Name: "Order",
+		Fields: []Field{
+			{Name: "customer", Type: Reference, RefType: "Customer", Required: true},
+			{Name: "status", Type: String},
+			{Name: "total", Type: Float},
+			{Name: "priority", Type: Int},
+			{Name: "rush", Type: Bool},
+		},
+		Children: []ChildCollection{
+			{Name: "lineitems", Fields: []Field{
+				{Name: "product", Type: String, Required: true},
+				{Name: "qty", Type: Int},
+				{Name: "price", Type: Float},
+			}},
+		},
+	}
+}
+
+func TestTypeValidate(t *testing.T) {
+	if err := orderType().Validate(); err != nil {
+		t.Fatalf("valid type rejected: %v", err)
+	}
+	bad := &Type{Name: "", Fields: nil}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty type name should be rejected")
+	}
+	dup := &Type{Name: "X", Fields: []Field{{Name: "a", Type: Int}, {Name: "a", Type: Int}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate field should be rejected")
+	}
+	badRef := &Type{Name: "X", Fields: []Field{{Name: "r", Type: Reference}}}
+	if err := badRef.Validate(); err == nil {
+		t.Fatal("reference without RefType should be rejected")
+	}
+	dupChild := &Type{Name: "X", Children: []ChildCollection{{Name: "c"}, {Name: "c"}}}
+	if err := dupChild.Validate(); err == nil {
+		t.Fatal("duplicate child collection should be rejected")
+	}
+	dupChildField := &Type{Name: "X", Children: []ChildCollection{{Name: "c", Fields: []Field{{Name: "f"}, {Name: "f"}}}}}
+	if err := dupChildField.Validate(); err == nil {
+		t.Fatal("duplicate child field should be rejected")
+	}
+	emptyChild := &Type{Name: "X", Children: []ChildCollection{{Name: ""}}}
+	if err := emptyChild.Validate(); err == nil {
+		t.Fatal("empty child collection name should be rejected")
+	}
+	emptyField := &Type{Name: "X", Fields: []Field{{Name: ""}}}
+	if err := emptyField.Validate(); err == nil {
+		t.Fatal("empty field name should be rejected")
+	}
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	k := Key{Type: "Order", ID: "O-1001"}
+	parsed, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatalf("ParseKey: %v", err)
+	}
+	if parsed != k {
+		t.Fatalf("round trip mismatch: %v", parsed)
+	}
+	for _, bad := range []string{"", "Order", "/id", "Order/"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) should fail", bad)
+		}
+	}
+}
+
+func TestApplySetAndAccessors(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	ops := []Op{
+		Set("customer", "Customer/C-9"),
+		Set("status", "OPEN"),
+		Set("total", 99.5),
+		Set("priority", 3),
+		Set("rush", true),
+	}
+	next, warnings, err := Apply(typ, s, ops, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
+	}
+	if next.StringField("status") != "OPEN" {
+		t.Errorf("status = %q", next.StringField("status"))
+	}
+	if next.Float("total") != 99.5 {
+		t.Errorf("total = %v", next.Float("total"))
+	}
+	if next.Int("priority") != 3 {
+		t.Errorf("priority = %v", next.Int("priority"))
+	}
+	if !next.Bool("rush") {
+		t.Error("rush not set")
+	}
+	// Original state must be untouched (insert-only semantics).
+	if len(s.Fields) != 0 {
+		t.Fatalf("prior state mutated: %v", s.Fields)
+	}
+}
+
+func TestApplyStrictRejectsUnknownField(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	_, _, err := Apply(typ, s, []Op{Set("nonexistent", 1)}, Strict)
+	if !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("want ErrUnknownField, got %v", err)
+	}
+}
+
+func TestApplyManagedAcceptsUnknownFieldWithWarning(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	next, warnings, err := Apply(typ, s, []Op{Set("nonexistent", int64(1))}, Managed)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("want 1 warning, got %v", warnings)
+	}
+	if next.Fields["nonexistent"] == nil {
+		t.Fatal("managed mode should still record the value")
+	}
+	if !strings.Contains(warnings[0].String(), "unknown field") {
+		t.Errorf("warning text: %s", warnings[0])
+	}
+}
+
+func TestApplyTypeCoercion(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	next, _, err := Apply(typ, s, []Op{Set("priority", 7), Set("total", 10)}, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if _, ok := next.Fields["priority"].(int64); !ok {
+		t.Errorf("int not coerced to int64: %T", next.Fields["priority"])
+	}
+	if _, ok := next.Fields["total"].(float64); !ok {
+		t.Errorf("int not coerced to float64 for Float field: %T", next.Fields["total"])
+	}
+}
+
+func TestApplyTypeMismatchStrict(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	cases := []Op{
+		Set("priority", "high"),
+		Set("status", 42),
+		Set("rush", "yes"),
+		Set("total", "lots"),
+		Set("priority", 1.5),
+	}
+	for _, op := range cases {
+		if _, _, err := Apply(typ, s, []Op{op}, Strict); !errors.Is(err, ErrTypeMismatch) {
+			t.Errorf("op %v: want ErrTypeMismatch, got %v", op, err)
+		}
+	}
+}
+
+func TestApplyTypeMismatchManagedSkipsValue(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	next, warnings, err := Apply(typ, s, []Op{Set("priority", "high")}, Managed)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("want warning, got %v", warnings)
+	}
+	if _, present := next.Fields["priority"]; present {
+		t.Fatal("mismatched value should not be stored even in managed mode")
+	}
+}
+
+func TestApplyDelta(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	next, _, err := Apply(typ, s, []Op{Delta("total", 10), Delta("total", 5.5), Delta("priority", 2)}, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if next.Float("total") != 15.5 {
+		t.Errorf("total = %v, want 15.5", next.Float("total"))
+	}
+	if next.Int("priority") != 2 {
+		t.Errorf("priority = %v, want 2", next.Int("priority"))
+	}
+	// Negative deltas are allowed (the paper's negative-inventory example).
+	next, _, err = Apply(typ, next, []Op{Delta("priority", -5)}, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if next.Int("priority") != -3 {
+		t.Errorf("priority after negative delta = %v, want -3", next.Int("priority"))
+	}
+}
+
+func TestApplyDeltaOnNonNumericField(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	if _, _, err := Apply(typ, s, []Op{Delta("status", 1)}, Strict); err == nil {
+		t.Fatal("delta on string field should fail in strict mode")
+	}
+	_, warnings, err := Apply(typ, s, []Op{Delta("status", 1)}, Managed)
+	if err != nil || len(warnings) != 1 {
+		t.Fatalf("managed delta on string: err=%v warnings=%v", err, warnings)
+	}
+}
+
+func TestApplyChildren(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	ops := []Op{
+		InsertChild("lineitems", "L1", Fields{"product": "widget", "qty": 3, "price": 9.99}),
+		InsertChild("lineitems", "L2", Fields{"product": "gadget", "qty": 1, "price": 20.0}),
+		SetChildField("lineitems", "L1", "qty", 5),
+		DeltaChildField("lineitems", "L2", "qty", 2),
+	}
+	next, warnings, err := Apply(typ, s, ops, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("warnings: %v", warnings)
+	}
+	l1, ok := next.ChildByID("lineitems", "L1")
+	if !ok || l1.Fields["qty"].(int64) != 5 {
+		t.Fatalf("L1 = %+v", l1)
+	}
+	l2, _ := next.ChildByID("lineitems", "L2")
+	if l2.Fields["qty"].(int64) != 3 {
+		t.Fatalf("L2 qty = %v, want 3", l2.Fields["qty"])
+	}
+	if len(next.LiveChildren("lineitems")) != 2 {
+		t.Fatalf("live children = %d", len(next.LiveChildren("lineitems")))
+	}
+}
+
+func TestApplyDeleteChildTombstones(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	next, _, err := Apply(typ, s, []Op{
+		InsertChild("lineitems", "L1", Fields{"product": "widget"}),
+		DeleteChild("lineitems", "L1"),
+	}, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(next.LiveChildren("lineitems")) != 0 {
+		t.Fatal("deleted child still live")
+	}
+	// The row is still there, just marked (principle 2.7).
+	c, ok := next.ChildByID("lineitems", "L1")
+	if !ok || !c.Deleted {
+		t.Fatalf("tombstone missing: %+v", c)
+	}
+}
+
+func TestApplyDeleteChildMissingStrictVsManaged(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	if _, _, err := Apply(typ, s, []Op{DeleteChild("lineitems", "nope")}, Strict); !errors.Is(err, ErrNoSuchChild) {
+		t.Fatalf("want ErrNoSuchChild, got %v", err)
+	}
+	_, warnings, err := Apply(typ, s, []Op{DeleteChild("lineitems", "nope")}, Managed)
+	if err != nil || len(warnings) != 1 {
+		t.Fatalf("managed: err=%v warnings=%v", err, warnings)
+	}
+}
+
+func TestApplyInsertChildRequiredField(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	op := InsertChild("lineitems", "L1", Fields{"qty": 1})
+	if _, _, err := Apply(typ, s, []Op{op}, Strict); !errors.Is(err, ErrMissingRequired) {
+		t.Fatalf("want ErrMissingRequired, got %v", err)
+	}
+	_, warnings, err := Apply(typ, s, []Op{op}, Managed)
+	if err != nil {
+		t.Fatalf("managed: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("warnings = %v", warnings)
+	}
+}
+
+func TestApplyInsertChildUpsert(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	next, _, err := Apply(typ, s, []Op{
+		InsertChild("lineitems", "L1", Fields{"product": "widget", "qty": 1}),
+		InsertChild("lineitems", "L1", Fields{"product": "widget", "qty": 4}),
+	}, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(next.Children["lineitems"]) != 1 {
+		t.Fatalf("upsert created duplicate rows: %d", len(next.Children["lineitems"]))
+	}
+	c, _ := next.ChildByID("lineitems", "L1")
+	if c.Fields["qty"].(int64) != 4 {
+		t.Fatalf("qty = %v, want 4", c.Fields["qty"])
+	}
+}
+
+func TestApplySetChildFieldMissingChildManagedMaterialises(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	// The update arrives before the insert (out-of-order, principle 2.2).
+	next, warnings, err := Apply(typ, s, []Op{SetChildField("lineitems", "L9", "qty", 7)}, Managed)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("want warning for forward reference, got %v", warnings)
+	}
+	c, ok := next.ChildByID("lineitems", "L9")
+	if !ok || c.Fields["qty"].(int64) != 7 {
+		t.Fatalf("forward-referenced child not materialised: %+v", c)
+	}
+}
+
+func TestApplyUnknownCollection(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	if _, _, err := Apply(typ, s, []Op{InsertChild("parts", "P1", Fields{})}, Strict); !errors.Is(err, ErrUnknownCollection) {
+		t.Fatalf("want ErrUnknownCollection, got %v", err)
+	}
+	next, warnings, err := Apply(typ, s, []Op{InsertChild("parts", "P1", Fields{"x": int64(1)})}, Managed)
+	if err != nil || len(warnings) != 1 {
+		t.Fatalf("managed: err=%v warnings=%v", err, warnings)
+	}
+	if _, ok := next.ChildByID("parts", "P1"); !ok {
+		t.Fatal("managed mode should keep the row")
+	}
+}
+
+func TestApplyDeleteAndUndelete(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	next, _, err := Apply(typ, s, []Op{Set("status", "OPEN"), Delete()}, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !next.Deleted {
+		t.Fatal("entity not tombstoned")
+	}
+	// Operating on a deleted entity is a strict error, a managed warning.
+	if _, _, err := Apply(typ, next, []Op{Set("status", "REOPENED")}, Strict); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("want ErrDeleted, got %v", err)
+	}
+	revived, warnings, err := Apply(typ, next, []Op{Set("status", "REOPENED")}, Managed)
+	if err != nil || len(warnings) != 1 {
+		t.Fatalf("managed write to deleted: err=%v warnings=%v", err, warnings)
+	}
+	if revived.StringField("status") != "REOPENED" {
+		t.Fatal("managed write lost")
+	}
+	undeleted, _, err := Apply(typ, next, []Op{Undelete()}, Strict)
+	if err != nil || undeleted.Deleted {
+		t.Fatalf("undelete failed: %v", err)
+	}
+}
+
+func TestApplyTentativeAndConfirm(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	next, _, err := Apply(typ, s, []Op{MarkTentative("offer pending"), Set("status", "OFFERED")}, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !next.Tentative {
+		t.Fatal("state should be tentative")
+	}
+	confirmed, _, err := Apply(typ, next, []Op{Confirm()}, Strict)
+	if err != nil || confirmed.Tentative {
+		t.Fatalf("confirm failed: %v", err)
+	}
+}
+
+func TestApplyErrorLeavesPriorUntouched(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	s.Fields["status"] = "OPEN"
+	got, _, err := Apply(typ, s, []Op{Set("status", "SHIPPED"), Set("bogus", 1)}, Strict)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got != s {
+		t.Fatal("failed Apply should return the prior state")
+	}
+	if s.StringField("status") != "OPEN" {
+		t.Fatal("prior state mutated by failed Apply")
+	}
+}
+
+func TestStateCloneIndependence(t *testing.T) {
+	s := NewState(Key{Type: "Order", ID: "1"})
+	s.Fields["status"] = "OPEN"
+	s.Children["lineitems"] = []Child{{ID: "L1", Fields: Fields{"qty": int64(1)}}}
+	c := s.Clone()
+	c.Fields["status"] = "CLOSED"
+	c.Children["lineitems"][0].Fields["qty"] = int64(99)
+	if s.StringField("status") != "OPEN" {
+		t.Fatal("clone aliased root fields")
+	}
+	if s.Children["lineitems"][0].Fields["qty"].(int64) != 1 {
+		t.Fatal("clone aliased child fields")
+	}
+}
+
+func TestOpStringAndCommutes(t *testing.T) {
+	if !Delta("x", 1).Commutes() || !DeltaChildField("c", "1", "x", 1).Commutes() || !InsertChild("c", "1", nil).Commutes() {
+		t.Error("commutative ops misclassified")
+	}
+	if Set("x", 1).Commutes() || Delete().Commutes() {
+		t.Error("non-commutative ops misclassified")
+	}
+	for _, op := range []Op{Set("a", 1), Delta("a", 2), InsertChild("c", "i", nil),
+		SetChildField("c", "i", "f", 1), DeltaChildField("c", "i", "f", 1), DeleteChild("c", "i"),
+		Delete(), Undelete(), MarkTentative("x"), Confirm()} {
+		if op.String() == "" {
+			t.Errorf("empty String for %v", op.Kind)
+		}
+	}
+	d := Set("a", 1).Described("set a for audit")
+	if d.Describe != "set a for audit" {
+		t.Error("Described did not attach text")
+	}
+}
+
+func TestOpKindAndFieldTypeStrings(t *testing.T) {
+	if OpSet.String() != "set" || OpDelta.String() != "delta" {
+		t.Error("OpKind names wrong")
+	}
+	if OpKind(99).String() == "" || FieldType(99).String() == "" {
+		t.Error("unknown enum should still render")
+	}
+	if String.String() != "string" || Reference.String() != "reference" {
+		t.Error("FieldType names wrong")
+	}
+}
+
+func newVersion(t *testing.T, typ *Type, key Key, seq uint64, origin clock.NodeID, stamp clock.Timestamp, base *State, ops ...Op) *Version {
+	t.Helper()
+	st, _, err := Apply(typ, base, ops, Managed)
+	if err != nil {
+		t.Fatalf("newVersion apply: %v", err)
+	}
+	return &Version{Key: key, Seq: seq, Ops: ops, State: st, Stamp: stamp, Origin: origin}
+}
+
+func TestHistoryLatestAndAsOf(t *testing.T) {
+	typ := orderType()
+	key := Key{Type: "Order", ID: "1"}
+	h := NewHistory(key)
+	base := NewState(key)
+	t1 := clock.Timestamp{WallNanos: 100, Node: "a"}
+	t2 := clock.Timestamp{WallNanos: 200, Node: "a"}
+	t3 := clock.Timestamp{WallNanos: 300, Node: "a"}
+	v1 := newVersion(t, typ, key, 1, "a", t1, base, Set("status", "OPEN"))
+	v2 := newVersion(t, typ, key, 2, "a", t2, v1.State, Set("status", "PAID"))
+	v3 := newVersion(t, typ, key, 3, "a", t3, v2.State, Set("status", "SHIPPED"))
+	v3.Obsolete = true
+	h.Append(v1)
+	h.Append(v2)
+	h.Append(v3)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if got := h.Latest(); got != v2 {
+		t.Fatalf("Latest should skip obsolete versions, got seq %d", got.Seq)
+	}
+	if got := h.AsOf(clock.Timestamp{WallNanos: 150, Node: "z"}); got != v1 {
+		t.Fatalf("AsOf(150) = seq %d, want 1", got.Seq)
+	}
+	if got := h.AsOf(clock.Timestamp{WallNanos: 50, Node: "z"}); got != nil {
+		t.Fatalf("AsOf before first version should be nil, got seq %d", got.Seq)
+	}
+	if got := h.AsOf(clock.Timestamp{WallNanos: 999, Node: "z"}); got != v2 {
+		t.Fatalf("AsOf(999) should skip obsolete, got seq %d", got.Seq)
+	}
+}
+
+func TestHistoryLatestEmpty(t *testing.T) {
+	h := NewHistory(Key{Type: "Order", ID: "1"})
+	if h.Latest() != nil {
+		t.Fatal("empty history Latest should be nil")
+	}
+}
+
+func TestHistoryContainsTxn(t *testing.T) {
+	h := NewHistory(Key{Type: "Order", ID: "1"})
+	h.Append(&Version{TxnID: "txn-1"})
+	if !h.ContainsTxn("txn-1") {
+		t.Fatal("ContainsTxn missed existing txn")
+	}
+	if h.ContainsTxn("txn-2") || h.ContainsTxn("") {
+		t.Fatal("ContainsTxn false positive")
+	}
+}
+
+func TestHistoryTrace(t *testing.T) {
+	typ := orderType()
+	key := Key{Type: "Inventory", ID: "widget"}
+	invType := &Type{Name: "Inventory", Fields: []Field{{Name: "onhand", Type: Int}}}
+	_ = typ
+	h := NewHistory(key)
+	base := NewState(key)
+	v1 := newVersion(t, invType, key, 1, "warehouse", clock.Timestamp{WallNanos: 1, Node: "w"}, base,
+		Delta("onhand", 10).Described("received 10 widgets"))
+	v2 := newVersion(t, invType, key, 2, "packer", clock.Timestamp{WallNanos: 2, Node: "p"}, v1.State,
+		Delta("onhand", -12).Described("packed 12 widgets for order O-7"))
+	v2.Tentative = true
+	h.Append(v1)
+	h.Append(v2)
+	trace := h.Trace()
+	if len(trace) != 2 {
+		t.Fatalf("trace lines = %d", len(trace))
+	}
+	if !strings.Contains(trace[1], "packed 12 widgets") || !strings.Contains(trace[1], "[tentative]") {
+		t.Fatalf("trace missing description or flag: %q", trace[1])
+	}
+	if v2.State.Int("onhand") != -2 {
+		t.Fatalf("negative inventory not representable: %d", v2.State.Int("onhand"))
+	}
+}
+
+func TestMergeLastWriterWinsLosesOps(t *testing.T) {
+	typ := orderType()
+	key := Key{Type: "Order", ID: "1"}
+	base := NewState(key)
+	a := newVersion(t, typ, key, 1, "r1", clock.Timestamp{WallNanos: 100, Node: "r1"}, base, Set("status", "PAID"), Delta("total", 10))
+	b := newVersion(t, typ, key, 1, "r2", clock.Timestamp{WallNanos: 200, Node: "r2"}, base, Set("status", "CANCELLED"))
+	res, err := Merge(typ, base, a, b, LastWriterWins)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if res.State.StringField("status") != "CANCELLED" {
+		t.Fatalf("LWW should keep later write, got %q", res.State.StringField("status"))
+	}
+	if res.LostOps != 2 {
+		t.Fatalf("LostOps = %d, want 2 (whole losing side)", res.LostOps)
+	}
+	if len(res.ConflictFields) != 1 || res.ConflictFields[0] != "status" {
+		t.Fatalf("ConflictFields = %v", res.ConflictFields)
+	}
+	// LWW drops the commutative delta: total is 0 in the merged state.
+	if res.State.Float("total") != 0 {
+		t.Fatalf("LWW unexpectedly preserved delta: %v", res.State.Float("total"))
+	}
+}
+
+func TestMergeOperationReplayPreservesCommutativeOps(t *testing.T) {
+	typ := orderType()
+	key := Key{Type: "Order", ID: "1"}
+	base := NewState(key)
+	a := newVersion(t, typ, key, 1, "r1", clock.Timestamp{WallNanos: 100, Node: "r1"}, base, Delta("total", 10), InsertChild("lineitems", "L1", Fields{"product": "widget"}))
+	b := newVersion(t, typ, key, 1, "r2", clock.Timestamp{WallNanos: 200, Node: "r2"}, base, Delta("total", 5), InsertChild("lineitems", "L2", Fields{"product": "gadget"}))
+	res, err := Merge(typ, base, a, b, OperationReplay)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if res.LostOps != 0 {
+		t.Fatalf("commutative merge should lose nothing, lost %d", res.LostOps)
+	}
+	if res.State.Float("total") != 15 {
+		t.Fatalf("total = %v, want 15", res.State.Float("total"))
+	}
+	if len(res.State.LiveChildren("lineitems")) != 2 {
+		t.Fatalf("children = %d, want 2", len(res.State.LiveChildren("lineitems")))
+	}
+}
+
+func TestMergeOperationReplayRegisterConflict(t *testing.T) {
+	typ := orderType()
+	key := Key{Type: "Order", ID: "1"}
+	base := NewState(key)
+	a := newVersion(t, typ, key, 1, "r1", clock.Timestamp{WallNanos: 300, Node: "r1"}, base, Set("status", "PAID"))
+	b := newVersion(t, typ, key, 1, "r2", clock.Timestamp{WallNanos: 100, Node: "r2"}, base, Set("status", "CANCELLED"))
+	res, err := Merge(typ, base, a, b, OperationReplay)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	// Later stamp (a) wins the register; one op's effect is lost.
+	if res.State.StringField("status") != "PAID" {
+		t.Fatalf("status = %q, want PAID", res.State.StringField("status"))
+	}
+	if res.LostOps != 1 {
+		t.Fatalf("LostOps = %d, want 1", res.LostOps)
+	}
+}
+
+func TestMergeOperationReplayIsSymmetric(t *testing.T) {
+	typ := orderType()
+	key := Key{Type: "Order", ID: "1"}
+	base := NewState(key)
+	a := newVersion(t, typ, key, 1, "r1", clock.Timestamp{WallNanos: 100, Node: "r1"}, base, Delta("total", 10), Set("status", "PAID"))
+	b := newVersion(t, typ, key, 1, "r2", clock.Timestamp{WallNanos: 200, Node: "r2"}, base, Delta("total", 7), Set("status", "SHIPPED"))
+	ab, err := Merge(typ, base, a, b, OperationReplay)
+	if err != nil {
+		t.Fatalf("Merge ab: %v", err)
+	}
+	ba, err := Merge(typ, base, b, a, OperationReplay)
+	if err != nil {
+		t.Fatalf("Merge ba: %v", err)
+	}
+	if ab.State.Float("total") != ba.State.Float("total") || ab.State.StringField("status") != ba.State.StringField("status") {
+		t.Fatalf("merge not symmetric: %v/%q vs %v/%q",
+			ab.State.Float("total"), ab.State.StringField("status"),
+			ba.State.Float("total"), ba.State.StringField("status"))
+	}
+}
+
+func TestMergeUnknownStrategy(t *testing.T) {
+	typ := orderType()
+	key := Key{Type: "Order", ID: "1"}
+	base := NewState(key)
+	v := newVersion(t, typ, key, 1, "r1", clock.Timestamp{WallNanos: 1, Node: "r1"}, base, Set("status", "X"))
+	if _, err := Merge(typ, base, v, v, MergeStrategy(42)); err == nil {
+		t.Fatal("unknown strategy should error")
+	}
+	if MergeStrategy(42).String() == "" || LastWriterWins.String() != "last-writer-wins" || OperationReplay.String() != "operation-replay" {
+		t.Error("MergeStrategy names wrong")
+	}
+}
+
+// Property: replay-merging two versions whose ops are all commutative deltas
+// always sums both sides exactly, regardless of the amounts.
+func TestMergeDeltaCommutativityProperty(t *testing.T) {
+	typ := &Type{Name: "Acct", Fields: []Field{{Name: "balance", Type: Float}}}
+	key := Key{Type: "Acct", ID: "1"}
+	f := func(d1, d2 int16) bool {
+		base := NewState(key)
+		a := &Version{Key: key, Ops: []Op{Delta("balance", float64(d1))}, Stamp: clock.Timestamp{WallNanos: 10, Node: "a"}}
+		var err error
+		a.State, _, err = Apply(typ, base, a.Ops, Managed)
+		if err != nil {
+			return false
+		}
+		b := &Version{Key: key, Ops: []Op{Delta("balance", float64(d2))}, Stamp: clock.Timestamp{WallNanos: 20, Node: "b"}}
+		b.State, _, err = Apply(typ, base, b.Ops, Managed)
+		if err != nil {
+			return false
+		}
+		res, err := Merge(typ, base, a, b, OperationReplay)
+		if err != nil {
+			return false
+		}
+		return res.State.Float("balance") == float64(d1)+float64(d2) && res.LostOps == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Apply never mutates the prior state, for arbitrary delta/set
+// sequences.
+func TestApplyPurityProperty(t *testing.T) {
+	typ := &Type{Name: "Acct", Fields: []Field{{Name: "balance", Type: Float}, {Name: "owner", Type: String}}}
+	key := Key{Type: "Acct", ID: "1"}
+	f := func(deltas []int8, owner string) bool {
+		prior := NewState(key)
+		prior.Fields["balance"] = float64(42)
+		prior.Fields["owner"] = "original"
+		ops := []Op{Set("owner", owner)}
+		for _, d := range deltas {
+			ops = append(ops, Delta("balance", float64(d)))
+		}
+		_, _, err := Apply(typ, prior, ops, Managed)
+		if err != nil {
+			return false
+		}
+		return prior.Float("balance") == 42 && prior.StringField("owner") == "original"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldsCloneIndependence(t *testing.T) {
+	f := Fields{"a": int64(1)}
+	c := f.Clone()
+	c["a"] = int64(2)
+	if f["a"].(int64) != 1 {
+		t.Fatal("Fields.Clone aliased the map")
+	}
+}
+
+func TestVersionStampUsesHLC(t *testing.T) {
+	// Sanity check that entity versions interoperate with the clock package.
+	h := clock.NewHLCWithSource("n1", func() time.Time { return time.Unix(5, 0) })
+	ts1 := h.Now()
+	ts2 := h.Now()
+	if ts2.Compare(ts1) != clock.After {
+		t.Fatal("HLC not monotonic in entity context")
+	}
+}

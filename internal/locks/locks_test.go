@@ -1,0 +1,291 @@
+package locks
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTryAcquireAndRelease(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.TryAcquire("u1", "Order/1", Exclusive, 0); err != nil {
+		t.Fatalf("TryAcquire: %v", err)
+	}
+	if err := m.TryAcquire("u2", "Order/1", Exclusive, 0); !errors.Is(err, ErrConflict) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	if err := m.Release("u1", "Order/1"); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := m.TryAcquire("u2", "Order/1", Exclusive, 0); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestSharedCompatibility(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.TryAcquire("u1", "r", Shared, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryAcquire("u2", "r", Shared, 0); err != nil {
+		t.Fatalf("two shared holders should coexist: %v", err)
+	}
+	if err := m.TryAcquire("u3", "r", Exclusive, 0); !errors.Is(err, ErrConflict) {
+		t.Fatalf("exclusive over shared should conflict: %v", err)
+	}
+	if len(m.Holders("r")) != 2 {
+		t.Fatalf("holders = %d", len(m.Holders("r")))
+	}
+}
+
+func TestReentrantOwnerNeverBlocksItself(t *testing.T) {
+	// The paper: logical locks "prevent access by other users, not the user
+	// who performed the transaction".
+	m := NewManager(Options{})
+	if err := m.TryAcquire("u1", "r", Exclusive, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryAcquire("u1", "r", Exclusive, 0); err != nil {
+		t.Fatalf("re-entrant acquire blocked: %v", err)
+	}
+	if err := m.TryAcquire("u1", "r", Shared, 0); err != nil {
+		t.Fatalf("re-entrant downgrade blocked: %v", err)
+	}
+	// Still exclusive from others' perspective.
+	if !m.IsLockedByOther("u2", "r", Shared) {
+		t.Fatal("resource should be locked for other users")
+	}
+	if m.IsLockedByOther("u1", "r", Exclusive) {
+		t.Fatal("owner should not be locked out by itself")
+	}
+}
+
+func TestSharedToExclusiveUpgrade(t *testing.T) {
+	m := NewManager(Options{})
+	m.TryAcquire("u1", "r", Shared, 0)
+	if err := m.TryAcquire("u1", "r", Exclusive, 0); err != nil {
+		t.Fatalf("upgrade with no other holders should succeed: %v", err)
+	}
+	holders := m.Holders("r")
+	if len(holders) != 1 || holders[0].Mode != Exclusive {
+		t.Fatalf("holders = %+v", holders)
+	}
+	// Upgrade blocked while another shared holder exists.
+	m2 := NewManager(Options{})
+	m2.TryAcquire("u1", "r", Shared, 0)
+	m2.TryAcquire("u2", "r", Shared, 0)
+	if err := m2.TryAcquire("u1", "r", Exclusive, 0); !errors.Is(err, ErrConflict) {
+		t.Fatalf("upgrade should conflict with other shared holder: %v", err)
+	}
+}
+
+func TestReleaseNotHeld(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.Release("u1", "r"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("want ErrNotHeld, got %v", err)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	m := NewManager(Options{})
+	m.TryAcquire("u1", "a", Exclusive, 0)
+	m.TryAcquire("u1", "b", Shared, 0)
+	m.TryAcquire("u2", "b", Shared, 0)
+	if got := m.ReleaseAll("u1"); got != 2 {
+		t.Fatalf("ReleaseAll = %d, want 2", got)
+	}
+	if len(m.HeldBy("u1")) != 0 {
+		t.Fatal("u1 still holds locks")
+	}
+	if len(m.HeldBy("u2")) != 1 {
+		t.Fatal("u2's lock was dropped")
+	}
+	if got := m.ReleaseAll("u1"); got != 0 {
+		t.Fatalf("second ReleaseAll = %d", got)
+	}
+}
+
+func TestHeldBySorted(t *testing.T) {
+	m := NewManager(Options{})
+	m.TryAcquire("u1", "zebra", Shared, 0)
+	m.TryAcquire("u1", "alpha", Shared, 0)
+	held := m.HeldBy("u1")
+	if len(held) != 2 || held[0] != "alpha" || held[1] != "zebra" {
+		t.Fatalf("HeldBy = %v", held)
+	}
+}
+
+func TestLockExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	m := NewManager(Options{DefaultTTL: 10 * time.Second, Clock: func() time.Time { return now }})
+	m.TryAcquire("u1", "r", Exclusive, 0)
+	if err := m.TryAcquire("u2", "r", Exclusive, 0); !errors.Is(err, ErrConflict) {
+		t.Fatal("lock should still be held")
+	}
+	now = now.Add(11 * time.Second)
+	if err := m.TryAcquire("u2", "r", Exclusive, 0); err != nil {
+		t.Fatalf("expired lock should be reclaimable: %v", err)
+	}
+	if len(m.HeldBy("u1")) != 0 {
+		t.Fatal("expired lock still listed")
+	}
+}
+
+func TestExplicitTTLOverridesDefault(t *testing.T) {
+	now := time.Unix(0, 0)
+	m := NewManager(Options{DefaultTTL: time.Hour, Clock: func() time.Time { return now }})
+	m.TryAcquire("u1", "r", Exclusive, time.Second)
+	now = now.Add(2 * time.Second)
+	if err := m.TryAcquire("u2", "r", Exclusive, 0); err != nil {
+		t.Fatalf("short TTL not honoured: %v", err)
+	}
+}
+
+func TestZeroTTLNeverExpires(t *testing.T) {
+	now := time.Unix(0, 0)
+	m := NewManager(Options{Clock: func() time.Time { return now }})
+	m.TryAcquire("u1", "r", Exclusive, 0)
+	now = now.Add(1000 * time.Hour)
+	if err := m.TryAcquire("u2", "r", Exclusive, 0); !errors.Is(err, ErrConflict) {
+		t.Fatal("lock without TTL expired")
+	}
+}
+
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.TryAcquire("u1", "r", Exclusive, 0); err != nil {
+		t.Fatal(err)
+	}
+	var acquired atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		err := m.Acquire("u2", "r", Exclusive, 0, 5*time.Second)
+		acquired.Store(true)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if acquired.Load() {
+		t.Fatal("acquire succeeded while lock held")
+	}
+	m.Release("u1", "r")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked acquire failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked acquire never completed")
+	}
+	waits, _ := m.Stats()
+	if waits == 0 {
+		t.Fatal("Stats should record at least one wait")
+	}
+}
+
+func TestAcquireTimeout(t *testing.T) {
+	m := NewManager(Options{})
+	m.TryAcquire("u1", "r", Exclusive, 0)
+	start := time.Now()
+	err := m.Acquire("u2", "r", Exclusive, 0, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+	_, timeouts := m.Stats()
+	if timeouts != 1 {
+		t.Fatalf("timeouts = %d", timeouts)
+	}
+}
+
+func TestCoarseVsFineResourceNames(t *testing.T) {
+	coarse := CoarseResource("Inventory", "plant-7")
+	fine := FineResource("Inventory", "widget-123")
+	if !IsCoarse(coarse) {
+		t.Fatalf("coarse name not recognised: %s", coarse)
+	}
+	if IsCoarse(fine) {
+		t.Fatalf("fine name misclassified: %s", fine)
+	}
+	m := NewManager(Options{})
+	// One coarse lock covers a whole plant: a second owner conflicts even
+	// though they want a "different" item, which is the throughput trade-off
+	// experiment E11 measures.
+	m.TryAcquire("worker-1", coarse, Exclusive, 0)
+	if err := m.TryAcquire("worker-2", coarse, Exclusive, 0); !errors.Is(err, ErrConflict) {
+		t.Fatal("coarse lock should conflict")
+	}
+}
+
+func TestGuardUnlocksEverything(t *testing.T) {
+	m := NewManager(Options{})
+	g := NewGuard(m, "proc-1")
+	if err := g.Lock("a", Exclusive, 0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Lock("b", Shared, 0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.HeldBy("proc-1")) != 2 {
+		t.Fatal("guard locks not held")
+	}
+	g.Unlock()
+	if len(m.HeldBy("proc-1")) != 0 {
+		t.Fatal("guard did not release all locks")
+	}
+	// Unlock is idempotent.
+	g.Unlock()
+}
+
+func TestGuardLockFailureDoesNotRecord(t *testing.T) {
+	m := NewManager(Options{})
+	m.TryAcquire("other", "a", Exclusive, 0)
+	g := NewGuard(m, "proc-1")
+	if err := g.Lock("a", Exclusive, 0, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	g.Unlock() // must not panic or release the other owner's lock
+	if len(m.Holders("a")) != 1 {
+		t.Fatal("guard released someone else's lock")
+	}
+}
+
+func TestConcurrentAcquireReleaseNoLostLocks(t *testing.T) {
+	m := NewManager(Options{})
+	const workers = 8
+	const iterations = 50
+	var counter int64 // protected only by the logical lock
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := Owner(fmt.Sprintf("w%d", w))
+			for i := 0; i < iterations; i++ {
+				if err := m.Acquire(owner, "critical", Exclusive, 0, 10*time.Second); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				counter++
+				if err := m.Release(owner, "critical"); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*iterations {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, workers*iterations)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "shared" || Exclusive.String() != "exclusive" {
+		t.Fatal("mode names wrong")
+	}
+}

@@ -1,0 +1,749 @@
+// Package lsdb implements the log-structured database sketched in section
+// 3.1 of the paper: events (operation descriptors) are stored when they
+// arrive, inserts are treated as events, and "what applications view as the
+// current state of the database [is] a rollup aggregation of the contents of
+// the LSDB, in the same way that rollforward using a log is an aggregation
+// function".
+//
+// The database is main-memory resident (as the paper suggests), organised as
+// an append-only sequence of records grouped into segments. A per-entity
+// index and periodic per-entity snapshots keep rollups cheap; compaction and
+// summarisation bound growth while retaining the audit history principle 2.7
+// requires.
+package lsdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+)
+
+// Common errors.
+var (
+	// ErrUnknownType is returned when appending to an entity type that was
+	// never registered.
+	ErrUnknownType = errors.New("lsdb: unknown entity type")
+	// ErrNotFound is returned when reading an entity with no records.
+	ErrNotFound = errors.New("lsdb: entity not found")
+	// ErrDuplicateTxn is returned when a transaction id has already been
+	// applied to the entity (idempotent re-delivery).
+	ErrDuplicateTxn = errors.New("lsdb: duplicate transaction")
+)
+
+// Record is one immutable log entry: the operations one transaction applied
+// to one entity, plus causal metadata.
+type Record struct {
+	LSN       uint64
+	Key       entity.Key
+	Ops       []entity.Op
+	Stamp     clock.Timestamp
+	Origin    clock.NodeID
+	TxnID     string
+	Tentative bool
+	// Obsolete marks a tentative record whose promise was later withdrawn.
+	// Obsolete records remain in the log for auditability but are skipped by
+	// rollups.
+	Obsolete bool
+}
+
+// Options configure a database instance.
+type Options struct {
+	// Node identifies this database (serialization unit / replica) in
+	// version stamps.
+	Node clock.NodeID
+	// SnapshotEvery materialises a per-entity snapshot after this many
+	// records for the entity. Zero disables automatic snapshots (every read
+	// replays the entity's full history), which experiment E9 uses as the
+	// baseline.
+	SnapshotEvery int
+	// SegmentSize is the number of records per sealed segment. Zero uses a
+	// default of 4096.
+	SegmentSize int
+	// Validation selects Strict or Managed application of operations during
+	// rollup (principle 2.2).
+	Validation entity.ValidationMode
+}
+
+const defaultSegmentSize = 4096
+
+// snapshot is a cached rollup of one entity up to (and including) an LSN.
+type snapshot struct {
+	lsn   uint64
+	seq   uint64 // number of live records folded in
+	state *entity.State
+}
+
+// DB is a log-structured database for one serialization unit. All methods
+// are safe for concurrent use.
+type DB struct {
+	opts Options
+
+	mu       sync.RWMutex
+	types    map[string]*entity.Type
+	sealed   [][]Record // sealed segments, each of SegmentSize records
+	active   []Record   // current segment
+	lsn      clock.Sequence
+	index    map[entity.Key][]uint64 // entity -> LSNs, ascending
+	byTxn    map[entity.Key]map[string]uint64
+	snaps    map[entity.Key]snapshot
+	archived map[entity.Key]*entity.State // summarised entities whose detail records were compacted away
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = defaultSegmentSize
+	}
+	return &DB{
+		opts:     opts,
+		types:    map[string]*entity.Type{},
+		index:    map[entity.Key][]uint64{},
+		byTxn:    map[entity.Key]map[string]uint64{},
+		snaps:    map[entity.Key]snapshot{},
+		archived: map[entity.Key]*entity.State{},
+	}
+}
+
+// Node returns the node identity of this database.
+func (db *DB) Node() clock.NodeID { return db.opts.Node }
+
+// RegisterType makes an entity type known to the database. It must be called
+// before appending records of that type.
+func (db *DB) RegisterType(t *entity.Type) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.types[t.Name] = t
+	return nil
+}
+
+// TypeOf returns the registered type with the given name.
+func (db *DB) TypeOf(name string) (*entity.Type, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.types[name]
+	return t, ok
+}
+
+// Types returns the names of all registered types, sorted.
+func (db *DB) Types() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.types))
+	for n := range db.types {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppendResult reports the outcome of an append.
+type AppendResult struct {
+	Record   Record
+	State    *entity.State
+	Warnings []entity.Warning
+}
+
+// Append writes one record: the operations one transaction applied to one
+// entity. It validates the operations against the current rollup (so a
+// strict-mode violation is detected at write time), assigns an LSN, and
+// returns the new current state.
+//
+// If txnID is non-empty and has already been applied to this entity, Append
+// returns ErrDuplicateTxn without writing; this gives at-least-once queue
+// consumers idempotence (principles 2.4 and 3.1).
+func (db *DB) Append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, origin clock.NodeID, txnID string) (AppendResult, error) {
+	return db.append(key, ops, stamp, origin, txnID, false)
+}
+
+// AppendTentative writes a record whose effects are tentative (principle
+// 2.9). Tentative records participate in rollups until marked obsolete.
+func (db *DB) AppendTentative(key entity.Key, ops []entity.Op, stamp clock.Timestamp, origin clock.NodeID, txnID string) (AppendResult, error) {
+	return db.append(key, ops, stamp, origin, txnID, true)
+}
+
+func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, origin clock.NodeID, txnID string, tentative bool) (AppendResult, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	typ, ok := db.types[key.Type]
+	if !ok {
+		return AppendResult{}, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
+	}
+	if txnID != "" {
+		if _, dup := db.byTxn[key][txnID]; dup {
+			return AppendResult{}, fmt.Errorf("%w: %s on %s", ErrDuplicateTxn, txnID, key)
+		}
+	}
+	prior := db.rollupLocked(key, typ)
+	next, warnings, err := entity.Apply(typ, prior, ops, db.opts.Validation)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	if tentative {
+		next.Tentative = true
+	}
+	rec := Record{
+		LSN:       db.lsn.Next(),
+		Key:       key,
+		Ops:       ops,
+		Stamp:     stamp,
+		Origin:    origin,
+		TxnID:     txnID,
+		Tentative: tentative,
+	}
+	db.appendRecordLocked(rec)
+	if txnID != "" {
+		if db.byTxn[key] == nil {
+			db.byTxn[key] = map[string]uint64{}
+		}
+		db.byTxn[key][txnID] = rec.LSN
+	}
+	// Maintain the snapshot cache.
+	if db.opts.SnapshotEvery > 0 {
+		snap := db.snaps[key]
+		snap.seq++
+		if snap.state == nil || int(snap.seq)%db.opts.SnapshotEvery == 0 {
+			db.snaps[key] = snapshot{lsn: rec.LSN, seq: snap.seq, state: next.Clone()}
+		} else {
+			snap.state = db.snaps[key].state
+			snap.lsn = db.snaps[key].lsn
+			db.snaps[key] = snapshot{lsn: snap.lsn, seq: snap.seq, state: snap.state}
+		}
+	}
+	return AppendResult{Record: rec, State: next, Warnings: warnings}, nil
+}
+
+func (db *DB) appendRecordLocked(rec Record) {
+	db.active = append(db.active, rec)
+	if len(db.active) >= db.opts.SegmentSize {
+		db.sealed = append(db.sealed, db.active)
+		db.active = nil
+	}
+	db.index[rec.Key] = append(db.index[rec.Key], rec.LSN)
+}
+
+// MarkObsolete flags the record produced by txnID on key as obsolete (its
+// tentative promise was withdrawn). Rollups exclude it from then on, but the
+// record remains in the log for audit and apology purposes.
+func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	lsn, ok := db.byTxn[key][txnID]
+	if !ok {
+		return fmt.Errorf("%w: txn %s on %s", ErrNotFound, txnID, key)
+	}
+	rec := db.recordAtLocked(lsn)
+	if rec == nil {
+		return fmt.Errorf("%w: lsn %d", ErrNotFound, lsn)
+	}
+	rec.Obsolete = true
+	// The cached snapshot may now be wrong; drop it so the next read rebuilds.
+	delete(db.snaps, key)
+	return nil
+}
+
+// recordAtLocked returns a pointer to the record with the given LSN, or nil
+// if it was compacted away. Records within each segment are in ascending LSN
+// order (compaction preserves order), so a binary search per segment works.
+func (db *DB) recordAtLocked(lsn uint64) *Record {
+	find := func(seg []Record) *Record {
+		i := sort.Search(len(seg), func(i int) bool { return seg[i].LSN >= lsn })
+		if i < len(seg) && seg[i].LSN == lsn {
+			return &seg[i]
+		}
+		return nil
+	}
+	for si := range db.sealed {
+		seg := db.sealed[si]
+		if len(seg) == 0 || seg[len(seg)-1].LSN < lsn {
+			continue
+		}
+		if seg[0].LSN > lsn {
+			return nil
+		}
+		return find(seg)
+	}
+	return find(db.active)
+}
+
+// Current returns the rollup of an entity's records: its current state and
+// the LSN of the latest record folded in.
+func (db *DB) Current(key entity.Key) (*entity.State, uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	typ, ok := db.types[key.Type]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
+	}
+	lsns := db.index[key]
+	if len(lsns) == 0 && db.archived[key] == nil {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	st := db.rollupLocked(key, typ)
+	var head uint64
+	if len(lsns) > 0 {
+		head = lsns[len(lsns)-1]
+	}
+	return st, head, nil
+}
+
+// Exists reports whether any live record (or archived summary) exists for key.
+func (db *DB) Exists(key entity.Key) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.index[key]) > 0 || db.archived[key] != nil
+}
+
+// rollupLocked computes the current state of key, using the snapshot cache
+// when available. Callers hold at least a read lock.
+func (db *DB) rollupLocked(key entity.Key, typ *entity.Type) *entity.State {
+	base := entity.NewState(key)
+	if arch := db.archived[key]; arch != nil {
+		base = arch.Clone()
+	}
+	startLSN := uint64(0)
+	if snap, ok := db.snaps[key]; ok && snap.state != nil {
+		base = snap.state.Clone()
+		startLSN = snap.lsn
+	}
+	for _, lsn := range db.index[key] {
+		if lsn <= startLSN {
+			continue
+		}
+		rec := db.recordAtLocked(lsn)
+		if rec == nil || rec.Obsolete {
+			continue
+		}
+		next, _, err := entity.Apply(typ, base, rec.Ops, entity.Managed)
+		if err != nil {
+			// Rollup always uses managed application; an error here means a
+			// malformed operation kind, which Append would have rejected.
+			continue
+		}
+		if rec.Tentative {
+			next.Tentative = true
+		}
+		base = next
+	}
+	return base
+}
+
+// AsOf returns the state of key as of the given timestamp: the rollup of all
+// non-obsolete records stamped at or before ts.
+func (db *DB) AsOf(key entity.Key, ts clock.Timestamp) (*entity.State, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	typ, ok := db.types[key.Type]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
+	}
+	lsns := db.index[key]
+	if len(lsns) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	state := entity.NewState(key)
+	if arch := db.archived[key]; arch != nil {
+		state = arch.Clone()
+	}
+	found := db.archived[key] != nil
+	for _, lsn := range lsns {
+		rec := db.recordAtLocked(lsn)
+		if rec == nil || rec.Obsolete {
+			continue
+		}
+		if rec.Stamp.Compare(ts) == clock.After {
+			continue
+		}
+		next, _, err := entity.Apply(typ, state, rec.Ops, entity.Managed)
+		if err != nil {
+			continue
+		}
+		if rec.Tentative {
+			next.Tentative = true
+		}
+		state = next
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %s as of %s", ErrNotFound, key, ts)
+	}
+	return state, nil
+}
+
+// History reconstructs the full insert-only version chain of key, including
+// obsolete versions (principle 2.7: the past is never discarded, only
+// summarised).
+func (db *DB) History(key entity.Key) (*entity.History, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	typ, ok := db.types[key.Type]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
+	}
+	lsns := db.index[key]
+	if len(lsns) == 0 && db.archived[key] == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	h := entity.NewHistory(key)
+	state := entity.NewState(key)
+	if arch := db.archived[key]; arch != nil {
+		state = arch.Clone()
+	}
+	var seq uint64
+	for _, lsn := range lsns {
+		rec := db.recordAtLocked(lsn)
+		if rec == nil {
+			continue
+		}
+		seq++
+		v := &entity.Version{
+			Key:       key,
+			Seq:       seq,
+			Ops:       rec.Ops,
+			Stamp:     rec.Stamp,
+			Origin:    rec.Origin,
+			TxnID:     rec.TxnID,
+			Tentative: rec.Tentative,
+			Obsolete:  rec.Obsolete,
+		}
+		if !rec.Obsolete {
+			next, _, err := entity.Apply(typ, state, rec.Ops, entity.Managed)
+			if err == nil {
+				if rec.Tentative {
+					next.Tentative = true
+				}
+				state = next
+			}
+		}
+		v.State = state
+		h.Append(v)
+	}
+	return h, nil
+}
+
+// RecordsAfter returns all records with LSN strictly greater than after, in
+// LSN order. Replication and deferred-aggregate maintenance tail the log with
+// this call.
+func (db *DB) RecordsAfter(after uint64) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Record
+	appendFrom := func(seg []Record) {
+		for _, r := range seg {
+			if r.LSN > after {
+				out = append(out, r)
+			}
+		}
+	}
+	for _, seg := range db.sealed {
+		if len(seg) > 0 && seg[len(seg)-1].LSN <= after {
+			continue
+		}
+		appendFrom(seg)
+	}
+	appendFrom(db.active)
+	return out
+}
+
+// RecordsFor returns all records of one entity in LSN order.
+func (db *DB) RecordsFor(key entity.Key) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Record
+	for _, lsn := range db.index[key] {
+		if rec := db.recordAtLocked(lsn); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}
+
+// HeadLSN returns the LSN of the most recent record (0 when empty).
+func (db *DB) HeadLSN() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lsn.Peek()
+}
+
+// Len returns the number of records currently retained in the log.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := len(db.active)
+	for _, seg := range db.sealed {
+		n += len(seg)
+	}
+	return n
+}
+
+// Keys returns every entity key with retained or archived records, sorted.
+func (db *DB) Keys() []entity.Key {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	seen := map[entity.Key]bool{}
+	for k := range db.index {
+		if len(db.index[k]) > 0 {
+			seen[k] = true
+		}
+	}
+	for k := range db.archived {
+		seen[k] = true
+	}
+	out := make([]entity.Key, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// KeysOfType returns all keys of one entity type, sorted.
+func (db *DB) KeysOfType(typeName string) []entity.Key {
+	var out []entity.Key
+	for _, k := range db.Keys() {
+		if k.Type == typeName {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Scan calls fn with the current state of every entity of the given type.
+// Scanning stops early if fn returns false.
+func (db *DB) Scan(typeName string, fn func(*entity.State) bool) error {
+	if _, ok := db.TypeOf(typeName); !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownType, typeName)
+	}
+	for _, k := range db.KeysOfType(typeName) {
+		st, _, err := db.Current(k)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return err
+		}
+		if !fn(st) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Snapshot forces a snapshot of key's current state so subsequent reads do
+// not replay its history.
+func (db *DB) Snapshot(key entity.Key) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	typ, ok := db.types[key.Type]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
+	}
+	lsns := db.index[key]
+	if len(lsns) == 0 {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	st := db.rollupLocked(key, typ)
+	db.snaps[key] = snapshot{lsn: lsns[len(lsns)-1], seq: uint64(len(lsns)), state: st.Clone()}
+	return nil
+}
+
+// CompactStats reports what a compaction pass removed.
+type CompactStats struct {
+	RecordsBefore int
+	RecordsAfter  int
+	EntitiesKept  int
+	Summarised    int
+}
+
+// Compact summarises and drops detail records up to and including beforeLSN.
+// For every entity all of whose records fall at or before the horizon, the
+// current rollup is stored as an archived summary (the paper's
+// "summarization and archival functionality") and the detail records are
+// removed. Entities with newer activity keep all their records so their
+// audit trail stays complete.
+func (db *DB) Compact(beforeLSN uint64) CompactStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stats := CompactStats{RecordsBefore: db.lenLocked()}
+	drop := map[entity.Key]bool{}
+	for key, lsns := range db.index {
+		if len(lsns) == 0 {
+			continue
+		}
+		if lsns[len(lsns)-1] <= beforeLSN {
+			typ := db.types[key.Type]
+			if typ == nil {
+				continue
+			}
+			db.archived[key] = db.rollupLocked(key, typ)
+			drop[key] = true
+			stats.Summarised++
+		} else {
+			stats.EntitiesKept++
+		}
+	}
+	if len(drop) > 0 {
+		rewrite := func(seg []Record) []Record {
+			out := seg[:0]
+			for _, r := range seg {
+				if !drop[r.Key] {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+		for i := range db.sealed {
+			db.sealed[i] = rewrite(db.sealed[i])
+		}
+		db.active = rewrite(db.active)
+		for key := range drop {
+			delete(db.index, key)
+			delete(db.snaps, key)
+			delete(db.byTxn, key)
+		}
+	}
+	stats.RecordsAfter = db.lenLocked()
+	return stats
+}
+
+func (db *DB) lenLocked() int {
+	n := len(db.active)
+	for _, seg := range db.sealed {
+		n += len(seg)
+	}
+	return n
+}
+
+// persistedRecord is the JSON shape of one record; operations are stored as
+// a restricted form that round-trips the Op fields actually used.
+type persistedRecord struct {
+	LSN       uint64        `json:"lsn"`
+	Key       string        `json:"key"`
+	Stamp     string        `json:"stamp"`
+	Origin    string        `json:"origin"`
+	TxnID     string        `json:"txn,omitempty"`
+	Tentative bool          `json:"tentative,omitempty"`
+	Obsolete  bool          `json:"obsolete,omitempty"`
+	Ops       []persistedOp `json:"ops"`
+}
+
+type persistedOp struct {
+	Kind       int                    `json:"k"`
+	Field      string                 `json:"f,omitempty"`
+	Value      interface{}            `json:"v,omitempty"`
+	Delta      float64                `json:"d,omitempty"`
+	Collection string                 `json:"c,omitempty"`
+	ChildID    string                 `json:"ci,omitempty"`
+	ChildRow   map[string]interface{} `json:"cr,omitempty"`
+	Describe   string                 `json:"desc,omitempty"`
+}
+
+// Save writes every retained record as one JSON document per line. Archived
+// summaries are not persisted; callers that need them should compact after
+// loading.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	write := func(seg []Record) error {
+		for _, r := range seg {
+			pr := persistedRecord{
+				LSN:       r.LSN,
+				Key:       r.Key.String(),
+				Stamp:     r.Stamp.String(),
+				Origin:    string(r.Origin),
+				TxnID:     r.TxnID,
+				Tentative: r.Tentative,
+				Obsolete:  r.Obsolete,
+			}
+			for _, op := range r.Ops {
+				pr.Ops = append(pr.Ops, persistedOp{
+					Kind: int(op.Kind), Field: op.Field, Value: op.Value, Delta: op.Delta,
+					Collection: op.Collection, ChildID: op.ChildID, ChildRow: op.ChildRow, Describe: op.Describe,
+				})
+			}
+			if err := enc.Encode(pr); err != nil {
+				return fmt.Errorf("lsdb: save: %w", err)
+			}
+		}
+		return nil
+	}
+	for _, seg := range db.sealed {
+		if err := write(seg); err != nil {
+			return err
+		}
+	}
+	return write(db.active)
+}
+
+// Load replays a stream produced by Save into the database. The database
+// must be freshly opened with the same entity types registered.
+func (db *DB) Load(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	for {
+		var pr persistedRecord
+		if err := dec.Decode(&pr); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("lsdb: load: %w", err)
+		}
+		key, err := entity.ParseKey(pr.Key)
+		if err != nil {
+			return fmt.Errorf("lsdb: load: %w", err)
+		}
+		stamp, err := clock.ParseTimestamp(pr.Stamp)
+		if err != nil {
+			return fmt.Errorf("lsdb: load: %w", err)
+		}
+		ops := make([]entity.Op, 0, len(pr.Ops))
+		for _, po := range pr.Ops {
+			ops = append(ops, entity.Op{
+				Kind: entity.OpKind(po.Kind), Field: po.Field, Value: normaliseJSON(po.Value), Delta: po.Delta,
+				Collection: po.Collection, ChildID: po.ChildID, ChildRow: normaliseRow(po.ChildRow), Describe: po.Describe,
+			})
+		}
+		db.mu.Lock()
+		rec := Record{
+			LSN: pr.LSN, Key: key, Ops: ops, Stamp: stamp,
+			Origin: clock.NodeID(pr.Origin), TxnID: pr.TxnID,
+			Tentative: pr.Tentative, Obsolete: pr.Obsolete,
+		}
+		db.appendRecordLocked(rec)
+		db.lsn.AdvanceTo(pr.LSN)
+		if pr.TxnID != "" {
+			if db.byTxn[key] == nil {
+				db.byTxn[key] = map[string]uint64{}
+			}
+			db.byTxn[key][pr.TxnID] = pr.LSN
+		}
+		db.mu.Unlock()
+	}
+}
+
+// normaliseJSON converts JSON-decoded numbers back to the int64/float64
+// split the entity layer expects.
+func normaliseJSON(v interface{}) interface{} {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return int64(f)
+	}
+	return v
+}
+
+func normaliseRow(row map[string]interface{}) entity.Fields {
+	if row == nil {
+		return nil
+	}
+	out := entity.Fields{}
+	for k, v := range row {
+		out[k] = normaliseJSON(v)
+	}
+	return out
+}

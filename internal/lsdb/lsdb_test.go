@@ -1,0 +1,584 @@
+package lsdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+)
+
+func accountType() *entity.Type {
+	return &entity.Type{
+		Name: "Account",
+		Fields: []entity.Field{
+			{Name: "owner", Type: entity.String},
+			{Name: "balance", Type: entity.Float},
+		},
+	}
+}
+
+func orderType() *entity.Type {
+	return &entity.Type{
+		Name: "Order",
+		Fields: []entity.Field{
+			{Name: "status", Type: entity.String},
+			{Name: "total", Type: entity.Float},
+		},
+		Children: []entity.ChildCollection{
+			{Name: "lineitems", Fields: []entity.Field{
+				{Name: "product", Type: entity.String},
+				{Name: "qty", Type: entity.Int},
+			}},
+		},
+	}
+}
+
+func newTestDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	if opts.Node == "" {
+		opts.Node = "test-node"
+	}
+	db := Open(opts)
+	if err := db.RegisterType(accountType()); err != nil {
+		t.Fatalf("RegisterType: %v", err)
+	}
+	if err := db.RegisterType(orderType()); err != nil {
+		t.Fatalf("RegisterType: %v", err)
+	}
+	return db
+}
+
+func stamp(n int64) clock.Timestamp {
+	return clock.Timestamp{WallNanos: n, Node: "test-node"}
+}
+
+func TestAppendAndCurrent(t *testing.T) {
+	db := newTestDB(t, Options{})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	res, err := db.Append(key, []entity.Op{entity.Set("owner", "alice"), entity.Delta("balance", 100)}, stamp(1), "n1", "t1")
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if res.Record.LSN != 1 {
+		t.Fatalf("LSN = %d, want 1", res.Record.LSN)
+	}
+	if res.State.Float("balance") != 100 {
+		t.Fatalf("balance = %v", res.State.Float("balance"))
+	}
+	st, head, err := db.Current(key)
+	if err != nil {
+		t.Fatalf("Current: %v", err)
+	}
+	if head != 1 || st.StringField("owner") != "alice" {
+		t.Fatalf("Current = %+v head=%d", st.Fields, head)
+	}
+}
+
+func TestAppendUnknownType(t *testing.T) {
+	db := newTestDB(t, Options{})
+	_, err := db.Append(entity.Key{Type: "Nope", ID: "1"}, nil, stamp(1), "n1", "")
+	if !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("want ErrUnknownType, got %v", err)
+	}
+}
+
+func TestCurrentNotFound(t *testing.T) {
+	db := newTestDB(t, Options{})
+	_, _, err := db.Current(entity.Key{Type: "Account", ID: "missing"})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if db.Exists(entity.Key{Type: "Account", ID: "missing"}) {
+		t.Fatal("Exists false positive")
+	}
+}
+
+func TestRegisterInvalidType(t *testing.T) {
+	db := Open(Options{Node: "n"})
+	if err := db.RegisterType(&entity.Type{Name: ""}); err == nil {
+		t.Fatal("invalid type accepted")
+	}
+}
+
+func TestAppendIdempotenceByTxnID(t *testing.T) {
+	db := newTestDB(t, Options{})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	ops := []entity.Op{entity.Delta("balance", 50)}
+	if _, err := db.Append(key, ops, stamp(1), "n1", "txn-dup"); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	_, err := db.Append(key, ops, stamp(2), "n1", "txn-dup")
+	if !errors.Is(err, ErrDuplicateTxn) {
+		t.Fatalf("want ErrDuplicateTxn, got %v", err)
+	}
+	st, _, _ := db.Current(key)
+	if st.Float("balance") != 50 {
+		t.Fatalf("duplicate delivery changed state: %v", st.Float("balance"))
+	}
+	// Empty txn ids never collide.
+	if _, err := db.Append(key, ops, stamp(3), "n1", ""); err != nil {
+		t.Fatalf("append without txn id: %v", err)
+	}
+	if _, err := db.Append(key, ops, stamp(4), "n1", ""); err != nil {
+		t.Fatalf("second append without txn id: %v", err)
+	}
+}
+
+func TestRollupAccumulatesDeltas(t *testing.T) {
+	db := newTestDB(t, Options{})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	for i := 1; i <= 10; i++ {
+		if _, err := db.Append(key, []entity.Op{entity.Delta("balance", 10)}, stamp(int64(i)), "n1", fmt.Sprintf("t%d", i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	st, head, err := db.Current(key)
+	if err != nil {
+		t.Fatalf("Current: %v", err)
+	}
+	if st.Float("balance") != 100 || head != 10 {
+		t.Fatalf("balance = %v head = %d", st.Float("balance"), head)
+	}
+}
+
+func TestSnapshotCacheMatchesFullReplay(t *testing.T) {
+	withSnap := newTestDB(t, Options{SnapshotEvery: 4})
+	noSnap := newTestDB(t, Options{})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	for i := 1; i <= 25; i++ {
+		ops := []entity.Op{entity.Delta("balance", float64(i))}
+		if i%5 == 0 {
+			ops = append(ops, entity.Set("owner", fmt.Sprintf("owner-%d", i)))
+		}
+		if _, err := withSnap.Append(key, ops, stamp(int64(i)), "n1", ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := noSnap.Append(key, ops, stamp(int64(i)), "n1", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _, _ := withSnap.Current(key)
+	b, _, _ := noSnap.Current(key)
+	if a.Float("balance") != b.Float("balance") || a.StringField("owner") != b.StringField("owner") {
+		t.Fatalf("snapshotted rollup diverged: %v/%v vs %v/%v",
+			a.Float("balance"), a.StringField("owner"), b.Float("balance"), b.StringField("owner"))
+	}
+}
+
+func TestExplicitSnapshot(t *testing.T) {
+	db := newTestDB(t, Options{})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	for i := 1; i <= 5; i++ {
+		db.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i)), "n1", "")
+	}
+	if err := db.Snapshot(key); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	db.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(6), "n1", "")
+	st, _, _ := db.Current(key)
+	if st.Float("balance") != 6 {
+		t.Fatalf("balance after snapshot = %v", st.Float("balance"))
+	}
+	if err := db.Snapshot(entity.Key{Type: "Account", ID: "missing"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Snapshot of missing key: %v", err)
+	}
+	if err := db.Snapshot(entity.Key{Type: "Nope", ID: "x"}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("Snapshot of unknown type: %v", err)
+	}
+}
+
+func TestAsOf(t *testing.T) {
+	db := newTestDB(t, Options{})
+	key := entity.Key{Type: "Order", ID: "O1"}
+	db.Append(key, []entity.Op{entity.Set("status", "OPEN")}, stamp(100), "n1", "")
+	db.Append(key, []entity.Op{entity.Set("status", "PAID")}, stamp(200), "n1", "")
+	db.Append(key, []entity.Op{entity.Set("status", "SHIPPED")}, stamp(300), "n1", "")
+	st, err := db.AsOf(key, clock.Timestamp{WallNanos: 250, Node: "z"})
+	if err != nil {
+		t.Fatalf("AsOf: %v", err)
+	}
+	if st.StringField("status") != "PAID" {
+		t.Fatalf("AsOf(250) = %q, want PAID", st.StringField("status"))
+	}
+	if _, err := db.AsOf(key, clock.Timestamp{WallNanos: 50, Node: "z"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("AsOf before first record should be ErrNotFound, got %v", err)
+	}
+	if _, err := db.AsOf(entity.Key{Type: "Nope", ID: "1"}, stamp(1)); !errors.Is(err, ErrUnknownType) {
+		t.Fatal("AsOf unknown type should fail")
+	}
+	if _, err := db.AsOf(entity.Key{Type: "Order", ID: "missing"}, stamp(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatal("AsOf missing key should fail")
+	}
+}
+
+func TestTentativeAndMarkObsolete(t *testing.T) {
+	db := newTestDB(t, Options{SnapshotEvery: 2})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	db.Append(key, []entity.Op{entity.Delta("balance", 100)}, stamp(1), "n1", "t1")
+	res, err := db.AppendTentative(key, []entity.Op{entity.Delta("balance", -30).Described("tentative reservation")}, stamp(2), "n1", "t2")
+	if err != nil {
+		t.Fatalf("AppendTentative: %v", err)
+	}
+	if !res.State.Tentative {
+		t.Fatal("state should be tentative")
+	}
+	st, _, _ := db.Current(key)
+	if st.Float("balance") != 70 || !st.Tentative {
+		t.Fatalf("tentative rollup = %v tentative=%v", st.Float("balance"), st.Tentative)
+	}
+	// Withdraw the promise: the record becomes obsolete and the rollup
+	// excludes it, but history still shows it.
+	if err := db.MarkObsolete(key, "t2"); err != nil {
+		t.Fatalf("MarkObsolete: %v", err)
+	}
+	st, _, _ = db.Current(key)
+	if st.Float("balance") != 100 {
+		t.Fatalf("balance after obsolete = %v, want 100", st.Float("balance"))
+	}
+	h, err := db.History(key)
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("history should keep obsolete record, len=%d", h.Len())
+	}
+	if !h.Versions[1].Obsolete {
+		t.Fatal("second version should be obsolete")
+	}
+	if err := db.MarkObsolete(key, "no-such-txn"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("MarkObsolete missing txn: %v", err)
+	}
+}
+
+func TestHistoryReconstruction(t *testing.T) {
+	db := newTestDB(t, Options{})
+	key := entity.Key{Type: "Order", ID: "O1"}
+	db.Append(key, []entity.Op{entity.Set("status", "OPEN"), entity.InsertChild("lineitems", "L1", entity.Fields{"product": "widget", "qty": 2})}, stamp(1), "n1", "t1")
+	db.Append(key, []entity.Op{entity.Set("status", "PAID")}, stamp(2), "n1", "t2")
+	h, err := db.History(key)
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("history len = %d", h.Len())
+	}
+	if h.Versions[0].State.StringField("status") != "OPEN" {
+		t.Fatalf("v1 status = %q", h.Versions[0].State.StringField("status"))
+	}
+	if h.Versions[1].State.StringField("status") != "PAID" {
+		t.Fatalf("v2 status = %q", h.Versions[1].State.StringField("status"))
+	}
+	if !h.ContainsTxn("t1") || h.ContainsTxn("zzz") {
+		t.Fatal("ContainsTxn wrong")
+	}
+	if _, err := db.History(entity.Key{Type: "Order", ID: "missing"}); !errors.Is(err, ErrNotFound) {
+		t.Fatal("History of missing entity should fail")
+	}
+	if _, err := db.History(entity.Key{Type: "Nope", ID: "1"}); !errors.Is(err, ErrUnknownType) {
+		t.Fatal("History of unknown type should fail")
+	}
+}
+
+func TestRecordsAfterAndFor(t *testing.T) {
+	db := newTestDB(t, Options{SegmentSize: 3})
+	a := entity.Key{Type: "Account", ID: "A"}
+	b := entity.Key{Type: "Account", ID: "B"}
+	for i := 1; i <= 8; i++ {
+		key := a
+		if i%2 == 0 {
+			key = b
+		}
+		db.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i)), "n1", "")
+	}
+	recs := db.RecordsAfter(5)
+	if len(recs) != 3 {
+		t.Fatalf("RecordsAfter(5) = %d records, want 3", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN <= recs[i-1].LSN {
+			t.Fatal("RecordsAfter not in LSN order")
+		}
+	}
+	if got := len(db.RecordsAfter(0)); got != 8 {
+		t.Fatalf("RecordsAfter(0) = %d, want 8", got)
+	}
+	if got := len(db.RecordsAfter(100)); got != 0 {
+		t.Fatalf("RecordsAfter(100) = %d, want 0", got)
+	}
+	forA := db.RecordsFor(a)
+	if len(forA) != 4 {
+		t.Fatalf("RecordsFor(A) = %d, want 4", len(forA))
+	}
+	if db.HeadLSN() != 8 || db.Len() != 8 {
+		t.Fatalf("HeadLSN=%d Len=%d", db.HeadLSN(), db.Len())
+	}
+}
+
+func TestSegmentSealing(t *testing.T) {
+	db := newTestDB(t, Options{SegmentSize: 2})
+	key := entity.Key{Type: "Account", ID: "A"}
+	for i := 1; i <= 7; i++ {
+		db.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i)), "n1", "")
+	}
+	st, _, _ := db.Current(key)
+	if st.Float("balance") != 7 {
+		t.Fatalf("balance across segments = %v", st.Float("balance"))
+	}
+	if db.Len() != 7 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestKeysAndScan(t *testing.T) {
+	db := newTestDB(t, Options{})
+	db.Append(entity.Key{Type: "Account", ID: "A"}, []entity.Op{entity.Delta("balance", 1)}, stamp(1), "n1", "")
+	db.Append(entity.Key{Type: "Account", ID: "B"}, []entity.Op{entity.Delta("balance", 2)}, stamp(2), "n1", "")
+	db.Append(entity.Key{Type: "Order", ID: "O1"}, []entity.Op{entity.Set("status", "OPEN")}, stamp(3), "n1", "")
+	if got := len(db.Keys()); got != 3 {
+		t.Fatalf("Keys = %d, want 3", got)
+	}
+	if got := len(db.KeysOfType("Account")); got != 2 {
+		t.Fatalf("KeysOfType(Account) = %d, want 2", got)
+	}
+	var total float64
+	err := db.Scan("Account", func(st *entity.State) bool {
+		total += st.Float("balance")
+		return true
+	})
+	if err != nil || total != 3 {
+		t.Fatalf("Scan: err=%v total=%v", err, total)
+	}
+	// Early termination.
+	count := 0
+	db.Scan("Account", func(*entity.State) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Scan did not stop early: %d", count)
+	}
+	if err := db.Scan("Nope", func(*entity.State) bool { return true }); !errors.Is(err, ErrUnknownType) {
+		t.Fatal("Scan of unknown type should fail")
+	}
+	if len(db.Types()) != 2 {
+		t.Fatalf("Types = %v", db.Types())
+	}
+	if _, ok := db.TypeOf("Account"); !ok {
+		t.Fatal("TypeOf missed registered type")
+	}
+}
+
+func TestCompactSummarisesColdEntities(t *testing.T) {
+	db := newTestDB(t, Options{})
+	cold := entity.Key{Type: "Account", ID: "cold"}
+	hot := entity.Key{Type: "Account", ID: "hot"}
+	for i := 1; i <= 5; i++ {
+		db.Append(cold, []entity.Op{entity.Delta("balance", 10)}, stamp(int64(i)), "n1", "")
+	}
+	for i := 6; i <= 10; i++ {
+		db.Append(hot, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i)), "n1", "")
+	}
+	stats := db.Compact(5)
+	if stats.Summarised != 1 || stats.EntitiesKept != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.RecordsAfter >= stats.RecordsBefore {
+		t.Fatalf("compaction did not shrink the log: %+v", stats)
+	}
+	// The summarised entity still reads correctly.
+	st, _, err := db.Current(cold)
+	if err != nil {
+		t.Fatalf("Current(cold) after compact: %v", err)
+	}
+	if st.Float("balance") != 50 {
+		t.Fatalf("cold balance = %v, want 50", st.Float("balance"))
+	}
+	if !db.Exists(cold) {
+		t.Fatal("Exists(cold) should be true after compaction")
+	}
+	// New activity on the summarised entity builds on the summary.
+	db.Append(cold, []entity.Op{entity.Delta("balance", 5)}, stamp(11), "n1", "")
+	st, _, _ = db.Current(cold)
+	if st.Float("balance") != 55 {
+		t.Fatalf("cold balance after new activity = %v, want 55", st.Float("balance"))
+	}
+	// Hot entity untouched.
+	st, _, _ = db.Current(hot)
+	if st.Float("balance") != 5 {
+		t.Fatalf("hot balance = %v, want 5", st.Float("balance"))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := newTestDB(t, Options{SnapshotEvery: 2})
+	acct := entity.Key{Type: "Account", ID: "A1"}
+	order := entity.Key{Type: "Order", ID: "O1"}
+	db.Append(acct, []entity.Op{entity.Set("owner", "alice"), entity.Delta("balance", 100)}, stamp(1), "n1", "t1")
+	db.Append(order, []entity.Op{entity.Set("status", "OPEN"), entity.InsertChild("lineitems", "L1", entity.Fields{"product": "widget", "qty": 3})}, stamp(2), "n1", "t2")
+	db.AppendTentative(acct, []entity.Op{entity.Delta("balance", -20).Described("hold")}, stamp(3), "n1", "t3")
+	db.MarkObsolete(acct, "t3")
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored := newTestDB(t, Options{})
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if restored.HeadLSN() != db.HeadLSN() {
+		t.Fatalf("HeadLSN %d != %d", restored.HeadLSN(), db.HeadLSN())
+	}
+	origAcct, _, _ := db.Current(acct)
+	loadedAcct, _, err := restored.Current(acct)
+	if err != nil {
+		t.Fatalf("Current after load: %v", err)
+	}
+	if origAcct.Float("balance") != loadedAcct.Float("balance") {
+		t.Fatalf("balance %v != %v", loadedAcct.Float("balance"), origAcct.Float("balance"))
+	}
+	loadedOrder, _, _ := restored.Current(order)
+	c, ok := loadedOrder.ChildByID("lineitems", "L1")
+	if !ok || c.Fields["qty"].(int64) != 3 {
+		t.Fatalf("child lost in round trip: %+v", c)
+	}
+	// Idempotence map must be restored too.
+	if _, err := restored.Append(acct, []entity.Op{entity.Delta("balance", 1)}, stamp(9), "n1", "t1"); !errors.Is(err, ErrDuplicateTxn) {
+		t.Fatalf("txn dedup not restored: %v", err)
+	}
+	// New appends continue from the restored LSN.
+	res, err := restored.Append(acct, []entity.Op{entity.Delta("balance", 1)}, stamp(10), "n1", "t4")
+	if err != nil {
+		t.Fatalf("append after load: %v", err)
+	}
+	if res.Record.LSN != db.HeadLSN()+1 {
+		t.Fatalf("LSN after load = %d, want %d", res.Record.LSN, db.HeadLSN()+1)
+	}
+}
+
+func TestLoadMalformed(t *testing.T) {
+	db := newTestDB(t, Options{})
+	if err := db.Load(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+	if err := db.Load(bytes.NewReader([]byte(`{"lsn":1,"key":"nokeysep","stamp":"1.0@n","ops":[]}` + "\n"))); err == nil {
+		t.Fatal("malformed key accepted")
+	}
+	if err := db.Load(bytes.NewReader([]byte(`{"lsn":1,"key":"Account/A","stamp":"bogus","ops":[]}` + "\n"))); err == nil {
+		t.Fatal("malformed stamp accepted")
+	}
+}
+
+func TestStrictValidationAtAppend(t *testing.T) {
+	db := Open(Options{Node: "n", Validation: entity.Strict})
+	db.RegisterType(accountType())
+	key := entity.Key{Type: "Account", ID: "A"}
+	if _, err := db.Append(key, []entity.Op{entity.Set("bogus", 1)}, stamp(1), "n1", ""); err == nil {
+		t.Fatal("strict mode should reject unknown field at append time")
+	}
+	// Managed mode accepts it and reports a warning.
+	managed := Open(Options{Node: "n", Validation: entity.Managed})
+	managed.RegisterType(accountType())
+	res, err := managed.Append(key, []entity.Op{entity.Set("bogus", 1)}, stamp(1), "n1", "")
+	if err != nil {
+		t.Fatalf("managed append: %v", err)
+	}
+	if len(res.Warnings) != 1 {
+		t.Fatalf("warnings = %v", res.Warnings)
+	}
+}
+
+func TestConcurrentAppendsDifferentKeys(t *testing.T) {
+	db := newTestDB(t, Options{SnapshotEvery: 8, SegmentSize: 64})
+	const writers, perWriter = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := entity.Key{Type: "Account", ID: fmt.Sprintf("A%d", w)}
+			for i := 0; i < perWriter; i++ {
+				if _, err := db.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i)), "n1", ""); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", db.Len(), writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		st, _, err := db.Current(entity.Key{Type: "Account", ID: fmt.Sprintf("A%d", w)})
+		if err != nil {
+			t.Fatalf("Current: %v", err)
+		}
+		if st.Float("balance") != perWriter {
+			t.Fatalf("writer %d balance = %v, want %d", w, st.Float("balance"), perWriter)
+		}
+	}
+}
+
+// Property: for any sequence of deltas, the rollup equals their sum — the
+// "current state is an aggregation of the log" invariant from section 3.1.
+func TestRollupEqualsSumProperty(t *testing.T) {
+	f := func(deltas []int8) bool {
+		db := Open(Options{Node: "n", SnapshotEvery: 3})
+		db.RegisterType(accountType())
+		key := entity.Key{Type: "Account", ID: "A"}
+		var want float64
+		for i, d := range deltas {
+			want += float64(d)
+			if _, err := db.Append(key, []entity.Op{entity.Delta("balance", float64(d))}, stamp(int64(i+1)), "n1", ""); err != nil {
+				return false
+			}
+		}
+		if len(deltas) == 0 {
+			return true
+		}
+		st, _, err := db.Current(key)
+		if err != nil {
+			return false
+		}
+		return st.Float("balance") == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Save/Load round-trips the rollup for random delta sequences.
+func TestSaveLoadProperty(t *testing.T) {
+	f := func(deltas []int8) bool {
+		db := Open(Options{Node: "n"})
+		db.RegisterType(accountType())
+		key := entity.Key{Type: "Account", ID: "A"}
+		for i, d := range deltas {
+			db.Append(key, []entity.Op{entity.Delta("balance", float64(d))}, stamp(int64(i+1)), "n1", "")
+		}
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			return false
+		}
+		restored := Open(Options{Node: "n"})
+		restored.RegisterType(accountType())
+		if err := restored.Load(&buf); err != nil {
+			return false
+		}
+		if len(deltas) == 0 {
+			return restored.Len() == 0
+		}
+		a, _, err1 := db.Current(key)
+		b, _, err2 := restored.Current(key)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Float("balance") == b.Float("balance")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,344 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		h.Record(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v, want 2ms", h.Mean())
+	}
+	if h.Min() != time.Millisecond {
+		t.Fatalf("Min = %v, want 1ms", h.Min())
+	}
+	if h.Max() != 3*time.Millisecond {
+		t.Fatalf("Max = %v, want 3ms", h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram should report zeros: %+v", h.Snapshot())
+	}
+}
+
+func TestHistogramNegativeDurationClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-time.Second)
+	if h.Count() != 1 {
+		t.Fatalf("negative duration should still count")
+	}
+	if h.Max() != 0 {
+		t.Fatalf("negative duration should clamp to 0, got %v", h.Max())
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 > p95 || p95 > p99 {
+		t.Fatalf("quantiles out of order: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	// The bucket resolution is ~19%, so p99 of a uniform 1..1000µs load must
+	// land within a factor of 2 of the true value (990µs).
+	if p99 < 700*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Fatalf("p99 = %v outside plausible range", p99)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5 * time.Millisecond)
+	if got := h.Quantile(0); got != h.Min() {
+		t.Fatalf("Quantile(0) = %v, want Min %v", got, h.Min())
+	}
+	if got := h.Quantile(2); got == 0 {
+		t.Fatalf("Quantile(>1) should clamp, got 0")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*per)
+	}
+}
+
+// Property: quantile estimates never exceed the recorded maximum by more than
+// one bucket width and are never below the minimum.
+func TestHistogramQuantileWithinBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		var maxSeen time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			if d > maxSeen {
+				maxSeen = d
+			}
+			h.Record(d)
+		}
+		q := h.Quantile(0.5)
+		return q >= h.Min() && q <= 2*maxSeen+2*time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	s := h.Snapshot().String()
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "p99=") {
+		t.Fatalf("snapshot string missing fields: %q", s)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("Gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("Counter = %d, want 16000", c.Value())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	now := time.Unix(0, 0)
+	tp := NewThroughputWithSource(func() time.Time { return now })
+	tp.Done(100)
+	now = now.Add(2 * time.Second)
+	if got := tp.PerSecond(); got != 50 {
+		t.Fatalf("PerSecond = %v, want 50", got)
+	}
+	if tp.Ops() != 100 {
+		t.Fatalf("Ops = %d, want 100", tp.Ops())
+	}
+}
+
+func TestThroughputZeroElapsed(t *testing.T) {
+	now := time.Unix(0, 0)
+	tp := NewThroughputWithSource(func() time.Time { return now })
+	tp.Done(10)
+	if got := tp.PerSecond(); got != 0 {
+		t.Fatalf("PerSecond with zero elapsed = %v, want 0", got)
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	var a Availability
+	if a.Ratio() != 1.0 {
+		t.Fatalf("empty availability should be 1.0, got %v", a.Ratio())
+	}
+	for i := 0; i < 9; i++ {
+		a.Success()
+	}
+	a.Failure()
+	if a.Ratio() != 0.9 {
+		t.Fatalf("Ratio = %v, want 0.9", a.Ratio())
+	}
+	a.Timeout()
+	s, f, to := a.Counts()
+	if s != 9 || f != 1 || to != 1 {
+		t.Fatalf("Counts = %d,%d,%d", s, f, to)
+	}
+	if a.Total() != 11 {
+		t.Fatalf("Total = %d, want 11", a.Total())
+	}
+}
+
+func TestStalenessProbe(t *testing.T) {
+	var p StalenessProbe
+	p.Observe(10*time.Millisecond, 2)
+	p.Observe(30*time.Millisecond, 6)
+	n, meanLag, maxLag, meanMiss, maxMiss := p.Summary()
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	if meanLag != 20*time.Millisecond {
+		t.Fatalf("meanLag = %v, want 20ms", meanLag)
+	}
+	if maxLag != 30*time.Millisecond {
+		t.Fatalf("maxLag = %v", maxLag)
+	}
+	if meanMiss != 4 || maxMiss != 6 {
+		t.Fatalf("miss stats = %v, %v", meanMiss, maxMiss)
+	}
+}
+
+func TestStalenessProbeEmpty(t *testing.T) {
+	var p StalenessProbe
+	n, _, _, _, _ := p.Summary()
+	if n != 0 {
+		t.Fatalf("empty probe n = %d", n)
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("txn.commits")
+	c1.Inc()
+	c2 := r.Counter("txn.commits")
+	if c2.Value() != 1 {
+		t.Fatalf("registry returned a different counter instance")
+	}
+	g := r.Gauge("queue.depth")
+	g.Set(4)
+	if r.Gauge("queue.depth").Value() != 4 {
+		t.Fatal("registry returned a different gauge instance")
+	}
+	h := r.Histogram("latency")
+	h.Record(time.Millisecond)
+	if r.Histogram("latency").Count() != 1 {
+		t.Fatal("registry returned a different histogram instance")
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(2)
+	r.Histogram("c").Record(time.Millisecond)
+	dump := r.Dump()
+	for _, want := range []string{"counter a = 1", "gauge b = 2", "histogram c"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("shared").Value() != 1600 {
+		t.Fatalf("shared counter = %d, want 1600", r.Counter("shared").Value())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("E1: sync vs deferred", "writers", "mode", "ops/sec", "p99")
+	tbl.AddRow(8, "sync", 1234.5678, 40*time.Millisecond)
+	tbl.AddRow(8, "deferred", 9999.0, 2*time.Millisecond)
+	out := tbl.String()
+	if !strings.Contains(out, "E1: sync vs deferred") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "deferred") || !strings.Contains(out, "9999") {
+		t.Fatalf("missing row data:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if len(tbl.Rows()) != 2 {
+		t.Fatalf("Rows() = %d, want 2", len(tbl.Rows()))
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(3.0)
+	tbl.AddRow(1234.567)
+	tbl.AddRow(0.12345)
+	rows := tbl.Rows()
+	if rows[0][0] != "3" {
+		t.Errorf("integral float rendered as %q", rows[0][0])
+	}
+	if rows[1][0] != "1234.6" {
+		t.Errorf("large float rendered as %q", rows[1][0])
+	}
+	if rows[2][0] != "0.123" {
+		t.Errorf("small float rendered as %q", rows[2][0])
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("availability", "partition seconds", "success ratio")
+	s.Add(0, 1.0)
+	s.Add(5, 0.6)
+	xs, ys := s.Points()
+	if len(xs) != 2 || len(ys) != 2 || s.Len() != 2 {
+		t.Fatalf("points not recorded")
+	}
+	if !strings.Contains(s.String(), "(5,0.600)") {
+		t.Fatalf("series string missing point: %s", s.String())
+	}
+	// Mutating returned slices must not affect the series.
+	xs[0] = 99
+	nx, _ := s.Points()
+	if nx[0] == 99 {
+		t.Fatal("Points returned an aliased slice")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := StartStopwatch()
+	if sw.Elapsed() < 0 {
+		t.Fatal("elapsed negative")
+	}
+}

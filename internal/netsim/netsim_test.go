@@ -1,0 +1,297 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestSendDelivers(t *testing.T) {
+	n := New(Config{})
+	var got atomic.Value
+	done := make(chan struct{})
+	n.Register("a", nil)
+	n.Register("b", func(from clock.NodeID, payload interface{}) {
+		got.Store(payload)
+		close(done)
+	})
+	if err := n.Send("a", "b", "hello"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never delivered")
+	}
+	if got.Load() != "hello" {
+		t.Fatalf("payload = %v", got.Load())
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	n := New(Config{})
+	n.Register("a", func(clock.NodeID, interface{}) {})
+	if err := n.Send("a", "ghost", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("want ErrUnknownNode, got %v", err)
+	}
+	if err := n.Send("ghost", "a", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown sender: %v", err)
+	}
+}
+
+func TestSendWithLatency(t *testing.T) {
+	n := New(Config{BaseLatency: 30 * time.Millisecond})
+	delivered := make(chan time.Time, 1)
+	n.Register("a", nil)
+	n.Register("b", func(clock.NodeID, interface{}) { delivered <- time.Now() })
+	start := time.Now()
+	n.Send("a", "b", 1)
+	select {
+	case at := <-delivered:
+		if at.Sub(start) < 20*time.Millisecond {
+			t.Fatalf("delivered too fast: %v", at.Sub(start))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("never delivered")
+	}
+}
+
+func TestPartitionBlocksAndHealRestores(t *testing.T) {
+	n := New(Config{})
+	var count atomic.Int64
+	n.Register("a", func(clock.NodeID, interface{}) { count.Add(1) })
+	n.Register("b", func(clock.NodeID, interface{}) { count.Add(1) })
+	n.Register("c", func(clock.NodeID, interface{}) { count.Add(1) })
+	n.Partition([]clock.NodeID{"a"}, []clock.NodeID{"b", "c"})
+	if !n.Partitioned("a", "b") {
+		t.Fatal("a and b should be partitioned")
+	}
+	if n.Partitioned("b", "c") {
+		t.Fatal("b and c share a group")
+	}
+	n.Send("a", "b", 1) // blocked
+	n.Send("b", "c", 1) // delivered
+	n.Quiesce()
+	if count.Load() != 1 {
+		t.Fatalf("delivered = %d, want 1", count.Load())
+	}
+	st := n.Stats()
+	if st.Blocked != 1 {
+		t.Fatalf("Blocked = %d", st.Blocked)
+	}
+	n.Heal()
+	if n.Partitioned("a", "b") {
+		t.Fatal("heal did not remove partition")
+	}
+	n.Send("a", "b", 2)
+	n.Quiesce()
+	if count.Load() != 2 {
+		t.Fatalf("delivered after heal = %d", count.Load())
+	}
+}
+
+func TestLossRateDropsSomeMessages(t *testing.T) {
+	n := New(Config{LossRate: 0.5, Seed: 7})
+	var count atomic.Int64
+	n.Register("a", nil)
+	n.Register("b", func(clock.NodeID, interface{}) { count.Add(1) })
+	const total = 200
+	for i := 0; i < total; i++ {
+		n.Send("a", "b", i)
+	}
+	n.Quiesce()
+	st := n.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no messages dropped at 50% loss")
+	}
+	if st.Delivered == 0 {
+		t.Fatal("all messages dropped at 50% loss")
+	}
+	if st.Delivered+st.Dropped != total {
+		t.Fatalf("delivered %d + dropped %d != %d", st.Delivered, st.Dropped, total)
+	}
+	if int64(st.Delivered) != count.Load() {
+		t.Fatalf("stats delivered %d != handler count %d", st.Delivered, count.Load())
+	}
+}
+
+func TestDeterministicLossWithSeed(t *testing.T) {
+	run := func() uint64 {
+		n := New(Config{LossRate: 0.3, Seed: 99})
+		n.Register("a", nil)
+		n.Register("b", func(clock.NodeID, interface{}) {})
+		for i := 0; i < 100; i++ {
+			n.Send("a", "b", i)
+		}
+		n.Quiesce()
+		return n.Stats().Dropped
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different loss patterns")
+	}
+}
+
+func TestRequestResponse(t *testing.T) {
+	n := New(Config{})
+	n.Register("client", nil)
+	n.RegisterRequestHandler("server", func(from clock.NodeID, payload interface{}) (interface{}, error) {
+		return payload.(int) * 2, nil
+	})
+	resp, err := n.Request("client", "server", 21, time.Second)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if resp.(int) != 42 {
+		t.Fatalf("resp = %v", resp)
+	}
+	st := n.Stats()
+	if st.Requests != 1 || st.RequestFail != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRequestHandlerError(t *testing.T) {
+	n := New(Config{})
+	n.Register("client", nil)
+	errBoom := errors.New("boom")
+	n.RegisterRequestHandler("server", func(clock.NodeID, interface{}) (interface{}, error) {
+		return nil, errBoom
+	})
+	if _, err := n.Request("client", "server", 1, time.Second); !errors.Is(err, errBoom) {
+		t.Fatalf("want handler error, got %v", err)
+	}
+	if n.Stats().RequestFail != 1 {
+		t.Fatal("RequestFail not counted")
+	}
+}
+
+func TestRequestToPartitionedNode(t *testing.T) {
+	n := New(Config{UnreachableDelay: 5 * time.Millisecond})
+	n.Register("client", nil)
+	n.RegisterRequestHandler("server", func(clock.NodeID, interface{}) (interface{}, error) { return 1, nil })
+	n.Partition([]clock.NodeID{"client"}, []clock.NodeID{"server"})
+	start := time.Now()
+	_, err := n.Request("client", "server", 1, time.Second)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("unreachable request returned without the simulated timeout delay")
+	}
+}
+
+func TestRequestUnknownNodeAndNoHandler(t *testing.T) {
+	n := New(Config{})
+	n.Register("client", nil)
+	if _, err := n.Request("client", "ghost", 1, time.Second); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("want ErrUnknownNode, got %v", err)
+	}
+	n.Register("plain", func(clock.NodeID, interface{}) {})
+	if _, err := n.Request("client", "plain", 1, time.Second); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("want ErrNoHandler, got %v", err)
+	}
+}
+
+func TestRequestTimeoutWhenLatencyTooHigh(t *testing.T) {
+	n := New(Config{BaseLatency: 50 * time.Millisecond})
+	n.Register("client", nil)
+	n.RegisterRequestHandler("server", func(clock.NodeID, interface{}) (interface{}, error) { return 1, nil })
+	_, err := n.Request("client", "server", 1, 10*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestRequestLoss(t *testing.T) {
+	n := New(Config{LossRate: 1.0})
+	n.Register("client", nil)
+	n.RegisterRequestHandler("server", func(clock.NodeID, interface{}) (interface{}, error) { return 1, nil })
+	if _, err := n.Request("client", "server", 1, time.Second); !errors.Is(err, ErrDropped) {
+		t.Fatalf("want ErrDropped, got %v", err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := New(Config{})
+	var count atomic.Int64
+	handler := func(clock.NodeID, interface{}) { count.Add(1) }
+	n.Register("a", handler)
+	n.Register("b", handler)
+	n.Register("c", handler)
+	sent := n.Broadcast("a", "gossip")
+	n.Quiesce()
+	if sent != 2 || count.Load() != 2 {
+		t.Fatalf("sent=%d delivered=%d", sent, count.Load())
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	n := New(Config{})
+	n.Register("zebra", nil)
+	n.Register("alpha", nil)
+	nodes := n.Nodes()
+	if len(nodes) != 2 || nodes[0] != "alpha" || nodes[1] != "zebra" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestSetLatencyAndLossAtRuntime(t *testing.T) {
+	n := New(Config{})
+	n.Register("a", nil)
+	var count atomic.Int64
+	n.Register("b", func(clock.NodeID, interface{}) { count.Add(1) })
+	n.SetLossRate(1.0)
+	n.Send("a", "b", 1)
+	n.Quiesce()
+	if count.Load() != 0 {
+		t.Fatal("message delivered despite 100% loss")
+	}
+	n.SetLossRate(0)
+	n.SetLatency(0, 0)
+	n.Send("a", "b", 2)
+	n.Quiesce()
+	if count.Load() != 1 {
+		t.Fatal("message not delivered after loss reset")
+	}
+}
+
+func TestCloseStopsSends(t *testing.T) {
+	n := New(Config{})
+	n.Register("a", nil)
+	n.Register("b", func(clock.NodeID, interface{}) {})
+	n.Close()
+	if err := n.Send("a", "b", 1); err == nil {
+		t.Fatal("Send after Close should fail")
+	}
+}
+
+func TestConcurrentSendsSafe(t *testing.T) {
+	n := New(Config{Jitter: time.Millisecond})
+	var count atomic.Int64
+	n.Register("a", nil)
+	n.Register("b", func(clock.NodeID, interface{}) { count.Add(1) })
+	var wg sync.WaitGroup
+	const senders, per = 8, 50
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n.Send("a", "b", i)
+			}
+		}()
+	}
+	wg.Wait()
+	n.Quiesce()
+	if count.Load() != senders*per {
+		t.Fatalf("delivered = %d, want %d", count.Load(), senders*per)
+	}
+}

@@ -1,0 +1,511 @@
+// Package process implements the process-step engine of principles 2.4 and
+// 2.6 (SOUPS): a business process is a series of steps connected by events;
+// each step contains at most one transaction, which updates exactly one
+// entity and may enqueue further events. The engine schedules steps from
+// reliable queues, retries failed steps with idempotent re-delivery,
+// supports non-transactional audit writes and post-rollback compensation
+// actions, and implements the vertical and horizontal step-collapsing
+// optimisations sketched in section 3.1.
+package process
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/entity"
+	"repro/internal/queue"
+	"repro/internal/txn"
+)
+
+// Common errors.
+var (
+	// ErrUnknownStep is returned when an event names a step no definition
+	// handles.
+	ErrUnknownStep = errors.New("process: no step handles event")
+	// ErrDuplicateStep is returned when two definitions claim the same event.
+	ErrDuplicateStep = errors.New("process: step already registered for event")
+	// ErrStopped is returned by Submit after the engine stopped.
+	ErrStopped = errors.New("process: engine stopped")
+)
+
+// StepContext is what a step handler works with: the triggering event, a
+// transaction scoped to this step, and helpers for emitting follow-up events
+// and auditing.
+type StepContext struct {
+	// Event is the event that triggered the step.
+	Event queue.Event
+	// Txn is the single transaction of this step (principle 2.4); the engine
+	// commits it when the handler returns nil and aborts it otherwise.
+	Txn *txn.Txn
+	// Attempt is the delivery attempt number (1 for the first try).
+	Attempt int
+
+	engine  *Engine
+	emitted []queue.Event
+}
+
+// Emit schedules a follow-up event. The event is only delivered if this
+// step's transaction commits; the engine either enqueues it or — when
+// vertical collapsing is enabled and the handler is local — executes the next
+// step inline.
+func (c *StepContext) Emit(ev queue.Event) {
+	if ev.TxnID == "" {
+		ev.TxnID = fmt.Sprintf("%s/%s#%d", c.Txn.ID(), ev.Name, len(c.emitted))
+	}
+	c.emitted = append(c.emitted, ev)
+}
+
+// Audit writes a non-transactional audit line: it is retained even when the
+// step's transaction rolls back ("there may be non-transactional writes,
+// e.g., for auditing purposes, which should not be rolled back", 2.4).
+func (c *StepContext) Audit(format string, args ...interface{}) {
+	c.engine.audit(fmt.Sprintf(format, args...))
+}
+
+// Handler executes one process step.
+type Handler func(*StepContext) error
+
+// CompensationHandler runs after a step has exhausted its retries; it is
+// infrastructure-generated, non-transactional work (post-rollback actions,
+// principle 2.4).
+type CompensationHandler func(ev queue.Event, attempts int, lastErr error)
+
+// Definition declares a business process: which step runs for which event,
+// and what to do when a step ultimately fails.
+type Definition struct {
+	Name  string
+	steps map[string]Handler
+	comp  map[string]CompensationHandler
+}
+
+// NewDefinition creates an empty process definition.
+func NewDefinition(name string) *Definition {
+	return &Definition{Name: name, steps: map[string]Handler{}, comp: map[string]CompensationHandler{}}
+}
+
+// Step registers the handler for an event name and returns the definition
+// for chaining.
+func (d *Definition) Step(eventName string, h Handler) *Definition {
+	d.steps[eventName] = h
+	return d
+}
+
+// OnFailure registers the compensation handler invoked when the step for
+// eventName exhausts its retries.
+func (d *Definition) OnFailure(eventName string, h CompensationHandler) *Definition {
+	d.comp[eventName] = h
+	return d
+}
+
+// Events returns the event names this definition handles, sorted.
+func (d *Definition) Events() []string {
+	out := make([]string, 0, len(d.steps))
+	for e := range d.steps {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Workers is the number of concurrent step executors (default 1; the
+	// experiments sweep this for the parallelism claims of 2.5/2.6).
+	Workers int
+	// MaxAttempts is how many times a step is retried before compensation
+	// (default 5).
+	MaxAttempts int
+	// RetryBackoff delays redelivery of a failed step (default 1ms).
+	RetryBackoff time.Duration
+	// TxnMode is the concurrency-control mode steps run under (default
+	// Solipsistic, per principle 2.10).
+	TxnMode txn.Mode
+	// CollapseVertical executes events emitted by a step inline, in the same
+	// worker, up to CollapseDepth levels, instead of going through the queue
+	// (the "collapse steps vertically" optimisation of section 3.1). Each
+	// collapsed step still runs its own transaction.
+	CollapseVertical bool
+	// CollapseDepth bounds vertical collapsing (default 8).
+	CollapseDepth int
+	// Topic is the queue topic the engine consumes (default "steps").
+	Topic string
+	// Route selects the queue an emitted event is delivered to (nil keeps it
+	// on this engine's own queue). The kernel uses it to ship events to the
+	// serialization unit owning the event's entity; enqueue remains a local
+	// operation on that queue (principle 2.6).
+	Route func(queue.Event) *queue.Queue
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	StepsExecuted  uint64
+	StepsFailed    uint64
+	Retries        uint64
+	Compensations  uint64
+	Collapsed      uint64
+	EventsEmitted  uint64
+	AuditLines     uint64
+	UnknownEvents  uint64
+	EnqueuedEvents uint64
+}
+
+// Engine schedules process steps from a queue against one serialization
+// unit's transaction manager.
+type Engine struct {
+	opts Options
+	mgr  *txn.Manager
+	q    *queue.Queue
+
+	mu        sync.Mutex
+	handlers  map[string]Handler
+	comps     map[string]CompensationHandler
+	stats     Stats
+	auditLog  []string
+	stopCh    chan struct{}
+	stopped   bool
+	wg        sync.WaitGroup
+	completed map[string]bool // step identities already executed successfully
+}
+
+// NewEngine creates an engine executing steps against mgr, consuming from q.
+func NewEngine(mgr *txn.Manager, q *queue.Queue, opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = time.Millisecond
+	}
+	if opts.CollapseDepth <= 0 {
+		opts.CollapseDepth = 8
+	}
+	if opts.Topic == "" {
+		opts.Topic = "steps"
+	}
+	return &Engine{
+		opts:      opts,
+		mgr:       mgr,
+		q:         q,
+		handlers:  map[string]Handler{},
+		comps:     map[string]CompensationHandler{},
+		stopCh:    make(chan struct{}),
+		completed: map[string]bool{},
+	}
+}
+
+// Register adds every step of the definition to the engine.
+func (e *Engine) Register(def *Definition) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for ev := range def.steps {
+		if _, exists := e.handlers[ev]; exists {
+			return fmt.Errorf("%w: %s", ErrDuplicateStep, ev)
+		}
+	}
+	for ev, h := range def.steps {
+		e.handlers[ev] = h
+	}
+	for ev, h := range def.comp {
+		e.comps[ev] = h
+	}
+	return nil
+}
+
+// Submit enqueues an event that will trigger a process step.
+func (e *Engine) Submit(ev queue.Event) error {
+	e.mu.Lock()
+	stopped := e.stopped
+	e.mu.Unlock()
+	if stopped {
+		return ErrStopped
+	}
+	_, err := e.q.Enqueue(e.opts.Topic, ev)
+	if err == nil {
+		e.mu.Lock()
+		e.stats.EnqueuedEvents++
+		e.mu.Unlock()
+	}
+	return err
+}
+
+// Start launches the worker pool.
+func (e *Engine) Start() {
+	for i := 0; i < e.opts.Workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.workerLoop()
+		}()
+	}
+}
+
+// Stop terminates the workers after the queue drains or immediately if the
+// queue is already closed. It is safe to call more than once.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	close(e.stopCh)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Drain processes queued events synchronously on the calling goroutine until
+// the queue is empty. It is what tests and single-threaded benchmarks use
+// instead of Start/Stop.
+func (e *Engine) Drain() int {
+	n := 0
+	for {
+		m, err := e.q.Dequeue(e.opts.Topic)
+		if errors.Is(err, queue.ErrEmpty) || errors.Is(err, queue.ErrClosed) {
+			return n
+		}
+		if err != nil {
+			return n
+		}
+		e.handleMessage(m)
+		n++
+	}
+}
+
+func (e *Engine) workerLoop() {
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		default:
+		}
+		m, err := e.q.DequeueWait(e.opts.Topic, 20*time.Millisecond)
+		if errors.Is(err, queue.ErrClosed) {
+			return
+		}
+		if err != nil {
+			continue
+		}
+		e.handleMessage(m)
+	}
+}
+
+// handleMessage executes the step for one delivery, acking or nacking it.
+func (e *Engine) handleMessage(m *queue.Message) {
+	err := e.executeStep(m.Event, m.Attempts, e.opts.CollapseDepth)
+	switch {
+	case err == nil:
+		_ = e.q.Ack(m.ID)
+	case errors.Is(err, ErrUnknownStep):
+		// Nothing will ever handle it; dead-letter via compensation path.
+		e.mu.Lock()
+		e.stats.UnknownEvents++
+		e.mu.Unlock()
+		_ = e.q.Ack(m.ID)
+	default:
+		e.mu.Lock()
+		e.stats.Retries++
+		maxed := m.Attempts >= e.opts.MaxAttempts
+		comp := e.comps[m.Event.Name]
+		e.mu.Unlock()
+		if maxed {
+			if comp != nil {
+				comp(m.Event, m.Attempts, err)
+				e.mu.Lock()
+				e.stats.Compensations++
+				e.mu.Unlock()
+			}
+			_ = e.q.Ack(m.ID)
+			return
+		}
+		_ = e.q.Nack(m.ID, e.opts.RetryBackoff)
+	}
+}
+
+// stepIdentity derives the idempotence key of one step execution.
+func stepIdentity(ev queue.Event) string {
+	if ev.TxnID == "" {
+		return ""
+	}
+	return ev.Name + "|" + ev.TxnID
+}
+
+// executeStep runs the handler for one event inside its own transaction. If
+// vertical collapsing is enabled, events emitted by the step whose handlers
+// are known locally are executed inline (depth-limited); everything else goes
+// through the queue.
+func (e *Engine) executeStep(ev queue.Event, attempt, depth int) error {
+	e.mu.Lock()
+	h, ok := e.handlers[ev.Name]
+	already := e.completed[stepIdentity(ev)]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownStep, ev.Name)
+	}
+	// Idempotence: at-least-once delivery may hand us a step that already
+	// executed successfully (same event identity); skip the re-delivery.
+	if id := stepIdentity(ev); id != "" && already {
+		return nil
+	}
+	t := e.mgr.Begin(e.opts.TxnMode)
+	ctx := &StepContext{Event: ev, Txn: t, Attempt: attempt, engine: e}
+	if err := h(ctx); err != nil {
+		t.Abort()
+		e.mu.Lock()
+		e.stats.StepsFailed++
+		e.mu.Unlock()
+		return err
+	}
+	if _, err := t.Commit(nil); err != nil {
+		e.mu.Lock()
+		e.stats.StepsFailed++
+		e.mu.Unlock()
+		return err
+	}
+	e.mu.Lock()
+	e.stats.StepsExecuted++
+	e.stats.EventsEmitted += uint64(len(ctx.emitted))
+	if id := stepIdentity(ev); id != "" {
+		e.completed[id] = true
+	}
+	e.mu.Unlock()
+	e.dispatch(ctx.emitted, depth)
+	return nil
+}
+
+// dispatch delivers events emitted by a committed step: inline when vertical
+// collapsing applies, otherwise through the destination queue.
+func (e *Engine) dispatch(events []queue.Event, depth int) {
+	for _, next := range events {
+		target := e.q
+		if e.opts.Route != nil {
+			if routed := e.opts.Route(next); routed != nil {
+				target = routed
+			}
+		}
+		e.mu.Lock()
+		_, local := e.handlers[next.Name]
+		e.mu.Unlock()
+		// Inline collapsing only applies when the next step runs on this very
+		// unit; cross-unit events always travel through their owning queue.
+		if e.opts.CollapseVertical && depth > 0 && local && target == e.q {
+			e.mu.Lock()
+			e.stats.Collapsed++
+			e.mu.Unlock()
+			if err := e.executeStep(next, 1, depth-1); err == nil {
+				continue
+			}
+			// Inline execution failed: fall back to the queue so the normal
+			// retry machinery applies.
+		}
+		if _, err := target.Enqueue(e.opts.Topic, next); err == nil {
+			e.mu.Lock()
+			e.stats.EnqueuedEvents++
+			e.mu.Unlock()
+		}
+	}
+}
+
+// HorizontalBatch groups pending events of one topic by entity and executes
+// each group in a single transaction ("collapse process steps horizontally",
+// section 3.1). Only events whose handler is registered participate; others
+// are requeued. It returns the number of events absorbed into batches.
+func (e *Engine) HorizontalBatch(maxEvents int) (int, error) {
+	type pending struct {
+		msg *queue.Message
+	}
+	byEntity := map[entity.Key][]pending{}
+	var order []entity.Key
+	taken := 0
+	for taken < maxEvents {
+		m, err := e.q.Dequeue(e.opts.Topic)
+		if errors.Is(err, queue.ErrEmpty) {
+			break
+		}
+		if err != nil {
+			return taken, err
+		}
+		e.mu.Lock()
+		_, known := e.handlers[m.Event.Name]
+		e.mu.Unlock()
+		if !known {
+			_ = e.q.Nack(m.ID, 0)
+			continue
+		}
+		if _, ok := byEntity[m.Event.Entity]; !ok {
+			order = append(order, m.Event.Entity)
+		}
+		byEntity[m.Event.Entity] = append(byEntity[m.Event.Entity], pending{msg: m})
+		taken++
+	}
+	absorbed := 0
+	for _, key := range order {
+		group := byEntity[key]
+		t := e.mgr.Begin(e.opts.TxnMode)
+		var emitted []queue.Event
+		failed := false
+		for _, p := range group {
+			e.mu.Lock()
+			h := e.handlers[p.msg.Event.Name]
+			e.mu.Unlock()
+			ctx := &StepContext{Event: p.msg.Event, Txn: t, Attempt: p.msg.Attempts, engine: e}
+			if err := h(ctx); err != nil {
+				failed = true
+				break
+			}
+			emitted = append(emitted, ctx.emitted...)
+		}
+		if failed {
+			t.Abort()
+			for _, p := range group {
+				_ = e.q.Nack(p.msg.ID, e.opts.RetryBackoff)
+			}
+			continue
+		}
+		if _, err := t.Commit(nil); err != nil {
+			for _, p := range group {
+				_ = e.q.Nack(p.msg.ID, e.opts.RetryBackoff)
+			}
+			continue
+		}
+		for _, p := range group {
+			_ = e.q.Ack(p.msg.ID)
+		}
+		absorbed += len(group)
+		e.mu.Lock()
+		e.stats.StepsExecuted++
+		e.stats.Collapsed += uint64(len(group) - 1)
+		e.stats.EventsEmitted += uint64(len(emitted))
+		e.mu.Unlock()
+		e.dispatch(emitted, 0)
+	}
+	return absorbed, nil
+}
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// AuditLog returns a copy of the non-transactional audit lines.
+func (e *Engine) AuditLog() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.auditLog...)
+}
+
+func (e *Engine) audit(line string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.auditLog = append(e.auditLog, line)
+	e.stats.AuditLines++
+}
+
+// QueueDepth returns the number of events waiting in the engine's topic.
+func (e *Engine) QueueDepth() int { return e.q.Len() }

@@ -1,0 +1,705 @@
+// Package replica implements the replication schemes whose trade-offs the
+// paper's section 2 enumerates: "active systems with asynchronous commits to
+// backups, active systems with synchronous commits to backups, active/active
+// replication with subjective/eventual consistency, and replication with
+// strong consistency".
+//
+// Each replica owns a log-structured database (lsdb.DB). Replication ships
+// log records (operation descriptors, principle 2.8) between replicas, which
+// makes reconciliation an aggregation over the union of records: replicas
+// that hold the same record set and resolve reads in a deterministic order
+// converge to identical states (eventual consistency), and commutative
+// operations merge losslessly (principle 2.7's delta strategy).
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+	"repro/internal/lsdb"
+	"repro/internal/netsim"
+)
+
+// Mode selects how writes propagate between replicas.
+type Mode int
+
+// Replication modes.
+const (
+	// Eventual is active/active, asynchronous propagation: the write commits
+	// locally (subjective consistency) and ships to peers in the background.
+	Eventual Mode = iota
+	// SyncAll commits only after every peer acknowledged the record
+	// ("active systems with synchronous commits to backups").
+	SyncAll
+	// Quorum commits after a majority of replicas (including the origin)
+	// acknowledged the record (strong consistency via quorums).
+	Quorum
+	// Primary designates replica 0 as master: all writes are forwarded to it
+	// and ship asynchronously to the slaves; slaves serve (possibly stale)
+	// reads. This is the master/slave mixed-consistency deployment of
+	// section 3.1.
+	Primary
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Eventual:
+		return "eventual"
+	case SyncAll:
+		return "sync-all"
+	case Quorum:
+		return "quorum"
+	case Primary:
+		return "primary"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Common errors.
+var (
+	// ErrNoQuorum is returned when a strong write cannot reach enough
+	// replicas (availability sacrificed for consistency, per CAP).
+	ErrNoQuorum = errors.New("replica: quorum not reached")
+	// ErrNotPrimary is returned when a write in Primary mode cannot reach
+	// the master.
+	ErrNotPrimary = errors.New("replica: primary unreachable")
+	// ErrUnknownReplica is returned for operations on replicas that do not
+	// exist.
+	ErrUnknownReplica = errors.New("replica: unknown replica")
+)
+
+// shippedRecord is the wire form of one log record.
+type shippedRecord struct {
+	Origin    clock.NodeID
+	OriginLSN uint64
+	Key       entity.Key
+	Ops       []entity.Op
+	Stamp     clock.Timestamp
+	TxnID     string
+	Tentative bool
+}
+
+// wire payloads.
+type replicatePayload struct{ Records []shippedRecord }
+type syncRequestPayload struct {
+	From  clock.NodeID
+	Known map[clock.NodeID]uint64 // per-origin high-water mark
+}
+type syncResponsePayload struct{ Records []shippedRecord }
+
+// Stats counts replica-level outcomes; the availability experiment (E5)
+// reads these.
+type Stats struct {
+	WritesAccepted uint64
+	WritesRejected uint64
+	RemoteApplied  uint64
+	Duplicates     uint64
+	SyncRounds     uint64
+}
+
+// Replica is one copy of the data.
+type Replica struct {
+	id   clock.NodeID
+	db   *lsdb.DB
+	hlc  *clock.HLC
+	net  *netsim.Network
+	mode Mode
+
+	mu      sync.Mutex
+	peers   []clock.NodeID
+	applied map[clock.NodeID]map[uint64]bool // origin -> origin LSNs applied
+	high    map[clock.NodeID]uint64          // origin -> contiguous high-water mark
+	// originLSNs remembers the origin LSN of every applied record, keyed by
+	// origin and txn id, so anti-entropy can re-ship records under their
+	// original identity even when they arrived out of order or via a third
+	// replica.
+	originLSNs map[clock.NodeID]map[string]uint64
+	originN    clock.Sequence // LSN sequence for records this replica originates
+	stats      Stats
+	types      map[string]*entity.Type
+}
+
+// NewReplica creates a replica bound to a network. Entity types must be
+// registered before use.
+func NewReplica(id clock.NodeID, net *netsim.Network, mode Mode) *Replica {
+	r := &Replica{
+		id:         id,
+		db:         lsdb.Open(lsdb.Options{Node: id, SnapshotEvery: 32, Validation: entity.Managed}),
+		hlc:        clock.NewHLC(id),
+		net:        net,
+		mode:       mode,
+		applied:    map[clock.NodeID]map[uint64]bool{},
+		high:       map[clock.NodeID]uint64{},
+		originLSNs: map[clock.NodeID]map[string]uint64{},
+		types:      map[string]*entity.Type{},
+	}
+	if net != nil {
+		net.Register(id, r.onMessage)
+		net.RegisterRequestHandler(id, r.onRequest)
+	}
+	return r
+}
+
+// ID returns the replica identity.
+func (r *Replica) ID() clock.NodeID { return r.id }
+
+// DB exposes the underlying LSDB (read-only use by callers).
+func (r *Replica) DB() *lsdb.DB { return r.db }
+
+// Stats returns a copy of the counters.
+func (r *Replica) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// RegisterType registers an entity type on this replica.
+func (r *Replica) RegisterType(t *entity.Type) error {
+	if err := r.db.RegisterType(t); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.types[t.Name] = t
+	r.mu.Unlock()
+	return nil
+}
+
+// SetPeers declares the other replicas.
+func (r *Replica) SetPeers(peers []clock.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peers = append([]clock.NodeID(nil), peers...)
+}
+
+// Peers returns the peer list.
+func (r *Replica) Peers() []clock.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]clock.NodeID(nil), r.peers...)
+}
+
+// Write applies ops to key at this replica under the configured replication
+// mode and returns the timestamp assigned to the write.
+func (r *Replica) Write(key entity.Key, ops []entity.Op, txnID string) (clock.Timestamp, error) {
+	switch r.mode {
+	case Primary:
+		return r.writePrimary(key, ops, txnID)
+	case Quorum, SyncAll:
+		return r.writeStrong(key, ops, txnID)
+	default:
+		return r.writeEventual(key, ops, txnID)
+	}
+}
+
+// writeEventual commits locally and ships asynchronously (subjective
+// consistency; the show goes on even if peers are unreachable).
+func (r *Replica) writeEventual(key entity.Key, ops []entity.Op, txnID string) (clock.Timestamp, error) {
+	rec, err := r.appendLocal(key, ops, txnID, false)
+	if err != nil {
+		r.reject()
+		return clock.Timestamp{}, err
+	}
+	r.shipAsync([]shippedRecord{rec})
+	r.accept()
+	return rec.Stamp, nil
+}
+
+// writeStrong commits only if enough replicas acknowledge synchronously.
+func (r *Replica) writeStrong(key entity.Key, ops []entity.Op, txnID string) (clock.Timestamp, error) {
+	rec, err := r.appendLocal(key, ops, txnID, false)
+	if err != nil {
+		r.reject()
+		return clock.Timestamp{}, err
+	}
+	peers := r.Peers()
+	need := len(peers) // SyncAll: every backup must acknowledge
+	if r.mode == Quorum {
+		// Majority of the full cluster, counting ourselves, so we need
+		// majority-1 acknowledgements from peers.
+		need = (len(peers)+1)/2 + 1 - 1
+	}
+	acks := 0
+	for _, p := range peers {
+		if r.net == nil {
+			break
+		}
+		_, err := r.net.Request(r.id, p, replicatePayload{Records: []shippedRecord{rec}}, 200*time.Millisecond)
+		if err == nil {
+			acks++
+		}
+	}
+	if acks < need {
+		// The write cannot take effect: withdraw the local record. Peers that
+		// did acknowledge keep it (the classic in-doubt window of synchronous
+		// schemes); anti-entropy will not resurrect it here because the
+		// obsolete mark survives.
+		_ = r.db.MarkObsolete(key, rec.TxnID)
+		r.reject()
+		return clock.Timestamp{}, fmt.Errorf("%w: %d/%d acks", ErrNoQuorum, acks, need)
+	}
+	r.accept()
+	return rec.Stamp, nil
+}
+
+// writePrimary forwards the write to replica peers[0] (or applies locally if
+// this replica is the primary).
+func (r *Replica) writePrimary(key entity.Key, ops []entity.Op, txnID string) (clock.Timestamp, error) {
+	primary := r.primaryID()
+	if primary == r.id {
+		return r.writeEventual(key, ops, txnID)
+	}
+	if r.net == nil {
+		r.reject()
+		return clock.Timestamp{}, ErrNotPrimary
+	}
+	resp, err := r.net.Request(r.id, primary, forwardWrite{Key: key, Ops: ops, TxnID: txnID}, 500*time.Millisecond)
+	if err != nil {
+		r.reject()
+		return clock.Timestamp{}, fmt.Errorf("%w: %v", ErrNotPrimary, err)
+	}
+	stamp, _ := resp.(clock.Timestamp)
+	r.accept()
+	return stamp, nil
+}
+
+type forwardWrite struct {
+	Key   entity.Key
+	Ops   []entity.Op
+	TxnID string
+}
+
+// primaryID returns the lowest node id across this replica and its peers,
+// which all replicas agree on without coordination.
+func (r *Replica) primaryID() clock.NodeID {
+	ids := append(r.Peers(), r.id)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[0]
+}
+
+// appendLocal writes the record into the local LSDB and assigns it an
+// origin LSN for shipping.
+func (r *Replica) appendLocal(key entity.Key, ops []entity.Op, txnID string, tentative bool) (shippedRecord, error) {
+	stamp := r.hlc.Now()
+	if txnID == "" {
+		txnID = fmt.Sprintf("%s-%d", r.id, r.originN.Peek()+1)
+	}
+	var res lsdb.AppendResult
+	var err error
+	if tentative {
+		res, err = r.db.AppendTentative(key, ops, stamp, r.id, txnID)
+	} else {
+		res, err = r.db.Append(key, ops, stamp, r.id, txnID)
+	}
+	if err != nil {
+		return shippedRecord{}, err
+	}
+	originLSN := r.originN.Next()
+	r.mu.Lock()
+	r.markAppliedLocked(r.id, originLSN)
+	r.rememberOriginLocked(r.id, txnID, originLSN)
+	r.mu.Unlock()
+	return shippedRecord{
+		Origin: r.id, OriginLSN: originLSN, Key: key, Ops: ops,
+		Stamp: res.Record.Stamp, TxnID: txnID, Tentative: tentative,
+	}, nil
+}
+
+func (r *Replica) accept() {
+	r.mu.Lock()
+	r.stats.WritesAccepted++
+	r.mu.Unlock()
+}
+
+func (r *Replica) reject() {
+	r.mu.Lock()
+	r.stats.WritesRejected++
+	r.mu.Unlock()
+}
+
+// shipAsync sends records to every peer without waiting.
+func (r *Replica) shipAsync(records []shippedRecord) {
+	if r.net == nil {
+		return
+	}
+	for _, p := range r.Peers() {
+		_ = r.net.Send(r.id, p, replicatePayload{Records: records})
+	}
+}
+
+// onMessage handles asynchronous replication traffic.
+func (r *Replica) onMessage(from clock.NodeID, payload interface{}) {
+	switch msg := payload.(type) {
+	case replicatePayload:
+		r.applyRemote(msg.Records)
+	case syncResponsePayload:
+		r.applyRemote(msg.Records)
+	}
+}
+
+// onRequest handles synchronous replication traffic.
+func (r *Replica) onRequest(from clock.NodeID, payload interface{}) (interface{}, error) {
+	switch msg := payload.(type) {
+	case replicatePayload:
+		r.applyRemote(msg.Records)
+		return "ack", nil
+	case forwardWrite:
+		stamp, err := r.writeEventual(msg.Key, msg.Ops, msg.TxnID)
+		if err != nil {
+			return nil, err
+		}
+		return stamp, nil
+	case syncRequestPayload:
+		return syncResponsePayload{Records: r.recordsUnknownTo(msg.Known)}, nil
+	case readRequest:
+		st, _, err := r.db.Current(msg.Key)
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("replica: unknown request %T", payload)
+	}
+}
+
+type readRequest struct{ Key entity.Key }
+
+// applyRemote idempotently applies records originated elsewhere.
+func (r *Replica) applyRemote(records []shippedRecord) {
+	for _, rec := range records {
+		r.mu.Lock()
+		if rec.Origin == r.id || (r.applied[rec.Origin] != nil && r.applied[rec.Origin][rec.OriginLSN]) {
+			r.stats.Duplicates++
+			r.mu.Unlock()
+			continue
+		}
+		r.mu.Unlock()
+		var err error
+		if rec.Tentative {
+			_, err = r.db.AppendTentative(rec.Key, rec.Ops, rec.Stamp, rec.Origin, rec.TxnID)
+		} else {
+			_, err = r.db.Append(rec.Key, rec.Ops, rec.Stamp, rec.Origin, rec.TxnID)
+		}
+		r.mu.Lock()
+		if err == nil || errors.Is(err, lsdb.ErrDuplicateTxn) {
+			r.markAppliedLocked(rec.Origin, rec.OriginLSN)
+			r.rememberOriginLocked(rec.Origin, rec.TxnID, rec.OriginLSN)
+			if err == nil {
+				r.stats.RemoteApplied++
+			} else {
+				r.stats.Duplicates++
+			}
+		}
+		r.mu.Unlock()
+		r.hlc.Observe(rec.Stamp)
+	}
+}
+
+func (r *Replica) markAppliedLocked(origin clock.NodeID, lsn uint64) {
+	if r.applied[origin] == nil {
+		r.applied[origin] = map[uint64]bool{}
+	}
+	r.applied[origin][lsn] = true
+	for r.applied[origin][r.high[origin]+1] {
+		r.high[origin]++
+	}
+}
+
+func (r *Replica) rememberOriginLocked(origin clock.NodeID, txnID string, lsn uint64) {
+	if r.originLSNs[origin] == nil {
+		r.originLSNs[origin] = map[string]uint64{}
+	}
+	r.originLSNs[origin][txnID] = lsn
+}
+
+// knownHighWater returns the per-origin contiguous high-water marks.
+func (r *Replica) knownHighWater() map[clock.NodeID]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[clock.NodeID]uint64, len(r.high))
+	for k, v := range r.high {
+		out[k] = v
+	}
+	return out
+}
+
+// recordsUnknownTo returns local records the requester has not yet seen,
+// based on its per-origin high-water marks. Origin LSNs come from the
+// originLSNs map so the record identity is stable no matter how the record
+// reached this replica.
+func (r *Replica) recordsUnknownTo(known map[clock.NodeID]uint64) []shippedRecord {
+	recs := r.db.RecordsAfter(0)
+	var out []shippedRecord
+	for _, rec := range recs {
+		if rec.Obsolete {
+			// Withdrawn records (failed quorum writes, revoked promises) are
+			// a local concern; shipping them would resurrect their effects.
+			continue
+		}
+		r.mu.Lock()
+		originLSN, ok := r.originLSNs[rec.Origin][rec.TxnID]
+		r.mu.Unlock()
+		if !ok {
+			// Records written directly to the LSDB outside the replica API
+			// (e.g. by the kernel before replication was attached) have no
+			// origin LSN; ship them under a synthetic one above the
+			// requester's horizon so they are not lost.
+			originLSN = known[rec.Origin] + 1
+		}
+		if originLSN <= known[rec.Origin] {
+			continue
+		}
+		out = append(out, shippedRecord{
+			Origin: rec.Origin, OriginLSN: originLSN, Key: rec.Key, Ops: rec.Ops,
+			Stamp: rec.Stamp, TxnID: rec.TxnID, Tentative: rec.Tentative,
+		})
+	}
+	return out
+}
+
+// SyncWith performs one anti-entropy round with a peer: it asks the peer for
+// everything it has not yet seen and applies the response. Returns the number
+// of records received, or an error when the peer is unreachable (the round is
+// simply retried later).
+func (r *Replica) SyncWith(peer clock.NodeID) (int, error) {
+	if r.net == nil {
+		return 0, errors.New("replica: no network")
+	}
+	r.mu.Lock()
+	r.stats.SyncRounds++
+	r.mu.Unlock()
+	resp, err := r.net.Request(r.id, peer, syncRequestPayload{From: r.id, Known: r.knownHighWater()}, 500*time.Millisecond)
+	if err != nil {
+		return 0, err
+	}
+	sr, ok := resp.(syncResponsePayload)
+	if !ok {
+		return 0, fmt.Errorf("replica: unexpected sync response %T", resp)
+	}
+	r.applyRemote(sr.Records)
+	return len(sr.Records), nil
+}
+
+// ReadLocal returns the subjective (local) state of an entity.
+func (r *Replica) ReadLocal(key entity.Key) (*entity.State, error) {
+	st, _, err := r.db.Current(key)
+	return st, err
+}
+
+// ReadResolved returns the state obtained by replaying every record this
+// replica holds for the entity in deterministic (Stamp, Origin) order. Two
+// replicas holding the same record set produce identical resolved states —
+// the convergence guarantee of eventual consistency, implemented as "a single
+// end-to-end conflict-handling mechanism" (principle 2.10).
+func (r *Replica) ReadResolved(key entity.Key) (*entity.State, error) {
+	r.mu.Lock()
+	typ := r.types[key.Type]
+	r.mu.Unlock()
+	if typ == nil {
+		return nil, fmt.Errorf("%w: %s", lsdb.ErrUnknownType, key.Type)
+	}
+	recs := r.db.RecordsFor(key)
+	if len(recs) == 0 {
+		return nil, lsdb.ErrNotFound
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		c := recs[i].Stamp.Compare(recs[j].Stamp)
+		if c != clock.Equal {
+			return c == clock.Before
+		}
+		return recs[i].Origin < recs[j].Origin
+	})
+	state := entity.NewState(key)
+	for _, rec := range recs {
+		if rec.Obsolete {
+			continue
+		}
+		next, _, err := entity.Apply(typ, state, rec.Ops, entity.Managed)
+		if err != nil {
+			continue
+		}
+		if rec.Tentative {
+			next.Tentative = true
+		}
+		state = next
+	}
+	return state, nil
+}
+
+// ReadQuorum reads the entity from a majority of replicas and returns the
+// resolved state over the union of what the majority holds. It fails when a
+// majority is unreachable (consistency chosen over availability).
+func (r *Replica) ReadQuorum(key entity.Key) (*entity.State, error) {
+	peers := r.Peers()
+	needed := (len(peers)+1)/2 + 1 // majority including self
+	reached := 1
+	for _, p := range peers {
+		if r.net == nil {
+			break
+		}
+		if _, err := r.net.Request(r.id, p, readRequest{Key: key}, 200*time.Millisecond); err == nil {
+			reached++
+		}
+	}
+	if reached < needed {
+		return nil, fmt.Errorf("%w: reached %d of %d", ErrNoQuorum, reached, needed)
+	}
+	return r.ReadResolved(key)
+}
+
+// Cluster wires a set of replicas over one simulated network.
+type Cluster struct {
+	net      *netsim.Network
+	replicas []*Replica
+	mode     Mode
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewCluster creates n replicas named r0..r(n-1) in the given mode.
+func NewCluster(n int, mode Mode, netCfg netsim.Config, types ...*entity.Type) (*Cluster, error) {
+	if n <= 0 {
+		return nil, errors.New("replica: cluster needs at least one replica")
+	}
+	c := &Cluster{net: netsim.New(netCfg), mode: mode, stopCh: make(chan struct{})}
+	ids := make([]clock.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = clock.NodeID(fmt.Sprintf("r%d", i))
+	}
+	for i := 0; i < n; i++ {
+		rep := NewReplica(ids[i], c.net, mode)
+		for _, t := range types {
+			if err := rep.RegisterType(t); err != nil {
+				return nil, err
+			}
+		}
+		var peers []clock.NodeID
+		for j, id := range ids {
+			if j != i {
+				peers = append(peers, id)
+			}
+		}
+		rep.SetPeers(peers)
+		c.replicas = append(c.replicas, rep)
+	}
+	return c, nil
+}
+
+// Network exposes the simulated network (for partition injection).
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Replica returns the i-th replica.
+func (c *Cluster) Replica(i int) (*Replica, error) {
+	if i < 0 || i >= len(c.replicas) {
+		return nil, fmt.Errorf("%w: index %d", ErrUnknownReplica, i)
+	}
+	return c.replicas[i], nil
+}
+
+// Size returns the number of replicas.
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+// StartAntiEntropy runs periodic pairwise sync rounds until Stop is called.
+func (c *Cluster) StartAntiEntropy(interval time.Duration) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stopCh:
+				return
+			case <-ticker.C:
+				c.SyncRound()
+			}
+		}
+	}()
+}
+
+// SyncRound performs one full pairwise anti-entropy pass.
+func (c *Cluster) SyncRound() {
+	for _, r := range c.replicas {
+		for _, p := range r.Peers() {
+			_, _ = r.SyncWith(p)
+		}
+	}
+}
+
+// Stop terminates background anti-entropy and closes the network.
+func (c *Cluster) Stop() {
+	c.once.Do(func() {
+		close(c.stopCh)
+		c.wg.Wait()
+		c.net.Close()
+	})
+}
+
+// Converged reports whether every replica resolves the key to the same
+// serialized state.
+func (c *Cluster) Converged(key entity.Key) (bool, error) {
+	var first string
+	for i, r := range c.replicas {
+		st, err := r.ReadResolved(key)
+		if errors.Is(err, lsdb.ErrNotFound) {
+			st = entity.NewState(key)
+		} else if err != nil {
+			return false, err
+		}
+		enc := fingerprint(st)
+		if i == 0 {
+			first = enc
+		} else if enc != first {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Divergence returns how many of the keys are not yet converged.
+func (c *Cluster) Divergence(keys []entity.Key) (int, error) {
+	n := 0
+	for _, k := range keys {
+		ok, err := c.Converged(k)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// fingerprint renders a state deterministically for convergence comparison.
+func fingerprint(st *entity.State) string {
+	fields := make([]string, 0, len(st.Fields))
+	for k, v := range st.Fields {
+		fields = append(fields, fmt.Sprintf("%s=%v", k, v))
+	}
+	sort.Strings(fields)
+	colls := make([]string, 0, len(st.Children))
+	for name, rows := range st.Children {
+		ids := make([]string, 0, len(rows))
+		for _, row := range rows {
+			rf := make([]string, 0, len(row.Fields))
+			for k, v := range row.Fields {
+				rf = append(rf, fmt.Sprintf("%s=%v", k, v))
+			}
+			sort.Strings(rf)
+			ids = append(ids, fmt.Sprintf("%s(del=%v)%v", row.ID, row.Deleted, rf))
+		}
+		sort.Strings(ids)
+		colls = append(colls, fmt.Sprintf("%s:%v", name, ids))
+	}
+	sort.Strings(colls)
+	return fmt.Sprintf("del=%v tent=%v %v %v", st.Deleted, st.Tentative, fields, colls)
+}

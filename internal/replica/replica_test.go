@@ -1,0 +1,365 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+	"repro/internal/lsdb"
+	"repro/internal/netsim"
+)
+
+func accountType() *entity.Type {
+	return &entity.Type{
+		Name: "Account",
+		Fields: []entity.Field{
+			{Name: "owner", Type: entity.String},
+			{Name: "balance", Type: entity.Float},
+		},
+	}
+}
+
+func acct(id string) entity.Key { return entity.Key{Type: "Account", ID: id} }
+
+func newCluster(t *testing.T, n int, mode Mode, cfg netsim.Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n, mode, cfg, accountType())
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func rep(t *testing.T, c *Cluster, i int) *Replica {
+	t.Helper()
+	r, err := c.Replica(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func waitConverged(t *testing.T, c *Cluster, key entity.Key, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.Network().Quiesce()
+		ok, err := c.Converged(key)
+		if err != nil {
+			t.Fatalf("Converged: %v", err)
+		}
+		if ok {
+			return
+		}
+		c.SyncRound()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("cluster did not converge on %s within %v", key, timeout)
+}
+
+func TestEventualWriteReplicatesAsynchronously(t *testing.T) {
+	c := newCluster(t, 3, Eventual, netsim.Config{})
+	r0 := rep(t, c, 0)
+	if _, err := r0.Write(acct("A"), []entity.Op{entity.Delta("balance", 100)}, ""); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// Local state is immediately visible (subjective consistency).
+	st, err := r0.ReadLocal(acct("A"))
+	if err != nil || st.Float("balance") != 100 {
+		t.Fatalf("local read: %v %v", st, err)
+	}
+	c.Network().Quiesce()
+	for i := 1; i < 3; i++ {
+		st, err := rep(t, c, i).ReadLocal(acct("A"))
+		if err != nil || st.Float("balance") != 100 {
+			t.Fatalf("replica %d did not receive the write: %v %v", i, st, err)
+		}
+	}
+	if ok, _ := c.Converged(acct("A")); !ok {
+		t.Fatal("cluster should be converged after quiesce")
+	}
+}
+
+func TestEventualConcurrentDeltasConvergeToSum(t *testing.T) {
+	c := newCluster(t, 3, Eventual, netsim.Config{})
+	// Concurrent deposits at different replicas.
+	for i := 0; i < 3; i++ {
+		r := rep(t, c, i)
+		if _, err := r.Write(acct("A"), []entity.Op{entity.Delta("balance", float64(10*(i+1)))}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, c, acct("A"), 5*time.Second)
+	for i := 0; i < 3; i++ {
+		st, err := rep(t, c, i).ReadResolved(acct("A"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Float("balance") != 60 {
+			t.Fatalf("replica %d balance = %v, want 60", i, st.Float("balance"))
+		}
+	}
+}
+
+func TestEventualConcurrentSetsConvergeDeterministically(t *testing.T) {
+	c := newCluster(t, 3, Eventual, netsim.Config{})
+	for i := 0; i < 3; i++ {
+		r := rep(t, c, i)
+		if _, err := r.Write(acct("A"), []entity.Op{entity.Set("owner", fmt.Sprintf("owner-%d", i))}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, c, acct("A"), 5*time.Second)
+	first, _ := rep(t, c, 0).ReadResolved(acct("A"))
+	for i := 1; i < 3; i++ {
+		st, _ := rep(t, c, i).ReadResolved(acct("A"))
+		if st.StringField("owner") != first.StringField("owner") {
+			t.Fatalf("register values diverged: %q vs %q", st.StringField("owner"), first.StringField("owner"))
+		}
+	}
+}
+
+func TestAntiEntropyHealsLostMessages(t *testing.T) {
+	c := newCluster(t, 2, Eventual, netsim.Config{LossRate: 1.0, Seed: 3})
+	r0 := rep(t, c, 0)
+	// With 100% loss the async ship never arrives.
+	if _, err := r0.Write(acct("A"), []entity.Op{entity.Delta("balance", 5)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	c.Network().Quiesce()
+	if _, err := rep(t, c, 1).ReadLocal(acct("A")); !errors.Is(err, lsdb.ErrNotFound) {
+		t.Fatal("write should not have reached replica 1")
+	}
+	// Heal the loss and run anti-entropy (requests are not silently dropped,
+	// but set loss to 0 to let them through).
+	c.Network().SetLossRate(0)
+	c.SyncRound()
+	st, err := rep(t, c, 1).ReadLocal(acct("A"))
+	if err != nil || st.Float("balance") != 5 {
+		t.Fatalf("anti-entropy did not repair: %v %v", st, err)
+	}
+	if ok, _ := c.Converged(acct("A")); !ok {
+		t.Fatal("not converged after anti-entropy")
+	}
+}
+
+func TestPartitionedEventualStaysAvailableAndConvergesAfterHeal(t *testing.T) {
+	c := newCluster(t, 3, Eventual, netsim.Config{})
+	net := c.Network()
+	net.Partition([]clock.NodeID{"r0"}, []clock.NodeID{"r1", "r2"})
+	// Both sides accept writes during the partition (principle 2.11).
+	if _, err := rep(t, c, 0).Write(acct("A"), []entity.Op{entity.Delta("balance", 1).Described("minority side")}, ""); err != nil {
+		t.Fatalf("minority write rejected: %v", err)
+	}
+	if _, err := rep(t, c, 1).Write(acct("A"), []entity.Op{entity.Delta("balance", 2).Described("majority side")}, ""); err != nil {
+		t.Fatalf("majority write rejected: %v", err)
+	}
+	net.Quiesce()
+	// Divergence while partitioned.
+	if ok, _ := c.Converged(acct("A")); ok {
+		t.Fatal("replicas should diverge during the partition")
+	}
+	if n, _ := c.Divergence([]entity.Key{acct("A")}); n != 1 {
+		t.Fatalf("Divergence = %d", n)
+	}
+	net.Heal()
+	waitConverged(t, c, acct("A"), 5*time.Second)
+	st, _ := rep(t, c, 2).ReadResolved(acct("A"))
+	if st.Float("balance") != 3 {
+		t.Fatalf("merged balance = %v, want 3 (no lost updates)", st.Float("balance"))
+	}
+}
+
+func TestQuorumWriteSucceedsWithMajority(t *testing.T) {
+	c := newCluster(t, 3, Quorum, netsim.Config{})
+	r0 := rep(t, c, 0)
+	if _, err := r0.Write(acct("A"), []entity.Op{entity.Delta("balance", 10)}, ""); err != nil {
+		t.Fatalf("quorum write: %v", err)
+	}
+	// Synchronous: both peers already have it.
+	for i := 1; i < 3; i++ {
+		st, err := rep(t, c, i).ReadLocal(acct("A"))
+		if err != nil || st.Float("balance") != 10 {
+			t.Fatalf("replica %d missing quorum write: %v %v", i, st, err)
+		}
+	}
+}
+
+func TestQuorumWriteFailsOnMinoritySide(t *testing.T) {
+	c := newCluster(t, 3, Quorum, netsim.Config{UnreachableDelay: time.Millisecond})
+	c.Network().Partition([]clock.NodeID{"r0"}, []clock.NodeID{"r1", "r2"})
+	r0 := rep(t, c, 0)
+	_, err := r0.Write(acct("A"), []entity.Op{entity.Delta("balance", 10)}, "")
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("want ErrNoQuorum, got %v", err)
+	}
+	// The rejected write leaves no visible effect locally.
+	if st, err := r0.ReadLocal(acct("A")); err == nil && st.Float("balance") != 0 {
+		t.Fatalf("rejected write visible: %v", st.Float("balance"))
+	}
+	if r0.Stats().WritesRejected != 1 {
+		t.Fatalf("stats = %+v", r0.Stats())
+	}
+	// The majority side still accepts writes.
+	if _, err := rep(t, c, 1).Write(acct("A"), []entity.Op{entity.Delta("balance", 7)}, ""); err != nil {
+		t.Fatalf("majority write: %v", err)
+	}
+}
+
+func TestSyncAllRequiresEveryPeer(t *testing.T) {
+	c := newCluster(t, 3, SyncAll, netsim.Config{UnreachableDelay: time.Millisecond})
+	// All peers reachable: fine.
+	if _, err := rep(t, c, 0).Write(acct("A"), []entity.Op{entity.Delta("balance", 1)}, ""); err != nil {
+		t.Fatalf("sync-all write: %v", err)
+	}
+	// One peer unreachable: even the majority side fails (availability cost
+	// of synchronous backup commit).
+	c.Network().Partition([]clock.NodeID{"r2"}, []clock.NodeID{"r0", "r1"})
+	if _, err := rep(t, c, 0).Write(acct("A"), []entity.Op{entity.Delta("balance", 1)}, ""); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("want ErrNoQuorum, got %v", err)
+	}
+}
+
+func TestPrimaryModeForwardsWritesToMaster(t *testing.T) {
+	c := newCluster(t, 3, Primary, netsim.Config{})
+	// Writing at a slave forwards to r0 (the lowest id).
+	if _, err := rep(t, c, 2).Write(acct("A"), []entity.Op{entity.Delta("balance", 25)}, ""); err != nil {
+		t.Fatalf("forwarded write: %v", err)
+	}
+	st, err := rep(t, c, 0).ReadLocal(acct("A"))
+	if err != nil || st.Float("balance") != 25 {
+		t.Fatalf("master state: %v %v", st, err)
+	}
+	// Slaves receive it asynchronously.
+	waitConverged(t, c, acct("A"), 5*time.Second)
+	// Writing while the master is unreachable fails at the slaves.
+	c.Network().Partition([]clock.NodeID{"r0"}, []clock.NodeID{"r1", "r2"})
+	if _, err := rep(t, c, 1).Write(acct("A"), []entity.Op{entity.Delta("balance", 1)}, ""); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("want ErrNotPrimary, got %v", err)
+	}
+	// The master itself keeps accepting writes.
+	if _, err := rep(t, c, 0).Write(acct("A"), []entity.Op{entity.Delta("balance", 1)}, ""); err != nil {
+		t.Fatalf("master write during partition: %v", err)
+	}
+}
+
+func TestReadQuorum(t *testing.T) {
+	c := newCluster(t, 3, Eventual, netsim.Config{UnreachableDelay: time.Millisecond})
+	r0 := rep(t, c, 0)
+	r0.Write(acct("A"), []entity.Op{entity.Delta("balance", 3)}, "")
+	c.Network().Quiesce()
+	st, err := r0.ReadQuorum(acct("A"))
+	if err != nil || st.Float("balance") != 3 {
+		t.Fatalf("ReadQuorum: %v %v", st, err)
+	}
+	c.Network().Partition([]clock.NodeID{"r0"}, []clock.NodeID{"r1", "r2"})
+	if _, err := r0.ReadQuorum(acct("A")); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("want ErrNoQuorum on minority side, got %v", err)
+	}
+}
+
+func TestReadResolvedUnknownTypeAndMissing(t *testing.T) {
+	c := newCluster(t, 1, Eventual, netsim.Config{})
+	r := rep(t, c, 0)
+	if _, err := r.ReadResolved(entity.Key{Type: "Nope", ID: "1"}); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+	if _, err := r.ReadResolved(acct("missing")); !errors.Is(err, lsdb.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDuplicateShipmentsAreIdempotent(t *testing.T) {
+	c := newCluster(t, 2, Eventual, netsim.Config{})
+	r0 := rep(t, c, 0)
+	r0.Write(acct("A"), []entity.Op{entity.Delta("balance", 10)}, "")
+	c.Network().Quiesce()
+	// Run several redundant anti-entropy rounds; the balance must not change.
+	for i := 0; i < 5; i++ {
+		c.SyncRound()
+	}
+	st, _ := rep(t, c, 1).ReadResolved(acct("A"))
+	if st.Float("balance") != 10 {
+		t.Fatalf("duplicate application changed state: %v", st.Float("balance"))
+	}
+	if rep(t, c, 1).Stats().RemoteApplied != 1 {
+		t.Fatalf("remote applied = %d, want 1", rep(t, c, 1).Stats().RemoteApplied)
+	}
+}
+
+func TestBackgroundAntiEntropyConverges(t *testing.T) {
+	c := newCluster(t, 3, Eventual, netsim.Config{LossRate: 0.5, Seed: 11})
+	c.StartAntiEntropy(10 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		rep(t, c, i).Write(acct("A"), []entity.Op{entity.Delta("balance", 1)}, "")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		// Requests can be dropped at 50% loss; keep checking until every
+		// replica has folded in all three deposits.
+		complete := true
+		for i := 0; i < 3; i++ {
+			st, err := rep(t, c, i).ReadResolved(acct("A"))
+			if err != nil || st.Float("balance") != 3 {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			if ok, _ := c.Converged(acct("A")); !ok {
+				t.Fatal("all replicas hold all records but Converged disagrees")
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("background anti-entropy never converged")
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, Eventual, netsim.Config{}); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	c := newCluster(t, 2, Eventual, netsim.Config{})
+	if _, err := c.Replica(9); !errors.Is(err, ErrUnknownReplica) {
+		t.Fatalf("want ErrUnknownReplica, got %v", err)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if got := rep(t, c, 0).ID(); got != "r0" {
+		t.Fatalf("ID = %s", got)
+	}
+	if len(rep(t, c, 0).Peers()) != 1 {
+		t.Fatal("peer wiring wrong")
+	}
+	if rep(t, c, 0).DB() == nil {
+		t.Fatal("DB accessor nil")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{Eventual: "eventual", SyncAll: "sync-all", Quorum: "quorum", Primary: "primary"} {
+		if m.String() != want {
+			t.Errorf("%d = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if Mode(42).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}
+
+func TestWriteRejectedStatsForUnknownType(t *testing.T) {
+	c := newCluster(t, 1, Eventual, netsim.Config{})
+	r := rep(t, c, 0)
+	if _, err := r.Write(entity.Key{Type: "Ghost", ID: "1"}, []entity.Op{entity.Set("x", 1)}, ""); err == nil {
+		t.Fatal("write to unknown type should fail")
+	}
+	if r.Stats().WritesRejected != 1 {
+		t.Fatalf("stats = %+v", r.Stats())
+	}
+}

@@ -1,0 +1,470 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+	"repro/internal/lsdb"
+	"repro/internal/queue"
+)
+
+func newUnit(t *testing.T, node clock.NodeID, opts Options) *Manager {
+	t.Helper()
+	db := lsdb.Open(lsdb.Options{Node: node, SnapshotEvery: 16, Validation: entity.Managed})
+	types := []*entity.Type{
+		{Name: "Account", Fields: []entity.Field{
+			{Name: "owner", Type: entity.String},
+			{Name: "balance", Type: entity.Float},
+		}},
+		{Name: "Order", Fields: []entity.Field{
+			{Name: "status", Type: entity.String},
+			{Name: "total", Type: entity.Float},
+		}, Children: []entity.ChildCollection{
+			{Name: "lineitems", Fields: []entity.Field{
+				{Name: "product", Type: entity.String},
+				{Name: "qty", Type: entity.Int},
+			}},
+		}},
+	}
+	for _, typ := range types {
+		if err := db.RegisterType(typ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts.Node = node
+	return NewManager(db, nil, nil, opts)
+}
+
+func acct(id string) entity.Key { return entity.Key{Type: "Account", ID: id} }
+
+func TestSolipsisticCommit(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	q := queue.New("u1", queue.Options{})
+	tx := m.Begin(Solipsistic)
+	st, err := tx.Read(acct("A"))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if st.Float("balance") != 0 {
+		t.Fatal("new entity should read as empty state")
+	}
+	if err := tx.Update(acct("A"), entity.Set("owner", "alice"), entity.Delta("balance", 100)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Emit("accounts", queue.Event{Name: "account.opened", Entity: acct("A")})
+	res, err := tx.Commit(q)
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if len(res.Records) != 1 || len(res.PublishedEvents) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	st, _, err = m.DB().Current(acct("A"))
+	if err != nil || st.Float("balance") != 100 {
+		t.Fatalf("committed state: %v %v", st, err)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("event not published: %d", q.Len())
+	}
+	if m.Stats().Commits != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+	if tx.Mode() != Solipsistic || tx.ID() == "" {
+		t.Fatal("metadata accessors broken")
+	}
+}
+
+func TestReadYourWritesWithinTxn(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	tx := m.Begin(Solipsistic)
+	tx.Update(acct("A"), entity.Delta("balance", 40))
+	st, err := tx.Read(acct("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Float("balance") != 40 {
+		t.Fatalf("own write not visible: %v", st.Float("balance"))
+	}
+	// But not visible outside before commit.
+	if _, _, err := m.DB().Current(acct("A")); !errors.Is(err, lsdb.ErrNotFound) {
+		t.Fatal("uncommitted write visible outside the transaction")
+	}
+	tx.Abort()
+	if _, _, err := m.DB().Current(acct("A")); !errors.Is(err, lsdb.ErrNotFound) {
+		t.Fatal("aborted write became visible")
+	}
+}
+
+func TestAbortDiscardsEverything(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	q := queue.New("u1", queue.Options{})
+	tx := m.Begin(Solipsistic)
+	tx.Update(acct("A"), entity.Delta("balance", 10))
+	tx.Emit("t", queue.Event{Name: "e"})
+	tx.Abort()
+	if q.Len() != 0 {
+		t.Fatal("aborted transaction published events")
+	}
+	if m.Stats().Aborts != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+	// Using the transaction afterwards fails.
+	if err := tx.Update(acct("A"), entity.Delta("balance", 1)); !errors.Is(err, ErrDone) {
+		t.Fatalf("want ErrDone, got %v", err)
+	}
+	if _, err := tx.Read(acct("A")); !errors.Is(err, ErrDone) {
+		t.Fatalf("want ErrDone, got %v", err)
+	}
+	if _, err := tx.Commit(nil); !errors.Is(err, ErrDone) {
+		t.Fatalf("want ErrDone, got %v", err)
+	}
+	tx.Abort() // idempotent
+}
+
+func TestOptimisticConflictAborts(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	// Seed the account.
+	seed := m.Begin(Solipsistic)
+	seed.Update(acct("A"), entity.Set("balance", 100.0))
+	if _, err := seed.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	// T1 reads, then T2 writes and commits, then T1 tries to commit.
+	t1 := m.Begin(Optimistic)
+	if _, err := t1.Read(acct("A")); err != nil {
+		t.Fatal(err)
+	}
+	t2 := m.Begin(Optimistic)
+	if _, err := t2.Read(acct("A")); err != nil {
+		t.Fatal(err)
+	}
+	t2.Update(acct("A"), entity.Set("balance", 50.0))
+	if _, err := t2.Commit(nil); err != nil {
+		t.Fatalf("t2 commit: %v", err)
+	}
+	t1.Update(acct("A"), entity.Set("balance", 70.0))
+	if _, err := t1.Commit(nil); !errors.Is(err, ErrConflict) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	st, _, _ := m.DB().Current(acct("A"))
+	if st.Float("balance") != 50 {
+		t.Fatalf("lost update or dirty write: %v", st.Float("balance"))
+	}
+	stats := m.Stats()
+	if stats.Conflicts != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestOptimisticNoConflictOnDisjointEntities(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	t1 := m.Begin(Optimistic)
+	t2 := m.Begin(Optimistic)
+	t1.Read(acct("A"))
+	t2.Read(acct("B"))
+	t1.Update(acct("A"), entity.Delta("balance", 1))
+	t2.Update(acct("B"), entity.Delta("balance", 1))
+	if _, err := t1.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Commit(nil); err != nil {
+		t.Fatalf("disjoint optimistic txns should both commit: %v", err)
+	}
+}
+
+func TestSolipsisticNeverConflicts(t *testing.T) {
+	// Two solipsistic transactions both update the same entity from the same
+	// snapshot; both commit (no waits, no aborts), and because they use
+	// commutative deltas the final state is correct (principle 2.10 + 2.7).
+	m := newUnit(t, "u1", Options{})
+	t1 := m.Begin(Solipsistic)
+	t2 := m.Begin(Solipsistic)
+	t1.Read(acct("A"))
+	t2.Read(acct("A"))
+	t1.Update(acct("A"), entity.Delta("balance", 30).Described("deposit 30"))
+	t2.Update(acct("A"), entity.Delta("balance", 12).Described("deposit 12"))
+	if _, err := t1.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Commit(nil); err != nil {
+		t.Fatalf("solipsistic commit should never conflict: %v", err)
+	}
+	st, _, _ := m.DB().Current(acct("A"))
+	if st.Float("balance") != 42 {
+		t.Fatalf("balance = %v, want 42", st.Float("balance"))
+	}
+	if m.Stats().Conflicts != 0 || m.Stats().Aborts != 0 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestPessimisticBlocksSecondWriter(t *testing.T) {
+	m := newUnit(t, "u1", Options{LockTimeout: 50 * time.Millisecond})
+	t1 := m.Begin(Pessimistic)
+	if _, err := t1.Read(acct("A")); err != nil {
+		t.Fatal(err)
+	}
+	t2 := m.Begin(Pessimistic)
+	if _, err := t2.Read(acct("A")); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("want ErrLockTimeout, got %v", err)
+	}
+	t2.Abort()
+	// After t1 finishes, locks are released and a new transaction proceeds.
+	t1.Update(acct("A"), entity.Delta("balance", 5))
+	if _, err := t1.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	t3 := m.Begin(Pessimistic)
+	if _, err := t3.Read(acct("A")); err != nil {
+		t.Fatalf("lock not released after commit: %v", err)
+	}
+	t3.Abort()
+	if m.Stats().LockTimeouts != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestEnforceSingleEntity(t *testing.T) {
+	m := newUnit(t, "u1", Options{EnforceSingleEntity: true})
+	tx := m.Begin(Solipsistic)
+	tx.Update(acct("A"), entity.Delta("balance", 1))
+	tx.Update(acct("B"), entity.Delta("balance", 1))
+	if _, err := tx.Commit(nil); !errors.Is(err, ErrMultiEntity) {
+		t.Fatalf("want ErrMultiEntity, got %v", err)
+	}
+	// Neither write took effect.
+	if _, _, err := m.DB().Current(acct("A")); !errors.Is(err, lsdb.ErrNotFound) {
+		t.Fatal("partial commit leaked")
+	}
+	// A single-entity transaction with several ops is fine.
+	ok := m.Begin(Solipsistic)
+	ok.Update(acct("C"), entity.Delta("balance", 1))
+	ok.Update(acct("C"), entity.Set("owner", "carol"))
+	if _, err := ok.Commit(nil); err != nil {
+		t.Fatalf("single-entity commit: %v", err)
+	}
+	if got := ok.Entities(); len(got) != 1 || got[0] != acct("C") {
+		t.Fatalf("Entities = %v", got)
+	}
+}
+
+func TestTentativeUpdateFlagsState(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	tx := m.Begin(Solipsistic)
+	tx.UpdateTentative(acct("A"), entity.Delta("balance", -20).Described("hold for offer"))
+	res, err := tx.Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, _ := m.DB().Current(acct("A"))
+	if !st.Tentative {
+		t.Fatal("state should be tentative")
+	}
+	// The promise can be withdrawn through the LSDB by txn id.
+	if err := m.DB().MarkObsolete(acct("A"), res.TxnID); err != nil {
+		t.Fatalf("MarkObsolete: %v", err)
+	}
+	st, _, _ = m.DB().Current(acct("A"))
+	if st.Float("balance") != 0 {
+		t.Fatalf("withdrawn promise still visible: %v", st.Float("balance"))
+	}
+}
+
+func TestCommitIdempotentOnDuplicateTxnID(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	tx := m.Begin(Solipsistic)
+	tx.Update(acct("A"), entity.Delta("balance", 10))
+	if _, err := tx.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an at-least-once retry of the same logical transaction by
+	// appending directly with the same txn id: the LSDB refuses.
+	_, err := m.DB().Append(acct("A"), []entity.Op{entity.Delta("balance", 10)}, clock.Timestamp{WallNanos: 1, Node: "u1"}, "u1", tx.ID())
+	if !errors.Is(err, lsdb.ErrDuplicateTxn) {
+		t.Fatalf("want ErrDuplicateTxn, got %v", err)
+	}
+	st, _, _ := m.DB().Current(acct("A"))
+	if st.Float("balance") != 10 {
+		t.Fatalf("duplicate applied: %v", st.Float("balance"))
+	}
+}
+
+func TestRunRetriesOptimisticConflicts(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	seed := m.Begin(Solipsistic)
+	seed.Update(acct("A"), entity.Set("balance", 0.0))
+	seed.Commit(nil)
+
+	// Interfering writer fires exactly once, from inside the body on the
+	// first attempt, so the first commit conflicts and the retry succeeds.
+	interfered := false
+	_, err := m.Run(Optimistic, nil, 3, func(tx *Txn) error {
+		st, err := tx.Read(acct("A"))
+		if err != nil {
+			return err
+		}
+		if !interfered {
+			interfered = true
+			w := m.Begin(Solipsistic)
+			w.Update(acct("A"), entity.Delta("balance", 1))
+			if _, err := w.Commit(nil); err != nil {
+				return err
+			}
+		}
+		return tx.Update(acct("A"), entity.Set("balance", st.Float("balance")+10))
+	})
+	if err != nil {
+		t.Fatalf("Run with retries: %v", err)
+	}
+	st, _, _ := m.DB().Current(acct("A"))
+	if st.Float("balance") != 11 {
+		t.Fatalf("balance = %v, want 11 (1 from interferer + 10 from retried txn)", st.Float("balance"))
+	}
+}
+
+func TestRunPropagatesBodyError(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	boom := errors.New("boom")
+	if _, err := m.Run(Solipsistic, nil, 2, func(*Txn) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("want body error, got %v", err)
+	}
+	if m.Stats().Aborts != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestConcurrentSolipsisticDepositsAllLand(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_, err := m.Run(Solipsistic, nil, 0, func(tx *Txn) error {
+					return tx.Update(acct("shared"), entity.Delta("balance", 1))
+				})
+				if err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st, _, _ := m.DB().Current(acct("shared"))
+	if st.Float("balance") != workers*per {
+		t.Fatalf("balance = %v, want %d (deltas must not be lost)", st.Float("balance"), workers*per)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Solipsistic.String() != "solipsistic" || Optimistic.String() != "optimistic" || Pessimistic.String() != "pessimistic" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}
+
+func TestTwoPhaseCommitAcrossUnits(t *testing.T) {
+	m1 := newUnit(t, "u1", Options{})
+	m2 := newUnit(t, "u2", Options{})
+	c := NewCoordinator(Participant{Manager: m1}, Participant{Manager: m2})
+	err := c.Execute([]DistributedWrite{
+		{Participant: 0, Key: acct("A"), Ops: []entity.Op{entity.Delta("balance", -50).Described("transfer out")}},
+		{Participant: 1, Key: acct("B"), Ops: []entity.Op{entity.Delta("balance", 50).Described("transfer in")}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	a, _, _ := m1.DB().Current(acct("A"))
+	b, _, _ := m2.DB().Current(acct("B"))
+	if a.Float("balance") != -50 || b.Float("balance") != 50 {
+		t.Fatalf("balances = %v / %v", a.Float("balance"), b.Float("balance"))
+	}
+	if c.Stats().Commits != 1 || c.Stats().Prepares != 2 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestTwoPhaseCommitAbortsWhenParticipantCannotPrepare(t *testing.T) {
+	m1 := newUnit(t, "u1", Options{LockTimeout: 30 * time.Millisecond})
+	m2 := newUnit(t, "u2", Options{LockTimeout: 30 * time.Millisecond})
+	// A local transaction holds the lock on B at participant 2, so prepare
+	// times out there and the whole distributed transaction aborts.
+	blocker := m2.Begin(Pessimistic)
+	if _, err := blocker.Read(acct("B")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(Participant{Manager: m1}, Participant{Manager: m2})
+	err := c.Execute([]DistributedWrite{
+		{Participant: 0, Key: acct("A"), Ops: []entity.Op{entity.Delta("balance", -50)}},
+		{Participant: 1, Key: acct("B"), Ops: []entity.Op{entity.Delta("balance", 50)}},
+	}, nil)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	blocker.Abort()
+	// Neither side applied anything.
+	if _, _, err := m1.DB().Current(acct("A")); !errors.Is(err, lsdb.ErrNotFound) {
+		t.Fatal("participant 0 applied a write despite abort")
+	}
+	if _, _, err := m2.DB().Current(acct("B")); !errors.Is(err, lsdb.ErrNotFound) {
+		t.Fatal("participant 1 applied a write despite abort")
+	}
+	if c.Stats().Aborts != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestTwoPhaseCommitValidation(t *testing.T) {
+	m1 := newUnit(t, "u1", Options{})
+	c := NewCoordinator(Participant{Manager: m1})
+	if err := c.Execute(nil, nil); err != nil {
+		t.Fatalf("empty distributed txn should be a no-op: %v", err)
+	}
+	err := c.Execute([]DistributedWrite{{Participant: 7, Key: acct("A")}}, nil)
+	if err == nil {
+		t.Fatal("out-of-range participant accepted")
+	}
+}
+
+func TestTwoPhaseCommitDelaySlowsItDown(t *testing.T) {
+	m1 := newUnit(t, "u1", Options{})
+	m2 := newUnit(t, "u2", Options{})
+	delay := 10 * time.Millisecond
+	c := NewCoordinator(Participant{Manager: m1, Delay: delay}, Participant{Manager: m2, Delay: delay})
+	start := time.Now()
+	err := c.Execute([]DistributedWrite{
+		{Participant: 0, Key: acct("A"), Ops: []entity.Op{entity.Delta("balance", 1)}},
+		{Participant: 1, Key: acct("B"), Ops: []entity.Op{entity.Delta("balance", 1)}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 participants x 2 phases x 10ms = at least 40ms of network time,
+	// which is the cost principle 2.5 says focused transactions avoid.
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Fatalf("2PC finished too fast (%v) for the configured delays", elapsed)
+	}
+}
+
+func TestCommitResultWarningsSurface(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	tx := m.Begin(Solipsistic)
+	// Unknown field: accepted in managed mode but reported.
+	tx.Update(entity.Key{Type: "Order", ID: "O1"}, entity.Set("unknown_field", "x"))
+	res, err := tx.Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 1 {
+		t.Fatalf("warnings = %v", res.Warnings)
+	}
+}
