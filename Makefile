@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race bench tables clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The E1..E14 experiment benchmarks (see EXPERIMENTS.md).
+bench:
+	$(GO) test -run xxx -bench BenchmarkE -benchtime 200x ./...
+
+# Plain-text experiment tables without the Go test machinery.
+tables:
+	$(GO) run ./cmd/benchharness
+
+clean:
+	$(GO) clean ./...
+	rm -f soupsd soupsctl benchharness

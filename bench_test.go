@@ -1,4 +1,4 @@
-// Benchmarks E1..E12: one per experiment in DESIGN.md / EXPERIMENTS.md.
+// Benchmarks E1..E14: one per experiment in DESIGN.md / EXPERIMENTS.md.
 //
 // The paper publishes no tables or figures, so each benchmark
 // operationalises one of its qualitative claims as a comparison between the
@@ -365,6 +365,8 @@ func BenchmarkE8StepCollapsing(b *testing.B) {
 
 // --- E9: LSDB rollup cost vs log length (section 3.1) ------------------------
 
+// E9 measures the raw rollup read path, so the materialised state cache is
+// disabled; E13 measures the cache itself against this baseline.
 func BenchmarkE9LSDBRollup(b *testing.B) {
 	for _, logLen := range []int{100, 10000} {
 		for _, snapshot := range []bool{false, true} {
@@ -374,7 +376,7 @@ func BenchmarkE9LSDBRollup(b *testing.B) {
 				if snapshot {
 					snapEvery = 256
 				}
-				db := lsdb.Open(lsdb.Options{Node: "e9", SnapshotEvery: snapEvery, Validation: entity.Managed})
+				db := lsdb.Open(lsdb.Options{Node: "e9", SnapshotEvery: snapEvery, Validation: entity.Managed, DisableStateCache: true})
 				if err := db.RegisterType(workload.AccountType()); err != nil {
 					b.Fatal(err)
 				}
@@ -392,6 +394,86 @@ func BenchmarkE9LSDBRollup(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- E13: materialised reads vs rollup at long histories (section 3.1) -------
+
+// E13 is the read-heavy experiment for the materialised current-state cache:
+// with the cache, Current is a map hit plus one state clone regardless of
+// how many records the entity has accumulated; the rollup baseline (no
+// cache, no snapshots) scales with history length.
+func BenchmarkE13MaterialisedReads(b *testing.B) {
+	for _, history := range []int{100, 1000} {
+		for _, mode := range []string{"rollup", "cached"} {
+			b.Run(fmt.Sprintf("history=%d/%s", history, mode), func(b *testing.B) {
+				db := lsdb.Open(lsdb.Options{Node: "e13", Validation: entity.Managed, DisableStateCache: mode == "rollup"})
+				if err := db.RegisterType(workload.AccountType()); err != nil {
+					b.Fatal(err)
+				}
+				key := repro.Key{Type: "Account", ID: "A"}
+				for i := 0; i < history; i++ {
+					if _, err := db.Append(key, []repro.Op{repro.Delta("balance", 1)}, clock.Timestamp{WallNanos: int64(i + 1), Node: "e13"}, "e13", ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						st, _, err := db.Current(key)
+						if err != nil || st.Float("balance") != float64(history) {
+							b.Errorf("Current: %v %v", st, err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// --- E14: mixed append/scan workload across shard counts (section 3.1) -------
+
+// E14 is the mixed-scan experiment for lock striping: concurrent writers
+// append to disjoint entities while scans sweep the whole type. With one
+// shard every operation serialises on a single store lock; with eight,
+// writers on different stripes proceed in parallel and scans only hold one
+// stripe at a time.
+func BenchmarkE14ShardedMixedScan(b *testing.B) {
+	const entities = 256
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			db := lsdb.Open(lsdb.Options{Node: "e14", Validation: entity.Managed, Shards: shards})
+			if err := db.RegisterType(workload.AccountType()); err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]repro.Key, entities)
+			for i := range keys {
+				keys[i] = repro.Key{Type: "Account", ID: fmt.Sprintf("acct-%d", i)}
+				if _, err := db.Append(keys[i], []repro.Op{repro.Delta("balance", 1)}, clock.Timestamp{WallNanos: int64(i + 1), Node: "e14"}, "e14", ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					if i%16 == 0 {
+						if err := db.Scan("Account", func(*entity.State) bool { return true }); err != nil {
+							b.Error(err)
+							return
+						}
+						continue
+					}
+					key := keys[int(i)%entities]
+					if _, err := db.Append(key, []repro.Op{repro.Delta("balance", 1)}, clock.Timestamp{WallNanos: int64(entities + int(i)), Node: "e14"}, "e14", ""); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

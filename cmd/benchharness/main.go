@@ -1,5 +1,5 @@
-// Command benchharness runs scaled-down versions of the twelve experiments
-// (E1..E12 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
+// Command benchharness runs scaled-down versions of the fourteen experiments
+// (E1..E14 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
 // experiment, the way the paper's evaluation section would have reported
 // them. The authoritative, parameter-swept versions are the testing.B
 // benchmarks in bench_test.go; this command exists to regenerate the tables
@@ -47,6 +47,7 @@ func main() {
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6},
 		{"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11}, {"E12", e12},
+		{"E13", e13}, {"E14", e14},
 	}
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.name) {
@@ -361,7 +362,9 @@ func e8(n int) *metrics.Table {
 	return tbl
 }
 
-// E9: rollup read cost vs log length, with and without snapshots.
+// E9: rollup read cost vs log length, with and without snapshots. The
+// materialised state cache is disabled so the rollup itself is measured;
+// E13 measures the cache against this baseline.
 func e9(n int) *metrics.Table {
 	tbl := metrics.NewTable("E9 — LSDB rollup read cost (section 3.1)",
 		"log records", "snapshots", "reads", "mean read latency")
@@ -371,7 +374,7 @@ func e9(n int) *metrics.Table {
 			if snap {
 				every = 256
 			}
-			db := lsdb.Open(lsdb.Options{Node: "e9", SnapshotEvery: every, Validation: entity.Managed})
+			db := lsdb.Open(lsdb.Options{Node: "e9", SnapshotEvery: every, Validation: entity.Managed, DisableStateCache: true})
 			db.RegisterType(workload.AccountType())
 			key := repro.Key{Type: "Account", ID: "A"}
 			for i := 0; i < logLen; i++ {
@@ -386,6 +389,75 @@ func e9(n int) *metrics.Table {
 			}
 			tbl.AddRow(logLen, snap, reads, hist.Mean())
 		}
+	}
+	return tbl
+}
+
+// E13: materialised current-state reads vs log rollup at long histories.
+func e13(n int) *metrics.Table {
+	tbl := metrics.NewTable("E13 — materialised state cache vs rollup reads (section 3.1)",
+		"history length", "read path", "reads", "mean read latency")
+	for _, history := range []int{100, 1000} {
+		for _, cachedReads := range []bool{false, true} {
+			db := lsdb.Open(lsdb.Options{Node: "e13", Validation: entity.Managed, DisableStateCache: !cachedReads})
+			db.RegisterType(workload.AccountType())
+			key := repro.Key{Type: "Account", ID: "A"}
+			for i := 0; i < history; i++ {
+				db.Append(key, []repro.Op{repro.Delta("balance", 1)}, clock.Timestamp{WallNanos: int64(i + 1), Node: "e13"}, "e13", "")
+			}
+			hist := metrics.NewHistogram()
+			reads := n / 4
+			for i := 0; i < reads; i++ {
+				t0 := time.Now()
+				db.Current(key)
+				hist.Record(time.Since(t0))
+			}
+			name := "rollup"
+			if cachedReads {
+				name = "cached"
+			}
+			tbl.AddRow(history, name, reads, hist.Mean())
+		}
+	}
+	return tbl
+}
+
+// E14: mixed append/scan workload on one store, one shard vs eight.
+func e14(n int) *metrics.Table {
+	tbl := metrics.NewTable("E14 — lock-striped shards under a mixed append/scan load (section 3.1)",
+		"shards", "workers", "appends", "scans", "ops/sec")
+	const entities, workers = 256, 8
+	for _, shards := range []int{1, 8} {
+		db := lsdb.Open(lsdb.Options{Node: "e14", Validation: entity.Managed, Shards: shards})
+		db.RegisterType(workload.AccountType())
+		keys := make([]repro.Key, entities)
+		for i := range keys {
+			keys[i] = repro.Key{Type: "Account", ID: fmt.Sprintf("acct-%d", i)}
+			db.Append(keys[i], []repro.Op{repro.Delta("balance", 1)}, clock.Timestamp{WallNanos: int64(i + 1), Node: "e14"}, "e14", "")
+		}
+		var wg sync.WaitGroup
+		var appends, scans atomic.Int64
+		per := n / workers
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if i%16 == 0 {
+						db.Scan("Account", func(*entity.State) bool { return true })
+						scans.Add(1)
+						continue
+					}
+					key := keys[(w*per+i)%entities]
+					db.Append(key, []repro.Op{repro.Delta("balance", 1)}, clock.Timestamp{WallNanos: int64(entities + w*per + i), Node: "e14"}, "e14", "")
+					appends.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		tbl.AddRow(shards, workers, appends.Load(), scans.Load(), opsPerSec(workers*per, elapsed))
 	}
 	return tbl
 }

@@ -162,15 +162,31 @@ func (m *Maintainer) DefineView(name, entityType string, project func(*entity.St
 }
 
 // CatchUp folds every unprocessed log record into the secondary data and
-// returns how many records were processed. Deferred maintenance calls this
-// from a background loop; synchronous maintenance calls it inline after each
-// primary write.
+// returns how many records the maintainer caught up past. Deferred
+// maintenance calls this from a background loop; synchronous maintenance
+// calls it inline after each primary write.
+//
+// All secondary data is derived from entity state, so within one batch only
+// the latest record per entity needs a state read — every earlier record of
+// the same entity is already folded into that state. Records arrive in LSN
+// order and the per-entity maximum includes the batch's global maximum, so
+// the processed watermark still reaches the head of the batch.
 func (m *Maintainer) CatchUp() int {
 	m.mu.Lock()
 	from := m.processed
 	m.mu.Unlock()
 	records := m.db.RecordsAfter(from)
-	for _, rec := range records {
+	if len(records) == 0 {
+		return 0
+	}
+	latest := make(map[entity.Key]int, len(records))
+	for i, rec := range records {
+		latest[rec.Key] = i
+	}
+	for i, rec := range records {
+		if latest[rec.Key] != i {
+			continue
+		}
 		m.applyRecord(rec)
 	}
 	return len(records)
@@ -373,7 +389,10 @@ func (m *Maintainer) Staleness() (pendingRecords int, processedLSN uint64) {
 	return int(head - processed), processed
 }
 
-// Updates returns how many records have been folded into secondary data.
+// Updates returns how many state applications have folded records into
+// secondary data. CatchUp coalesces each entity's records within a batch
+// into one application, so this can be lower than the number of records
+// caught up past (CatchUp's return value).
 func (m *Maintainer) Updates() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -80,6 +80,11 @@ type Options struct {
 	Validation *entity.ValidationMode
 	// SnapshotEvery configures LSDB snapshot frequency (default 32).
 	SnapshotEvery int
+	// DBShards is the number of lock-striped shards inside each
+	// serialization unit's log store (default 8). More shards reduce
+	// intra-unit lock contention between entities that hash to different
+	// stripes; 1 reproduces the single-lock layout.
+	DBShards int
 	// DeferredAggregates maintains secondary data asynchronously; the
 	// default follows the consistency discipline.
 	DeferredAggregates *bool
@@ -100,6 +105,9 @@ func (o *Options) fill() {
 	}
 	if o.SnapshotEvery <= 0 {
 		o.SnapshotEvery = 32
+	}
+	if o.DBShards <= 0 {
+		o.DBShards = 8
 	}
 	if o.Workers <= 0 {
 		o.Workers = 2
@@ -191,6 +199,7 @@ func Open(opts Options) (*Kernel, error) {
 			Node:          clock.NodeID(id),
 			SnapshotEvery: opts.SnapshotEvery,
 			Validation:    opts.validation(),
+			Shards:        opts.DBShards,
 		})
 		mgr := txn.NewManager(db, k.locks, k.hlc, txn.Options{
 			Node:                clock.NodeID(id),

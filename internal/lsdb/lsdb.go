@@ -6,10 +6,25 @@
 // function".
 //
 // The database is main-memory resident (as the paper suggests), organised as
-// an append-only sequence of records grouped into segments. A per-entity
-// index and periodic per-entity snapshots keep rollups cheap; compaction and
-// summarisation bound growth while retaining the audit history principle 2.7
-// requires.
+// an append-only sequence of records grouped into segments. Two mechanisms
+// keep that view cheap to serve:
+//
+//   - The store is split into lock-striped shards keyed by entity hash
+//     (partition.KeyShard). Each shard owns its own mutex, log segments,
+//     per-entity index and caches, so writers and readers of unrelated
+//     entities never contend on one store-wide lock. LSNs stay globally
+//     unique and monotonic via a shared sequence.
+//
+//   - Each shard maintains a materialised current-state cache that is
+//     updated incrementally on every append: the new record's operations are
+//     applied to the cached rollup, so Current/Scan and aggregate catch-up
+//     are O(state) instead of O(history). Anything that rewrites history —
+//     MarkObsolete, Compact, Load — invalidates the affected entry and the
+//     next read falls back to a log rollup (bounded by per-entity
+//     snapshots), then re-materialises.
+//
+// Compaction and summarisation bound growth while retaining the audit
+// history principle 2.7 requires.
 package lsdb
 
 import (
@@ -22,6 +37,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/entity"
+	"repro/internal/partition"
 )
 
 // Common errors.
@@ -58,19 +74,31 @@ type Options struct {
 	// version stamps.
 	Node clock.NodeID
 	// SnapshotEvery materialises a per-entity snapshot after this many
-	// records for the entity. Zero disables automatic snapshots (every read
-	// replays the entity's full history), which experiment E9 uses as the
+	// records for the entity. Snapshots bound the log replay a read must do
+	// after the state cache was invalidated (or when the cache is disabled);
+	// zero disables automatic snapshots, which experiment E9 uses as the
 	// baseline.
 	SnapshotEvery int
-	// SegmentSize is the number of records per sealed segment. Zero uses a
-	// default of 4096.
+	// SegmentSize is the number of records per sealed segment within one
+	// shard. Zero uses a default of 4096.
 	SegmentSize int
 	// Validation selects Strict or Managed application of operations during
 	// rollup (principle 2.2).
 	Validation entity.ValidationMode
+	// Shards is the number of lock-striped shards the store is split into.
+	// Zero uses a default of 8; 1 reproduces the old single-lock layout.
+	Shards int
+	// DisableStateCache turns off the materialised current-state cache so
+	// every read recomputes the rollup from the log (plus snapshots). It
+	// exists for the E9/E13 baselines and for memory-constrained deployments
+	// that prefer recomputation over caching.
+	DisableStateCache bool
 }
 
-const defaultSegmentSize = 4096
+const (
+	defaultSegmentSize = 4096
+	defaultShards      = 8
+)
 
 // snapshot is a cached rollup of one entity up to (and including) an LSN.
 type snapshot struct {
@@ -79,20 +107,47 @@ type snapshot struct {
 	state *entity.State
 }
 
+// cached is one entry of the materialised current-state cache: the full
+// rollup of an entity as of head. The state is owned by the cache and never
+// handed out without cloning.
+type cached struct {
+	head  uint64
+	state *entity.State
+}
+
+// shard is one lock stripe of the store: a self-contained log with its own
+// index and caches for the entities that hash to it.
+type shard struct {
+	mu       sync.RWMutex
+	sealed   [][]Record // sealed segments, each of SegmentSize records
+	active   []Record   // current segment
+	index    map[entity.Key][]uint64 // entity -> LSNs, ascending
+	byTxn    map[entity.Key]map[string]uint64
+	snaps    map[entity.Key]snapshot
+	cache    map[entity.Key]*cached
+	archived map[entity.Key]*entity.State // summarised entities whose detail records were compacted away
+}
+
+func newShard() *shard {
+	return &shard{
+		index:    map[entity.Key][]uint64{},
+		byTxn:    map[entity.Key]map[string]uint64{},
+		snaps:    map[entity.Key]snapshot{},
+		cache:    map[entity.Key]*cached{},
+		archived: map[entity.Key]*entity.State{},
+	}
+}
+
 // DB is a log-structured database for one serialization unit. All methods
 // are safe for concurrent use.
 type DB struct {
 	opts Options
 
-	mu       sync.RWMutex
-	types    map[string]*entity.Type
-	sealed   [][]Record // sealed segments, each of SegmentSize records
-	active   []Record   // current segment
-	lsn      clock.Sequence
-	index    map[entity.Key][]uint64 // entity -> LSNs, ascending
-	byTxn    map[entity.Key]map[string]uint64
-	snaps    map[entity.Key]snapshot
-	archived map[entity.Key]*entity.State // summarised entities whose detail records were compacted away
+	typeMu sync.RWMutex
+	types  map[string]*entity.Type
+
+	lsn    clock.Sequence // global LSN allocator, shared by all shards
+	shards []*shard
 }
 
 // Open creates an empty database.
@@ -100,18 +155,30 @@ func Open(opts Options) *DB {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = defaultSegmentSize
 	}
-	return &DB{
-		opts:     opts,
-		types:    map[string]*entity.Type{},
-		index:    map[entity.Key][]uint64{},
-		byTxn:    map[entity.Key]map[string]uint64{},
-		snaps:    map[entity.Key]snapshot{},
-		archived: map[entity.Key]*entity.State{},
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShards
 	}
+	db := &DB{
+		opts:   opts,
+		types:  map[string]*entity.Type{},
+		shards: make([]*shard, opts.Shards),
+	}
+	for i := range db.shards {
+		db.shards[i] = newShard()
+	}
+	return db
 }
 
 // Node returns the node identity of this database.
 func (db *DB) Node() clock.NodeID { return db.opts.Node }
+
+// Shards returns the number of lock stripes the store is split into.
+func (db *DB) Shards() int { return len(db.shards) }
+
+// shardFor returns the shard owning the key.
+func (db *DB) shardFor(key entity.Key) *shard {
+	return db.shards[partition.KeyShard(key, len(db.shards))]
+}
 
 // RegisterType makes an entity type known to the database. It must be called
 // before appending records of that type.
@@ -119,24 +186,24 @@ func (db *DB) RegisterType(t *entity.Type) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.typeMu.Lock()
+	defer db.typeMu.Unlock()
 	db.types[t.Name] = t
 	return nil
 }
 
 // TypeOf returns the registered type with the given name.
 func (db *DB) TypeOf(name string) (*entity.Type, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.typeMu.RLock()
+	defer db.typeMu.RUnlock()
 	t, ok := db.types[name]
 	return t, ok
 }
 
 // Types returns the names of all registered types, sorted.
 func (db *DB) Types() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.typeMu.RLock()
+	defer db.typeMu.RUnlock()
 	out := make([]string, 0, len(db.types))
 	for n := range db.types {
 		out = append(out, n)
@@ -171,18 +238,26 @@ func (db *DB) AppendTentative(key entity.Key, ops []entity.Op, stamp clock.Times
 }
 
 func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, origin clock.NodeID, txnID string, tentative bool) (AppendResult, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	typ, ok := db.types[key.Type]
+	typ, ok := db.TypeOf(key.Type)
 	if !ok {
 		return AppendResult{}, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
 	}
+	s := db.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if txnID != "" {
-		if _, dup := db.byTxn[key][txnID]; dup {
+		if _, dup := s.byTxn[key][txnID]; dup {
 			return AppendResult{}, fmt.Errorf("%w: %s on %s", ErrDuplicateTxn, txnID, key)
 		}
 	}
-	prior := db.rollupLocked(key, typ)
+	// The cached rollup is the prior state; Apply clones it, so the cache
+	// entry itself is never mutated.
+	var prior *entity.State
+	if c, ok := s.cache[key]; ok && !db.opts.DisableStateCache {
+		prior = c.state
+	} else {
+		prior = s.rollupLocked(key, typ)
+	}
 	next, warnings, err := entity.Apply(typ, prior, ops, db.opts.Validation)
 	if err != nil {
 		return AppendResult{}, err
@@ -199,61 +274,77 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 		TxnID:     txnID,
 		Tentative: tentative,
 	}
-	db.appendRecordLocked(rec)
+	s.appendRecordLocked(rec, db.opts.SegmentSize)
 	if txnID != "" {
-		if db.byTxn[key] == nil {
-			db.byTxn[key] = map[string]uint64{}
+		if s.byTxn[key] == nil {
+			s.byTxn[key] = map[string]uint64{}
 		}
-		db.byTxn[key][txnID] = rec.LSN
+		s.byTxn[key][txnID] = rec.LSN
 	}
-	// Maintain the snapshot cache.
+	// Materialise the new current state incrementally: the cache takes
+	// ownership of next and the caller gets a clone.
+	resState := next
+	if !db.opts.DisableStateCache {
+		s.cache[key] = &cached{head: rec.LSN, state: next}
+		resState = next.Clone()
+	}
+	// Maintain the snapshot fallback.
 	if db.opts.SnapshotEvery > 0 {
-		snap := db.snaps[key]
+		snap := s.snaps[key]
 		snap.seq++
 		if snap.state == nil || int(snap.seq)%db.opts.SnapshotEvery == 0 {
-			db.snaps[key] = snapshot{lsn: rec.LSN, seq: snap.seq, state: next.Clone()}
-		} else {
-			snap.state = db.snaps[key].state
-			snap.lsn = db.snaps[key].lsn
-			db.snaps[key] = snapshot{lsn: snap.lsn, seq: snap.seq, state: snap.state}
+			snap.lsn = rec.LSN
+			snap.state = next.Clone()
 		}
+		s.snaps[key] = snap
 	}
-	return AppendResult{Record: rec, State: next, Warnings: warnings}, nil
+	return AppendResult{Record: rec, State: resState, Warnings: warnings}, nil
 }
 
-func (db *DB) appendRecordLocked(rec Record) {
-	db.active = append(db.active, rec)
-	if len(db.active) >= db.opts.SegmentSize {
-		db.sealed = append(db.sealed, db.active)
-		db.active = nil
+// appendRecordLocked adds rec to the shard's log and index. The caller holds
+// the shard lock; records arrive in ascending LSN order per shard because
+// LSNs are allocated under that lock.
+func (s *shard) appendRecordLocked(rec Record, segmentSize int) {
+	s.active = append(s.active, rec)
+	if len(s.active) >= segmentSize {
+		s.sealed = append(s.sealed, s.active)
+		s.active = nil
 	}
-	db.index[rec.Key] = append(db.index[rec.Key], rec.LSN)
+	s.index[rec.Key] = append(s.index[rec.Key], rec.LSN)
 }
 
 // MarkObsolete flags the record produced by txnID on key as obsolete (its
 // tentative promise was withdrawn). Rollups exclude it from then on, but the
 // record remains in the log for audit and apology purposes.
 func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	lsn, ok := db.byTxn[key][txnID]
+	s := db.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lsn, ok := s.byTxn[key][txnID]
 	if !ok {
 		return fmt.Errorf("%w: txn %s on %s", ErrNotFound, txnID, key)
 	}
-	rec := db.recordAtLocked(lsn)
+	rec := s.recordAtLocked(lsn)
 	if rec == nil {
 		return fmt.Errorf("%w: lsn %d", ErrNotFound, lsn)
 	}
 	rec.Obsolete = true
-	// The cached snapshot may now be wrong; drop it so the next read rebuilds.
-	delete(db.snaps, key)
+	// The materialised state folded the withdrawn record in; drop it so the
+	// next read rebuilds from the log. The snapshot only has to go if it
+	// already covers the withdrawn record — an older snapshot is still a
+	// valid prefix and bounds the rebuild.
+	delete(s.cache, key)
+	if snap, ok := s.snaps[key]; ok && snap.lsn >= lsn {
+		delete(s.snaps, key)
+	}
 	return nil
 }
 
 // recordAtLocked returns a pointer to the record with the given LSN, or nil
-// if it was compacted away. Records within each segment are in ascending LSN
-// order (compaction preserves order), so a binary search per segment works.
-func (db *DB) recordAtLocked(lsn uint64) *Record {
+// if it was compacted away or lives in another shard. Records within each
+// segment are in ascending LSN order (compaction preserves order), so a
+// binary search per segment works.
+func (s *shard) recordAtLocked(lsn uint64) *Record {
 	find := func(seg []Record) *Record {
 		i := sort.Search(len(seg), func(i int) bool { return seg[i].LSN >= lsn })
 		if i < len(seg) && seg[i].LSN == lsn {
@@ -261,8 +352,8 @@ func (db *DB) recordAtLocked(lsn uint64) *Record {
 		}
 		return nil
 	}
-	for si := range db.sealed {
-		seg := db.sealed[si]
+	for si := range s.sealed {
+		seg := s.sealed[si]
 		if len(seg) == 0 || seg[len(seg)-1].LSN < lsn {
 			continue
 		}
@@ -271,54 +362,89 @@ func (db *DB) recordAtLocked(lsn uint64) *Record {
 		}
 		return find(seg)
 	}
-	return find(db.active)
+	return find(s.active)
 }
 
 // Current returns the rollup of an entity's records: its current state and
-// the LSN of the latest record folded in.
+// the LSN of the latest record folded in. With the state cache enabled
+// (default) this is a map hit plus one clone, independent of history length.
 func (db *DB) Current(key entity.Key) (*entity.State, uint64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	typ, ok := db.types[key.Type]
+	typ, ok := db.TypeOf(key.Type)
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
 	}
-	lsns := db.index[key]
-	if len(lsns) == 0 && db.archived[key] == nil {
+	s := db.shardFor(key)
+	if db.opts.DisableStateCache {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if len(s.index[key]) == 0 && s.archived[key] == nil {
+			return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return s.rollupLocked(key, typ), headOf(s.index[key]), nil
+	}
+	s.mu.RLock()
+	if c, ok := s.cache[key]; ok {
+		st, head := c.state.Clone(), c.head
+		s.mu.RUnlock()
+		return st, head, nil
+	}
+	if len(s.index[key]) == 0 && s.archived[key] == nil {
+		// Nonexistent entity: answer under the read lock so polling for a
+		// key that is not there never escalates to the shard's write lock.
+		s.mu.RUnlock()
 		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
-	st := db.rollupLocked(key, typ)
-	var head uint64
-	if len(lsns) > 0 {
-		head = lsns[len(lsns)-1]
+	s.mu.RUnlock()
+	// Cache miss: rebuild the rollup under the write lock and re-materialise.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.cache[key]; ok { // raced with another rebuild
+		return c.state.Clone(), c.head, nil
 	}
-	return st, head, nil
+	if len(s.index[key]) == 0 && s.archived[key] == nil {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	st := s.rollupLocked(key, typ)
+	head := headOf(s.index[key])
+	s.cache[key] = &cached{head: head, state: st}
+	return st.Clone(), head, nil
+}
+
+// headOf returns the last (highest) LSN of an ascending index slice.
+func headOf(lsns []uint64) uint64 {
+	if len(lsns) == 0 {
+		return 0
+	}
+	return lsns[len(lsns)-1]
 }
 
 // Exists reports whether any live record (or archived summary) exists for key.
 func (db *DB) Exists(key entity.Key) bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.index[key]) > 0 || db.archived[key] != nil
+	s := db.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index[key]) > 0 || s.archived[key] != nil
 }
 
-// rollupLocked computes the current state of key, using the snapshot cache
-// when available. Callers hold at least a read lock.
-func (db *DB) rollupLocked(key entity.Key, typ *entity.Type) *entity.State {
+// rollupLocked computes the current state of key by log replay, starting
+// from the archived summary and/or snapshot when available. Callers hold at
+// least a read lock on the shard. The returned state is freshly built and
+// owned by the caller.
+func (s *shard) rollupLocked(key entity.Key, typ *entity.Type) *entity.State {
 	base := entity.NewState(key)
-	if arch := db.archived[key]; arch != nil {
+	if arch := s.archived[key]; arch != nil {
 		base = arch.Clone()
 	}
 	startLSN := uint64(0)
-	if snap, ok := db.snaps[key]; ok && snap.state != nil {
+	if snap, ok := s.snaps[key]; ok && snap.state != nil {
 		base = snap.state.Clone()
 		startLSN = snap.lsn
 	}
-	for _, lsn := range db.index[key] {
+	for _, lsn := range s.index[key] {
 		if lsn <= startLSN {
 			continue
 		}
-		rec := db.recordAtLocked(lsn)
+		rec := s.recordAtLocked(lsn)
 		if rec == nil || rec.Obsolete {
 			continue
 		}
@@ -339,23 +465,24 @@ func (db *DB) rollupLocked(key entity.Key, typ *entity.Type) *entity.State {
 // AsOf returns the state of key as of the given timestamp: the rollup of all
 // non-obsolete records stamped at or before ts.
 func (db *DB) AsOf(key entity.Key, ts clock.Timestamp) (*entity.State, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	typ, ok := db.types[key.Type]
+	typ, ok := db.TypeOf(key.Type)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
 	}
-	lsns := db.index[key]
+	s := db.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lsns := s.index[key]
 	if len(lsns) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	state := entity.NewState(key)
-	if arch := db.archived[key]; arch != nil {
+	if arch := s.archived[key]; arch != nil {
 		state = arch.Clone()
 	}
-	found := db.archived[key] != nil
+	found := s.archived[key] != nil
 	for _, lsn := range lsns {
-		rec := db.recordAtLocked(lsn)
+		rec := s.recordAtLocked(lsn)
 		if rec == nil || rec.Obsolete {
 			continue
 		}
@@ -382,24 +509,25 @@ func (db *DB) AsOf(key entity.Key, ts clock.Timestamp) (*entity.State, error) {
 // obsolete versions (principle 2.7: the past is never discarded, only
 // summarised).
 func (db *DB) History(key entity.Key) (*entity.History, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	typ, ok := db.types[key.Type]
+	typ, ok := db.TypeOf(key.Type)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
 	}
-	lsns := db.index[key]
-	if len(lsns) == 0 && db.archived[key] == nil {
+	s := db.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lsns := s.index[key]
+	if len(lsns) == 0 && s.archived[key] == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	h := entity.NewHistory(key)
 	state := entity.NewState(key)
-	if arch := db.archived[key]; arch != nil {
+	if arch := s.archived[key]; arch != nil {
 		state = arch.Clone()
 	}
 	var seq uint64
 	for _, lsn := range lsns {
-		rec := db.recordAtLocked(lsn)
+		rec := s.recordAtLocked(lsn)
 		if rec == nil {
 			continue
 		}
@@ -430,36 +558,53 @@ func (db *DB) History(key entity.Key) (*entity.History, error) {
 }
 
 // RecordsAfter returns all records with LSN strictly greater than after, in
-// LSN order. Replication and deferred-aggregate maintenance tail the log with
-// this call.
+// LSN order across all shards. Replication and deferred-aggregate
+// maintenance tail the log with this call.
+//
+// All shard locks are held together (always in shard order — this is the
+// only multi-shard lock site) so the result is one atomic cut of the log:
+// shard-at-a-time reads could return a higher LSN while missing a lower one
+// committed to an already-released shard, and watermark-based consumers
+// would then skip that record forever.
 func (db *DB) RecordsAfter(after uint64) []Record {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	for _, s := range db.shards {
+		s.mu.RLock()
+	}
+	defer func() {
+		for _, s := range db.shards {
+			s.mu.RUnlock()
+		}
+	}()
 	var out []Record
-	appendFrom := func(seg []Record) {
-		for _, r := range seg {
-			if r.LSN > after {
-				out = append(out, r)
+	for _, s := range db.shards {
+		appendFrom := func(seg []Record) {
+			for _, r := range seg {
+				if r.LSN > after {
+					out = append(out, r)
+				}
 			}
 		}
-	}
-	for _, seg := range db.sealed {
-		if len(seg) > 0 && seg[len(seg)-1].LSN <= after {
-			continue
+		for _, seg := range s.sealed {
+			if len(seg) > 0 && seg[len(seg)-1].LSN <= after {
+				continue
+			}
+			appendFrom(seg)
 		}
-		appendFrom(seg)
+		appendFrom(s.active)
 	}
-	appendFrom(db.active)
+	// Each shard contributed an ascending run; merge them into one log order.
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
 	return out
 }
 
 // RecordsFor returns all records of one entity in LSN order.
 func (db *DB) RecordsFor(key entity.Key) []Record {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	s := db.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Record
-	for _, lsn := range db.index[key] {
-		if rec := db.recordAtLocked(lsn); rec != nil {
+	for _, lsn := range s.index[key] {
+		if rec := s.recordAtLocked(lsn); rec != nil {
 			out = append(out, *rec)
 		}
 	}
@@ -468,34 +613,34 @@ func (db *DB) RecordsFor(key entity.Key) []Record {
 
 // HeadLSN returns the LSN of the most recent record (0 when empty).
 func (db *DB) HeadLSN() uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.lsn.Peek()
 }
 
 // Len returns the number of records currently retained in the log.
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	n := len(db.active)
-	for _, seg := range db.sealed {
-		n += len(seg)
+	n := 0
+	for _, s := range db.shards {
+		s.mu.RLock()
+		n += s.lenLocked()
+		s.mu.RUnlock()
 	}
 	return n
 }
 
 // Keys returns every entity key with retained or archived records, sorted.
 func (db *DB) Keys() []entity.Key {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	seen := map[entity.Key]bool{}
-	for k := range db.index {
-		if len(db.index[k]) > 0 {
+	for _, s := range db.shards {
+		s.mu.RLock()
+		for k := range s.index {
+			if len(s.index[k]) > 0 {
+				seen[k] = true
+			}
+		}
+		for k := range s.archived {
 			seen[k] = true
 		}
-	}
-	for k := range db.archived {
-		seen[k] = true
+		s.mu.RUnlock()
 	}
 	out := make([]entity.Key, 0, len(seen))
 	for k := range seen {
@@ -517,7 +662,10 @@ func (db *DB) KeysOfType(typeName string) []entity.Key {
 }
 
 // Scan calls fn with the current state of every entity of the given type.
-// Scanning stops early if fn returns false.
+// Scanning stops early if fn returns false. Each state is an internally
+// consistent rollup of its entity; the scan as a whole is not a global
+// snapshot — entities on other shards may change while one is visited
+// (subjective consistency, principle 2.1).
 func (db *DB) Scan(typeName string, fn func(*entity.State) bool) error {
 	if _, ok := db.TypeOf(typeName); !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownType, typeName)
@@ -538,20 +686,24 @@ func (db *DB) Scan(typeName string, fn func(*entity.State) bool) error {
 }
 
 // Snapshot forces a snapshot of key's current state so subsequent reads do
-// not replay its history.
+// not replay its history even after a cache invalidation.
 func (db *DB) Snapshot(key entity.Key) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	typ, ok := db.types[key.Type]
+	typ, ok := db.TypeOf(key.Type)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
 	}
-	lsns := db.index[key]
+	s := db.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lsns := s.index[key]
 	if len(lsns) == 0 {
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
-	st := db.rollupLocked(key, typ)
-	db.snaps[key] = snapshot{lsn: lsns[len(lsns)-1], seq: uint64(len(lsns)), state: st.Clone()}
+	st := s.rollupLocked(key, typ)
+	s.snaps[key] = snapshot{lsn: headOf(lsns), seq: uint64(len(lsns)), state: st.Clone()}
+	if !db.opts.DisableStateCache {
+		s.cache[key] = &cached{head: headOf(lsns), state: st}
+	}
 	return nil
 }
 
@@ -568,55 +720,62 @@ type CompactStats struct {
 // current rollup is stored as an archived summary (the paper's
 // "summarization and archival functionality") and the detail records are
 // removed. Entities with newer activity keep all their records so their
-// audit trail stays complete.
+// audit trail stays complete. Shards compact independently.
 func (db *DB) Compact(beforeLSN uint64) CompactStats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	stats := CompactStats{RecordsBefore: db.lenLocked()}
-	drop := map[entity.Key]bool{}
-	for key, lsns := range db.index {
-		if len(lsns) == 0 {
-			continue
-		}
-		if lsns[len(lsns)-1] <= beforeLSN {
-			typ := db.types[key.Type]
-			if typ == nil {
+	var stats CompactStats
+	for _, s := range db.shards {
+		s.mu.Lock()
+		stats.RecordsBefore += s.lenLocked()
+		drop := map[entity.Key]bool{}
+		for key, lsns := range s.index {
+			if len(lsns) == 0 {
 				continue
 			}
-			db.archived[key] = db.rollupLocked(key, typ)
-			drop[key] = true
-			stats.Summarised++
-		} else {
-			stats.EntitiesKept++
-		}
-	}
-	if len(drop) > 0 {
-		rewrite := func(seg []Record) []Record {
-			out := seg[:0]
-			for _, r := range seg {
-				if !drop[r.Key] {
-					out = append(out, r)
+			if headOf(lsns) <= beforeLSN {
+				typ, ok := db.TypeOf(key.Type)
+				if !ok {
+					continue
 				}
+				s.archived[key] = s.rollupLocked(key, typ)
+				drop[key] = true
+				stats.Summarised++
+			} else {
+				stats.EntitiesKept++
 			}
-			return out
 		}
-		for i := range db.sealed {
-			db.sealed[i] = rewrite(db.sealed[i])
+		if len(drop) > 0 {
+			rewrite := func(seg []Record) []Record {
+				out := seg[:0]
+				for _, r := range seg {
+					if !drop[r.Key] {
+						out = append(out, r)
+					}
+				}
+				return out
+			}
+			for i := range s.sealed {
+				s.sealed[i] = rewrite(s.sealed[i])
+			}
+			s.active = rewrite(s.active)
+			for key := range drop {
+				delete(s.index, key)
+				delete(s.snaps, key)
+				delete(s.byTxn, key)
+				// The materialised state would now shadow the archived
+				// summary; drop it and let the next read rebuild from the
+				// summary.
+				delete(s.cache, key)
+			}
 		}
-		db.active = rewrite(db.active)
-		for key := range drop {
-			delete(db.index, key)
-			delete(db.snaps, key)
-			delete(db.byTxn, key)
-		}
+		stats.RecordsAfter += s.lenLocked()
+		s.mu.Unlock()
 	}
-	stats.RecordsAfter = db.lenLocked()
 	return stats
 }
 
-func (db *DB) lenLocked() int {
-	n := len(db.active)
-	for _, seg := range db.sealed {
+func (s *shard) lenLocked() int {
+	n := len(s.active)
+	for _, seg := range s.sealed {
 		n += len(seg)
 	}
 	return n
@@ -646,46 +805,40 @@ type persistedOp struct {
 	Describe   string                 `json:"desc,omitempty"`
 }
 
-// Save writes every retained record as one JSON document per line. Archived
-// summaries are not persisted; callers that need them should compact after
-// loading.
+// Save writes every retained record as one JSON document per line, in global
+// LSN order (shard runs are merged so Load can rebuild per-shard ordering
+// for any shard count). Archived summaries are not persisted; callers that
+// need them should compact after loading.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	records := db.RecordsAfter(0)
 	enc := json.NewEncoder(w)
-	write := func(seg []Record) error {
-		for _, r := range seg {
-			pr := persistedRecord{
-				LSN:       r.LSN,
-				Key:       r.Key.String(),
-				Stamp:     r.Stamp.String(),
-				Origin:    string(r.Origin),
-				TxnID:     r.TxnID,
-				Tentative: r.Tentative,
-				Obsolete:  r.Obsolete,
-			}
-			for _, op := range r.Ops {
-				pr.Ops = append(pr.Ops, persistedOp{
-					Kind: int(op.Kind), Field: op.Field, Value: op.Value, Delta: op.Delta,
-					Collection: op.Collection, ChildID: op.ChildID, ChildRow: op.ChildRow, Describe: op.Describe,
-				})
-			}
-			if err := enc.Encode(pr); err != nil {
-				return fmt.Errorf("lsdb: save: %w", err)
-			}
+	for _, r := range records {
+		pr := persistedRecord{
+			LSN:       r.LSN,
+			Key:       r.Key.String(),
+			Stamp:     r.Stamp.String(),
+			Origin:    string(r.Origin),
+			TxnID:     r.TxnID,
+			Tentative: r.Tentative,
+			Obsolete:  r.Obsolete,
 		}
-		return nil
-	}
-	for _, seg := range db.sealed {
-		if err := write(seg); err != nil {
-			return err
+		for _, op := range r.Ops {
+			pr.Ops = append(pr.Ops, persistedOp{
+				Kind: int(op.Kind), Field: op.Field, Value: op.Value, Delta: op.Delta,
+				Collection: op.Collection, ChildID: op.ChildID, ChildRow: op.ChildRow, Describe: op.Describe,
+			})
+		}
+		if err := enc.Encode(pr); err != nil {
+			return fmt.Errorf("lsdb: save: %w", err)
 		}
 	}
-	return write(db.active)
+	return nil
 }
 
 // Load replays a stream produced by Save into the database. The database
-// must be freshly opened with the same entity types registered.
+// must be freshly opened with the same entity types registered. Loaded
+// records invalidate any materialised state for their entity; reads after
+// Load rebuild from the log.
 func (db *DB) Load(r io.Reader) error {
 	dec := json.NewDecoder(r)
 	for {
@@ -710,21 +863,23 @@ func (db *DB) Load(r io.Reader) error {
 				Collection: po.Collection, ChildID: po.ChildID, ChildRow: normaliseRow(po.ChildRow), Describe: po.Describe,
 			})
 		}
-		db.mu.Lock()
 		rec := Record{
 			LSN: pr.LSN, Key: key, Ops: ops, Stamp: stamp,
 			Origin: clock.NodeID(pr.Origin), TxnID: pr.TxnID,
 			Tentative: pr.Tentative, Obsolete: pr.Obsolete,
 		}
-		db.appendRecordLocked(rec)
+		s := db.shardFor(key)
+		s.mu.Lock()
+		s.appendRecordLocked(rec, db.opts.SegmentSize)
 		db.lsn.AdvanceTo(pr.LSN)
 		if pr.TxnID != "" {
-			if db.byTxn[key] == nil {
-				db.byTxn[key] = map[string]uint64{}
+			if s.byTxn[key] == nil {
+				s.byTxn[key] = map[string]uint64{}
 			}
-			db.byTxn[key][pr.TxnID] = pr.LSN
+			s.byTxn[key][pr.TxnID] = pr.LSN
 		}
-		db.mu.Unlock()
+		delete(s.cache, key)
+		s.mu.Unlock()
 	}
 }
 

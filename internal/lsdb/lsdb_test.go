@@ -522,6 +522,258 @@ func TestConcurrentAppendsDifferentKeys(t *testing.T) {
 	}
 }
 
+// --- Materialised state cache and sharding ---------------------------------
+
+func TestStateCacheInvalidationOnMarkObsolete(t *testing.T) {
+	db := newTestDB(t, Options{SnapshotEvery: 4})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	for i := 1; i <= 10; i++ {
+		db.Append(key, []entity.Op{entity.Delta("balance", 10)}, stamp(int64(i)), "n1", fmt.Sprintf("t%d", i))
+	}
+	db.AppendTentative(key, []entity.Op{entity.Delta("balance", -25)}, stamp(11), "n1", "hold")
+	// Two reads in a row exercise the cache-hit path.
+	for i := 0; i < 2; i++ {
+		st, head, err := db.Current(key)
+		if err != nil || st.Float("balance") != 75 || head != 11 {
+			t.Fatalf("read %d: balance=%v head=%d err=%v", i, st.Float("balance"), head, err)
+		}
+		if !st.Tentative {
+			t.Fatalf("read %d: state should be tentative", i)
+		}
+	}
+	// Withdrawing the promise invalidates the materialised state; the next
+	// read must fall back to a rollup that excludes the obsolete record and
+	// clears the tentative flag.
+	if err := db.MarkObsolete(key, "hold"); err != nil {
+		t.Fatalf("MarkObsolete: %v", err)
+	}
+	st, head, err := db.Current(key)
+	if err != nil || st.Float("balance") != 100 || head != 11 {
+		t.Fatalf("after obsolete: balance=%v head=%d err=%v", st.Float("balance"), head, err)
+	}
+	if st.Tentative {
+		t.Fatal("tentative flag survived withdrawal")
+	}
+	// The rebuilt state is re-materialised: appends keep it incremental.
+	db.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(12), "n1", "t12")
+	st, _, _ = db.Current(key)
+	if st.Float("balance") != 101 {
+		t.Fatalf("balance after re-materialise = %v, want 101", st.Float("balance"))
+	}
+}
+
+func TestStateCacheInvalidationOnCompact(t *testing.T) {
+	db := newTestDB(t, Options{})
+	cold := entity.Key{Type: "Account", ID: "cold"}
+	for i := 1; i <= 5; i++ {
+		db.Append(cold, []entity.Op{entity.Delta("balance", 10)}, stamp(int64(i)), "n1", "")
+	}
+	if st, _, _ := db.Current(cold); st.Float("balance") != 50 {
+		t.Fatalf("pre-compact balance = %v", st.Float("balance"))
+	}
+	db.Compact(db.HeadLSN())
+	// The cache entry was dropped with the detail records; the read must
+	// rebuild from the archived summary.
+	st, head, err := db.Current(cold)
+	if err != nil || st.Float("balance") != 50 {
+		t.Fatalf("post-compact: balance=%v err=%v", st.Float("balance"), err)
+	}
+	if head != 0 {
+		t.Fatalf("post-compact head = %d, want 0 (no live records)", head)
+	}
+	// New activity builds on the summary and re-materialises.
+	db.Append(cold, []entity.Op{entity.Delta("balance", 5)}, stamp(6), "n1", "")
+	st, _, _ = db.Current(cold)
+	if st.Float("balance") != 55 {
+		t.Fatalf("balance after summary + append = %v, want 55", st.Float("balance"))
+	}
+}
+
+func TestStateCacheInvalidationOnLoad(t *testing.T) {
+	src := newTestDB(t, Options{})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	src.Append(key, []entity.Op{entity.Delta("balance", 100)}, stamp(1), "n1", "t1")
+	src.AppendTentative(key, []entity.Op{entity.Delta("balance", -40)}, stamp(2), "n1", "t2")
+	src.MarkObsolete(key, "t2")
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	dst := newTestDB(t, Options{})
+	// Reading a key mid-restore materialises a partial state; the remaining
+	// loaded records must invalidate it.
+	lines := bytes.SplitAfter(buf.Bytes(), []byte("\n"))
+	if err := dst.Load(bytes.NewReader(lines[0])); err != nil {
+		t.Fatalf("Load first record: %v", err)
+	}
+	if st, _, _ := dst.Current(key); st.Float("balance") != 100 {
+		t.Fatalf("mid-load balance = %v", st.Float("balance"))
+	}
+	if err := dst.Load(bytes.NewReader(bytes.Join(lines[1:], nil))); err != nil {
+		t.Fatalf("Load rest: %v", err)
+	}
+	st, head, err := dst.Current(key)
+	if err != nil || st.Float("balance") != 100 || st.Tentative {
+		t.Fatalf("post-load: %v tentative=%v err=%v (obsolete record leaked in)", st.Float("balance"), st.Tentative, err)
+	}
+	if head != 2 {
+		t.Fatalf("post-load head = %d, want 2", head)
+	}
+}
+
+func TestCurrentReturnsCopy(t *testing.T) {
+	db := newTestDB(t, Options{})
+	key := entity.Key{Type: "Order", ID: "O1"}
+	db.Append(key, []entity.Op{entity.Set("status", "OPEN"), entity.InsertChild("lineitems", "L1", entity.Fields{"product": "widget", "qty": 1})}, stamp(1), "n1", "")
+	st, _, _ := db.Current(key)
+	st.Fields["status"] = "MUTATED"
+	st.Children["lineitems"][0].Fields["qty"] = int64(99)
+	again, _, _ := db.Current(key)
+	if again.StringField("status") != "OPEN" {
+		t.Fatalf("caller mutation leaked into cache: %q", again.StringField("status"))
+	}
+	if c, _ := again.ChildByID("lineitems", "L1"); c.Fields["qty"].(int64) != 1 {
+		t.Fatalf("caller child mutation leaked into cache: %v", c.Fields["qty"])
+	}
+}
+
+func TestShardedRecordsAfterOrderAndLen(t *testing.T) {
+	db := newTestDB(t, Options{Shards: 4, SegmentSize: 3})
+	const n = 50
+	for i := 1; i <= n; i++ {
+		key := entity.Key{Type: "Account", ID: fmt.Sprintf("A%d", i%7)}
+		if _, err := db.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i)), "n1", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := db.RecordsAfter(0)
+	if len(recs) != n {
+		t.Fatalf("RecordsAfter(0) = %d, want %d", len(recs), n)
+	}
+	for i := range recs {
+		if recs[i].LSN != uint64(i+1) {
+			t.Fatalf("records not in global LSN order at %d: %d", i, recs[i].LSN)
+		}
+	}
+	if db.Len() != n || db.HeadLSN() != n {
+		t.Fatalf("Len=%d HeadLSN=%d", db.Len(), db.HeadLSN())
+	}
+	if db.Shards() != 4 {
+		t.Fatalf("Shards = %d", db.Shards())
+	}
+}
+
+func TestSaveLoadAcrossShardCounts(t *testing.T) {
+	src := newTestDB(t, Options{Shards: 4})
+	for i := 1; i <= 40; i++ {
+		key := entity.Key{Type: "Account", ID: fmt.Sprintf("A%d", i%9)}
+		src.Append(key, []entity.Op{entity.Delta("balance", float64(i))}, stamp(int64(i)), "n1", fmt.Sprintf("t%d", i))
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		dst := newTestDB(t, Options{Shards: shards})
+		if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("Load into %d shards: %v", shards, err)
+		}
+		for _, key := range src.Keys() {
+			want, _, _ := src.Current(key)
+			got, _, err := dst.Current(key)
+			if err != nil || got.Float("balance") != want.Float("balance") {
+				t.Fatalf("shards=%d key=%s: got %v want %v err=%v", shards, key, got.Float("balance"), want.Float("balance"), err)
+			}
+		}
+		if dst.HeadLSN() != src.HeadLSN() {
+			t.Fatalf("shards=%d HeadLSN %d != %d", shards, dst.HeadLSN(), src.HeadLSN())
+		}
+	}
+}
+
+// TestScanCrossShardConsistency checks that a scan racing concurrent
+// writers only ever observes internally consistent per-entity states: every
+// record applies two +1 deltas atomically, so any valid rollup has an even
+// balance.
+func TestScanCrossShardConsistency(t *testing.T) {
+	db := newTestDB(t, Options{Shards: 8})
+	const writers, perWriter, entities = 4, 200, 16
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var scanErr error
+	var scanMu sync.Mutex
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			db.Scan("Account", func(st *entity.State) bool {
+				if int64(st.Float("balance"))%2 != 0 {
+					scanMu.Lock()
+					scanErr = fmt.Errorf("scan saw torn state: %s balance=%v", st.Key, st.Float("balance"))
+					scanMu.Unlock()
+					return false
+				}
+				return true
+			})
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := entity.Key{Type: "Account", ID: fmt.Sprintf("E%d", (w*perWriter+i)%entities)}
+				ops := []entity.Op{entity.Delta("balance", 1), entity.Delta("balance", 1)}
+				if _, err := db.Append(key, ops, stamp(int64(i+1)), "n1", ""); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scanMu.Lock()
+	defer scanMu.Unlock()
+	if scanErr != nil {
+		t.Fatal(scanErr)
+	}
+	var total float64
+	db.Scan("Account", func(st *entity.State) bool {
+		total += st.Float("balance")
+		return true
+	})
+	if total != writers*perWriter*2 {
+		t.Fatalf("final scan total = %v, want %d", total, writers*perWriter*2)
+	}
+}
+
+// TestDisabledStateCacheMatchesCached checks the E9/E13 baseline mode stays
+// semantically identical to the cached read path.
+func TestDisabledStateCacheMatchesCached(t *testing.T) {
+	cachedDB := newTestDB(t, Options{SnapshotEvery: 4})
+	baseline := newTestDB(t, Options{SnapshotEvery: 4, DisableStateCache: true})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	for i := 1; i <= 30; i++ {
+		ops := []entity.Op{entity.Delta("balance", float64(i))}
+		if i%7 == 0 {
+			ops = append(ops, entity.Set("owner", fmt.Sprintf("o%d", i)))
+		}
+		cachedDB.Append(key, ops, stamp(int64(i)), "n1", "")
+		baseline.Append(key, ops, stamp(int64(i)), "n1", "")
+	}
+	a, ha, _ := cachedDB.Current(key)
+	b, hb, _ := baseline.Current(key)
+	if a.Float("balance") != b.Float("balance") || a.StringField("owner") != b.StringField("owner") || ha != hb {
+		t.Fatalf("cached %v/%q@%d vs baseline %v/%q@%d",
+			a.Float("balance"), a.StringField("owner"), ha, b.Float("balance"), b.StringField("owner"), hb)
+	}
+}
+
 // Property: for any sequence of deltas, the rollup equals their sum — the
 // "current state is an aggregation of the log" invariant from section 3.1.
 func TestRollupEqualsSumProperty(t *testing.T) {

@@ -135,6 +135,18 @@ func (l *HashLocator) Units() []UnitID {
 	return out
 }
 
+// KeyShard maps an entity key to a stable shard index in [0, n). It is the
+// intra-unit analogue of Locate: where a Locator spreads entities over
+// serialization units, KeyShard spreads them over the lock-striped segments
+// inside one unit's log store, so both layers agree on one hash function.
+// n <= 1 always yields shard 0.
+func KeyShard(key entity.Key, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(hash32(key.String()) % uint32(n))
+}
+
 // Range is one key range [From, To) assigned to a unit. An empty To means
 // "to the end of the keyspace".
 type Range struct {

@@ -11,8 +11,9 @@
 //	k.Update(repro.Key{Type: "Account", ID: "A"}, repro.Delta("balance", 100))
 //	state, _ := k.Read(repro.Key{Type: "Account", ID: "A"})
 //
-// See the examples/ directory for complete scenarios and EXPERIMENTS.md for
-// the benchmark suite.
+// See README.md for the quickstart, the examples/ directory for complete
+// scenarios, DESIGN.md for the implementation walkthrough and EXPERIMENTS.md
+// for the benchmark suite.
 package repro
 
 import (
