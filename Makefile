@@ -14,9 +14,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The E1..E14 experiment benchmarks (see EXPERIMENTS.md).
+# The E1..E16 experiment benchmarks (see EXPERIMENTS.md).
 bench:
 	$(GO) test -run xxx -bench BenchmarkE -benchtime 200x ./...
+
+# The save/load persistence round-trip benchmark.
+bench-io:
+	$(GO) test -run xxx -bench BenchmarkSaveLoad -benchtime 50x ./internal/lsdb
 
 # Plain-text experiment tables without the Go test machinery.
 tables:

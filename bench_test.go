@@ -1,4 +1,4 @@
-// Benchmarks E1..E14: one per experiment in DESIGN.md / EXPERIMENTS.md.
+// Benchmarks E1..E16: one per experiment in DESIGN.md / EXPERIMENTS.md.
 //
 // The paper publishes no tables or figures, so each benchmark
 // operationalises one of its qualitative claims as a comparison between the
@@ -473,6 +473,100 @@ func BenchmarkE14ShardedMixedScan(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// --- E15: copy-on-write states vs deep clones on wide entities (section 3.1) --
+
+// seedWideOrder builds one Order with `width` line items in the given store.
+func seedWideOrder(b *testing.B, db *lsdb.DB, key repro.Key, width int) {
+	b.Helper()
+	if _, err := db.Append(key, []repro.Op{repro.Set("status", "OPEN")}, clock.Timestamp{WallNanos: 1, Node: "seed"}, "seed", ""); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < width; i++ {
+		ops := []repro.Op{repro.InsertChild("lineitems", fmt.Sprintf("L%d", i), repro.Fields{"product": "widget", "qty": 1, "price": 9.5})}
+		if _, err := db.Append(key, ops, clock.Timestamp{WallNanos: int64(i + 2), Node: "seed"}, "seed", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E15 is the wide-entity experiment for copy-on-write states: with COW a
+// cache-hit read hands out the frozen state (no copy at all) and a write
+// copies only the chunk it touches, so both are flat in child-collection
+// width; the deep-clone baseline (Options.DeepCloneStates, the PR-1
+// behaviour) pays O(width) on every read and every write.
+func BenchmarkE15WideEntityCOW(b *testing.B) {
+	for _, width := range []int{10, 100, 1000} {
+		for _, mode := range []string{"deepclone", "cow"} {
+			newDB := func() *lsdb.DB {
+				db := lsdb.Open(lsdb.Options{Node: "e15", Validation: entity.Managed, DeepCloneStates: mode == "deepclone"})
+				if err := db.RegisterType(workload.OrderType()); err != nil {
+					b.Fatal(err)
+				}
+				return db
+			}
+			key := repro.Key{Type: "Order", ID: "wide"}
+			b.Run(fmt.Sprintf("width=%d/%s/read", width, mode), func(b *testing.B) {
+				db := newDB()
+				seedWideOrder(b, db, key, width)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, _, err := db.Current(key)
+					if err != nil || st.ChildCount("lineitems") != width {
+						b.Fatalf("Current: %v children=%d", err, st.ChildCount("lineitems"))
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("width=%d/%s/write", width, mode), func(b *testing.B) {
+				db := newDB()
+				seedWideOrder(b, db, key, width)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					child := fmt.Sprintf("L%d", i%width)
+					ops := []repro.Op{entity.DeltaChildField("lineitems", child, "qty", 1)}
+					if _, err := db.Append(key, ops, clock.Timestamp{WallNanos: int64(width + i + 2), Node: "e15"}, "e15", ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E16: scans and queries over wide entities (section 3.1) -----------------
+
+// E16 measures Scan throughput when every entity is wide: with COW the scan
+// shares each frozen state with the cache, so per-entity cost is the
+// caller's own work; the deep-clone baseline copies every child row of every
+// entity on every visit.
+func BenchmarkE16WideScan(b *testing.B) {
+	const entities, width = 64, 256
+	for _, mode := range []string{"deepclone", "cow"} {
+		b.Run(mode, func(b *testing.B) {
+			db := lsdb.Open(lsdb.Options{Node: "e16", Validation: entity.Managed, DeepCloneStates: mode == "deepclone"})
+			if err := db.RegisterType(workload.OrderType()); err != nil {
+				b.Fatal(err)
+			}
+			for e := 0; e < entities; e++ {
+				seedWideOrder(b, db, repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", e)}, width)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var qty int64
+				err := db.Scan("Order", func(st *entity.State) bool {
+					for _, row := range st.LiveChildren("lineitems") {
+						v, _ := row.Fields["qty"].(int64)
+						qty += v
+					}
+					return true
+				})
+				if err != nil || qty < int64(entities*width) {
+					b.Fatalf("scan: %v qty=%d", err, qty)
+				}
+			}
 		})
 	}
 }

@@ -1,5 +1,5 @@
-// Command benchharness runs scaled-down versions of the fourteen experiments
-// (E1..E14 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
+// Command benchharness runs scaled-down versions of the sixteen experiments
+// (E1..E16 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
 // experiment, the way the paper's evaluation section would have reported
 // them. The authoritative, parameter-swept versions are the testing.B
 // benchmarks in bench_test.go; this command exists to regenerate the tables
@@ -47,7 +47,7 @@ func main() {
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6},
 		{"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11}, {"E12", e12},
-		{"E13", e13}, {"E14", e14},
+		{"E13", e13}, {"E14", e14}, {"E15", e15}, {"E16", e16},
 	}
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.name) {
@@ -458,6 +458,84 @@ func e14(n int) *metrics.Table {
 		wg.Wait()
 		elapsed := time.Since(start)
 		tbl.AddRow(shards, workers, appends.Load(), scans.Load(), opsPerSec(workers*per, elapsed))
+	}
+	return tbl
+}
+
+// seedWideOrder builds one Order with width line items.
+func seedWideOrder(db *lsdb.DB, key repro.Key, width int) {
+	db.Append(key, []repro.Op{repro.Set("status", "OPEN")}, clock.Timestamp{WallNanos: 1, Node: "seed"}, "seed", "")
+	for i := 0; i < width; i++ {
+		db.Append(key, []repro.Op{repro.InsertChild("lineitems", fmt.Sprintf("L%d", i), repro.Fields{"product": "widget", "qty": 1, "price": 9.5})},
+			clock.Timestamp{WallNanos: int64(i + 2), Node: "seed"}, "seed", "")
+	}
+}
+
+// E15: copy-on-write states vs the deep-clone baseline on wide entities.
+func e15(n int) *metrics.Table {
+	tbl := metrics.NewTable("E15 — copy-on-write states vs deep clones on wide entities (section 3.1)",
+		"children", "state model", "mean read latency", "mean write latency")
+	for _, width := range []int{10, 100, 1000} {
+		for _, deep := range []bool{true, false} {
+			db := lsdb.Open(lsdb.Options{Node: "e15", Validation: entity.Managed, DeepCloneStates: deep})
+			db.RegisterType(workload.OrderType())
+			key := repro.Key{Type: "Order", ID: "wide"}
+			seedWideOrder(db, key, width)
+			reads := metrics.NewHistogram()
+			ops := n / 4
+			for i := 0; i < ops; i++ {
+				t0 := time.Now()
+				db.Current(key)
+				reads.Record(time.Since(t0))
+			}
+			writes := metrics.NewHistogram()
+			for i := 0; i < ops; i++ {
+				op := []repro.Op{entity.DeltaChildField("lineitems", fmt.Sprintf("L%d", i%width), "qty", 1)}
+				t0 := time.Now()
+				db.Append(key, op, clock.Timestamp{WallNanos: int64(width + i + 2), Node: "e15"}, "e15", "")
+				writes.Record(time.Since(t0))
+			}
+			name := "copy-on-write"
+			if deep {
+				name = "deep-clone"
+			}
+			tbl.AddRow(width, name, reads.Mean(), writes.Mean())
+		}
+	}
+	return tbl
+}
+
+// E16: scan throughput over wide entities, COW vs deep-clone reads.
+func e16(n int) *metrics.Table {
+	tbl := metrics.NewTable("E16 — scans over wide entities: copy-on-write vs deep clones (section 3.1)",
+		"entities", "children each", "state model", "scans", "mean scan latency")
+	const entities, width = 32, 256
+	for _, deep := range []bool{true, false} {
+		db := lsdb.Open(lsdb.Options{Node: "e16", Validation: entity.Managed, DeepCloneStates: deep})
+		db.RegisterType(workload.OrderType())
+		for e := 0; e < entities; e++ {
+			seedWideOrder(db, repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", e)}, width)
+		}
+		hist := metrics.NewHistogram()
+		scans := n / 100
+		if scans == 0 {
+			scans = 1
+		}
+		for i := 0; i < scans; i++ {
+			t0 := time.Now()
+			db.Scan("Order", func(st *entity.State) bool {
+				for _, row := range st.LiveChildren("lineitems") {
+					_ = row.Fields["qty"]
+				}
+				return true
+			})
+			hist.Record(time.Since(t0))
+		}
+		name := "copy-on-write"
+		if deep {
+			name = "deep-clone"
+		}
+		tbl.AddRow(entities, width, name, scans, hist.Mean())
 	}
 	return tbl
 }

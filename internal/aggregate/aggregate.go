@@ -211,7 +211,9 @@ func (m *Maintainer) Run(interval time.Duration, stop <-chan struct{}) {
 // applyRecord folds one record into every matching definition.
 func (m *Maintainer) applyRecord(rec lsdb.Record) {
 	// Obsolete records contribute nothing; their withdrawal is reflected the
-	// next time the entity's state is read (full refresh below).
+	// next time the entity's state is read (full refresh below). The read is
+	// zero-copy: Current hands out the frozen cached state, and the
+	// maintainer only ever reads from it.
 	state, _, err := m.db.Current(rec.Key)
 	if err != nil {
 		return

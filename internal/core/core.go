@@ -495,7 +495,9 @@ func (k *Kernel) TransactMulti(writes []MultiWrite) error {
 
 // --- Reads -------------------------------------------------------------------
 
-// Read returns the subjective current state of an entity.
+// Read returns the subjective current state of an entity. The state is
+// frozen and served zero-copy from the owning unit's materialised cache;
+// call State.Thaw before mutating it.
 func (k *Kernel) Read(key entity.Key) (*entity.State, error) {
 	u, err := k.unitFor(key)
 	if err != nil {
@@ -533,7 +535,9 @@ func (k *Kernel) Exists(key entity.Key) bool {
 }
 
 // Query scans every unit for entities of a type and calls fn with each
-// current state; returning false stops the scan.
+// current state; returning false stops the scan. States are frozen and
+// shared zero-copy with the store's cache — fn must Thaw one before
+// mutating it.
 func (k *Kernel) Query(typeName string, fn func(*entity.State) bool) error {
 	for _, id := range k.unitIDs {
 		u := k.units[id]

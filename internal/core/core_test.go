@@ -431,3 +431,66 @@ func TestOptionsAccessors(t *testing.T) {
 		t.Fatal("accessors returned nil")
 	}
 }
+
+// TestKernelReadsAreFrozenAndAliasFree checks the kernel-level half of the
+// copy-on-write contract: Read and Query hand out frozen states zero-copy,
+// and a caller that thaws and scribbles over its copy never corrupts what
+// later readers and transactions see.
+func TestKernelReadsAreFrozenAndAliasFree(t *testing.T) {
+	k := newKernel(t, Options{Node: "cow"})
+	key := orderKey("O1")
+	if _, err := k.Update(key,
+		entity.Set("status", "OPEN"),
+		entity.InsertChild("lineitems", "L1", entity.Fields{"product": "widget", "qty": 2}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.Read(key)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !st.Frozen() {
+		t.Fatal("Read should return a frozen state")
+	}
+	mine := st.Thaw()
+	mine.Fields["status"] = "SCRIBBLED"
+	mine.Deleted = true
+	if err := k.Query("Order", func(qs *entity.State) bool {
+		if !qs.Frozen() {
+			t.Error("Query should hand out frozen states")
+		}
+		m := qs.Thaw()
+		m.Fields["status"] = "SCRIBBLED-TOO"
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := k.Read(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.StringField("status") != "OPEN" || again.Deleted {
+		t.Fatalf("caller scribbling leaked into the kernel: %q deleted=%v", again.StringField("status"), again.Deleted)
+	}
+	if c, ok := again.ChildByID("lineitems", "L1"); !ok || c.Fields["qty"].(int64) != 2 {
+		t.Fatalf("child corrupted: ok=%v %+v", ok, c)
+	}
+	// A transaction reading the same entity sees the clean state too and can
+	// keep writing through the normal path.
+	if _, err := k.Transact(key, func(tx *txn.Txn) error {
+		s, err := tx.Read(key)
+		if err != nil {
+			return err
+		}
+		if s.StringField("status") != "OPEN" {
+			return fmt.Errorf("txn read saw corruption: %q", s.StringField("status"))
+		}
+		return tx.Update(key, entity.Set("status", "PAID"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := k.Read(key)
+	if final.StringField("status") != "PAID" {
+		t.Fatalf("status = %q, want PAID", final.StringField("status"))
+	}
+}

@@ -11,6 +11,7 @@ package entity
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -36,6 +37,10 @@ var (
 	// ErrNoSuchChild is returned when an operation references a child id that
 	// does not exist.
 	ErrNoSuchChild = errors.New("entity: no such child")
+	// ErrUnsafeValue is returned when an operation carries a value that is
+	// neither a scalar nor a supported container. Such values cannot be
+	// safely shared between the sealed log, the state cache and callers.
+	ErrUnsafeValue = errors.New("entity: non-scalar operation value")
 )
 
 // FieldType enumerates the scalar types an entity field may hold.
@@ -182,14 +187,39 @@ func ParseKey(s string) (Key, error) {
 // Fields is the attribute map of an entity root or child row.
 type Fields map[string]interface{}
 
-// Clone deep-copies the field map (values are scalars, so a shallow value
-// copy suffices).
+// Clone copies the field map. Values are normally scalars (a shallow value
+// copy); the supported container types (nested Fields, map[string]interface{},
+// []interface{}) are copied recursively so a clone never aliases mutable data
+// with its source. Unsupported non-scalar kinds are rejected before they can
+// enter a state (see SanitizeOps), so passing them through here is safe.
 func (f Fields) Clone() Fields {
 	out := make(Fields, len(f))
 	for k, v := range f {
-		out[k] = v
+		out[k] = cloneValue(v)
 	}
 	return out
+}
+
+// cloneValue deep-copies container values and passes scalars through.
+func cloneValue(v interface{}) interface{} {
+	switch x := v.(type) {
+	case Fields:
+		return x.Clone()
+	case map[string]interface{}:
+		out := make(map[string]interface{}, len(x))
+		for k, e := range x {
+			out[k] = cloneValue(e)
+		}
+		return out
+	case []interface{}:
+		out := make([]interface{}, len(x))
+		for i, e := range x {
+			out[i] = cloneValue(e)
+		}
+		return out
+	default:
+		return v
+	}
 }
 
 // Child is one row of a child collection.
@@ -206,57 +236,419 @@ func (c Child) Clone() Child {
 	return Child{ID: c.ID, Fields: c.Fields.Clone(), Deleted: c.Deleted}
 }
 
+// chunkSize is the number of child rows per chunk. Copy-on-write operates at
+// chunk granularity: a write to one row copies at most one chunk, so the cost
+// of Apply is proportional to the chunks it touches, not the collection width.
+const chunkSize = 64
+
+// reindexAfter bounds the unindexed tail of a collection. Once this many rows
+// sit beyond the frozen id index, the next insert rebuilds the index, keeping
+// ChildByID an O(1) map hit plus a bounded tail scan.
+const reindexAfter = 64
+
+// chunk is a run of up to chunkSize child rows. Chunks are shared structurally
+// between state versions and never mutated while shared; a mutable state
+// deep-copies a chunk the first time it writes into it.
+type chunk struct {
+	rows []Child
+}
+
+// collection is the copy-on-write container of one child collection. Rows are
+// append-only (deletes tombstone in place), so a row's position is stable for
+// the lifetime of the collection and chunk boundaries never move.
+type collection struct {
+	chunks []*chunk
+	n      int // rows visible in this version
+	live   int // rows not tombstoned
+	// index maps a child id to its first position, covering rows [0, indexed).
+	// It is immutable once built: inserts land in the tail and a fresh index
+	// is built (in the inserting version) when the tail reaches reindexAfter.
+	index   map[string]int
+	indexed int
+	// dups counts ids that occur on more than one row (insert after delete, or
+	// raw appends into undeclared collections); deletes fall back to a full
+	// scan only when it is non-zero.
+	dups int
+	// owned marks chunks this header's owner may mutate in place. Meaningful
+	// only inside a mutable state that owns the header; always stale on shared
+	// headers, which are never written.
+	owned []bool
+}
+
+// header returns a copy of the collection bookkeeping with all chunks shared
+// and unowned.
+func (c *collection) header() *collection {
+	return &collection{
+		chunks:  append([]*chunk(nil), c.chunks...),
+		n:       c.n,
+		live:    c.live,
+		index:   c.index,
+		indexed: c.indexed,
+		dups:    c.dups,
+		owned:   make([]bool, len(c.chunks)),
+	}
+}
+
+// deepCopy fully materialises the collection: every chunk and row map is
+// private to the copy. The frozen index is shared (it is immutable).
+func (c *collection) deepCopy() *collection {
+	out := c.header()
+	for i := range out.chunks {
+		out.copyChunk(i)
+	}
+	return out
+}
+
+// rowAt returns the row at a position for reading. The returned pointer must
+// not be written through unless the chunk is owned (use mutRow).
+func (c *collection) rowAt(pos int) *Child {
+	return &c.chunks[pos/chunkSize].rows[pos%chunkSize]
+}
+
+// copyChunk replaces chunk ci with a deep copy the owner may write to. The
+// copy is sized to its current rows — narrow collections stay narrow; append
+// growth re-allocates amortised up to the chunkSize bound.
+func (c *collection) copyChunk(ci int) {
+	old := c.chunks[ci]
+	rows := make([]Child, len(old.rows))
+	for i, r := range old.rows {
+		rows[i] = r.Clone()
+	}
+	c.chunks[ci] = &chunk{rows: rows}
+	c.owned[ci] = true
+}
+
+// mutRow returns a writable pointer to the row at pos, copying its chunk
+// first if it is still shared. Only call on an owned header.
+func (c *collection) mutRow(pos int) *Child {
+	ci := pos / chunkSize
+	if !c.owned[ci] {
+		c.copyChunk(ci)
+	}
+	return &c.chunks[ci].rows[pos%chunkSize]
+}
+
+// find returns the first position holding id (tombstoned rows included,
+// matching scan order): an index hit for the indexed prefix, then a bounded
+// scan of the unindexed tail.
+func (c *collection) find(id string) (int, bool) {
+	if c == nil {
+		return 0, false
+	}
+	if c.index != nil {
+		if pos, ok := c.index[id]; ok && pos < c.n && c.rowAt(pos).ID == id {
+			return pos, true
+		}
+	}
+	for pos := c.indexed; pos < c.n; pos++ {
+		if c.rowAt(pos).ID == id {
+			return pos, true
+		}
+	}
+	return 0, false
+}
+
+// appendRow appends a child row, tracking duplicate ids and maintaining the
+// index. Only call on an owned header.
+func (c *collection) appendRow(ch Child) {
+	if _, ok := c.find(ch.ID); ok {
+		c.dups++
+	}
+	ci := c.n / chunkSize
+	if ci == len(c.chunks) {
+		// Row capacity grows with append's amortised doubling; the position
+		// math (pos/chunkSize) caps every chunk at chunkSize rows, so narrow
+		// collections never pay for a full-width backing array.
+		c.chunks = append(c.chunks, &chunk{})
+		c.owned = append(c.owned, true)
+	} else if !c.owned[ci] {
+		c.copyChunk(ci)
+	}
+	ck := c.chunks[ci]
+	ck.rows = append(ck.rows, ch)
+	c.n++
+	if !ch.Deleted {
+		c.live++
+	}
+	if c.n-c.indexed >= reindexAfter {
+		c.reindex()
+	}
+}
+
+// reindex builds a fresh id -> first-position map over all rows. The map is
+// private to the building version until the version is frozen; shared index
+// maps are never mutated.
+func (c *collection) reindex() {
+	idx := make(map[string]int, c.n)
+	for pos := 0; pos < c.n; pos++ {
+		id := c.rowAt(pos).ID
+		if _, ok := idx[id]; !ok {
+			idx[id] = pos
+		}
+	}
+	c.index = idx
+	c.indexed = c.n
+}
+
+// each calls fn with every row in insertion order.
+func (c *collection) each(fn func(*Child)) {
+	if c == nil {
+		return
+	}
+	pos := 0
+	for _, ck := range c.chunks {
+		for i := range ck.rows {
+			if pos >= c.n {
+				return
+			}
+			fn(&ck.rows[i])
+			pos++
+		}
+	}
+}
+
 // State is the materialised current value of an entity: root fields plus all
 // child collections. It is what a rollup over the version log produces.
+//
+// States are copy-on-write values with structural sharing. A state is either
+// mutable (freshly built, cloned or thawed — owned by one goroutine) or
+// frozen (immutable forever, safe to share between goroutines without
+// copying). The read path hands out frozen states directly; callers that
+// want to modify one must Thaw it first and mutate only through Apply and
+// the root Fields map/flags of the thawed copy. Child rows returned by
+// ChildByID, LiveChildren and Children are read-only views into shared
+// chunks — never write through them.
 type State struct {
-	Key      Key
-	Fields   Fields
-	Children map[string][]Child
+	Key    Key
+	Fields Fields
+	// children maps collection name to its copy-on-write container. The map
+	// itself is private to each state; the containers are shared until
+	// written.
+	children map[string]*collection
 	// Deleted marks a tombstoned entity.
 	Deleted bool
 	// Tentative marks state resulting from tentative operations that have not
 	// been confirmed (principle 2.9); it is visible and durable but may later
 	// be marked obsolete.
 	Tentative bool
+	// frozen is the generation flag: once set, the state (and everything
+	// reachable from it) is immutable and may be shared freely.
+	frozen bool
+	// owned marks collections whose header this state may mutate in place.
+	// nil on frozen or freshly cloned states.
+	owned map[string]bool
 }
 
-// NewState returns an empty state for the given key.
+// NewState returns an empty mutable state for the given key.
 func NewState(key Key) *State {
-	return &State{Key: key, Fields: Fields{}, Children: map[string][]Child{}}
+	return &State{Key: key, Fields: Fields{}, children: map[string]*collection{}}
 }
 
-// Clone deep-copies the state.
+// Freeze marks the state immutable and returns it. A frozen state may be
+// shared between goroutines and versions without copying; mutating it through
+// the entity API panics. Freezing is idempotent.
+func (s *State) Freeze() *State {
+	if s.frozen {
+		return s
+	}
+	s.frozen = true
+	s.owned = nil
+	return s
+}
+
+// Frozen reports whether the state is immutable.
+func (s *State) Frozen() bool { return s.frozen }
+
+// Thaw returns a state the caller may mutate: the state itself when it is
+// already mutable, otherwise a structural-sharing copy (O(collections), not
+// O(rows)) whose writes copy only what they touch.
+func (s *State) Thaw() *State {
+	if !s.frozen {
+		return s
+	}
+	return s.Clone()
+}
+
+// Clone returns a mutable copy of the state in O(collections + root fields):
+// the root field map is copied, child chunks are shared and copied lazily on
+// write. Cloning a mutable state revokes the source's in-place write
+// ownership, so later writes to either side copy-on-write instead of
+// corrupting the other.
 func (s *State) Clone() *State {
-	out := &State{Key: s.Key, Fields: s.Fields.Clone(), Children: make(map[string][]Child, len(s.Children)), Deleted: s.Deleted, Tentative: s.Tentative}
-	for name, rows := range s.Children {
-		copied := make([]Child, len(rows))
-		for i, r := range rows {
-			copied[i] = r.Clone()
-		}
-		out.Children[name] = copied
+	if !s.frozen {
+		// The source keeps working but now shares its chunks with the clone;
+		// its next write re-copies. Frozen sources are never written, so this
+		// stays read-only for them (and therefore goroutine-safe).
+		s.owned = nil
+	}
+	out := &State{
+		Key:       s.Key,
+		Fields:    s.Fields.Clone(),
+		children:  make(map[string]*collection, len(s.children)),
+		Deleted:   s.Deleted,
+		Tentative: s.Tentative,
+	}
+	for name, c := range s.children {
+		out.children[name] = c
 	}
 	return out
 }
 
-// ChildByID returns the child row with the given id in the named collection.
+// DeepClone returns a mutable copy sharing no mutable structure with the
+// source: every chunk and row map is copied eagerly. It exists as the
+// pre-copy-on-write baseline for experiments E15/E16 and for callers that
+// need a fully detached value.
+func (s *State) DeepClone() *State {
+	out := &State{
+		Key:       s.Key,
+		Fields:    s.Fields.Clone(),
+		children:  make(map[string]*collection, len(s.children)),
+		Deleted:   s.Deleted,
+		Tentative: s.Tentative,
+		owned:     make(map[string]bool, len(s.children)),
+	}
+	for name, c := range s.children {
+		out.children[name] = c.deepCopy()
+		out.owned[name] = true
+	}
+	return out
+}
+
+// mutableCol returns the named collection with an owned header, creating it
+// when absent and copying the shared header on first write.
+func (s *State) mutableCol(name string) *collection {
+	if s.frozen {
+		panic("entity: write to frozen State (Thaw it first)")
+	}
+	c := s.children[name]
+	if c != nil && s.owned[name] {
+		return c
+	}
+	if c == nil {
+		c = &collection{}
+	} else {
+		c = c.header()
+	}
+	if s.children == nil {
+		s.children = map[string]*collection{}
+	}
+	s.children[name] = c
+	if s.owned == nil {
+		s.owned = map[string]bool{}
+	}
+	s.owned[name] = true
+	return c
+}
+
+// ChildByID returns the child row with the given id in the named collection
+// (first match in insertion order, tombstoned rows included). The row is a
+// read-only view; do not write through its Fields map.
 func (s *State) ChildByID(collection, id string) (Child, bool) {
-	for _, c := range s.Children[collection] {
-		if c.ID == id {
-			return c, true
-		}
+	c := s.children[collection]
+	if pos, ok := c.find(id); ok {
+		return *c.rowAt(pos), true
 	}
 	return Child{}, false
 }
 
-// LiveChildren returns the non-tombstoned rows of a collection.
+// LiveChildren returns the non-tombstoned rows of a collection in insertion
+// order. The rows are read-only views into shared structure.
 func (s *State) LiveChildren(collection string) []Child {
-	var out []Child
-	for _, c := range s.Children[collection] {
-		if !c.Deleted {
-			out = append(out, c)
+	c := s.children[collection]
+	if c == nil || c.live == 0 {
+		return nil
+	}
+	out := make([]Child, 0, c.live)
+	c.each(func(ch *Child) {
+		if !ch.Deleted {
+			out = append(out, *ch)
+		}
+	})
+	return out
+}
+
+// Children returns every row of a collection, tombstoned ones included, in
+// insertion order. The rows are read-only views into shared structure.
+func (s *State) Children(collection string) []Child {
+	c := s.children[collection]
+	if c == nil || c.n == 0 {
+		return nil
+	}
+	out := make([]Child, 0, c.n)
+	c.each(func(ch *Child) { out = append(out, *ch) })
+	return out
+}
+
+// ChildCount returns the number of rows in a collection, tombstones included.
+func (s *State) ChildCount(collection string) int {
+	c := s.children[collection]
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Collections returns the names of the state's child collections, sorted.
+func (s *State) Collections() []string {
+	out := make([]string, 0, len(s.children))
+	for name := range s.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// insertChild applies insert/upsert semantics for a declared collection: a
+// live row with the same id is merged field-wise, anything else appends.
+func (s *State) insertChild(collection, id string, row Fields) {
+	c := s.mutableCol(collection)
+	if pos, ok := c.find(id); ok && !c.rowAt(pos).Deleted {
+		m := c.mutRow(pos)
+		for k, v := range row {
+			m.Fields[k] = v
+		}
+		return
+	}
+	if row == nil {
+		row = Fields{}
+	}
+	c.appendRow(Child{ID: id, Fields: row})
+}
+
+// appendChild appends a row without upsert semantics (undeclared collections
+// keep the raw append behaviour).
+func (s *State) appendChild(collection string, ch Child) {
+	s.mutableCol(collection).appendRow(ch)
+}
+
+// deleteChild tombstones every row carrying the id, reporting whether any row
+// matched. The common single-occurrence case touches one chunk. The position
+// found on the shared header stays valid after mutableCol: the header copy
+// preserves chunk layout exactly.
+func (s *State) deleteChild(collection, id string) bool {
+	pos, ok := s.children[collection].find(id)
+	if !ok {
+		return false
+	}
+	c := s.mutableCol(collection)
+	if c.dups == 0 {
+		r := c.mutRow(pos)
+		if !r.Deleted {
+			r.Deleted = true
+			c.live--
+		}
+		return true
+	}
+	for pos := 0; pos < c.n; pos++ {
+		if c.rowAt(pos).ID == id {
+			r := c.mutRow(pos)
+			if !r.Deleted {
+				r.Deleted = true
+				c.live--
+			}
 		}
 	}
-	return out
+	return true
 }
 
 // Int returns the named root field as int64 (0 when absent or wrong type).
@@ -345,20 +737,133 @@ type Op struct {
 	Describe string
 }
 
+// safeValue deep-copies supported container values so an op never aliases
+// caller-owned mutable data, and passes everything else through. Unsupported
+// kinds are not detected here (constructors cannot fail); SanitizeOps rejects
+// them before a record is sealed.
+func safeValue(v interface{}) interface{} {
+	switch v.(type) {
+	case Fields, map[string]interface{}, []interface{}:
+		return cloneValue(v)
+	default:
+		return v
+	}
+}
+
+// checkValue verifies a value is a scalar or a supported container (checked
+// recursively) and returns a copy that shares no mutable structure with the
+// input.
+func checkValue(v interface{}) (interface{}, error) {
+	switch x := v.(type) {
+	case nil, bool, string,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64:
+		return v, nil
+	case Fields:
+		out, err := checkRow(x)
+		return out, err
+	case map[string]interface{}:
+		out := make(map[string]interface{}, len(x))
+		for k, e := range x {
+			ce, err := checkValue(e)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = ce
+		}
+		return out, nil
+	case []interface{}:
+		out := make([]interface{}, len(x))
+		for i, e := range x {
+			ce, err := checkValue(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ce
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsafeValue, v)
+	}
+}
+
+func checkRow(row Fields) (Fields, error) {
+	if row == nil {
+		return nil, nil
+	}
+	out := make(Fields, len(row))
+	for k, v := range row {
+		cv, err := checkValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k, err)
+		}
+		out[k] = cv
+	}
+	return out, nil
+}
+
+// SanitizeOps validates that every value carried by the operations is a
+// scalar or a supported container and returns operations whose values share
+// no mutable structure with the input. The store calls this before sealing a
+// record, so a caller mutating a slice or map it passed into an op can never
+// reach into the log or the state cache. The input slice is returned
+// unchanged when no value needed copying.
+func SanitizeOps(ops []Op) ([]Op, error) {
+	out := ops
+	copied := false
+	for i, op := range ops {
+		needsCopy := false
+		var value interface{}
+		var row Fields
+		switch op.Value.(type) {
+		case nil, bool, string, int, int8, int16, int32, int64,
+			uint, uint8, uint16, uint32, uint64, float32, float64:
+			value = op.Value
+		default:
+			v, err := checkValue(op.Value)
+			if err != nil {
+				return nil, fmt.Errorf("op %s: %w", op, err)
+			}
+			value, needsCopy = v, true
+		}
+		if op.ChildRow != nil {
+			r, err := checkRow(op.ChildRow)
+			if err != nil {
+				return nil, fmt.Errorf("op %s: %w", op, err)
+			}
+			row, needsCopy = r, true
+		}
+		if !needsCopy {
+			continue
+		}
+		if !copied {
+			out = append([]Op(nil), ops...)
+			copied = true
+		}
+		out[i].Value = value
+		out[i].ChildRow = row
+	}
+	return out, nil
+}
+
 // Set returns an operation assigning a root field.
-func Set(field string, value interface{}) Op { return Op{Kind: OpSet, Field: field, Value: value} }
+func Set(field string, value interface{}) Op {
+	return Op{Kind: OpSet, Field: field, Value: safeValue(value)}
+}
 
 // Delta returns a commutative numeric increment of a root field.
 func Delta(field string, amount float64) Op { return Op{Kind: OpDelta, Field: field, Delta: amount} }
 
-// InsertChild returns an operation appending a child row.
+// InsertChild returns an operation appending a child row. The row map is
+// copied, so the caller may keep mutating its own map afterwards.
 func InsertChild(collection, childID string, row Fields) Op {
-	return Op{Kind: OpInsertChild, Collection: collection, ChildID: childID, ChildRow: row}
+	return Op{Kind: OpInsertChild, Collection: collection, ChildID: childID, ChildRow: row.Clone()}
 }
 
 // SetChildField returns an operation assigning one field of a child row.
 func SetChildField(collection, childID, field string, value interface{}) Op {
-	return Op{Kind: OpSetChildField, Collection: collection, ChildID: childID, Field: field, Value: value}
+	return Op{Kind: OpSetChildField, Collection: collection, ChildID: childID, Field: field, Value: safeValue(value)}
 }
 
 // DeltaChildField returns a commutative increment of one field of a child row.
@@ -448,8 +953,10 @@ func (w Warning) String() string {
 	return fmt.Sprintf("%s: %s (op %s)", w.Key, w.Problem, w.Op)
 }
 
-// Apply applies ops to a clone of prior and returns the new state plus any
-// managed-mode warnings. In Strict mode the first violation aborts the whole
+// Apply applies ops to a copy-on-write clone of prior and returns the new
+// state plus any managed-mode warnings. Only the chunks the operations touch
+// are copied — O(delta), not O(state size) — and prior (frozen or not) is
+// never modified. In Strict mode the first violation aborts the whole
 // application and the prior state is returned unchanged.
 func Apply(typ *Type, prior *State, ops []Op, mode ValidationMode) (*State, []Warning, error) {
 	next := prior.Clone()
@@ -511,7 +1018,7 @@ func applyOne(typ *Type, s *State, op Op, mode ValidationMode) ([]Warning, error
 			if err := warn(fmt.Sprintf("%v: %s", ErrUnknownCollection, op.Collection)); err != nil {
 				return nil, ErrUnknownCollection
 			}
-			s.Children[op.Collection] = append(s.Children[op.Collection], Child{ID: op.ChildID, Fields: op.ChildRow.Clone()})
+			s.appendChild(op.Collection, Child{ID: op.ChildID, Fields: op.ChildRow.Clone()})
 			return warnings, nil
 		}
 		row := Fields{}
@@ -542,19 +1049,9 @@ func applyOne(typ *Type, s *State, op Op, mode ValidationMode) ([]Warning, error
 				}
 			}
 		}
-		if existing, ok := s.ChildByID(op.Collection, op.ChildID); ok && !existing.Deleted {
-			// Insert of an existing id acts as an upsert of the provided
-			// fields; insert-only storage still records the operation.
-			for i := range s.Children[op.Collection] {
-				if s.Children[op.Collection][i].ID == op.ChildID {
-					for k, v := range row {
-						s.Children[op.Collection][i].Fields[k] = v
-					}
-				}
-			}
-			return warnings, nil
-		}
-		s.Children[op.Collection] = append(s.Children[op.Collection], Child{ID: op.ChildID, Fields: row})
+		// Insert of an existing live id acts as an upsert of the provided
+		// fields; insert-only storage still records the operation.
+		s.insertChild(op.Collection, op.ChildID, row)
 	case OpSetChildField, OpDeltaChildField:
 		coll, collOK := typ.child(op.Collection)
 		if !collOK {
@@ -562,23 +1059,17 @@ func applyOne(typ *Type, s *State, op Op, mode ValidationMode) ([]Warning, error
 				return nil, ErrUnknownCollection
 			}
 		}
-		idx := -1
-		for i, c := range s.Children[op.Collection] {
-			if c.ID == op.ChildID {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
+		c := s.mutableCol(op.Collection)
+		pos, ok := c.find(op.ChildID)
+		if !ok {
 			if err := warn(fmt.Sprintf("%v: %s[%s]", ErrNoSuchChild, op.Collection, op.ChildID)); err != nil {
 				return nil, ErrNoSuchChild
 			}
 			// Managed mode: materialise the child so the update is not lost
 			// (data arrived out of order, principle 2.2).
-			s.Children[op.Collection] = append(s.Children[op.Collection], Child{ID: op.ChildID, Fields: Fields{}})
-			idx = len(s.Children[op.Collection]) - 1
+			pos = c.n
+			c.appendRow(Child{ID: op.ChildID, Fields: Fields{}})
 		}
-		row := s.Children[op.Collection][idx].Fields
 		if op.Kind == OpSetChildField {
 			value := op.Value
 			if collOK {
@@ -593,7 +1084,7 @@ func applyOne(typ *Type, s *State, op Op, mode ValidationMode) ([]Warning, error
 					value = cv
 				}
 			}
-			row[op.Field] = value
+			c.mutRow(pos).Fields[op.Field] = value
 		} else {
 			isFloat := true
 			if collOK {
@@ -601,17 +1092,10 @@ func applyOne(typ *Type, s *State, op Op, mode ValidationMode) ([]Warning, error
 					isFloat = f.Type == Float
 				}
 			}
-			applyDelta(row, op.Field, op.Delta, isFloat)
+			applyDelta(c.mutRow(pos).Fields, op.Field, op.Delta, isFloat)
 		}
 	case OpDeleteChild:
-		found := false
-		for i, c := range s.Children[op.Collection] {
-			if c.ID == op.ChildID {
-				s.Children[op.Collection][i].Deleted = true
-				found = true
-			}
-		}
-		if !found {
+		if !s.deleteChild(op.Collection, op.ChildID) {
 			if err := warn(fmt.Sprintf("%v: %s[%s]", ErrNoSuchChild, op.Collection, op.ChildID)); err != nil {
 				return nil, ErrNoSuchChild
 			}
@@ -883,7 +1367,9 @@ func Merge(typ *Type, base *State, a, b *Version, strategy MergeStrategy) (Merge
 }
 
 // conflictFields returns root fields written non-commutatively by both sides
-// with different values.
+// with different values. Values are compared with reflect.DeepEqual because
+// ops may legitimately carry container values (sanitized maps/slices), whose
+// dynamic types a plain == would panic on.
 func conflictFields(a, b *Version) []string {
 	setsA := map[string]interface{}{}
 	for _, op := range a.Ops {
@@ -897,7 +1383,7 @@ func conflictFields(a, b *Version) []string {
 		if op.Kind != OpSet {
 			continue
 		}
-		if va, ok := setsA[op.Field]; ok && va != op.Value && !seen[op.Field] {
+		if va, ok := setsA[op.Field]; ok && !seen[op.Field] && !reflect.DeepEqual(va, op.Value) {
 			out = append(out, op.Field)
 			seen[op.Field] = true
 		}

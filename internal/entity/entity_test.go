@@ -2,6 +2,7 @@ package entity
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -312,8 +313,8 @@ func TestApplyInsertChildUpsert(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Apply: %v", err)
 	}
-	if len(next.Children["lineitems"]) != 1 {
-		t.Fatalf("upsert created duplicate rows: %d", len(next.Children["lineitems"]))
+	if next.ChildCount("lineitems") != 1 {
+		t.Fatalf("upsert created duplicate rows: %d", next.ChildCount("lineitems"))
 	}
 	c, _ := next.ChildByID("lineitems", "L1")
 	if c.Fields["qty"].(int64) != 4 {
@@ -413,17 +414,186 @@ func TestApplyErrorLeavesPriorUntouched(t *testing.T) {
 }
 
 func TestStateCloneIndependence(t *testing.T) {
+	typ := orderType()
 	s := NewState(Key{Type: "Order", ID: "1"})
 	s.Fields["status"] = "OPEN"
-	s.Children["lineitems"] = []Child{{ID: "L1", Fields: Fields{"qty": int64(1)}}}
+	s.appendChild("lineitems", Child{ID: "L1", Fields: Fields{"qty": int64(1)}})
 	c := s.Clone()
 	c.Fields["status"] = "CLOSED"
-	c.Children["lineitems"][0].Fields["qty"] = int64(99)
+	// Child mutation goes through ops; the clone must copy-on-write the
+	// touched chunk instead of reaching into the shared one.
+	c2, _, err := Apply(typ, c, []Op{SetChildField("lineitems", "L1", "qty", 99)}, Managed)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
 	if s.StringField("status") != "OPEN" {
 		t.Fatal("clone aliased root fields")
 	}
-	if s.Children["lineitems"][0].Fields["qty"].(int64) != 1 {
+	if row, _ := s.ChildByID("lineitems", "L1"); row.Fields["qty"].(int64) != 1 {
 		t.Fatal("clone aliased child fields")
+	}
+	if row, _ := c2.ChildByID("lineitems", "L1"); row.Fields["qty"].(int64) != 99 {
+		t.Fatalf("write lost: %v", row.Fields["qty"])
+	}
+}
+
+func TestFreezeThawContract(t *testing.T) {
+	typ := orderType()
+	s := NewState(Key{Type: "Order", ID: "1"})
+	base, _, err := Apply(typ, s, []Op{
+		Set("status", "OPEN"),
+		InsertChild("lineitems", "L1", Fields{"product": "widget", "qty": 1}),
+	}, Strict)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	frozen := base.Freeze()
+	if !frozen.Frozen() || frozen != base {
+		t.Fatal("Freeze should mark in place and return the state")
+	}
+	if frozen.Freeze() != frozen {
+		t.Fatal("Freeze is not idempotent")
+	}
+	// Thawing yields a mutable structural-sharing copy.
+	thawed := frozen.Thaw()
+	if thawed == frozen || thawed.Frozen() {
+		t.Fatal("Thaw of a frozen state must return a mutable copy")
+	}
+	if thawed.Thaw() != thawed {
+		t.Fatal("Thaw of a mutable state should return itself")
+	}
+	thawed.Fields["status"] = "CLOSED"
+	next, _, err := Apply(typ, thawed, []Op{SetChildField("lineitems", "L1", "qty", 42)}, Strict)
+	if err != nil {
+		t.Fatalf("Apply on thawed: %v", err)
+	}
+	if frozen.StringField("status") != "OPEN" {
+		t.Fatal("thawed root write leaked into frozen state")
+	}
+	if row, _ := frozen.ChildByID("lineitems", "L1"); row.Fields["qty"].(int64) != 1 {
+		t.Fatalf("thawed child write leaked into frozen state: %v", row.Fields["qty"])
+	}
+	if row, _ := next.ChildByID("lineitems", "L1"); row.Fields["qty"].(int64) != 42 {
+		t.Fatalf("write lost on thawed copy: %v", row.Fields["qty"])
+	}
+	// Writing a frozen state through the entity API panics loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating a frozen state should panic")
+		}
+	}()
+	frozen.mutableCol("lineitems")
+}
+
+// TestWideCollectionIndexAndCOW drives a collection past several chunk and
+// reindex boundaries and checks lookups, live counts and structural sharing
+// all stay correct.
+func TestWideCollectionIndexAndCOW(t *testing.T) {
+	typ := orderType()
+	state := NewState(Key{Type: "Order", ID: "wide"})
+	const width = 500
+	versions := make([]*State, 0, width)
+	for i := 0; i < width; i++ {
+		next, _, err := Apply(typ, state, []Op{
+			InsertChild("lineitems", fmt.Sprintf("L%d", i), Fields{"product": fmt.Sprintf("p%d", i), "qty": i}),
+		}, Strict)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		state = next.Freeze()
+		versions = append(versions, state)
+	}
+	// Every version still sees exactly its own prefix.
+	for _, n := range []int{0, 63, 64, 127, 255, width - 1} {
+		v := versions[n]
+		if v.ChildCount("lineitems") != n+1 {
+			t.Fatalf("version %d sees %d children", n, v.ChildCount("lineitems"))
+		}
+		row, ok := v.ChildByID("lineitems", fmt.Sprintf("L%d", n))
+		if !ok || row.Fields["qty"].(int64) != int64(n) {
+			t.Fatalf("version %d lookup of L%d: ok=%v row=%v", n, n, ok, row)
+		}
+		if _, ok := v.ChildByID("lineitems", fmt.Sprintf("L%d", n+1)); ok {
+			t.Fatalf("version %d sees a child from the future", n)
+		}
+	}
+	// Delete + reinsert keeps id lookups on the first occurrence and live
+	// counts exact.
+	next, _, err := Apply(typ, state, []Op{DeleteChild("lineitems", "L10")}, Strict)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if got := len(next.LiveChildren("lineitems")); got != width-1 {
+		t.Fatalf("live after delete = %d, want %d", got, width-1)
+	}
+	if got := len(state.LiveChildren("lineitems")); got != width {
+		t.Fatalf("delete leaked into frozen predecessor: live=%d", got)
+	}
+	reinserted, _, err := Apply(typ, next, []Op{InsertChild("lineitems", "L10", Fields{"product": "again", "qty": 777})}, Strict)
+	if err != nil {
+		t.Fatalf("reinsert: %v", err)
+	}
+	if got := len(reinserted.LiveChildren("lineitems")); got != width {
+		t.Fatalf("live after reinsert = %d, want %d", got, width)
+	}
+	// Delete again must tombstone the duplicate-id rows too.
+	gone, _, err := Apply(typ, reinserted, []Op{DeleteChild("lineitems", "L10")}, Strict)
+	if err != nil {
+		t.Fatalf("second delete: %v", err)
+	}
+	for _, row := range gone.Children("lineitems") {
+		if row.ID == "L10" && !row.Deleted {
+			t.Fatal("duplicate-id row survived delete")
+		}
+	}
+}
+
+func TestSanitizeOps(t *testing.T) {
+	// Scalars pass through without copying the slice.
+	ops := []Op{Set("status", "OPEN"), Delta("total", 1)}
+	got, err := SanitizeOps(ops)
+	if err != nil {
+		t.Fatalf("SanitizeOps: %v", err)
+	}
+	if &got[0] != &ops[0] {
+		t.Fatal("scalar ops should not be copied")
+	}
+	// Container values are deep-copied: mutating the caller's map afterwards
+	// must not reach the sanitized op.
+	row := map[string]interface{}{"nested": []interface{}{int64(1)}}
+	dirty := []Op{{Kind: OpSet, Field: "blob", Value: row}}
+	clean, err := SanitizeOps(dirty)
+	if err != nil {
+		t.Fatalf("SanitizeOps(container): %v", err)
+	}
+	row["nested"].([]interface{})[0] = int64(99)
+	row["added"] = "later"
+	cleanMap := clean[0].Value.(map[string]interface{})
+	if cleanMap["nested"].([]interface{})[0].(int64) != 1 || cleanMap["added"] != nil {
+		t.Fatalf("sanitized op aliases caller map: %v", cleanMap)
+	}
+	// Unsupported kinds are rejected.
+	type weird struct{ X int }
+	if _, err := SanitizeOps([]Op{{Kind: OpSet, Field: "w", Value: weird{1}}}); !errors.Is(err, ErrUnsafeValue) {
+		t.Fatalf("struct value accepted: %v", err)
+	}
+	if _, err := SanitizeOps([]Op{{Kind: OpInsertChild, Collection: "c", ChildID: "1", ChildRow: Fields{"ch": make(chan int)}}}); !errors.Is(err, ErrUnsafeValue) {
+		t.Fatalf("chan value in child row accepted: %v", err)
+	}
+}
+
+func TestOpConstructorsCopyContainers(t *testing.T) {
+	row := Fields{"qty": int64(1)}
+	op := InsertChild("lineitems", "L1", row)
+	row["qty"] = int64(99)
+	if op.ChildRow["qty"].(int64) != 1 {
+		t.Fatalf("InsertChild aliased the caller's row map: %v", op.ChildRow["qty"])
+	}
+	val := []interface{}{int64(1)}
+	set := Set("blob", val)
+	val[0] = int64(99)
+	if set.Value.([]interface{})[0].(int64) != 1 {
+		t.Fatal("Set aliased the caller's slice value")
 	}
 }
 
@@ -712,5 +882,42 @@ func TestVersionStampUsesHLC(t *testing.T) {
 	ts2 := h.Now()
 	if ts2.Compare(ts1) != clock.After {
 		t.Fatal("HLC not monotonic in entity context")
+	}
+}
+
+// TestMergeWithContainerValues guards the conflict detector against the
+// container op values SanitizeOps legitimizes: comparing two slice/map
+// values with == panics at runtime, so conflictFields must deep-compare.
+func TestMergeWithContainerValues(t *testing.T) {
+	typ := orderType()
+	key := Key{Type: "Order", ID: "1"}
+	base := NewState(key)
+	mk := func(node string, blob []interface{}, wall int64) *Version {
+		ops := []Op{Set("blob", blob)}
+		st, _, err := Apply(typ, base, ops, Managed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Version{Key: key, Ops: ops, State: st, Stamp: clock.Timestamp{WallNanos: wall, Node: clock.NodeID(node)}}
+	}
+	a := mk("r1", []interface{}{int64(1)}, 1)
+	b := mk("r2", []interface{}{int64(2)}, 2)
+	for _, strategy := range []MergeStrategy{LastWriterWins, OperationReplay} {
+		res, err := Merge(typ, base, a, b, strategy)
+		if err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		if len(res.ConflictFields) != 1 || res.ConflictFields[0] != "blob" {
+			t.Fatalf("%v: conflicts = %v, want [blob]", strategy, res.ConflictFields)
+		}
+	}
+	// Equal container values are not a conflict.
+	c := mk("r3", []interface{}{int64(1)}, 3)
+	res, err := Merge(typ, base, a, c, OperationReplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ConflictFields) != 0 {
+		t.Fatalf("equal containers reported as conflict: %v", res.ConflictFields)
 	}
 }

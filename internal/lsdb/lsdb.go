@@ -17,8 +17,11 @@
 //
 //   - Each shard maintains a materialised current-state cache that is
 //     updated incrementally on every append: the new record's operations are
-//     applied to the cached rollup, so Current/Scan and aggregate catch-up
-//     are O(state) instead of O(history). Anything that rewrites history —
+//     applied copy-on-write to the cached rollup (O(delta), only the chunks
+//     the ops touch are copied), and the result is frozen and handed to
+//     readers directly — a cache hit is a map lookup, no clone at all.
+//     Callers own nothing: states returned by Current/Scan are frozen and
+//     must be Thaw()ed before mutating. Anything that rewrites history —
 //     MarkObsolete, Compact, Load — invalidates the affected entry and the
 //     next read falls back to a log rollup (bounded by per-entity
 //     snapshots), then re-materialises.
@@ -28,6 +31,7 @@
 package lsdb
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,6 +97,11 @@ type Options struct {
 	// exists for the E9/E13 baselines and for memory-constrained deployments
 	// that prefer recomputation over caching.
 	DisableStateCache bool
+	// DeepCloneStates restores the pre-copy-on-write contract: every read
+	// deep-clones the cached state and every write deep-clones the prior
+	// state before applying, making reads and writes O(state size) again. It
+	// exists as the baseline for experiments E15/E16.
+	DeepCloneStates bool
 }
 
 const (
@@ -101,6 +110,8 @@ const (
 )
 
 // snapshot is a cached rollup of one entity up to (and including) an LSN.
+// The state is frozen and may be shared with the current-state cache; rollups
+// that start from it copy-on-write.
 type snapshot struct {
 	lsn   uint64
 	seq   uint64 // number of live records folded in
@@ -108,8 +119,9 @@ type snapshot struct {
 }
 
 // cached is one entry of the materialised current-state cache: the full
-// rollup of an entity as of head. The state is owned by the cache and never
-// handed out without cloning.
+// rollup of an entity as of head. The state is frozen, so it is handed to
+// readers directly — zero copies on a hit — and successive appends build on
+// it with copy-on-write Apply.
 type cached struct {
 	head  uint64
 	state *entity.State
@@ -119,8 +131,8 @@ type cached struct {
 // index and caches for the entities that hash to it.
 type shard struct {
 	mu       sync.RWMutex
-	sealed   [][]Record // sealed segments, each of SegmentSize records
-	active   []Record   // current segment
+	sealed   [][]Record              // sealed segments, each of SegmentSize records
+	active   []Record                // current segment
 	index    map[entity.Key][]uint64 // entity -> LSNs, ascending
 	byTxn    map[entity.Key]map[string]uint64
 	snaps    map[entity.Key]snapshot
@@ -212,7 +224,8 @@ func (db *DB) Types() []string {
 	return out
 }
 
-// AppendResult reports the outcome of an append.
+// AppendResult reports the outcome of an append. State is the frozen new
+// current state of the entity (shared with the cache); Thaw it to mutate.
 type AppendResult struct {
 	Record   Record
 	State    *entity.State
@@ -242,6 +255,13 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 	if !ok {
 		return AppendResult{}, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
 	}
+	// The sealed log and the state cache share the operations with the
+	// caller; sanitization rejects values that cannot be safely shared and
+	// detaches container values from caller-owned memory.
+	ops, err := entity.SanitizeOps(ops)
+	if err != nil {
+		return AppendResult{}, fmt.Errorf("lsdb: %w", err)
+	}
 	s := db.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -250,13 +270,17 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 			return AppendResult{}, fmt.Errorf("%w: %s on %s", ErrDuplicateTxn, txnID, key)
 		}
 	}
-	// The cached rollup is the prior state; Apply clones it, so the cache
-	// entry itself is never mutated.
+	// The cached rollup is the prior state; Apply copies-on-write, so the
+	// frozen cache entry is never mutated and only the chunks the operations
+	// touch are copied (O(delta), not O(state size)).
 	var prior *entity.State
 	if c, ok := s.cache[key]; ok && !db.opts.DisableStateCache {
 		prior = c.state
 	} else {
 		prior = s.rollupLocked(key, typ)
+	}
+	if db.opts.DeepCloneStates {
+		prior = prior.DeepClone()
 	}
 	next, warnings, err := entity.Apply(typ, prior, ops, db.opts.Validation)
 	if err != nil {
@@ -281,20 +305,23 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 		}
 		s.byTxn[key][txnID] = rec.LSN
 	}
-	// Materialise the new current state incrementally: the cache takes
-	// ownership of next and the caller gets a clone.
+	// Freeze the new current state: the cache, the snapshot fallback and the
+	// caller all share the same immutable version — no clones anywhere.
+	next.Freeze()
 	resState := next
+	if db.opts.DeepCloneStates {
+		resState = next.DeepClone()
+	}
 	if !db.opts.DisableStateCache {
 		s.cache[key] = &cached{head: rec.LSN, state: next}
-		resState = next.Clone()
 	}
-	// Maintain the snapshot fallback.
+	// Maintain the snapshot fallback; frozen states are shared, not cloned.
 	if db.opts.SnapshotEvery > 0 {
 		snap := s.snaps[key]
 		snap.seq++
 		if snap.state == nil || int(snap.seq)%db.opts.SnapshotEvery == 0 {
 			snap.lsn = rec.LSN
-			snap.state = next.Clone()
+			snap.state = next
 		}
 		s.snaps[key] = snap
 	}
@@ -367,7 +394,9 @@ func (s *shard) recordAtLocked(lsn uint64) *Record {
 
 // Current returns the rollup of an entity's records: its current state and
 // the LSN of the latest record folded in. With the state cache enabled
-// (default) this is a map hit plus one clone, independent of history length.
+// (default) a hit is a map lookup that hands out the frozen cached state
+// directly — zero copies, independent of both history length and state
+// width. The returned state is frozen: call Thaw before mutating it.
 func (db *DB) Current(key entity.Key) (*entity.State, uint64, error) {
 	typ, ok := db.TypeOf(key.Type)
 	if !ok {
@@ -380,12 +409,15 @@ func (db *DB) Current(key entity.Key) (*entity.State, uint64, error) {
 		if len(s.index[key]) == 0 && s.archived[key] == nil {
 			return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
 		}
-		return s.rollupLocked(key, typ), headOf(s.index[key]), nil
+		return s.rollupLocked(key, typ).Freeze(), headOf(s.index[key]), nil
 	}
 	s.mu.RLock()
 	if c, ok := s.cache[key]; ok {
-		st, head := c.state.Clone(), c.head
+		st, head := c.state, c.head
 		s.mu.RUnlock()
+		if db.opts.DeepCloneStates {
+			st = st.DeepClone()
+		}
 		return st, head, nil
 	}
 	if len(s.index[key]) == 0 && s.archived[key] == nil {
@@ -398,16 +430,22 @@ func (db *DB) Current(key entity.Key) (*entity.State, uint64, error) {
 	// Cache miss: rebuild the rollup under the write lock and re-materialise.
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var st *entity.State
+	var head uint64
 	if c, ok := s.cache[key]; ok { // raced with another rebuild
-		return c.state.Clone(), c.head, nil
+		st, head = c.state, c.head
+	} else {
+		if len(s.index[key]) == 0 && s.archived[key] == nil {
+			return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		st = s.rollupLocked(key, typ).Freeze()
+		head = headOf(s.index[key])
+		s.cache[key] = &cached{head: head, state: st}
 	}
-	if len(s.index[key]) == 0 && s.archived[key] == nil {
-		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	if db.opts.DeepCloneStates {
+		st = st.DeepClone()
 	}
-	st := s.rollupLocked(key, typ)
-	head := headOf(s.index[key])
-	s.cache[key] = &cached{head: head, state: st}
-	return st.Clone(), head, nil
+	return st, head, nil
 }
 
 // headOf returns the last (highest) LSN of an ascending index slice.
@@ -429,7 +467,8 @@ func (db *DB) Exists(key entity.Key) bool {
 // rollupLocked computes the current state of key by log replay, starting
 // from the archived summary and/or snapshot when available. Callers hold at
 // least a read lock on the shard. The returned state is freshly built and
-// owned by the caller.
+// owned by the caller; it shares structure copy-on-write with the frozen
+// snapshot or summary it started from.
 func (s *shard) rollupLocked(key entity.Key, typ *entity.Type) *entity.State {
 	base := entity.NewState(key)
 	if arch := s.archived[key]; arch != nil {
@@ -502,7 +541,7 @@ func (db *DB) AsOf(key entity.Key, ts clock.Timestamp) (*entity.State, error) {
 	if !found {
 		return nil, fmt.Errorf("%w: %s as of %s", ErrNotFound, key, ts)
 	}
-	return state, nil
+	return state.Freeze(), nil
 }
 
 // History reconstructs the full insert-only version chain of key, including
@@ -548,7 +587,7 @@ func (db *DB) History(key entity.Key) (*entity.History, error) {
 				if rec.Tentative {
 					next.Tentative = true
 				}
-				state = next
+				state = next.Freeze()
 			}
 		}
 		v.State = state
@@ -575,22 +614,35 @@ func (db *DB) RecordsAfter(after uint64) []Record {
 			s.mu.RUnlock()
 		}
 	}()
-	var out []Record
+	// First pass: locate the qualifying suffix of every segment (segments are
+	// LSN-ascending, so one binary search per segment) and pre-size the merge
+	// buffer exactly instead of growing it append by append.
+	type run struct {
+		seg   []Record
+		start int
+	}
+	var runs []run
+	total := 0
 	for _, s := range db.shards {
-		appendFrom := func(seg []Record) {
-			for _, r := range seg {
-				if r.LSN > after {
-					out = append(out, r)
-				}
+		collect := func(seg []Record) {
+			if len(seg) == 0 || seg[len(seg)-1].LSN <= after {
+				return
 			}
+			start := sort.Search(len(seg), func(i int) bool { return seg[i].LSN > after })
+			if start == len(seg) {
+				return
+			}
+			runs = append(runs, run{seg: seg, start: start})
+			total += len(seg) - start
 		}
 		for _, seg := range s.sealed {
-			if len(seg) > 0 && seg[len(seg)-1].LSN <= after {
-				continue
-			}
-			appendFrom(seg)
+			collect(seg)
 		}
-		appendFrom(s.active)
+		collect(s.active)
+	}
+	out := make([]Record, 0, total)
+	for _, r := range runs {
+		out = append(out, r.seg[r.start:]...)
 	}
 	// Each shard contributed an ascending run; merge them into one log order.
 	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
@@ -663,9 +715,10 @@ func (db *DB) KeysOfType(typeName string) []entity.Key {
 
 // Scan calls fn with the current state of every entity of the given type.
 // Scanning stops early if fn returns false. Each state is an internally
-// consistent rollup of its entity; the scan as a whole is not a global
-// snapshot — entities on other shards may change while one is visited
-// (subjective consistency, principle 2.1).
+// consistent rollup of its entity, handed out frozen and zero-copy from the
+// state cache — fn must Thaw a state before mutating it. The scan as a whole
+// is not a global snapshot — entities on other shards may change while one
+// is visited (subjective consistency, principle 2.1).
 func (db *DB) Scan(typeName string, fn func(*entity.State) bool) error {
 	if _, ok := db.TypeOf(typeName); !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownType, typeName)
@@ -699,8 +752,8 @@ func (db *DB) Snapshot(key entity.Key) error {
 	if len(lsns) == 0 {
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
-	st := s.rollupLocked(key, typ)
-	s.snaps[key] = snapshot{lsn: headOf(lsns), seq: uint64(len(lsns)), state: st.Clone()}
+	st := s.rollupLocked(key, typ).Freeze()
+	s.snaps[key] = snapshot{lsn: headOf(lsns), seq: uint64(len(lsns)), state: st}
 	if !db.opts.DisableStateCache {
 		s.cache[key] = &cached{head: headOf(lsns), state: st}
 	}
@@ -736,7 +789,7 @@ func (db *DB) Compact(beforeLSN uint64) CompactStats {
 				if !ok {
 					continue
 				}
-				s.archived[key] = s.rollupLocked(key, typ)
+				s.archived[key] = s.rollupLocked(key, typ).Freeze()
 				drop[key] = true
 				stats.Summarised++
 			} else {
@@ -807,11 +860,13 @@ type persistedOp struct {
 
 // Save writes every retained record as one JSON document per line, in global
 // LSN order (shard runs are merged so Load can rebuild per-shard ordering
-// for any shard count). Archived summaries are not persisted; callers that
-// need them should compact after loading.
+// for any shard count). Output is buffered, so each record costs one encoder
+// call rather than one syscall-sized write per line. Archived summaries are
+// not persisted; callers that need them should compact after loading.
 func (db *DB) Save(w io.Writer) error {
 	records := db.RecordsAfter(0)
-	enc := json.NewEncoder(w)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
 	for _, r := range records {
 		pr := persistedRecord{
 			LSN:       r.LSN,
@@ -832,15 +887,18 @@ func (db *DB) Save(w io.Writer) error {
 			return fmt.Errorf("lsdb: save: %w", err)
 		}
 	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("lsdb: save: %w", err)
+	}
 	return nil
 }
 
-// Load replays a stream produced by Save into the database. The database
-// must be freshly opened with the same entity types registered. Loaded
-// records invalidate any materialised state for their entity; reads after
-// Load rebuild from the log.
+// Load replays a stream produced by Save into the database. Input is
+// buffered. The database must be freshly opened with the same entity types
+// registered. Loaded records invalidate any materialised state for their
+// entity; reads after Load rebuild from the log.
 func (db *DB) Load(r io.Reader) error {
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
 	for {
 		var pr persistedRecord
 		if err := dec.Decode(&pr); err == io.EOF {

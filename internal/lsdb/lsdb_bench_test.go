@@ -1,0 +1,90 @@
+package lsdb
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/entity"
+)
+
+// buildBenchDB fills a store with n records spread over several entities,
+// including child-row traffic so persisted operations exercise every field.
+func buildBenchDB(b *testing.B, n int) *DB {
+	b.Helper()
+	db := Open(Options{Node: "bench", Shards: 4})
+	if err := db.RegisterType(accountType()); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.RegisterType(orderType()); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		if i%4 == 0 {
+			key := entity.Key{Type: "Order", ID: fmt.Sprintf("O%d", i%16)}
+			_, err = db.Append(key, []entity.Op{
+				entity.InsertChild("lineitems", fmt.Sprintf("L%d", i), entity.Fields{"product": "widget", "qty": i % 7}),
+			}, stamp(int64(i+1)), "bench", fmt.Sprintf("t%d", i))
+		} else {
+			key := entity.Key{Type: "Account", ID: fmt.Sprintf("A%d", i%32)}
+			_, err = db.Append(key, []entity.Op{entity.Delta("balance", float64(i))}, stamp(int64(i+1)), "bench", fmt.Sprintf("t%d", i))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkSaveLoadRoundTrip measures the persistence path the bufio
+// buffering and pre-sized record merge speed up: Save streams every record
+// out, Load replays the stream into a fresh store.
+func BenchmarkSaveLoadRoundTrip(b *testing.B) {
+	const records = 4096
+	src := buildBenchDB(b, records)
+	b.Run("save", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := src.Save(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst := Open(Options{Node: "bench", Shards: 4})
+			if err := dst.RegisterType(accountType()); err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.RegisterType(orderType()); err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			if dst.Len() != records {
+				b.Fatalf("loaded %d records, want %d", dst.Len(), records)
+			}
+		}
+	})
+	b.Run("roundtrip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var rt bytes.Buffer
+			if err := src.Save(&rt); err != nil {
+				b.Fatal(err)
+			}
+			dst := Open(Options{Node: "bench", Shards: 4})
+			dst.RegisterType(accountType())
+			dst.RegisterType(orderType())
+			if err := dst.Load(&rt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

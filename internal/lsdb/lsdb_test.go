@@ -622,19 +622,213 @@ func TestStateCacheInvalidationOnLoad(t *testing.T) {
 	}
 }
 
+// TestCurrentReturnsCopy is the original aliasing check, restated for the
+// copy-on-write contract: Current hands out a frozen state; a caller that
+// Thaws it and mutates the copy (root fields directly, children through
+// Apply) must never corrupt the cache.
 func TestCurrentReturnsCopy(t *testing.T) {
 	db := newTestDB(t, Options{})
 	key := entity.Key{Type: "Order", ID: "O1"}
 	db.Append(key, []entity.Op{entity.Set("status", "OPEN"), entity.InsertChild("lineitems", "L1", entity.Fields{"product": "widget", "qty": 1})}, stamp(1), "n1", "")
 	st, _, _ := db.Current(key)
-	st.Fields["status"] = "MUTATED"
-	st.Children["lineitems"][0].Fields["qty"] = int64(99)
+	if !st.Frozen() {
+		t.Fatal("Current should return a frozen state")
+	}
+	mine := st.Thaw()
+	mine.Fields["status"] = "MUTATED"
+	typ, _ := db.TypeOf("Order")
+	mine, _, err := entity.Apply(typ, mine, []entity.Op{entity.SetChildField("lineitems", "L1", "qty", 99)}, entity.Managed)
+	if err != nil {
+		t.Fatalf("Apply on thawed state: %v", err)
+	}
+	if mine.StringField("status") != "MUTATED" || func() int64 { c, _ := mine.ChildByID("lineitems", "L1"); return c.Fields["qty"].(int64) }() != 99 {
+		t.Fatal("thawed copy lost its own writes")
+	}
 	again, _, _ := db.Current(key)
 	if again.StringField("status") != "OPEN" {
 		t.Fatalf("caller mutation leaked into cache: %q", again.StringField("status"))
 	}
 	if c, _ := again.ChildByID("lineitems", "L1"); c.Fields["qty"].(int64) != 1 {
 		t.Fatalf("caller child mutation leaked into cache: %v", c.Fields["qty"])
+	}
+}
+
+// mutateEverywhere thaws st and scribbles over it through every supported
+// mutation channel: direct root-field writes, flags, and child ops applied
+// through entity.Apply.
+func mutateEverywhere(t *testing.T, db *DB, st *entity.State) {
+	t.Helper()
+	typ, ok := db.TypeOf(st.Key.Type)
+	if !ok {
+		t.Fatalf("unknown type %s", st.Key.Type)
+	}
+	m := st.Thaw()
+	for k := range m.Fields {
+		m.Fields[k] = "SCRIBBLED"
+	}
+	m.Fields["injected"] = "SCRIBBLED"
+	m.Deleted = true
+	m.Tentative = true
+	ops := []entity.Op{entity.Set("owner", "SCRIBBLED"), entity.Delta("balance", 1e9)}
+	for _, name := range m.Collections() {
+		for _, row := range m.Children(name) {
+			ops = append(ops,
+				entity.SetChildField(name, row.ID, "qty", 424242),
+				entity.DeleteChild(name, row.ID))
+		}
+		ops = append(ops, entity.InsertChild(name, "intruder", entity.Fields{"product": "intruder"}))
+	}
+	if _, _, err := entity.Apply(typ, m, ops, entity.Managed); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+}
+
+// TestAliasingAcrossReadEntryPoints is the property-style COW-contract suite:
+// whatever a caller does to a thawed copy of a state obtained from any read
+// entry point (Append result, Current, Scan, AsOf, History, snapshots,
+// archived summaries), re-reading must produce the untouched value.
+func TestAliasingAcrossReadEntryPoints(t *testing.T) {
+	db := newTestDB(t, Options{SnapshotEvery: 3, Shards: 2})
+	key := entity.Key{Type: "Order", ID: "O1"}
+	const rows = 10
+	res, err := db.Append(key, []entity.Op{entity.Set("status", "OPEN"), entity.Set("total", 7.5)}, stamp(1), "n1", "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		id := fmt.Sprintf("L%d", i)
+		if res, err = db.Append(key, []entity.Op{entity.InsertChild("lineitems", id, entity.Fields{"product": "widget", "qty": i})}, stamp(int64(i+2)), "n1", fmt.Sprintf("ti%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(stage string) {
+		t.Helper()
+		st, _, err := db.Current(key)
+		if err != nil {
+			t.Fatalf("%s: Current: %v", stage, err)
+		}
+		if st.StringField("status") != "OPEN" || st.Float("total") != 7.5 || st.Deleted || st.Tentative {
+			t.Fatalf("%s: root state corrupted: %+v del=%v tent=%v", stage, st.Fields, st.Deleted, st.Tentative)
+		}
+		if _, ok := st.Fields["injected"]; ok {
+			t.Fatalf("%s: injected root field leaked in", stage)
+		}
+		live := st.LiveChildren("lineitems")
+		if len(live) != rows {
+			t.Fatalf("%s: live children = %d, want %d", stage, len(live), rows)
+		}
+		for i := 0; i < rows; i++ {
+			c, ok := st.ChildByID("lineitems", fmt.Sprintf("L%d", i))
+			if !ok || c.Deleted || c.Fields["qty"].(int64) != int64(i) {
+				t.Fatalf("%s: child L%d corrupted: ok=%v %+v", stage, i, ok, c)
+			}
+		}
+		if _, ok := st.ChildByID("lineitems", "intruder"); ok {
+			t.Fatalf("%s: intruder child leaked in", stage)
+		}
+	}
+
+	// Append result.
+	mutateEverywhere(t, db, res.State)
+	check("append-result")
+	// Current (cache hit) — twice, so the second read checks the first
+	// reader's scribbling.
+	st, _, _ := db.Current(key)
+	mutateEverywhere(t, db, st)
+	check("current-hit")
+	// Scan.
+	if err := db.Scan("Order", func(s *entity.State) bool {
+		mutateEverywhere(t, db, s)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check("scan")
+	// AsOf (historical read sharing snapshot structure).
+	asOf, err := db.AsOf(key, stamp(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateEverywhere(t, db, asOf)
+	check("as-of")
+	// History versions.
+	h, err := db.History(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateEverywhere(t, db, h.Versions[h.Len()-1].State)
+	check("history")
+	// Cache miss path: invalidate via MarkObsolete of a fresh tentative hold,
+	// so the next read rebuilds from the (shared, frozen) snapshot.
+	if _, err := db.AppendTentative(key, []entity.Op{entity.Delta("total", -1)}, stamp(200), "n1", "hold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MarkObsolete(key, "hold"); err != nil {
+		t.Fatal(err)
+	}
+	st, _, _ = db.Current(key)
+	mutateEverywhere(t, db, st)
+	check("rebuild-after-invalidation")
+	// Archived summary: compact everything, mutate the read, re-read.
+	db.Compact(db.HeadLSN())
+	st, _, _ = db.Current(key)
+	mutateEverywhere(t, db, st)
+	check("archived-summary")
+}
+
+// TestAppendSanitizesOpValues covers the Fields.Clone aliasing hazard at the
+// layer where it bites: an op carrying a container value must not alias into
+// the sealed log or the state cache, and an op carrying an unsupported
+// non-scalar kind is rejected outright.
+func TestAppendSanitizesOpValues(t *testing.T) {
+	db := newTestDB(t, Options{Validation: entity.Managed})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	// Container values are detached from the caller's memory.
+	blob := []interface{}{int64(1), int64(2)}
+	op := entity.Op{Kind: entity.OpSet, Field: "blob", Value: blob}
+	if _, err := db.Append(key, []entity.Op{op}, stamp(1), "n1", "t1"); err != nil {
+		t.Fatalf("Append(container): %v", err)
+	}
+	blob[0] = int64(99) // caller scribbles after commit
+	st, _, _ := db.Current(key)
+	if got := st.Fields["blob"].([]interface{})[0].(int64); got != 1 {
+		t.Fatalf("caller slice aliased into the cache: %v", got)
+	}
+	recs := db.RecordsFor(key)
+	if got := recs[0].Ops[0].Value.([]interface{})[0].(int64); got != 1 {
+		t.Fatalf("caller slice aliased into the sealed log: %v", got)
+	}
+	// Unsupported kinds never enter the log.
+	type opaque struct{ X int }
+	bad := entity.Op{Kind: entity.OpSet, Field: "bad", Value: &opaque{1}}
+	if _, err := db.Append(key, []entity.Op{bad}, stamp(2), "n1", "t2"); !errors.Is(err, entity.ErrUnsafeValue) {
+		t.Fatalf("pointer value accepted: %v", err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("rejected op left a record behind: len=%d", db.Len())
+	}
+}
+
+// TestSharedSnapshotSurvivesCallerWrites pins down the snapshot/cache sharing
+// introduced by the COW refactor: the snapshot fallback stores the same
+// frozen state the cache and callers see, so caller-side writes must never
+// reach it.
+func TestSharedSnapshotSurvivesCallerWrites(t *testing.T) {
+	db := newTestDB(t, Options{SnapshotEvery: 2})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	for i := 1; i <= 4; i++ {
+		db.Append(key, []entity.Op{entity.Delta("balance", 10)}, stamp(int64(i)), "n1", fmt.Sprintf("t%d", i))
+	}
+	st, _, _ := db.Current(key)
+	mutateEverywhere(t, db, st)
+	// Force a snapshot-based rebuild: tentative append, then withdraw it.
+	db.AppendTentative(key, []entity.Op{entity.Delta("balance", -5)}, stamp(5), "n1", "hold")
+	if err := db.MarkObsolete(key, "hold"); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, _, err := db.Current(key)
+	if err != nil || rebuilt.Float("balance") != 40 {
+		t.Fatalf("snapshot-backed rebuild corrupted: balance=%v err=%v", rebuilt.Float("balance"), err)
 	}
 }
 

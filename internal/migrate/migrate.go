@@ -51,7 +51,9 @@ type Migration struct {
 	ForceRemove  bool
 	// Backfill computes operations to apply to each existing entity so it
 	// satisfies the new schema (e.g. populate the new field from old ones).
-	// It may return nil for entities that need no change.
+	// It may return nil for entities that need no change. The state passed
+	// in is frozen and shared zero-copy with the store's cache: read it,
+	// derive ops from it, but never mutate it.
 	Backfill func(*entity.State) []entity.Op
 	// Description is recorded in the migration history.
 	Description string

@@ -686,8 +686,10 @@ func fingerprint(st *entity.State) string {
 		fields = append(fields, fmt.Sprintf("%s=%v", k, v))
 	}
 	sort.Strings(fields)
-	colls := make([]string, 0, len(st.Children))
-	for name, rows := range st.Children {
+	names := st.Collections()
+	colls := make([]string, 0, len(names))
+	for _, name := range names {
+		rows := st.Children(name)
 		ids := make([]string, 0, len(rows))
 		for _, row := range rows {
 			rf := make([]string, 0, len(row.Fields))

@@ -183,6 +183,11 @@ func (t *Txn) Mode() Mode { return t.mode }
 // transaction's own buffered writes. Reading a non-existent entity returns an
 // empty state, not an error: principle 2.2 says data entry must not be
 // blocked just because referenced data has not arrived yet.
+//
+// A read with no buffered writes is zero-copy: the store's frozen cached
+// state is returned directly, so the caller must State.Thaw before mutating
+// it. With buffered writes the overlay is applied copy-on-write, so the
+// returned state is already a private mutable value.
 func (t *Txn) Read(key entity.Key) (*entity.State, error) {
 	if t.done {
 		return nil, ErrDone
