@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench tables clean
+.PHONY: build test vet race bench bench-append bench-io tables clean
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The E1..E16 experiment benchmarks (see EXPERIMENTS.md).
+# The E1..E17 experiment benchmarks (see EXPERIMENTS.md).
 bench:
 	$(GO) test -run xxx -bench BenchmarkE -benchtime 200x ./...
+
+# The E17 multi-writer append-throughput benchmark on its own: per-append
+# locking vs group-commit batching, in-memory and with a per-commit fsync.
+bench-append:
+	$(GO) test -run xxx -bench BenchmarkE17AppendBatch -benchtime 200x .
 
 # The save/load persistence round-trip benchmark.
 bench-io:

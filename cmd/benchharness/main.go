@@ -1,5 +1,5 @@
-// Command benchharness runs scaled-down versions of the sixteen experiments
-// (E1..E16 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
+// Command benchharness runs scaled-down versions of the seventeen experiments
+// (E1..E17 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
 // experiment, the way the paper's evaluation section would have reported
 // them. The authoritative, parameter-swept versions are the testing.B
 // benchmarks in bench_test.go; this command exists to regenerate the tables
@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,7 +49,7 @@ func main() {
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6},
 		{"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11}, {"E12", e12},
-		{"E13", e13}, {"E14", e14}, {"E15", e15}, {"E16", e16},
+		{"E13", e13}, {"E14", e14}, {"E15", e15}, {"E16", e16}, {"E17", e17},
 	}
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.name) {
@@ -536,6 +538,83 @@ func e16(n int) *metrics.Table {
 			name = "deep-clone"
 		}
 		tbl.AddRow(entities, width, name, scans, hist.Mean())
+	}
+	return tbl
+}
+
+// E17: group-commit append batching — per-append locking vs batched commits,
+// in-memory and with a real per-commit-cycle fsync (the cost group commit
+// amortises).
+func e17(n int) *metrics.Table {
+	tbl := metrics.NewTable("E17 — group-commit append batching under concurrent writers (section 3.1)",
+		"sync", "writers", "commit mode", "appends", "ops/sec")
+	const hotKeys = 16
+	for _, syncMode := range []string{"mem", "fsync"} {
+		for _, writers := range []int{1, 4, 8} {
+			for _, batched := range []bool{false, true} {
+				// Raise GOMAXPROCS so "writers" means truly concurrent
+				// writers even on a small box; restored after this row so
+				// later low-writer rows measure at their own setting.
+				prevProcs := runtime.GOMAXPROCS(0)
+				if prevProcs < writers {
+					runtime.GOMAXPROCS(writers)
+				}
+				opts := lsdb.Options{Node: "e17", Validation: entity.Managed, Shards: 1, GroupCommit: batched}
+				var wal *os.File
+				if syncMode == "fsync" {
+					var err error
+					wal, err = os.CreateTemp("", "e17-wal")
+					if err != nil {
+						log.Fatalf("E17: %v", err)
+					}
+					opts.CommitHook = func(recs []lsdb.Record) {
+						for _, rec := range recs {
+							fmt.Fprintf(wal, "%d %s %d\n", rec.LSN, rec.Key.ID, len(rec.Ops))
+						}
+						wal.Sync()
+					}
+				}
+				db := lsdb.Open(opts)
+				db.RegisterType(workload.AccountType())
+				keys := make([]repro.Key, hotKeys)
+				for i := range keys {
+					keys[i] = repro.Key{Type: "Account", ID: fmt.Sprintf("acct-%d", i)}
+				}
+				total := int64(n)
+				if syncMode == "fsync" {
+					total = int64(n / 4)
+				}
+				var seq atomic.Int64
+				var wg sync.WaitGroup
+				start := time.Now()
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := seq.Add(1)
+							if i > total {
+								return
+							}
+							db.Append(keys[int(i)%hotKeys], []repro.Op{repro.Delta("balance", 1)},
+								clock.Timestamp{WallNanos: i, Node: "e17"}, "e17", "")
+						}
+					}()
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				mode := "per-append"
+				if batched {
+					mode = "batched"
+				}
+				tbl.AddRow(syncMode, writers, mode, total, opsPerSec(int(total), elapsed))
+				runtime.GOMAXPROCS(prevProcs)
+				if wal != nil {
+					wal.Close()
+					os.Remove(wal.Name())
+				}
+			}
+		}
 	}
 	return tbl
 }

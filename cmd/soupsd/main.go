@@ -11,6 +11,8 @@
 //	GET  /healthz                         liveness probe
 //
 // Usage: soupsd [-addr :8080] [-units 4] [-consistency eventual|strong]
+//
+//	[-groupcommit] [-maxbatch 64]
 package main
 
 import (
@@ -30,6 +32,8 @@ var (
 	addr        = flag.String("addr", ":8080", "listen address")
 	units       = flag.Int("units", 4, "number of serialization units")
 	consistency = flag.String("consistency", "eventual", "eventual or strong")
+	groupCommit = flag.Bool("groupcommit", false, "batch concurrent appends via per-shard group commit")
+	maxBatch    = flag.Int("maxbatch", 0, "max appends per group-commit batch (0 = default 64)")
 )
 
 type server struct {
@@ -55,7 +59,10 @@ func main() {
 	if strings.HasPrefix(strings.ToLower(*consistency), "strong") {
 		mode = repro.StrongSingleCopy
 	}
-	k, err := repro.Bootstrap(repro.Options{Node: "soupsd", Units: *units, Consistency: mode}, repro.StandardTypes()...)
+	k, err := repro.Bootstrap(repro.Options{
+		Node: "soupsd", Units: *units, Consistency: mode,
+		GroupCommit: *groupCommit, MaxAppendBatch: *maxBatch,
+	}, repro.StandardTypes()...)
 	if err != nil {
 		log.Fatalf("bootstrap: %v", err)
 	}
@@ -71,7 +78,7 @@ func main() {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
 
-	log.Printf("soupsd listening on %s (units=%d consistency=%s)", *addr, *units, mode)
+	log.Printf("soupsd listening on %s (units=%d consistency=%s groupcommit=%v)", *addr, *units, mode, *groupCommit)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}

@@ -333,6 +333,68 @@ func TestSequenceMonotonicAndConcurrent(t *testing.T) {
 	}
 }
 
+func TestSequenceReserve(t *testing.T) {
+	var s Sequence
+	if first := s.Reserve(3); first != 1 {
+		t.Fatalf("Reserve(3) = %d, want 1", first)
+	}
+	if got := s.Next(); got != 4 {
+		t.Fatalf("Next after Reserve(3) = %d, want 4", got)
+	}
+	if first := s.Reserve(0); first != 5 {
+		t.Fatalf("Reserve(0) = %d, want 5 (peek at next unissued)", first)
+	}
+	if got := s.Next(); got != 5 {
+		t.Fatalf("Next after Reserve(0) = %d, want 5 (nothing consumed)", got)
+	}
+}
+
+// TestSequenceReserveConcurrent checks that interleaved Reserve and Next
+// calls hand out disjoint runs covering a dense range — the property the
+// group-commit leader relies on for gap-free LSN assignment.
+func TestSequenceReserveConcurrent(t *testing.T) {
+	var s Sequence
+	const goroutines, per, run = 8, 200, 5
+	var wg sync.WaitGroup
+	results := make([][]uint64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i%2 == 0 {
+					first := s.Reserve(run)
+					for j := 0; j < run; j++ {
+						results[g] = append(results[g], first+uint64(j))
+					}
+				} else {
+					results[g] = append(results[g], s.Next())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	total := 0
+	for _, r := range results {
+		for _, id := range r {
+			if seen[id] {
+				t.Fatalf("id %d issued twice", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	for id := uint64(1); id <= uint64(total); id++ {
+		if !seen[id] {
+			t.Fatalf("id %d never issued: range not dense", id)
+		}
+	}
+	if got := s.Peek(); got != uint64(total) {
+		t.Fatalf("Peek = %d, want %d", got, total)
+	}
+}
+
 func TestSequenceAdvanceTo(t *testing.T) {
 	var s Sequence
 	s.AdvanceTo(100)

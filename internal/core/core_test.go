@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -492,5 +493,87 @@ func TestKernelReadsAreFrozenAndAliasFree(t *testing.T) {
 	final, _ := k.Read(key)
 	if final.StringField("status") != "PAID" {
 		t.Fatalf("status = %q, want PAID", final.StringField("status"))
+	}
+}
+
+// TestKernelGroupCommitEquivalence drives concurrent Update traffic through a
+// group-commit kernel and a per-append kernel: every read-visible outcome —
+// balances, transaction stats, aggregate sums after catch-up — must match.
+func TestKernelGroupCommitEquivalence(t *testing.T) {
+	const goroutines, perG, accounts = 8, 30, 5
+	run := func(opts Options) *Kernel {
+		k := newKernel(t, opts)
+		k.DefineSumAggregate("deposits", "Account", "balance", "")
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					key := accountKey(fmt.Sprintf("A%d", (g*perG+i)%accounts))
+					if _, err := k.Update(key, entity.Delta("balance", 1)); err != nil {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		k.CatchUpAggregates()
+		return k
+	}
+	batched := run(Options{Node: "gc", Units: 2, GroupCommit: true, MaxAppendBatch: 8})
+	serial := run(Options{Node: "pa", Units: 2})
+	if t.Failed() {
+		return
+	}
+	for a := 0; a < accounts; a++ {
+		key := accountKey(fmt.Sprintf("A%d", a))
+		stB, errB := batched.Read(key)
+		stS, errS := serial.Read(key)
+		if errB != nil || errS != nil {
+			t.Fatalf("Read(%s): %v / %v", key, errB, errS)
+		}
+		if stB.Float("balance") != stS.Float("balance") {
+			t.Fatalf("%s: batched balance %v, serial %v", key, stB.Float("balance"), stS.Float("balance"))
+		}
+	}
+	if b, s := batched.TxnStats().Commits, serial.TxnStats().Commits; b != s || b != goroutines*perG {
+		t.Fatalf("commits: batched %d, serial %d, want %d", b, s, goroutines*perG)
+	}
+	sumB, _ := batched.Sum("deposits", "")
+	sumS, _ := serial.Sum("deposits", "")
+	if sumB != sumS || sumB != float64(goroutines*perG) {
+		t.Fatalf("aggregate: batched %v, serial %v, want %d", sumB, sumS, goroutines*perG)
+	}
+}
+
+// TestKernelGroupCommitTentativePromises exercises the promise/apology path
+// over batched appends: broken promises withdraw their tentative records even
+// when those records were committed by a group-commit leader.
+func TestKernelGroupCommitTentativePromises(t *testing.T) {
+	k := newKernel(t, Options{Node: "gcp", GroupCommit: true})
+	key := entity.Key{Type: "Book", ID: "bestseller"}
+	if _, err := k.Update(key, entity.Set("stock", 3)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := k.UpdateTentative(key, fmt.Sprintf("cust-%d", i), "order", 1, entity.Delta("stock", -1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kept, apologies, err := k.ResolveOverbooking(key, 3, "only 3 in stock", "refund")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 3 || len(apologies) != 2 {
+		t.Fatalf("kept=%d apologies=%d, want 3/2", kept, len(apologies))
+	}
+	st, err := k.Read(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Int("stock"); got != 0 {
+		t.Fatalf("stock after reconciliation = %d, want 0 (3 kept promises applied, 2 withdrawn)", got)
 	}
 }

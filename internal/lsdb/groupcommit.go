@@ -1,0 +1,236 @@
+// Group-commit append batching (Options.GroupCommit).
+//
+// The write path's fixed costs — acquiring the shard's write lock and taking
+// the global LSN sequence lock — are paid once per append on the serial path.
+// Under concurrent writers those acquisitions dominate: every append is a
+// contended lock handoff plus a scheduler round trip. Group commit amortises
+// them the way write-ahead-log group commit amortises the log-force: writers
+// enqueue their already-sanitized op-sets on a per-shard commit queue, the
+// first writer to find the queue idle becomes the *leader*, and the leader
+// drains the queue in batches — one shard-lock hold and one contiguous LSN
+// run per batch — then wakes each follower with its individual AppendResult.
+// The leader's own request rides in its first batch, so an uncontended
+// append never pays a channel round trip at all.
+//
+// Equivalence with the serial path is the contract (and is what the
+// TestGroupCommit* suite asserts): requests are validated in arrival order
+// against a batch-local overlay of the shard state, so a request observes its
+// batch predecessors exactly as it would have observed committed appends;
+// duplicate-transaction detection, validation-mode errors and tentative
+// semantics are all per-request; failed requests consume no LSN, so the log
+// stays dense. Readers are unaffected — they take the shard lock as before
+// and see batches atomically.
+package lsdb
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+)
+
+// appendReq is one writer's enqueued append: the sanitized operations plus a
+// reusable one-slot channel the leader signals once res/err is filled in.
+// Requests are pooled; the channel is drained by exactly one receive per
+// signal, so a request (and its channel) can be reused as soon as its writer
+// has read the result.
+type appendReq struct {
+	typ       *entity.Type
+	key       entity.Key
+	ops       []entity.Op
+	stamp     clock.Timestamp
+	origin    clock.NodeID
+	txnID     string
+	tentative bool
+
+	// next is the applied (not yet frozen) state, set by the leader's
+	// validation pass; requests that fail validation never reach the commit
+	// pass and never consume an LSN.
+	next *entity.State
+	res  AppendResult
+	err  error
+	done chan struct{}
+}
+
+var reqPool = sync.Pool{
+	New: func() interface{} { return &appendReq{done: make(chan struct{}, 1)} },
+}
+
+// appendGrouped enqueues one append on the shard's commit queue. The first
+// writer to find the queue idle becomes the leader and drains it, its own
+// request first; everyone else parks until a leader has committed their
+// batch. Ops are already sanitized and the type resolved.
+func (db *DB) appendGrouped(s *shard, typ *entity.Type, key entity.Key, ops []entity.Op, stamp clock.Timestamp, origin clock.NodeID, txnID string, tentative bool) (AppendResult, error) {
+	req := reqPool.Get().(*appendReq)
+	req.typ, req.key, req.ops = typ, key, ops
+	req.stamp, req.origin, req.txnID, req.tentative = stamp, origin, txnID, tentative
+	s.qmu.Lock()
+	s.pending = append(s.pending, req)
+	if s.draining {
+		s.qmu.Unlock()
+		<-req.done
+	} else {
+		// Leadership invariant: draining is only ever cleared with the queue
+		// observed empty, so a writer that finds draining unset enqueued onto
+		// an empty queue — its request is first in the leader's first batch
+		// and is completed by its own drain, no channel round trip needed.
+		s.draining = true
+		s.qmu.Unlock()
+		db.drainShard(s, req)
+	}
+	res, err := req.res, req.err
+	req.typ, req.ops, req.next = nil, nil, nil
+	req.res, req.err = AppendResult{}, nil
+	reqPool.Put(req)
+	return res, err
+}
+
+// drainShard is the leader loop: take up to MaxBatch queued requests, commit
+// them as one batch under a single shard-lock hold, signal the followers,
+// repeat until the queue is empty. The shard lock is released between
+// batches, so readers and history rewrites (MarkObsolete, Compact) interleave
+// at batch granularity instead of waiting out the whole queue. Leadership
+// ends only under qmu with the queue observed empty, so there is never a
+// moment where requests are pending but no leader is responsible for them.
+// self is the leader's own request; it is signalled by returning, not through
+// its channel.
+func (db *DB) drainShard(s *shard, self *appendReq) {
+	// Scratch space reused across every batch of this drain: the survivor
+	// list and the batch-local overlay maps. One allocation set per drain,
+	// not per batch.
+	var live []*appendReq
+	var states map[entity.Key]*entity.State
+	var txns map[entity.Key]map[string]bool
+	// batch is the in-flight, already-dequeued batch; the deferred recovery
+	// below needs it so a panic escaping the commit path (realistically: a
+	// user-supplied CommitHook) cannot wedge the shard. Without it, draining
+	// would stay set forever and every parked and future writer on this shard
+	// would block on its done channel.
+	var batch []*appendReq
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.qmu.Lock()
+		rest := s.pending
+		s.pending = nil
+		s.draining = false
+		s.qmu.Unlock()
+		// The in-flight batch may have installed its records before the
+		// panic (a CommitHook runs post-install), so this error is
+		// indeterminate for those writers — their append may be committed
+		// and visible; see Options.CommitHook.
+		err := fmt.Errorf("lsdb: group-commit leader failed (append may be committed): %v", r)
+		for _, q := range [2][]*appendReq{batch, rest} {
+			for _, req := range q {
+				if req == self {
+					continue
+				}
+				req.err = err
+				req.done <- struct{}{}
+			}
+		}
+		panic(r)
+	}()
+	for {
+		s.qmu.Lock()
+		if len(s.pending) == 0 {
+			s.draining = false
+			s.qmu.Unlock()
+			return
+		}
+		n := len(s.pending)
+		if n > db.opts.MaxBatch {
+			n = db.opts.MaxBatch
+		}
+		batch = s.pending[:n:n]
+		s.pending = s.pending[n:]
+		s.qmu.Unlock()
+
+		if live == nil {
+			live = make([]*appendReq, 0, db.opts.MaxBatch)
+		}
+		if states == nil && n > 1 {
+			states = make(map[entity.Key]*entity.State, n)
+			txns = map[entity.Key]map[string]bool{}
+		}
+		clear(states)
+		clear(txns)
+		live = db.commitBatch(s, batch, live[:0], states, txns)
+		for _, r := range batch {
+			if r != self {
+				r.done <- struct{}{}
+			}
+		}
+		// Signalled followers may already be recycling their requests; drop
+		// the reference so the recovery path can never double-signal them.
+		batch = nil
+	}
+}
+
+// commitBatch applies and commits one batch under one shard-lock hold.
+//
+// Pass one validates every request in arrival order: duplicate-txn check,
+// prior-state lookup and copy-on-write Apply, with a batch-local overlay
+// (states, txns) standing in for the not-yet-committed effects of earlier
+// requests in the same batch. A failure parks the error on that request
+// alone; later requests proceed against the last good state. Single-request
+// batches skip the overlay entirely (states and txns are nil).
+//
+// Pass two reserves one contiguous LSN run — a single sequence-lock
+// acquisition for the whole batch — and installs the survivors' records and
+// frozen states in order. Because failed requests were excluded before the
+// reservation, every reserved LSN is used and the global log stays dense,
+// exactly as on the serial path.
+func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.Key]*entity.State, txns map[entity.Key]map[string]bool) []*appendReq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range batch {
+		next, warnings, err := db.applyForAppendLocked(s, r.typ, r.key, r.ops, r.txnID, r.tentative, states, txns)
+		if err != nil {
+			r.err = err
+			continue
+		}
+		r.next = next
+		r.res.Warnings = warnings
+		if states != nil {
+			states[r.key] = next
+			if r.txnID != "" {
+				if txns[r.key] == nil {
+					txns[r.key] = map[string]bool{}
+				}
+				txns[r.key][r.txnID] = true
+			}
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return live
+	}
+	first := db.lsn.Reserve(len(live))
+	for i, r := range live {
+		r.res.Record = Record{
+			LSN:       first + uint64(i),
+			Key:       r.key,
+			Ops:       r.ops,
+			Stamp:     r.stamp,
+			Origin:    r.origin,
+			TxnID:     r.txnID,
+			Tentative: r.tentative,
+		}
+		r.res.State = db.commitAppendLocked(s, &r.res.Record, r.next)
+	}
+	// One commit-hook call — one log force — for the whole batch: this is
+	// where group commit amortises durability latency across every writer in
+	// the batch.
+	if db.opts.CommitHook != nil {
+		recs := make([]Record, len(live))
+		for i, r := range live {
+			recs[i] = r.res.Record
+		}
+		db.opts.CommitHook(recs)
+	}
+	return live
+}

@@ -102,11 +102,41 @@ type Options struct {
 	// state before applying, making reads and writes O(state size) again. It
 	// exists as the baseline for experiments E15/E16.
 	DeepCloneStates bool
+	// GroupCommit enables group-commit append batching: concurrent writers
+	// enqueue sanitized op-sets on a per-shard commit queue, the first writer
+	// to find the queue idle becomes the leader and drains it under a single
+	// shard-lock hold, stamping each batch with one contiguous LSN run and
+	// waking every follower with its individual AppendResult. Semantics are
+	// identical to the per-append path — idempotence, validation, tentative
+	// records and per-writer errors all behave the same — only the locking
+	// cadence changes. Off by default; experiment E17 measures the win.
+	GroupCommit bool
+	// MaxBatch bounds how many queued appends one leader drain folds into a
+	// single lock hold / LSN run (default 64). Smaller batches bound how long
+	// readers wait behind a busy leader; larger ones amortise more.
+	MaxBatch int
+	// CommitHook, when non-nil, is invoked under the shard lock at the end of
+	// every commit cycle with the records that cycle installed: once per
+	// record on the per-append path, once per batch under group commit. It is
+	// the attachment point for a durable backend's log force (fsync,
+	// replication ack): group commit then amortises that latency across the
+	// whole batch, which is the classic group-commit win experiment E17
+	// measures. The slice is only valid for the duration of the call.
+	//
+	// Leaders of different shards commit independently, so the hook may be
+	// invoked concurrently (under different shard locks) and must be safe for
+	// concurrent use. The hook runs after the cycle's records are installed;
+	// if it panics, those records remain committed and visible — under group
+	// commit the panic surfaces at the leader while the batch's other writers
+	// get an error even though their appends are in the log (the same
+	// indeterminacy any post-commit failure has).
+	CommitHook func(records []Record)
 }
 
 const (
 	defaultSegmentSize = 4096
 	defaultShards      = 8
+	defaultMaxBatch    = 64
 )
 
 // snapshot is a cached rollup of one entity up to (and including) an LSN.
@@ -138,6 +168,13 @@ type shard struct {
 	snaps    map[entity.Key]snapshot
 	cache    map[entity.Key]*cached
 	archived map[entity.Key]*entity.State // summarised entities whose detail records were compacted away
+
+	// Group-commit queue (Options.GroupCommit): pending appends awaiting a
+	// leader drain. qmu only ever guards these two fields and is never held
+	// together with mu, so enqueueing stays cheap while a batch commits.
+	qmu      sync.Mutex
+	pending  []*appendReq
+	draining bool
 }
 
 func newShard() *shard {
@@ -169,6 +206,9 @@ func Open(opts Options) *DB {
 	}
 	if opts.Shards <= 0 {
 		opts.Shards = defaultShards
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = defaultMaxBatch
 	}
 	db := &DB{
 		opts:   opts,
@@ -257,37 +297,22 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 	}
 	// The sealed log and the state cache share the operations with the
 	// caller; sanitization rejects values that cannot be safely shared and
-	// detaches container values from caller-owned memory.
+	// detaches container values from caller-owned memory. It runs before any
+	// lock (or queue) is touched, so a malformed op-set never reaches a
+	// group-commit batch.
 	ops, err := entity.SanitizeOps(ops)
 	if err != nil {
 		return AppendResult{}, fmt.Errorf("lsdb: %w", err)
 	}
 	s := db.shardFor(key)
+	if db.opts.GroupCommit {
+		return db.appendGrouped(s, typ, key, ops, stamp, origin, txnID, tentative)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if txnID != "" {
-		if _, dup := s.byTxn[key][txnID]; dup {
-			return AppendResult{}, fmt.Errorf("%w: %s on %s", ErrDuplicateTxn, txnID, key)
-		}
-	}
-	// The cached rollup is the prior state; Apply copies-on-write, so the
-	// frozen cache entry is never mutated and only the chunks the operations
-	// touch are copied (O(delta), not O(state size)).
-	var prior *entity.State
-	if c, ok := s.cache[key]; ok && !db.opts.DisableStateCache {
-		prior = c.state
-	} else {
-		prior = s.rollupLocked(key, typ)
-	}
-	if db.opts.DeepCloneStates {
-		prior = prior.DeepClone()
-	}
-	next, warnings, err := entity.Apply(typ, prior, ops, db.opts.Validation)
+	next, warnings, err := db.applyForAppendLocked(s, typ, key, ops, txnID, tentative, nil, nil)
 	if err != nil {
 		return AppendResult{}, err
-	}
-	if tentative {
-		next.Tentative = true
 	}
 	rec := Record{
 		LSN:       db.lsn.Next(),
@@ -298,12 +323,63 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 		TxnID:     txnID,
 		Tentative: tentative,
 	}
-	s.appendRecordLocked(rec, db.opts.SegmentSize)
+	resState := db.commitAppendLocked(s, &rec, next)
+	if db.opts.CommitHook != nil {
+		db.opts.CommitHook([]Record{rec})
+	}
+	return AppendResult{Record: rec, State: resState, Warnings: warnings}, nil
+}
+
+// applyForAppendLocked validates one append and applies it to the current
+// rollup, returning the new (not yet frozen) state. The caller holds the
+// shard's write lock. batchStates and batchTxns overlay the shard's caches
+// with the effects of earlier appends in the same group-commit batch — a
+// request must observe its batch predecessors exactly as it would have on the
+// serial path; both are nil outside a batch.
+func (db *DB) applyForAppendLocked(s *shard, typ *entity.Type, key entity.Key, ops []entity.Op, txnID string, tentative bool, batchStates map[entity.Key]*entity.State, batchTxns map[entity.Key]map[string]bool) (*entity.State, []entity.Warning, error) {
 	if txnID != "" {
-		if s.byTxn[key] == nil {
-			s.byTxn[key] = map[string]uint64{}
+		if _, dup := s.byTxn[key][txnID]; dup {
+			return nil, nil, fmt.Errorf("%w: %s on %s", ErrDuplicateTxn, txnID, key)
 		}
-		s.byTxn[key][txnID] = rec.LSN
+		if batchTxns[key][txnID] {
+			return nil, nil, fmt.Errorf("%w: %s on %s", ErrDuplicateTxn, txnID, key)
+		}
+	}
+	// The cached rollup is the prior state; Apply copies-on-write, so the
+	// frozen cache entry is never mutated and only the chunks the operations
+	// touch are copied (O(delta), not O(state size)).
+	var prior *entity.State
+	if st, ok := batchStates[key]; ok {
+		prior = st
+	} else if c, ok := s.cache[key]; ok && !db.opts.DisableStateCache {
+		prior = c.state
+	} else {
+		prior = s.rollupLocked(key, typ)
+	}
+	if db.opts.DeepCloneStates {
+		prior = prior.DeepClone()
+	}
+	next, warnings, err := entity.Apply(typ, prior, ops, db.opts.Validation)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tentative {
+		next.Tentative = true
+	}
+	return next, warnings, nil
+}
+
+// commitAppendLocked installs one applied append: the record goes into the
+// shard's log and indexes, and the frozen new state into the cache and the
+// snapshot fallback. The caller holds the shard's write lock and has already
+// assigned rec.LSN. It returns the state for the caller's AppendResult.
+func (db *DB) commitAppendLocked(s *shard, rec *Record, next *entity.State) *entity.State {
+	s.appendRecordLocked(*rec, db.opts.SegmentSize)
+	if rec.TxnID != "" {
+		if s.byTxn[rec.Key] == nil {
+			s.byTxn[rec.Key] = map[string]uint64{}
+		}
+		s.byTxn[rec.Key][rec.TxnID] = rec.LSN
 	}
 	// Freeze the new current state: the cache, the snapshot fallback and the
 	// caller all share the same immutable version — no clones anywhere.
@@ -313,19 +389,19 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 		resState = next.DeepClone()
 	}
 	if !db.opts.DisableStateCache {
-		s.cache[key] = &cached{head: rec.LSN, state: next}
+		s.cache[rec.Key] = &cached{head: rec.LSN, state: next}
 	}
 	// Maintain the snapshot fallback; frozen states are shared, not cloned.
 	if db.opts.SnapshotEvery > 0 {
-		snap := s.snaps[key]
+		snap := s.snaps[rec.Key]
 		snap.seq++
 		if snap.state == nil || int(snap.seq)%db.opts.SnapshotEvery == 0 {
 			snap.lsn = rec.LSN
 			snap.state = next
 		}
-		s.snaps[key] = snap
+		s.snaps[rec.Key] = snap
 	}
-	return AppendResult{Record: rec, State: resState, Warnings: warnings}, nil
+	return resState
 }
 
 // appendRecordLocked adds rec to the shard's log and index. The caller holds

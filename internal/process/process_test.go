@@ -364,3 +364,67 @@ func TestHorizontalBatchEmptyQueue(t *testing.T) {
 		t.Fatalf("HorizontalBatch on empty queue = %d, %v", n, err)
 	}
 }
+
+// TestWorkerPoolRidesGroupCommit runs the engine's worker pool against a
+// group-commit store: concurrent step transactions enqueue their appends on
+// the shard commit queues, and every step's effect must still land exactly
+// once (idempotence keys intact, no lost or doubled updates).
+func TestWorkerPoolRidesGroupCommit(t *testing.T) {
+	db := lsdb.Open(lsdb.Options{Node: "u1", SnapshotEvery: 16, Validation: entity.Managed, GroupCommit: true, MaxBatch: 8})
+	for _, typ := range orderTypes() {
+		if err := db.RegisterType(typ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr := txn.NewManager(db, nil, nil, txn.Options{Node: "u1", EnforceSingleEntity: true})
+	q := queue.New("u1", queue.Options{})
+	e := NewEngine(mgr, q, Options{Workers: 4})
+	def := NewDefinition("bump")
+	def.Step("order.bump", func(ctx *StepContext) error {
+		return ctx.Txn.Update(ctx.Event.Entity, entity.Delta("total", 1))
+	})
+	if err := e.Register(def); err != nil {
+		t.Fatal(err)
+	}
+	const events, orders = 120, 6
+	for i := 0; i < events; i++ {
+		ev := queue.Event{
+			Name:   "order.bump",
+			Entity: orderKey(fmt.Sprintf("O%d", i%orders)),
+			TxnID:  fmt.Sprintf("bump-%d", i),
+		}
+		if err := e.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Start()
+	deadline := time.Now().Add(10 * time.Second)
+	for e.Stats().StepsExecuted < events {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d/%d steps executed", e.Stats().StepsExecuted, events)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Stop()
+	if got := e.Stats().StepsExecuted; got != events {
+		t.Fatalf("steps executed = %d, want %d", got, events)
+	}
+	for o := 0; o < orders; o++ {
+		st, _, err := db.Current(orderKey(fmt.Sprintf("O%d", o)))
+		if err != nil {
+			t.Fatalf("Current(O%d): %v", o, err)
+		}
+		if got := st.Float("total"); got != float64(events/orders) {
+			t.Fatalf("O%d total = %v, want %d", o, got, events/orders)
+		}
+	}
+	records := db.RecordsAfter(0)
+	if len(records) != events {
+		t.Fatalf("log has %d records, want %d", len(records), events)
+	}
+	for i, rec := range records {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("LSN %d at position %d: worker commits left a gap", rec.LSN, i)
+		}
+	}
+}
