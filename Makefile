@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-append bench-io tables clean
+.PHONY: build test vet race bench bench-append bench-io bench-storage recovery-smoke tables clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,17 @@ bench-append:
 # The save/load persistence round-trip benchmark.
 bench-io:
 	$(GO) test -run xxx -bench BenchmarkSaveLoad -benchtime 50x ./internal/lsdb
+
+# The E18 storage-engine benchmarks on their own: JSON-stream load vs
+# checkpointed WAL recovery, and the append overhead of the durable log
+# (mem vs WAL vs WAL+fsync).
+bench-storage:
+	$(GO) test -run xxx -bench BenchmarkE18 -benchtime 20x .
+
+# End-to-end crash test: populate a durable soupsd, kill -9, restart from the
+# data directory, verify states and a backup/restore round trip.
+recovery-smoke:
+	./scripts/recovery-smoke.sh
 
 # Plain-text experiment tables without the Go test machinery.
 tables:

@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/process"
 	"repro/internal/queue"
 	"repro/internal/replica"
+	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/workload"
 )
@@ -663,6 +665,159 @@ func BenchmarkE17AppendBatch(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// --- E18: durable storage — recovery time and append overhead (section 3.1) --
+
+// seedStorageBench fills a store with deltas over a fixed working set plus
+// child-row traffic, the shape the recovery path has to replay.
+func seedStorageBench(b *testing.B, db *lsdb.DB, records int) {
+	b.Helper()
+	for i := 0; i < records; i++ {
+		var err error
+		if i%8 == 0 {
+			key := repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i%32)}
+			_, err = db.Append(key, []repro.Op{
+				repro.InsertChild("lineitems", fmt.Sprintf("L%d", i), repro.Fields{"product": "widget", "qty": int64(i % 7)}),
+			}, clock.Timestamp{WallNanos: int64(i + 1), Node: "e18"}, "e18", fmt.Sprintf("t%d", i))
+		} else {
+			key := repro.Key{Type: "Account", ID: fmt.Sprintf("A%d", i%64)}
+			_, err = db.Append(key, []repro.Op{repro.Delta("balance", 1)},
+				clock.Timestamp{WallNanos: int64(i + 1), Node: "e18"}, "e18", "")
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func e18Types(b *testing.B, db *lsdb.DB) {
+	b.Helper()
+	for _, t := range []*entity.Type{workload.AccountType(), workload.OrderType()} {
+		if err := db.RegisterType(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE18Recovery compares restart cost across log lengths:
+//
+//   - json: the pre-storage-engine path — Save the whole log as a JSON
+//     stream, Load it back record by record. O(history), JSON decode on
+//     every record.
+//   - wal: segmented-WAL replay with no checkpoint. Still O(history), but
+//     binary frames instead of JSON documents.
+//   - ckpt: a checkpoint was taken at shutdown; recovery streams the
+//     snapshot and replays only the (empty) tail. Same record count, one
+//     sorted sequential file.
+//   - ckpt-compacted: history summarised (Compact) before the checkpoint,
+//     the paper's archival principle 2.7 — recovery cost drops to O(live
+//     state), independent of how long the log ever was.
+func BenchmarkE18Recovery(b *testing.B) {
+	for _, records := range []int{4096, 16384} {
+		for _, mode := range []string{"json", "wal", "ckpt", "ckpt-compacted"} {
+			b.Run(fmt.Sprintf("records=%d/%s", records, mode), func(b *testing.B) {
+				if mode == "json" {
+					src := lsdb.Open(lsdb.Options{Node: "e18"})
+					e18Types(b, src)
+					seedStorageBench(b, src, records)
+					var stream bytes.Buffer
+					if err := src.Save(&stream); err != nil {
+						b.Fatal(err)
+					}
+					raw := stream.Bytes()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						dst := lsdb.Open(lsdb.Options{Node: "e18"})
+						e18Types(b, dst)
+						if err := dst.Load(bytes.NewReader(raw)); err != nil {
+							b.Fatal(err)
+						}
+						if dst.HeadLSN() != uint64(records) {
+							b.Fatalf("loaded head %d, want %d", dst.HeadLSN(), records)
+						}
+					}
+					return
+				}
+				dir := b.TempDir()
+				wal, err := storage.OpenWAL(storage.WALOptions{Dir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := lsdb.Open(lsdb.Options{Node: "e18", Backend: wal})
+				e18Types(b, src)
+				seedStorageBench(b, src, records)
+				if mode == "ckpt-compacted" {
+					src.Compact(src.HeadLSN())
+				}
+				if mode != "wal" {
+					if err := src.Checkpoint(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := src.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					wal, err := storage.OpenWAL(storage.WALOptions{Dir: dir})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rec, err := lsdb.Recover(lsdb.Options{Node: "e18", Backend: wal},
+						workload.AccountType(), workload.OrderType())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rec.HeadLSN() != uint64(records) {
+						b.Fatalf("recovered head %d, want %d", rec.HeadLSN(), records)
+					}
+					if err := rec.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE18AppendOverhead prices durability on the write path: the same
+// single-writer append stream against no backend, a page-cache WAL, and a
+// WAL that fsyncs every commit cycle. Combine with E17 for the group-commit
+// amortisation of that fsync across concurrent writers.
+func BenchmarkE18AppendOverhead(b *testing.B) {
+	for _, mode := range []string{"mem", "wal", "wal-fsync"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := lsdb.Options{Node: "e18", Validation: entity.Managed}
+			if mode != "mem" {
+				sync := storage.SyncOS
+				if mode == "wal-fsync" {
+					sync = storage.SyncAlways
+				}
+				wal, err := storage.OpenWAL(storage.WALOptions{Dir: b.TempDir(), Sync: sync})
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts.Backend = wal
+			}
+			db := lsdb.Open(opts)
+			if err := db.RegisterType(workload.AccountType()); err != nil {
+				b.Fatal(err)
+			}
+			key := repro.Key{Type: "Account", ID: "hot"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Append(key, []repro.Op{repro.Delta("balance", 1)},
+					clock.Timestamp{WallNanos: int64(i + 1), Node: "e18"}, "e18", ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := db.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/netsim"
 	"repro/internal/replica"
+	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/workload"
 )
@@ -50,6 +52,7 @@ func main() {
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6},
 		{"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11}, {"E12", e12},
 		{"E13", e13}, {"E14", e14}, {"E15", e15}, {"E16", e16}, {"E17", e17},
+		{"E18", e18},
 	}
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.name) {
@@ -615,6 +618,135 @@ func e17(n int) *metrics.Table {
 				}
 			}
 		}
+	}
+	return tbl
+}
+
+// E18: durable storage — JSON-stream load vs checkpointed WAL recovery, and
+// the append overhead the write-ahead log adds (mem vs WAL vs WAL+fsync).
+func e18(n int) *metrics.Table {
+	tbl := metrics.NewTable("E18 — storage engine: recovery time and append overhead (section 3.1)",
+		"phase", "mode", "records", "elapsed", "ops/sec")
+	types := func(db *lsdb.DB) {
+		db.RegisterType(workload.AccountType())
+		db.RegisterType(workload.OrderType())
+	}
+	seed := func(db *lsdb.DB, records int) {
+		for i := 0; i < records; i++ {
+			if i%8 == 0 {
+				db.Append(repro.Key{Type: "Order", ID: fmt.Sprintf("O%d", i%32)},
+					[]repro.Op{repro.InsertChild("lineitems", fmt.Sprintf("L%d", i), repro.Fields{"product": "widget", "qty": int64(i % 7)})},
+					clock.Timestamp{WallNanos: int64(i + 1), Node: "e18"}, "e18", fmt.Sprintf("t%d", i))
+			} else {
+				db.Append(repro.Key{Type: "Account", ID: fmt.Sprintf("A%d", i%64)},
+					[]repro.Op{repro.Delta("balance", 1)},
+					clock.Timestamp{WallNanos: int64(i + 1), Node: "e18"}, "e18", "")
+			}
+		}
+	}
+
+	// Recovery: JSON-stream load vs WAL replay vs checkpointed recovery of a
+	// summarised store.
+	records := 4 * n
+	for _, mode := range []string{"json", "wal", "ckpt-compacted"} {
+		var recover func() uint64
+		switch mode {
+		case "json":
+			src := lsdb.Open(lsdb.Options{Node: "e18"})
+			types(src)
+			seed(src, records)
+			var stream bytes.Buffer
+			if err := src.Save(&stream); err != nil {
+				log.Fatalf("E18: %v", err)
+			}
+			raw := stream.Bytes()
+			recover = func() uint64 {
+				dst := lsdb.Open(lsdb.Options{Node: "e18"})
+				types(dst)
+				if err := dst.Load(bytes.NewReader(raw)); err != nil {
+					log.Fatalf("E18: %v", err)
+				}
+				return dst.HeadLSN()
+			}
+		default:
+			dir, err := os.MkdirTemp("", "e18-"+mode)
+			if err != nil {
+				log.Fatalf("E18: %v", err)
+			}
+			defer os.RemoveAll(dir)
+			wal, err := storage.OpenWAL(storage.WALOptions{Dir: dir})
+			if err != nil {
+				log.Fatalf("E18: %v", err)
+			}
+			src := lsdb.Open(lsdb.Options{Node: "e18", Backend: wal})
+			types(src)
+			seed(src, records)
+			if mode == "ckpt-compacted" {
+				src.Compact(src.HeadLSN())
+				if err := src.Checkpoint(); err != nil {
+					log.Fatalf("E18: %v", err)
+				}
+			}
+			src.Close()
+			recover = func() uint64 {
+				w, err := storage.OpenWAL(storage.WALOptions{Dir: dir})
+				if err != nil {
+					log.Fatalf("E18: %v", err)
+				}
+				rec, err := lsdb.Recover(lsdb.Options{Node: "e18", Backend: w},
+					workload.AccountType(), workload.OrderType())
+				if err != nil {
+					log.Fatalf("E18: %v", err)
+				}
+				head := rec.HeadLSN()
+				rec.Close()
+				return head
+			}
+		}
+		start := time.Now()
+		const iters = 3
+		for i := 0; i < iters; i++ {
+			if head := recover(); head != uint64(records) {
+				log.Fatalf("E18: recovered head %d, want %d", head, records)
+			}
+		}
+		elapsed := time.Since(start) / iters
+		tbl.AddRow("recover", mode, records, elapsed, opsPerSec(records, elapsed))
+	}
+
+	// Append overhead: what the durable log costs per write.
+	for _, mode := range []string{"mem", "wal", "wal-fsync"} {
+		opts := lsdb.Options{Node: "e18", Validation: entity.Managed}
+		if mode != "mem" {
+			sync := storage.SyncOS
+			if mode == "wal-fsync" {
+				sync = storage.SyncAlways
+			}
+			dir, err := os.MkdirTemp("", "e18-append")
+			if err != nil {
+				log.Fatalf("E18: %v", err)
+			}
+			defer os.RemoveAll(dir)
+			wal, err := storage.OpenWAL(storage.WALOptions{Dir: dir, Sync: sync})
+			if err != nil {
+				log.Fatalf("E18: %v", err)
+			}
+			opts.Backend = wal
+		}
+		db := lsdb.Open(opts)
+		db.RegisterType(workload.AccountType())
+		total := n
+		if mode == "wal-fsync" {
+			total = n / 4
+		}
+		start := time.Now()
+		for i := 0; i < total; i++ {
+			db.Append(repro.Key{Type: "Account", ID: "hot"}, []repro.Op{repro.Delta("balance", 1)},
+				clock.Timestamp{WallNanos: int64(i + 1), Node: "e18"}, "e18", "")
+		}
+		elapsed := time.Since(start)
+		db.Close()
+		tbl.AddRow("append", mode, total, elapsed, opsPerSec(total, elapsed))
 	}
 	return tbl
 }

@@ -9,23 +9,38 @@
 //	GET  /warnings                        managed constraint violations so far
 //	GET  /metrics                         kernel metric dump (plain text)
 //	GET  /healthz                         liveness probe
+//	GET  /backup                          portable JSON export of every unit's log
+//	POST /restore                         replay a backup stream into a fresh node
+//	POST /checkpoint                      force a storage checkpoint on every unit
 //
 // Usage: soupsd [-addr :8080] [-units 4] [-consistency eventual|strong]
 //
 //	[-groupcommit] [-maxbatch 64]
+//	[-data-dir DIR] [-fsync-mode always|os] [-checkpoint-every 4096]
+//
+// With -data-dir the node is durable: every commit cycle is appended to a
+// segmented write-ahead log per unit, startup recovers from the latest
+// checkpoint plus the log tail (truncating a torn final record if the
+// previous process died mid-write), and SIGINT/SIGTERM flush before exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/lsdb"
+	"repro/internal/storage"
 )
 
 var (
@@ -34,6 +49,9 @@ var (
 	consistency = flag.String("consistency", "eventual", "eventual or strong")
 	groupCommit = flag.Bool("groupcommit", false, "batch concurrent appends via per-shard group commit")
 	maxBatch    = flag.Int("maxbatch", 0, "max appends per group-commit batch (0 = default 64)")
+	dataDir     = flag.String("data-dir", "", "durable mode: write-ahead log + checkpoint directory (empty = in-memory)")
+	fsyncMode   = flag.String("fsync-mode", "os", "WAL durability: always (fsync per commit cycle) or os (page cache)")
+	ckptEvery   = flag.Int("checkpoint-every", 4096, "records per unit between automatic checkpoints (-1 disables)")
 )
 
 type server struct {
@@ -59,9 +77,14 @@ func main() {
 	if strings.HasPrefix(strings.ToLower(*consistency), "strong") {
 		mode = repro.StrongSingleCopy
 	}
+	sync, err := storage.ParseSyncMode(*fsyncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	k, err := repro.Bootstrap(repro.Options{
 		Node: "soupsd", Units: *units, Consistency: mode,
 		GroupCommit: *groupCommit, MaxAppendBatch: *maxBatch,
+		DataDir: *dataDir, Fsync: sync, CheckpointEvery: *ckptEvery,
 	}, repro.StandardTypes()...)
 	if err != nil {
 		log.Fatalf("bootstrap: %v", err)
@@ -76,12 +99,48 @@ func main() {
 	mux.HandleFunc("/history/", s.handleHistory)
 	mux.HandleFunc("/warnings", s.handleWarnings)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("/backup", s.handleBackup)
+	mux.HandleFunc("/restore", s.handleRestore)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Background storage failures (a stopped automatic checkpoint, an
+		// unlogged compaction mark) do not fail any request; the probe is
+		// where they must surface.
+		if err := k.StorageErr(); err != nil {
+			http.Error(w, "degraded: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 
-	log.Printf("soupsd listening on %s (units=%d consistency=%s groupcommit=%v)", *addr, *units, mode, *groupCommit)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	// Durable shutdown: stop accepting traffic, then flush the write-ahead
+	// logs before the process exits. A hard kill is also fine — that is what
+	// recovery is for — but a polite signal should not rely on it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down: flushing storage")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := k.Flush(); err != nil {
+			log.Printf("flush: %v", err)
+		}
+	}()
+
+	durable := "in-memory"
+	if *dataDir != "" {
+		durable = fmt.Sprintf("data-dir=%s fsync=%s", *dataDir, sync)
+	}
+	log.Printf("soupsd listening on %s (units=%d consistency=%s groupcommit=%v %s)", *addr, *units, mode, *groupCommit, durable)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	<-done
 }
 
 // parseKey extracts "Type/ID" from a path like /entities/Type/ID.
@@ -173,6 +232,48 @@ func (s *server) handleWarnings(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, warning.String())
 	}
 	writeJSON(w, out)
+}
+
+// handleBackup streams a portable export of the whole node (the same codec
+// soupsctl backup/restore move around).
+func (s *server) handleBackup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.kernel.Export(w); err != nil {
+		// Headers are gone; all we can do is log and cut the stream short.
+		log.Printf("backup: %v", err)
+	}
+}
+
+// handleRestore replays an export stream into this node. The node should be
+// freshly started with the same unit count; durable nodes checkpoint the
+// imported content before answering.
+func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.kernel.Import(r.Body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "restored"})
+}
+
+// handleCheckpoint forces a storage checkpoint on every unit.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.kernel.Checkpoint(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "checkpointed"})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

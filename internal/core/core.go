@@ -14,8 +14,12 @@
 package core
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/process"
 	"repro/internal/queue"
+	"repro/internal/storage"
 	"repro/internal/txn"
 )
 
@@ -92,6 +97,26 @@ type Options struct {
 	// under one lock hold with one contiguous LSN run. Semantics are
 	// unchanged; experiment E17 measures the multi-writer throughput win.
 	GroupCommit bool
+	// DataDir, when non-empty, makes the kernel durable: every serialization
+	// unit opens a segmented write-ahead log in its own subdirectory
+	// (unit-0, unit-1, ...), commits append to it (one framed batch write —
+	// and with Fsync always, one fsync — per commit cycle; GroupCommit
+	// amortises that force across concurrent writers), and Open recovers each
+	// unit from its latest checkpoint plus the log tail. The unit count must
+	// match across restarts — the directory layout is per-unit.
+	DataDir string
+	// Fsync selects the durability/latency trade-off of the write-ahead log
+	// (only meaningful with DataDir): storage.SyncAlways forces every commit
+	// cycle, storage.SyncOS (default) leaves flushing to the page cache.
+	Fsync storage.SyncMode
+	// CheckpointEvery takes a checkpoint of a unit's store after roughly
+	// this many records since the last one (only meaningful with DataDir;
+	// default 4096, negative disables automatic checkpoints). Checkpoints
+	// bound recovery to the post-checkpoint log tail.
+	CheckpointEvery int
+	// SegmentBytes is the WAL segment rotation threshold (only meaningful
+	// with DataDir; default 4 MiB).
+	SegmentBytes int64
 	// MaxAppendBatch bounds how many queued appends one group-commit leader
 	// folds into a single batch (default 64; only meaningful with
 	// GroupCommit).
@@ -125,6 +150,12 @@ func (o *Options) fill() {
 	}
 	if o.TxnRetries < 0 {
 		o.TxnRetries = 0
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 4096
+	}
+	if o.CheckpointEvery < 0 {
+		o.CheckpointEvery = 0
 	}
 }
 
@@ -206,14 +237,10 @@ func Open(opts Options) (*Kernel, error) {
 		if err := locator.AddUnit(id); err != nil {
 			return nil, err
 		}
-		db := lsdb.Open(lsdb.Options{
-			Node:          clock.NodeID(id),
-			SnapshotEvery: opts.SnapshotEvery,
-			Validation:    opts.validation(),
-			Shards:        opts.DBShards,
-			GroupCommit:   opts.GroupCommit,
-			MaxBatch:      opts.MaxAppendBatch,
-		})
+		db, err := openUnitStore(opts, id, i)
+		if err != nil {
+			return nil, err
+		}
 		mgr := txn.NewManager(db, k.locks, k.hlc, txn.Options{
 			Node:                clock.NodeID(id),
 			EnforceSingleEntity: opts.Consistency == EventualSOUPS,
@@ -245,6 +272,42 @@ func Open(opts Options) (*Kernel, error) {
 	k.dir = partition.NewDirectory(locator)
 	k.coord = txn.NewCoordinator(participants...)
 	return k, nil
+}
+
+// openUnitStore opens one unit's log store: purely in-memory without a
+// DataDir, otherwise recovered from (and durably attached to) the unit's
+// segmented WAL. Recovery runs before entity types are registered; that is
+// safe — records, summaries and obsolescence marks replay without types, and
+// a compaction mark simply re-archives less (identical rollup states either
+// way, see lsdb.Recover).
+func openUnitStore(opts Options, id partition.UnitID, index int) (*lsdb.DB, error) {
+	dbOpts := lsdb.Options{
+		Node:            clock.NodeID(id),
+		SnapshotEvery:   opts.SnapshotEvery,
+		Validation:      opts.validation(),
+		Shards:          opts.DBShards,
+		GroupCommit:     opts.GroupCommit,
+		MaxBatch:        opts.MaxAppendBatch,
+		CheckpointEvery: opts.CheckpointEvery,
+	}
+	if opts.DataDir == "" {
+		return lsdb.Open(dbOpts), nil
+	}
+	wal, err := storage.OpenWAL(storage.WALOptions{
+		Dir:          filepath.Join(opts.DataDir, fmt.Sprintf("unit-%d", index)),
+		SegmentBytes: opts.SegmentBytes,
+		Sync:         opts.Fsync,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: unit %s: %w", id, err)
+	}
+	dbOpts.Backend = wal
+	db, err := lsdb.Recover(dbOpts)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("core: recovering unit %s: %w", id, err)
+	}
+	return db, nil
 }
 
 // Options returns the kernel's effective options.
@@ -671,7 +734,9 @@ func (k *Kernel) Stop() {
 	}
 }
 
-// Close shuts the kernel down.
+// Close shuts the kernel down, flushing and closing every unit's durable
+// backend. Flush errors are not reported here — durable deployments call
+// Flush first and act on its error before closing.
 func (k *Kernel) Close() {
 	k.Stop()
 	k.mu.Lock()
@@ -682,7 +747,205 @@ func (k *Kernel) Close() {
 	k.closed = true
 	for _, u := range k.units {
 		u.queue.Close()
+		_ = u.db.Close()
 	}
+}
+
+// Flush forces everything committed so far to every unit's stable storage.
+// A no-op for in-memory kernels.
+func (k *Kernel) Flush() error {
+	for _, id := range k.unitIDs {
+		if err := k.units[id].db.Sync(); err != nil {
+			return fmt.Errorf("core: flushing unit %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint takes a checkpoint of every unit's store, bounding the next
+// restart's recovery to the log tail written afterwards. A no-op for
+// in-memory kernels.
+func (k *Kernel) Checkpoint() error {
+	for _, id := range k.unitIDs {
+		if err := k.units[id].db.Checkpoint(); err != nil {
+			return fmt.Errorf("core: checkpointing unit %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// StorageErr returns the most recent background storage failure on any unit
+// — an automatic checkpoint or a compaction mark that could not be logged —
+// or nil. Background failures do not fail the writes that triggered them,
+// so health probes should surface this: a node whose checkpoints silently
+// stopped keeps answering while its recovery time grows without bound.
+func (k *Kernel) StorageErr() error {
+	for _, id := range k.unitIDs {
+		if err := k.units[id].db.BackendErr(); err != nil {
+			return fmt.Errorf("core: unit %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Compact summarises history on every unit: each entity's current rollup is
+// archived and its detail records removed, up to the unit's present head
+// (the paper's summarisation-and-archival functionality at kernel scale).
+// Entities written concurrently with the pass keep their records. Returns
+// how many entities were summarised.
+func (k *Kernel) Compact() int {
+	total := 0
+	for _, id := range k.unitIDs {
+		u := k.units[id]
+		stats := u.db.Compact(u.db.HeadLSN())
+		total += stats.Summarised
+	}
+	return total
+}
+
+// --- Backup and restore ---------------------------------------------------------
+
+// exportHeader opens an export stream: the format version and the unit count
+// the stream was taken from (LSN spaces are per-unit, so restore requires
+// the same partitioning).
+type exportHeader struct {
+	Version int `json:"version"`
+	Units   int `json:"units"`
+}
+
+// exportLine is one line of an export stream: an archived summary (Summary),
+// a record (Record), or the end-of-stream trailer (Lines — the count of
+// summary+record lines, letting Import detect a truncated backup: the
+// line-per-JSON-document format would otherwise decode any prefix cleanly).
+type exportLine struct {
+	Unit    int                   `json:"unit"`
+	Summary *lsdb.PersistedState  `json:"summary,omitempty"`
+	Record  *lsdb.PersistedRecord `json:"record,omitempty"`
+	Lines   *int                  `json:"lines,omitempty"`
+}
+
+// Export writes a portable backup of every unit as a JSON stream: a header
+// line, each unit's archived summaries (compacted entities are not
+// reconstructible from records, so they travel explicitly), each unit's
+// retained records in LSN order, and a trailer with the total line count.
+// The stream uses the same export codec as lsdb.Save, so int64 values
+// survive exactly.
+func (k *Kernel) Export(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(exportHeader{Version: 1, Units: len(k.unitIDs)}); err != nil {
+		return fmt.Errorf("core: export: %w", err)
+	}
+	lines := 0
+	for i, id := range k.unitIDs {
+		// One atomic cut per unit: a Compact racing the export cannot move
+		// an entity between the summary and record sets unseen.
+		summaries, records := k.units[id].db.ExportCut()
+		for _, sum := range summaries {
+			ps := lsdb.ToPersistedState(sum.State)
+			if err := enc.Encode(exportLine{Unit: i, Summary: &ps}); err != nil {
+				return fmt.Errorf("core: export: %w", err)
+			}
+			lines++
+		}
+		for _, rec := range records {
+			pr := lsdb.ToPersisted(rec)
+			if err := enc.Encode(exportLine{Unit: i, Record: &pr}); err != nil {
+				return fmt.Errorf("core: export: %w", err)
+			}
+			lines++
+		}
+	}
+	if err := enc.Encode(exportLine{Lines: &lines}); err != nil {
+		return fmt.Errorf("core: export: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: export: %w", err)
+	}
+	return nil
+}
+
+// Import replays a stream produced by Export into this kernel. The kernel
+// must be freshly bootstrapped with the same unit count and entity types and
+// must not be serving writes: records install through the bulk-load path
+// with their original LSNs, which a concurrent append could collide with. A
+// kernel that already holds records is refused up front, and a write that
+// slips in while the import runs is detected afterwards — the import fails
+// and the node must be wiped rather than serve an interleaved log. A stream
+// without its trailer (a truncated backup) is rejected. Durable kernels
+// checkpoint after the import, so the restored state is on disk before
+// Import returns.
+func (k *Kernel) Import(r io.Reader) error {
+	for _, id := range k.unitIDs {
+		if k.units[id].db.HeadLSN() != 0 {
+			return fmt.Errorf("core: import: unit %s already has records; restore requires a fresh node", id)
+		}
+	}
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	dec.UseNumber() // exact int64 round trip; see lsdb.FromPersisted
+	var hdr exportHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("core: import: reading header: %w", err)
+	}
+	if hdr.Version != 1 {
+		return fmt.Errorf("core: import: unsupported stream version %d", hdr.Version)
+	}
+	if hdr.Units != len(k.unitIDs) {
+		return fmt.Errorf("core: import: stream has %d units, kernel has %d (unit counts must match)", hdr.Units, len(k.unitIDs))
+	}
+	lines := 0
+	recordsPerUnit := make([]int, len(k.unitIDs))
+	sawTrailer := false
+	for {
+		var line exportLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("core: import: %w", err)
+		}
+		if line.Lines != nil {
+			if *line.Lines != lines {
+				return fmt.Errorf("core: import: stream trailer claims %d lines, read %d (truncated or corrupt backup)", *line.Lines, lines)
+			}
+			sawTrailer = true
+			continue
+		}
+		if line.Unit < 0 || line.Unit >= len(k.unitIDs) {
+			return fmt.Errorf("core: import: line for unknown unit %d", line.Unit)
+		}
+		db := k.units[k.unitIDs[line.Unit]].db
+		switch {
+		case line.Summary != nil:
+			st, err := lsdb.FromPersistedState(*line.Summary)
+			if err != nil {
+				return fmt.Errorf("core: import: %w", err)
+			}
+			db.RestoreSummary(st.Key, st)
+		case line.Record != nil:
+			rec, err := lsdb.FromPersisted(*line.Record)
+			if err != nil {
+				return fmt.Errorf("core: import: %w", err)
+			}
+			db.LoadRecord(rec)
+			recordsPerUnit[line.Unit]++
+		default:
+			return fmt.Errorf("core: import: line %d carries neither summary nor record", lines+1)
+		}
+		lines++
+	}
+	if !sawTrailer {
+		return fmt.Errorf("core: import: stream ended without its trailer (truncated backup)")
+	}
+	// Detect writes that raced the import: every unit must hold exactly the
+	// imported records, or the log is interleaved and unusable.
+	for i, id := range k.unitIDs {
+		if got := k.units[id].db.Len(); got != recordsPerUnit[i] {
+			return fmt.Errorf("core: import: unit %s holds %d records, imported %d — the node took writes during restore and must be wiped", id, got, recordsPerUnit[i])
+		}
+	}
+	// The bulk-load path bypasses the write-ahead log; a checkpoint captures
+	// the imported content durably in one pass.
+	return k.Checkpoint()
 }
 
 // ProcessStats sums process-engine statistics across units.

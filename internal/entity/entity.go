@@ -11,6 +11,7 @@ package entity
 import (
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"strings"
@@ -621,6 +622,21 @@ func (s *State) appendChild(collection string, ch Child) {
 	s.mutableCol(collection).appendRow(ch)
 }
 
+// RestoreChild appends a raw child row — tombstone flag and all — to a
+// mutable state, bypassing upsert semantics. It exists for import codecs
+// (the storage checkpoint reader, the JSON summary codec) that rebuild a
+// state row-for-row from its serialised form; normal writes go through
+// Apply. Ownership of the row transfers to the state: the caller must not
+// retain or mutate ch.Fields afterwards. Decoders hand over freshly built
+// maps, so skipping the defensive clone halves their row allocations on the
+// recovery path.
+func (s *State) RestoreChild(collection string, ch Child) {
+	if ch.Fields == nil {
+		ch.Fields = Fields{}
+	}
+	s.appendChild(collection, ch)
+}
+
 // deleteChild tombstones every row carrying the id, reporting whether any row
 // matched. The common single-occurrence case touches one chunk. The position
 // found on the shared header stays valid after mutableCol: the header copy
@@ -750,16 +766,58 @@ func safeValue(v interface{}) interface{} {
 	}
 }
 
+// canonNumber maps the accepted numeric widths onto the canonical scalar set
+// records are stored with: every integral kind becomes int64 (uint64 values
+// above MaxInt64 keep their own identity so the magnitude survives exactly)
+// and float32 widens to float64. One canonical form everywhere means the
+// in-memory log, the state cache and the durable codecs all agree
+// bit-for-bit — a store recovered from disk is byte-identical to the one
+// that wrote it. ok is false for non-numeric values.
+func canonNumber(v interface{}) (interface{}, bool) {
+	switch x := v.(type) {
+	case int:
+		return int64(x), true
+	case int8:
+		return int64(x), true
+	case int16:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	case uint8:
+		return int64(x), true
+	case uint16:
+		return int64(x), true
+	case uint32:
+		return int64(x), true
+	case uint:
+		if uint64(x) > math.MaxInt64 {
+			return uint64(x), true
+		}
+		return int64(x), true
+	case uint64:
+		if x > math.MaxInt64 {
+			return x, true
+		}
+		return int64(x), true
+	case float32:
+		return float64(x), true
+	default:
+		return v, false
+	}
+}
+
 // checkValue verifies a value is a scalar or a supported container (checked
 // recursively) and returns a copy that shares no mutable structure with the
-// input.
+// input, numeric widths canonicalised (see canonNumber).
 func checkValue(v interface{}) (interface{}, error) {
 	switch x := v.(type) {
-	case nil, bool, string,
-		int, int8, int16, int32, int64,
-		uint, uint8, uint16, uint32, uint64,
-		float32, float64:
+	case nil, bool, string, int64, float64:
 		return v, nil
+	case int, int8, int16, int32,
+		uint, uint8, uint16, uint32, uint64,
+		float32:
+		cv, _ := canonNumber(v)
+		return cv, nil
 	case Fields:
 		out, err := checkRow(x)
 		return out, err
@@ -807,8 +865,10 @@ func checkRow(row Fields) (Fields, error) {
 // scalar or a supported container and returns operations whose values share
 // no mutable structure with the input. The store calls this before sealing a
 // record, so a caller mutating a slice or map it passed into an op can never
-// reach into the log or the state cache. The input slice is returned
-// unchanged when no value needed copying.
+// reach into the log or the state cache. Numeric widths are canonicalised on
+// the way in (canonNumber), so a sealed record carries the same bytes the
+// durable codecs reproduce on recovery. The input slice is returned
+// unchanged when no value needed copying or converting.
 func SanitizeOps(ops []Op) ([]Op, error) {
 	out := ops
 	copied := false
@@ -817,15 +877,18 @@ func SanitizeOps(ops []Op) ([]Op, error) {
 		var value interface{}
 		var row Fields
 		switch op.Value.(type) {
-		case nil, bool, string, int, int8, int16, int32, int64,
-			uint, uint8, uint16, uint32, uint64, float32, float64:
+		case nil, bool, string, int64, float64:
 			value = op.Value
 		default:
-			v, err := checkValue(op.Value)
-			if err != nil {
-				return nil, fmt.Errorf("op %s: %w", op, err)
+			if cv, isNum := canonNumber(op.Value); isNum {
+				value, needsCopy = cv, true
+			} else {
+				v, err := checkValue(op.Value)
+				if err != nil {
+					return nil, fmt.Errorf("op %s: %w", op, err)
+				}
+				value, needsCopy = v, true
 			}
-			value, needsCopy = v, true
 		}
 		if op.ChildRow != nil {
 			r, err := checkRow(op.ChildRow)

@@ -222,15 +222,21 @@ func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.
 		}
 		r.res.State = db.commitAppendLocked(s, &r.res.Record, r.next)
 	}
-	// One commit-hook call — one log force — for the whole batch: this is
-	// where group commit amortises durability latency across every writer in
-	// the batch.
-	if db.opts.CommitHook != nil {
+	// One commit cycle — one backend append, one log force, one commit-hook
+	// call — for the whole batch: this is where group commit amortises
+	// durability latency across every writer in the batch. A backend error
+	// is indeterminate for the whole batch (the records are installed), so
+	// every writer in it receives the error.
+	if db.opts.Backend != nil || db.opts.CommitHook != nil {
 		recs := make([]Record, len(live))
 		for i, r := range live {
 			recs[i] = r.res.Record
 		}
-		db.opts.CommitHook(recs)
+		if err := db.commitCycleLocked(recs); err != nil {
+			for _, r := range live {
+				r.err = err
+			}
+		}
 	}
 	return live
 }

@@ -31,17 +31,16 @@
 package lsdb
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/clock"
 	"repro/internal/entity"
 	"repro/internal/partition"
+	"repro/internal/storage"
 )
 
 // Common errors.
@@ -57,20 +56,11 @@ var (
 )
 
 // Record is one immutable log entry: the operations one transaction applied
-// to one entity, plus causal metadata.
-type Record struct {
-	LSN       uint64
-	Key       entity.Key
-	Ops       []entity.Op
-	Stamp     clock.Timestamp
-	Origin    clock.NodeID
-	TxnID     string
-	Tentative bool
-	// Obsolete marks a tentative record whose promise was later withdrawn.
-	// Obsolete records remain in the log for auditability but are skipped by
-	// rollups.
-	Obsolete bool
-}
+// to one entity, plus causal metadata. It is an alias of the storage layer's
+// durable record type, so a commit cycle hands its records to a
+// storage.Backend with zero conversion; the storage-only fields (Kind,
+// Horizon, Summary) are always zero on records in the in-memory log.
+type Record = storage.WALRecord
 
 // Options configure a database instance.
 type Options struct {
@@ -131,6 +121,25 @@ type Options struct {
 	// get an error even though their appends are in the log (the same
 	// indeterminacy any post-commit failure has).
 	CommitHook func(records []Record)
+	// Backend, when non-nil, is the durable storage engine under the store:
+	// every commit cycle appends its records to it (one AppendBatch — one
+	// framed batch write, one log force — per cycle, so group commit
+	// amortises durability latency exactly as it does the CommitHook), and
+	// MarkObsolete/Compact log their history rewrites as marks. Open attaches
+	// the backend for writing only; to rebuild a store from a backend's
+	// content use Recover. The backend write happens after the cycle's
+	// records are installed in memory, so a backend error is indeterminate
+	// the same way a CommitHook panic is: the records are committed and
+	// visible, and every writer in the cycle receives the error.
+	Backend storage.Backend
+	// CheckpointEvery, with a Backend attached, takes a checkpoint after
+	// roughly this many records have been committed since the last one.
+	// Checkpoints bound recovery to the log tail written after them. Zero
+	// disables automatic checkpoints; Checkpoint can always be called
+	// explicitly. Automatic checkpoints run inline on the committing
+	// goroutine that crossed the threshold; a failure is remembered and
+	// returned by CheckpointErr.
+	CheckpointEvery int
 }
 
 const (
@@ -197,6 +206,17 @@ type DB struct {
 
 	lsn    clock.Sequence // global LSN allocator, shared by all shards
 	shards []*shard
+
+	// recovering suppresses backend writes while Recover replays the
+	// backend's own content back into the store. Written only before the DB
+	// is shared.
+	recovering bool
+	// sinceCkpt counts records committed since the last checkpoint;
+	// ckptBusy gates so only one automatic checkpoint runs at a time.
+	sinceCkpt atomic.Int64
+	ckptBusy  atomic.Bool
+	ckptMu    sync.Mutex
+	ckptErr   error
 }
 
 // Open creates an empty database.
@@ -281,13 +301,17 @@ type AppendResult struct {
 // returns ErrDuplicateTxn without writing; this gives at-least-once queue
 // consumers idempotence (principles 2.4 and 3.1).
 func (db *DB) Append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, origin clock.NodeID, txnID string) (AppendResult, error) {
-	return db.append(key, ops, stamp, origin, txnID, false)
+	res, err := db.append(key, ops, stamp, origin, txnID, false)
+	db.maybeCheckpoint()
+	return res, err
 }
 
 // AppendTentative writes a record whose effects are tentative (principle
 // 2.9). Tentative records participate in rollups until marked obsolete.
 func (db *DB) AppendTentative(key entity.Key, ops []entity.Op, stamp clock.Timestamp, origin clock.NodeID, txnID string) (AppendResult, error) {
-	return db.append(key, ops, stamp, origin, txnID, true)
+	res, err := db.append(key, ops, stamp, origin, txnID, true)
+	db.maybeCheckpoint()
+	return res, err
 }
 
 func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, origin clock.NodeID, txnID string, tentative bool) (AppendResult, error) {
@@ -324,10 +348,33 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 		Tentative: tentative,
 	}
 	resState := db.commitAppendLocked(s, &rec, next)
-	if db.opts.CommitHook != nil {
-		db.opts.CommitHook([]Record{rec})
+	res := AppendResult{Record: rec, State: resState, Warnings: warnings}
+	if db.opts.Backend != nil || db.opts.CommitHook != nil {
+		if err := db.commitCycleLocked([]Record{rec}); err != nil {
+			return res, err
+		}
 	}
-	return AppendResult{Record: rec, State: resState, Warnings: warnings}, nil
+	return res, nil
+}
+
+// commitCycleLocked finishes one commit cycle after its records are
+// installed in memory: the write-ahead append to the durable backend (one
+// framed batch write, one log force per cycle), then the user CommitHook.
+// The caller holds the shard's write lock, so the backend sees cycles in
+// the order readers of this shard do. A backend error is returned to every
+// writer in the cycle; their records are already committed and visible (the
+// same indeterminacy any post-commit failure has — see Options.Backend).
+func (db *DB) commitCycleLocked(records []Record) error {
+	if db.opts.Backend != nil && !db.recovering {
+		if err := db.opts.Backend.AppendBatch(records); err != nil {
+			return fmt.Errorf("lsdb: backend append failed (records are committed in memory): %w", err)
+		}
+		db.sinceCkpt.Add(int64(len(records)))
+	}
+	if db.opts.CommitHook != nil {
+		db.opts.CommitHook(records)
+	}
+	return nil
 }
 
 // applyForAppendLocked validates one append and applies it to the current
@@ -439,6 +486,16 @@ func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
 	delete(s.cache, key)
 	if snap, ok := s.snaps[key]; ok && snap.lsn >= lsn {
 		delete(s.snaps, key)
+	}
+	// The record is already durable without its obsolete flag; log the
+	// history rewrite as a mark so recovery re-applies it. Written under the
+	// shard lock, so the mark is ordered after the record it withdraws and
+	// before any later append to the same entity.
+	if db.opts.Backend != nil && !db.recovering {
+		mark := Record{Kind: storage.KindObsolete, Key: key, TxnID: txnID}
+		if err := db.opts.Backend.AppendBatch([]Record{mark}); err != nil {
+			return fmt.Errorf("lsdb: backend mark failed (mark is applied in memory): %w", err)
+		}
 	}
 	return nil
 }
@@ -690,6 +747,12 @@ func (db *DB) RecordsAfter(after uint64) []Record {
 			s.mu.RUnlock()
 		}
 	}()
+	return db.recordsAfterLocked(after)
+}
+
+// recordsAfterLocked is RecordsAfter's body; the caller holds (at least) a
+// read lock on every shard, so the result is one atomic cut of the log.
+func (db *DB) recordsAfterLocked(after uint64) []Record {
 	// First pass: locate the qualifying suffix of every segment (segments are
 	// LSN-ascending, so one binary search per segment) and pre-size the merge
 	// buffer exactly instead of growing it append by append.
@@ -899,6 +962,16 @@ func (db *DB) Compact(beforeLSN uint64) CompactStats {
 		stats.RecordsAfter += s.lenLocked()
 		s.mu.Unlock()
 	}
+	// Log the horizon so recovery re-runs the compaction at this point in
+	// the log. Appends racing with the marker can make replay keep entities
+	// the live store archived (or archive ones it kept) — the rollup states
+	// are identical either way, only the summarised/retained split differs.
+	if db.opts.Backend != nil && !db.recovering {
+		mark := Record{Kind: storage.KindCompact, Horizon: beforeLSN}
+		if err := db.opts.Backend.AppendBatch([]Record{mark}); err != nil {
+			db.setBackendErr(fmt.Errorf("lsdb: backend compact mark failed: %w", err))
+		}
+	}
 	return stats
 }
 
@@ -910,129 +983,122 @@ func (s *shard) lenLocked() int {
 	return n
 }
 
-// persistedRecord is the JSON shape of one record; operations are stored as
-// a restricted form that round-trips the Op fields actually used.
-type persistedRecord struct {
-	LSN       uint64        `json:"lsn"`
-	Key       string        `json:"key"`
-	Stamp     string        `json:"stamp"`
-	Origin    string        `json:"origin"`
-	TxnID     string        `json:"txn,omitempty"`
-	Tentative bool          `json:"tentative,omitempty"`
-	Obsolete  bool          `json:"obsolete,omitempty"`
-	Ops       []persistedOp `json:"ops"`
-}
+// --- Durable storage ---------------------------------------------------------
 
-type persistedOp struct {
-	Kind       int                    `json:"k"`
-	Field      string                 `json:"f,omitempty"`
-	Value      interface{}            `json:"v,omitempty"`
-	Delta      float64                `json:"d,omitempty"`
-	Collection string                 `json:"c,omitempty"`
-	ChildID    string                 `json:"ci,omitempty"`
-	ChildRow   map[string]interface{} `json:"cr,omitempty"`
-	Describe   string                 `json:"desc,omitempty"`
-}
-
-// Save writes every retained record as one JSON document per line, in global
-// LSN order (shard runs are merged so Load can rebuild per-shard ordering
-// for any shard count). Output is buffered, so each record costs one encoder
-// call rather than one syscall-sized write per line. Archived summaries are
-// not persisted; callers that need them should compact after loading.
-func (db *DB) Save(w io.Writer) error {
-	records := db.RecordsAfter(0)
-	bw := bufio.NewWriterSize(w, 1<<16)
-	enc := json.NewEncoder(bw)
-	for _, r := range records {
-		pr := persistedRecord{
-			LSN:       r.LSN,
-			Key:       r.Key.String(),
-			Stamp:     r.Stamp.String(),
-			Origin:    string(r.Origin),
-			TxnID:     r.TxnID,
-			Tentative: r.Tentative,
-			Obsolete:  r.Obsolete,
-		}
-		for _, op := range r.Ops {
-			pr.Ops = append(pr.Ops, persistedOp{
-				Kind: int(op.Kind), Field: op.Field, Value: op.Value, Delta: op.Delta,
-				Collection: op.Collection, ChildID: op.ChildID, ChildRow: op.ChildRow, Describe: op.Describe,
-			})
-		}
-		if err := enc.Encode(pr); err != nil {
-			return fmt.Errorf("lsdb: save: %w", err)
-		}
+// Checkpoint captures the store's full content — archived summaries plus
+// every retained record in global LSN order — into the backend, so recovery
+// replays only the log tail written afterwards. Writers are quiesced for the
+// duration (all shard locks are held; this is a stop-the-world checkpoint,
+// the simple variant — a fuzzy checkpoint that lets writers proceed is an
+// open ROADMAP item), which makes the cut exact: everything appended before
+// the checkpoint is inside it, everything after is in the replayable tail.
+// A no-op without a Backend.
+func (db *DB) Checkpoint() error {
+	if db.opts.Backend == nil {
+		return nil
 	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("lsdb: save: %w", err)
+	// All shard locks, in shard order (the same order RecordsAfter uses).
+	// Read locks suffice: they exclude writers (appends, marks, compaction)
+	// while letting concurrent readers through.
+	for _, s := range db.shards {
+		s.mu.RLock()
 	}
+	defer func() {
+		for _, s := range db.shards {
+			s.mu.RUnlock()
+		}
+	}()
+	watermark := db.lsn.Peek()
+	err := db.opts.Backend.Checkpoint(watermark, func(put func(storage.WALRecord) error) error {
+		// Archived summaries first — a replaying store needs them in place
+		// before reads, and they are not reconstructible from the records.
+		// Sorted per shard so identical stores write identical snapshots.
+		for _, s := range db.shards {
+			keys := make([]entity.Key, 0, len(s.archived))
+			for k := range s.archived {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+			for _, k := range keys {
+				if err := put(Record{Kind: storage.KindSummary, Key: k, Summary: s.archived[k]}); err != nil {
+					return err
+				}
+			}
+		}
+		for _, rec := range db.recordsAfterLocked(0) {
+			if err := put(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	db.sinceCkpt.Store(0)
 	return nil
 }
 
-// Load replays a stream produced by Save into the database. Input is
-// buffered. The database must be freshly opened with the same entity types
-// registered. Loaded records invalidate any materialised state for their
-// entity; reads after Load rebuild from the log.
-func (db *DB) Load(r io.Reader) error {
-	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
-	for {
-		var pr persistedRecord
-		if err := dec.Decode(&pr); err == io.EOF {
-			return nil
-		} else if err != nil {
-			return fmt.Errorf("lsdb: load: %w", err)
-		}
-		key, err := entity.ParseKey(pr.Key)
-		if err != nil {
-			return fmt.Errorf("lsdb: load: %w", err)
-		}
-		stamp, err := clock.ParseTimestamp(pr.Stamp)
-		if err != nil {
-			return fmt.Errorf("lsdb: load: %w", err)
-		}
-		ops := make([]entity.Op, 0, len(pr.Ops))
-		for _, po := range pr.Ops {
-			ops = append(ops, entity.Op{
-				Kind: entity.OpKind(po.Kind), Field: po.Field, Value: normaliseJSON(po.Value), Delta: po.Delta,
-				Collection: po.Collection, ChildID: po.ChildID, ChildRow: normaliseRow(po.ChildRow), Describe: po.Describe,
-			})
-		}
-		rec := Record{
-			LSN: pr.LSN, Key: key, Ops: ops, Stamp: stamp,
-			Origin: clock.NodeID(pr.Origin), TxnID: pr.TxnID,
-			Tentative: pr.Tentative, Obsolete: pr.Obsolete,
-		}
-		s := db.shardFor(key)
-		s.mu.Lock()
-		s.appendRecordLocked(rec, db.opts.SegmentSize)
-		db.lsn.AdvanceTo(pr.LSN)
-		if pr.TxnID != "" {
-			if s.byTxn[key] == nil {
-				s.byTxn[key] = map[string]uint64{}
-			}
-			s.byTxn[key][pr.TxnID] = pr.LSN
-		}
-		delete(s.cache, key)
-		s.mu.Unlock()
+// maybeCheckpoint runs an automatic checkpoint once CheckpointEvery records
+// have been committed since the last one. It runs inline on the committing
+// goroutine that crossed the threshold, outside any shard lock; the gate
+// keeps concurrent committers from piling into Checkpoint together.
+func (db *DB) maybeCheckpoint() {
+	every := int64(db.opts.CheckpointEvery)
+	if every <= 0 || db.opts.Backend == nil || db.sinceCkpt.Load() < every {
+		return
+	}
+	if !db.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer db.ckptBusy.Store(false)
+	if db.sinceCkpt.Load() < every { // raced with a finishing checkpoint
+		return
+	}
+	if err := db.Checkpoint(); err != nil {
+		db.setBackendErr(err)
+		// Back off: without this reset a persistent failure (disk full
+		// mid-snapshot) would make every subsequent append retry a full
+		// stop-the-world checkpoint. Retry after another CheckpointEvery
+		// records instead; the failure stays visible via BackendErr.
+		db.sinceCkpt.Store(0)
 	}
 }
 
-// normaliseJSON converts JSON-decoded numbers back to the int64/float64
-// split the entity layer expects.
-func normaliseJSON(v interface{}) interface{} {
-	if f, ok := v.(float64); ok && f == float64(int64(f)) {
-		return int64(f)
-	}
-	return v
+// setBackendErr remembers a background backend failure (automatic
+// checkpoint, compaction mark) for BackendErr.
+func (db *DB) setBackendErr(err error) {
+	db.ckptMu.Lock()
+	db.ckptErr = err
+	db.ckptMu.Unlock()
 }
 
-func normaliseRow(row map[string]interface{}) entity.Fields {
-	if row == nil {
+// BackendErr returns the most recent background backend failure — an
+// automatic checkpoint or a compaction mark that could not be logged — or
+// nil. Foreground backend failures are returned from the failing call
+// directly.
+func (db *DB) BackendErr() error {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	return db.ckptErr
+}
+
+// Sync forces everything committed so far to the backend's stable storage.
+// A no-op without a Backend.
+func (db *DB) Sync() error {
+	if db.opts.Backend == nil {
 		return nil
 	}
-	out := entity.Fields{}
-	for k, v := range row {
-		out[k] = normaliseJSON(v)
-	}
-	return out
+	return db.opts.Backend.Sync()
 }
+
+// Close flushes and closes the backend. The in-memory store remains
+// readable; further appends will fail against the closed backend. A no-op
+// without a Backend.
+func (db *DB) Close() error {
+	if db.opts.Backend == nil {
+		return nil
+	}
+	return db.opts.Backend.Close()
+}
+

@@ -1,0 +1,211 @@
+// Package storage is the pluggable persistence layer under the LSDB: it
+// defines the durable form of the log — WALRecord — and the Backend interface
+// a store writes its commit cycles through. The paper's model (section 3.1)
+// makes the log the database; the natural durable form is therefore an
+// append-only write-ahead log whose replay rebuilds the store, plus periodic
+// checkpoints so a restart replays only the log tail instead of the full
+// history.
+//
+// Two implementations ship with the package:
+//
+//   - Memory: retains everything in process memory. It is the no-op backend
+//     for purely main-memory deployments and the reference implementation the
+//     WAL's tests compare against.
+//   - WAL (wal.go): segmented append-only files with length-prefixed binary
+//     framing, per-record CRC32, size-based segment rotation, checkpoint
+//     manifests and torn-tail recovery.
+//
+// The write-side attachment point in the store is the commit cycle
+// (lsdb.Options.CommitHook's cadence): one AppendBatch call per cycle — one
+// framed batch write and at most one fsync — so group commit amortises the
+// log force across every writer in a batch.
+package storage
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+)
+
+// RecordKind distinguishes the durable log entry types. Appended entity
+// records are the bulk of the log; history rewrites (obsolescence marks,
+// compaction horizons) and checkpoint summaries are records too, so one
+// framing, one codec and one Replay stream carry everything.
+type RecordKind uint8
+
+// Durable record kinds.
+const (
+	// KindAppend is an appended entity record: the operations one
+	// transaction applied to one entity.
+	KindAppend RecordKind = iota
+	// KindObsolete marks the record produced by TxnID on Key obsolete
+	// (a tentative promise was withdrawn after the record was logged).
+	KindObsolete
+	// KindCompact records a compaction horizon: replay re-runs
+	// Compact(Horizon) at this point in the log.
+	KindCompact
+	// KindSummary is an archived entity summary inside a checkpoint: the
+	// rollup of an entity whose detail records were compacted away.
+	KindSummary
+)
+
+// WALRecord is one durable log entry. For KindAppend it is exactly the
+// store's in-memory record (the LSDB aliases its Record type to this struct,
+// so commit cycles append with zero conversion); the other kinds use a
+// subset of the fields:
+//
+//	KindObsolete: Key, TxnID
+//	KindCompact:  Horizon
+//	KindSummary:  Key, Summary
+type WALRecord struct {
+	LSN       uint64
+	Key       entity.Key
+	Ops       []entity.Op
+	Stamp     clock.Timestamp
+	Origin    clock.NodeID
+	TxnID     string
+	Tentative bool
+	// Obsolete marks a tentative record whose promise was later withdrawn.
+	// Obsolete records remain in the log for auditability but are skipped by
+	// rollups.
+	Obsolete bool
+
+	// Kind distinguishes appended entity records (the zero value) from
+	// history-rewrite marks and checkpoint summaries.
+	Kind RecordKind
+	// Horizon is the compaction horizon of a KindCompact record.
+	Horizon uint64
+	// Summary is the archived state of a KindSummary record. It is frozen.
+	Summary *entity.State
+}
+
+// Backend is the persistence engine under one store. Implementations must be
+// safe for concurrent use: shards commit independently, so AppendBatch may be
+// invoked concurrently with itself and with Sync.
+//
+// Checkpoint and Replay are exclusive with appends by construction — the
+// store quiesces writers (all shard locks held) while checkpointing, and
+// replay happens before the store accepts writes — so implementations may
+// serialise them on the same mutex as AppendBatch without deadlock.
+type Backend interface {
+	// AppendBatch durably appends one commit cycle's records: one framed
+	// batch write, and one log force before returning when the backend is
+	// configured to sync on append. An error means durability is unknown;
+	// the store surfaces it to every writer in the cycle.
+	AppendBatch(recs []WALRecord) error
+
+	// Checkpoint captures the store's full content as of the durable LSN
+	// watermark. fill streams the content — archived summaries first, then
+	// retained records in global LSN order — through put. The store calls
+	// Checkpoint with writers quiesced, so everything appended before the
+	// call is covered by the checkpoint and everything after belongs to the
+	// replayable tail. On success, recovery replays the checkpoint plus only
+	// the log written after this call.
+	Checkpoint(watermark uint64, fill func(put func(WALRecord) error) error) error
+
+	// Replay streams the durable content in recovery order: the latest
+	// checkpoint's summaries and records, then every log record appended
+	// after that checkpoint. It returns the checkpoint's LSN watermark
+	// (0 when no checkpoint exists). Replay must be called before the first
+	// AppendBatch; a torn tail record left by a crash is truncated here.
+	Replay(fn func(WALRecord) error) (watermark uint64, err error)
+
+	// Sync forces everything appended so far to stable storage.
+	Sync() error
+
+	// Close syncs and releases the backend. The backend is unusable after.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed backend.
+var ErrClosed = errors.New("storage: backend closed")
+
+// Memory is the in-process backend: append-only slices, no durability. It is
+// the no-op choice for main-memory deployments (a restart loses the log, as
+// before this package existed) while still honouring the full Backend
+// contract — Replay returns what was appended — so tests can run one store
+// against Memory and one against a WAL and compare.
+type Memory struct {
+	mu        sync.Mutex
+	closed    bool
+	watermark uint64
+	ckpt      []WALRecord // latest checkpoint content
+	tail      []WALRecord // records appended after the checkpoint
+}
+
+// NewMemory returns an empty in-memory backend.
+func NewMemory() *Memory { return &Memory{} }
+
+// AppendBatch retains the records in memory.
+func (m *Memory) AppendBatch(recs []WALRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.tail = append(m.tail, recs...)
+	return nil
+}
+
+// Checkpoint replaces the retained prefix with the streamed content. The
+// store quiesces writers across the call, so the tail cut is exact.
+func (m *Memory) Checkpoint(watermark uint64, fill func(put func(WALRecord) error) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	var ckpt []WALRecord
+	if err := fill(func(rec WALRecord) error {
+		ckpt = append(ckpt, rec)
+		return nil
+	}); err != nil {
+		return err
+	}
+	m.ckpt, m.tail, m.watermark = ckpt, nil, watermark
+	return nil
+}
+
+// Replay streams the checkpoint content, then the tail.
+func (m *Memory) Replay(fn func(WALRecord) error) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	for _, recs := range [2][]WALRecord{m.ckpt, m.tail} {
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return m.watermark, err
+			}
+		}
+	}
+	return m.watermark, nil
+}
+
+// Sync is a no-op: memory is as stable as this backend gets.
+func (m *Memory) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close marks the backend unusable.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// Len reports how many records the backend retains (checkpoint + tail).
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.ckpt) + len(m.tail)
+}

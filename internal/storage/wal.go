@@ -1,0 +1,696 @@
+// Segmented write-ahead log backend.
+//
+// Layout of a data directory:
+//
+//	wal-0000000001.seg   segment files: 8-byte magic, then framed records
+//	ckpt-0000000003.snap checkpoint snapshot: 8-byte magic, framed records
+//	CHECKPOINT           manifest (JSON): which snapshot is current and the
+//	                     exact segment/offset the replayable tail starts at
+//
+// Every record — in segments and snapshots alike — is framed as
+//
+//	uint32 payload length | uint32 CRC32(payload) | payload
+//
+// (little-endian, IEEE CRC). A commit cycle is one buffered write of its
+// batch's frames and, in SyncAlways mode, one fsync — the log force that
+// group commit amortises across the batch's writers.
+//
+// Segments rotate by size: when the active segment exceeds SegmentBytes it
+// is synced, sealed and a new one started. Checkpoints are written to a
+// temporary file, fsynced and renamed before the manifest is atomically
+// replaced, so a crash anywhere leaves either the old or the new checkpoint
+// installed, never a half-written one. After a successful checkpoint,
+// segments wholly before the manifest position are pruned.
+//
+// Recovery replays the manifest's snapshot, then only the log written after
+// it: segments before the manifest position are skipped without being read.
+// A torn final record — a crash mid-write leaves an incomplete frame at the
+// end of the last segment — is truncated away and replay succeeds without
+// it. Anything else that fails framing or CRC is surfaced as *CorruptError:
+// silent data loss is the one outcome a durable log must never shrug at.
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Segment and snapshot file magics ("SOUPWAL"/"SOUPCKP" + format version).
+var (
+	segMagic  = []byte("SOUPWAL\x01")
+	ckptMagic = []byte("SOUPCKP\x01")
+)
+
+const (
+	manifestName = "CHECKPOINT"
+	frameHeader  = 8 // uint32 length + uint32 CRC
+	// maxFrame bounds a single record payload. A length prefix beyond it is
+	// treated as corruption rather than an allocation request.
+	maxFrame = 1 << 28
+)
+
+// SyncMode selects when the WAL forces appended bytes to stable storage.
+type SyncMode int
+
+// Sync modes.
+const (
+	// SyncOS leaves flushing to the operating system's page cache: appends
+	// are buffered writes and fsync happens only on segment seal, checkpoint
+	// and Close. Fastest, and a crash may lose the most recent commits (the
+	// store itself stays consistent — recovery truncates the torn tail).
+	SyncOS SyncMode = iota
+	// SyncAlways fsyncs after every commit cycle: an acknowledged append
+	// survives a crash. Group commit amortises the fsync across the batch.
+	SyncAlways
+)
+
+// ParseSyncMode maps the -fsync-mode flag vocabulary onto a SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always", "fsync":
+		return SyncAlways, nil
+	case "os", "none", "":
+		return SyncOS, nil
+	default:
+		return SyncOS, fmt.Errorf("storage: unknown fsync mode %q (want always or os)", s)
+	}
+}
+
+// String returns the flag spelling of the mode.
+func (m SyncMode) String() string {
+	if m == SyncAlways {
+		return "always"
+	}
+	return "os"
+}
+
+// WALOptions configure a segmented WAL.
+type WALOptions struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// SegmentBytes is the rotation threshold for the active segment
+	// (default 4 MiB).
+	SegmentBytes int64
+	// Sync selects the durability/latency trade-off (default SyncOS).
+	Sync SyncMode
+}
+
+// CorruptError reports a framing or checksum failure in a segment or
+// snapshot file. It is a typed error so recovery tooling can distinguish
+// real corruption (refuse to open, restore from backup) from the benign torn
+// tail a crash leaves (handled internally by truncation).
+type CorruptError struct {
+	File   string // file the bad frame lives in
+	Offset int64  // byte offset of the frame
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("storage: corrupt log: %s at %s+%d", e.Reason, e.File, e.Offset)
+}
+
+// manifest is the checkpoint manifest: the current snapshot plus the exact
+// position the replayable tail starts at. It is replaced atomically
+// (write-temp, rename, directory fsync).
+type manifest struct {
+	Seq       uint64 `json:"seq"`
+	Snapshot  string `json:"snapshot"`
+	Watermark uint64 `json:"watermark"`
+	Segment   uint64 `json:"segment"`
+	Offset    int64  `json:"offset"`
+}
+
+// WAL is the segmented write-ahead log backend. All methods are safe for
+// concurrent use; appends from independently committing shards serialise on
+// one internal mutex (the frames of two batches never interleave).
+type WAL struct {
+	mu     sync.Mutex
+	opts   WALOptions
+	closed bool
+	// scanned is set once the existing tail has been validated (and a torn
+	// record truncated); both Replay and the first append ensure it.
+	scanned bool
+	// broken marks the WAL fail-stopped: a partial append could not be
+	// erased, so continuing would bury garbage under valid frames and turn
+	// a transient write error into unrecoverable mid-segment corruption.
+	broken   bool
+	man      manifest
+	hasMan   bool
+	segIndex uint64
+	seg      *os.File
+	segSize  int64
+	buf      []byte // frame scratch, reused across batches
+}
+
+// OpenWAL opens (or initialises) the segmented WAL in dir. Opening reads
+// only the manifest; segment scanning and torn-tail repair happen on Replay
+// (or are done silently before the first append when Replay is skipped).
+func OpenWAL(opts WALOptions) (*WAL, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("storage: WALOptions.Dir must be set")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	w := &WAL{opts: opts}
+	raw, err := os.ReadFile(filepath.Join(opts.Dir, manifestName))
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &w.man); err != nil {
+			return nil, fmt.Errorf("storage: malformed manifest: %w", err)
+		}
+		w.hasMan = true
+	case !os.IsNotExist(err):
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return w, nil
+}
+
+// Dir returns the data directory.
+func (w *WAL) Dir() string { return w.opts.Dir }
+
+// segName returns the file name of segment i.
+func segName(i uint64) string { return fmt.Sprintf("wal-%010d.seg", i) }
+
+// segments lists existing segment indexes, ascending.
+func (w *WAL) segments() ([]uint64, error) {
+	entries, err := os.ReadDir(w.opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		var i uint64
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%d.seg", &i); n == 1 {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// AppendBatch writes one commit cycle's records as consecutive frames: one
+// buffered file write, one fsync in SyncAlways mode, and a rotation when the
+// active segment crossed the size threshold.
+func (w *WAL) AppendBatch(recs []WALRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.broken {
+		return errors.New("storage: WAL fail-stopped after an unerasable partial append")
+	}
+	if err := w.ensureActiveLocked(); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	for i := range recs {
+		var err error
+		if w.buf, err = appendFrame(w.buf, &recs[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := w.seg.Write(w.buf); err != nil {
+		// Erase the partial frame so valid frames never land after garbage.
+		// If even the truncate fails, fail-stop: refusing further appends is
+		// recoverable (restart, torn-tail repair), a poisoned segment is not.
+		if terr := w.seg.Truncate(w.segSize); terr != nil {
+			w.broken = true
+		}
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	w.segSize += int64(len(w.buf))
+	if w.opts.Sync == SyncAlways {
+		if err := w.seg.Sync(); err != nil {
+			return fmt.Errorf("storage: append sync: %w", err)
+		}
+	}
+	if w.segSize >= w.opts.SegmentBytes {
+		return w.rotateLocked()
+	}
+	return nil
+}
+
+// appendFrame encodes rec and wraps it in a length+CRC frame.
+func appendFrame(b []byte, rec *WALRecord) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	b, err := EncodeRecord(b, rec)
+	if err != nil {
+		return nil, err
+	}
+	payload := b[start+frameHeader:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.ChecksumIEEE(payload))
+	return b, nil
+}
+
+// ensureActiveLocked opens the active segment for appending, scanning and
+// repairing the existing tail first if Replay has not done so already.
+func (w *WAL) ensureActiveLocked() error {
+	if w.seg != nil {
+		return nil
+	}
+	if !w.scanned {
+		// Appending without a prior Replay: validate the tail silently so a
+		// torn record from a previous crash is truncated before new frames
+		// land after it.
+		if err := w.replayLocked(nil); err != nil {
+			return err
+		}
+	}
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		w.segIndex = 1
+		if w.hasMan && w.man.Segment > 0 {
+			w.segIndex = w.man.Segment
+		}
+		return w.createSegmentLocked(w.segIndex)
+	}
+	w.segIndex = segs[len(segs)-1]
+	path := filepath.Join(w.opts.Dir, segName(w.segIndex))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	w.seg, w.segSize = f, info.Size()
+	return nil
+}
+
+// createSegmentLocked starts segment i: magic written and the creation made
+// durable before any record lands in it.
+func (w *WAL) createSegmentLocked(i uint64) error {
+	path := filepath.Join(w.opts.Dir, segName(i))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	// The magic must be durable before any frame is acknowledged out of this
+	// segment; otherwise power loss after rotation could leave a headerless
+	// file under durable frames.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := syncDir(w.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.seg, w.segIndex, w.segSize = f, i, int64(len(segMagic))
+	return nil
+}
+
+// rotateLocked seals the active segment (always fsynced — a sealed segment
+// is immutable and must not lose its tail to a later crash) and starts the
+// next one.
+func (w *WAL) rotateLocked() error {
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("storage: seal sync: %w", err)
+	}
+	if err := w.seg.Close(); err != nil {
+		return fmt.Errorf("storage: seal close: %w", err)
+	}
+	w.seg = nil
+	return w.createSegmentLocked(w.segIndex + 1)
+}
+
+// Sync forces the active segment to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.seg == nil {
+		return nil
+	}
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and releases the WAL.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.seg == nil {
+		return nil
+	}
+	if err := w.seg.Sync(); err != nil {
+		w.seg.Close()
+		return fmt.Errorf("storage: close sync: %w", err)
+	}
+	return w.seg.Close()
+}
+
+// Replay streams the durable content: the manifest's snapshot, then every
+// record in segments at or after the manifest position. Segments wholly
+// before the checkpoint are skipped unread — that is the recovery-time win
+// checkpointing buys. Returns the checkpoint watermark (0 without one).
+func (w *WAL) Replay(fn func(WALRecord) error) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if err := w.replayLocked(fn); err != nil {
+		return 0, err
+	}
+	if w.hasMan {
+		return w.man.Watermark, nil
+	}
+	return 0, nil
+}
+
+func (w *WAL) replayLocked(fn func(WALRecord) error) error {
+	if w.hasMan && fn != nil {
+		path := filepath.Join(w.opts.Dir, w.man.Snapshot)
+		if err := scanFile(path, ckptMagic, int64(len(ckptMagic)), false, fn); err != nil {
+			return err
+		}
+	}
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	for n, i := range segs {
+		start := int64(len(segMagic))
+		if w.hasMan {
+			if i < w.man.Segment {
+				continue // wholly covered by the checkpoint: skipped unread
+			}
+			if i == w.man.Segment {
+				start = w.man.Offset
+			}
+		}
+		last := n == len(segs)-1
+		path := filepath.Join(w.opts.Dir, segName(i))
+		// A last segment shorter than its magic is the torn creation of a
+		// crash right after rotation: the file exists (directory was synced)
+		// but nothing in it was ever durable — unless the manifest claims
+		// content here, in which case short is real corruption. Repair by
+		// rewriting the header; there are no frames to scan.
+		if last && (!w.hasMan || i != w.man.Segment) {
+			if info, err := os.Stat(path); err == nil && info.Size() < int64(len(segMagic)) {
+				if err := rewriteSegmentHeader(path); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if err := scanFile(path, segMagic, start, last, fn); err != nil {
+			return err
+		}
+	}
+	w.scanned = true
+	return nil
+}
+
+// rewriteSegmentHeader resets a torn-creation segment to a valid empty one.
+func rewriteSegmentHeader(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: repairing torn segment: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(segMagic); err != nil {
+		return fmt.Errorf("storage: repairing torn segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("storage: repairing torn segment: %w", err)
+	}
+	return nil
+}
+
+// scanFile walks the frames of one segment or snapshot from offset start,
+// invoking fn (when non-nil) with each decoded record. In a last segment
+// (allowTorn) an incomplete frame at end of file is the torn tail of a
+// crashed write: it is truncated away and the scan succeeds without it.
+// Everything else — a bad magic, a CRC mismatch, an incomplete frame with a
+// successor — is *CorruptError.
+func scanFile(path string, magic []byte, start int64, allowTorn bool, fn func(WALRecord) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, head); err != nil || !bytes.Equal(head, magic) {
+		return &CorruptError{File: filepath.Base(path), Offset: 0, Reason: "bad file magic"}
+	}
+	if start > int64(len(magic)) {
+		if _, err := f.Seek(start, io.SeekStart); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	offset := start
+	hdr := make([]byte, frameHeader)
+	var payload []byte
+	for {
+		_, err := io.ReadFull(br, hdr)
+		if err == io.EOF {
+			return nil // clean end of file
+		}
+		if err == io.ErrUnexpectedEOF {
+			return tornOrCorrupt(path, offset, allowTorn, "incomplete frame header")
+		}
+		if err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr)
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxFrame {
+			return &CorruptError{File: filepath.Base(path), Offset: offset, Reason: "implausible frame length"}
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return tornOrCorrupt(path, offset, allowTorn, "incomplete frame payload")
+			}
+			return fmt.Errorf("storage: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return &CorruptError{File: filepath.Base(path), Offset: offset, Reason: "CRC mismatch"}
+		}
+		if fn != nil {
+			rec, err := DecodeRecord(payload)
+			if err != nil {
+				return &CorruptError{File: filepath.Base(path), Offset: offset, Reason: err.Error()}
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		offset += frameHeader + int64(length)
+	}
+}
+
+// tornOrCorrupt resolves an incomplete frame: in the last segment it is the
+// torn tail of a crashed write — truncate the file back to the last complete
+// frame; anywhere else it is corruption.
+func tornOrCorrupt(path string, offset int64, allowTorn bool, reason string) error {
+	if !allowTorn {
+		return &CorruptError{File: filepath.Base(path), Offset: offset, Reason: reason}
+	}
+	rw, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: truncating torn tail: %w", err)
+	}
+	defer rw.Close()
+	if err := rw.Truncate(offset); err != nil {
+		return fmt.Errorf("storage: truncating torn tail: %w", err)
+	}
+	if err := rw.Sync(); err != nil {
+		return fmt.Errorf("storage: truncating torn tail: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint writes a snapshot of the store's content, installs it in the
+// manifest and prunes segments the snapshot covers. The caller (the store)
+// has quiesced writers, so the current end of the active segment is exactly
+// the boundary between content inside the snapshot and the replayable tail.
+func (w *WAL) Checkpoint(watermark uint64, fill func(put func(WALRecord) error) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.ensureActiveLocked(); err != nil {
+		return err
+	}
+	// Everything appended so far must be durable before the manifest can
+	// claim the snapshot supersedes it.
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("storage: checkpoint sync: %w", err)
+	}
+	seq := w.man.Seq + 1
+	snapName := fmt.Sprintf("ckpt-%010d.snap", seq)
+	if err := w.writeSnapshotLocked(snapName, fill); err != nil {
+		return err
+	}
+	man := manifest{
+		Seq:       seq,
+		Snapshot:  snapName,
+		Watermark: watermark,
+		Segment:   w.segIndex,
+		Offset:    w.segSize,
+	}
+	if err := w.installManifestLocked(man); err != nil {
+		return err
+	}
+	w.pruneLocked()
+	return nil
+}
+
+// writeSnapshotLocked streams fill's records into a temp snapshot file and
+// atomically renames it into place.
+func (w *WAL) writeSnapshotLocked(name string, fill func(put func(WALRecord) error) error) error {
+	path := filepath.Join(w.opts.Dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.Write(ckptMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	var scratch []byte
+	putErr := fill(func(rec WALRecord) error {
+		var err error
+		scratch, err = appendFrame(scratch[:0], &rec)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(scratch)
+		return err
+	})
+	if putErr != nil {
+		f.Close()
+		return putErr
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return syncDir(w.opts.Dir)
+}
+
+// installManifestLocked atomically replaces the manifest.
+func (w *WAL) installManifestLocked(man manifest) error {
+	raw, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	path := filepath.Join(w.opts.Dir, manifestName)
+	tmp := path + ".tmp"
+	// The manifest bytes must be durable before the rename makes them
+	// current: pruning runs right after, so a garbage manifest with the old
+	// snapshot already deleted would leave the node unable to start.
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := syncDir(w.opts.Dir); err != nil {
+		return err
+	}
+	w.man, w.hasMan = man, true
+	return nil
+}
+
+// pruneLocked removes segments wholly covered by the installed checkpoint
+// and snapshots older than the current one. Best-effort: a leftover file is
+// harmless (replay skips it), so removal errors are ignored.
+func (w *WAL) pruneLocked() {
+	segs, _ := w.segments()
+	for _, i := range segs {
+		if i < w.man.Segment {
+			os.Remove(filepath.Join(w.opts.Dir, segName(i)))
+		}
+	}
+	entries, err := os.ReadDir(w.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		var i uint64
+		if n, _ := fmt.Sscanf(e.Name(), "ckpt-%d.snap", &i); n == 1 && i < w.man.Seq {
+			os.Remove(filepath.Join(w.opts.Dir, e.Name()))
+		}
+	}
+}
+
+// syncDir fsyncs a directory so renames and creations in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}

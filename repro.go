@@ -23,6 +23,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/process"
 	"repro/internal/queue"
+	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/workload"
 )
@@ -48,6 +49,20 @@ const (
 
 // MultiWrite is one entity write inside a multi-entity request.
 type MultiWrite = core.MultiWrite
+
+// SyncMode selects when the write-ahead log forces appended bytes to stable
+// storage (Options.Fsync, meaningful with Options.DataDir).
+type SyncMode = storage.SyncMode
+
+// Write-ahead log sync modes.
+const (
+	// SyncOS leaves flushing to the page cache (fast; a crash may lose the
+	// most recent commits, recovery truncates the torn tail).
+	SyncOS = storage.SyncOS
+	// SyncAlways fsyncs every commit cycle; group commit amortises the force
+	// across concurrent writers.
+	SyncAlways = storage.SyncAlways
+)
 
 // Key identifies an entity instance.
 type Key = entity.Key
