@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-append bench-io bench-storage recovery-smoke tables clean
+.PHONY: build test vet race bench bench-append bench-io bench-storage bench-pool recovery-smoke linkcheck tables clean
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The E1..E17 experiment benchmarks (see EXPERIMENTS.md).
+# The E1..E19 experiment benchmarks (see EXPERIMENTS.md).
 bench:
 	$(GO) test -run xxx -bench BenchmarkE -benchtime 200x ./...
 
@@ -33,10 +33,19 @@ bench-io:
 bench-storage:
 	$(GO) test -run xxx -bench BenchmarkE18 -benchtime 20x .
 
+# The E19 work-stealing pool benchmark on its own: workers × entity skew,
+# cross-entity scaling vs per-entity serialisation.
+bench-pool:
+	$(GO) test -run xxx -bench BenchmarkE19 -benchtime 200x .
+
 # End-to-end crash test: populate a durable soupsd, kill -9, restart from the
 # data directory, verify states and a backup/restore round trip.
 recovery-smoke:
 	./scripts/recovery-smoke.sh
+
+# Verify every relative markdown link in the docs resolves to a real file.
+linkcheck:
+	./scripts/linkcheck.sh
 
 # Plain-text experiment tables without the Go test machinery.
 tables:

@@ -1,4 +1,4 @@
-// Benchmarks E1..E16: one per experiment in DESIGN.md / EXPERIMENTS.md.
+// Benchmarks E1..E19: one per experiment in DESIGN.md / EXPERIMENTS.md.
 //
 // The paper publishes no tables or figures, so each benchmark
 // operationalises one of its qualitative claims as a comparison between the
@@ -818,6 +818,95 @@ func BenchmarkE18AppendOverhead(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// --- E19: work-stealing step pool across workers × entity skew (2.5/2.6) -----
+
+// e19Skews are the entity-key distributions E19 sweeps: uniform spreads
+// steps over many independent entities (the regime where cross-entity
+// parallelism must scale), zipfian concentrates most steps on a few hot
+// entities, and single-hot sends every step to one entity — the regime
+// where the ordering contract forces full serialisation and extra workers
+// must buy nothing (and break nothing).
+var e19Skews = []string{"uniform", "zipfian", "single-hot"}
+
+// e19Key picks the i-th event's entity under a skew.
+func e19Key(skew string, zipf *workload.Zipf, i int) repro.Key {
+	const entities = 256
+	switch skew {
+	case "uniform":
+		return repro.Key{Type: "Account", ID: fmt.Sprintf("acct-%d", i%entities)}
+	case "zipfian":
+		return repro.Key{Type: "Account", ID: fmt.Sprintf("acct-%d", zipf.Next())}
+	default:
+		return repro.Key{Type: "Account", ID: "acct-hot"}
+	}
+}
+
+// BenchmarkE19WorkStealingPool measures the process engine's work-stealing
+// pool: throughput of a fixed-latency step across worker counts and entity
+// skews. Each step models a realistic service time (a downstream call, a
+// log force) with a 100µs wait before its transaction commits, so the
+// scaling regime is step-latency-bound — the regime the pool exists for —
+// and the results are comparable across hosts regardless of core count
+// (the same honesty note as E17's sync=mem rows: pure-CPU steps cannot
+// scale past the hardware's parallelism). Uniform keys should scale with
+// workers; single-hot must stay flat — per-entity serialisation is the
+// contract, not a bottleneck to fix. Lane steals are reported per 1000
+// steps.
+func BenchmarkE19WorkStealingPool(b *testing.B) {
+	const stepLatency = 100 * time.Microsecond
+	for _, skew := range e19Skews {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("skew=%s/workers=%d", skew, workers), func(b *testing.B) {
+				db := lsdb.Open(lsdb.Options{Node: "e19", Validation: entity.Managed, Shards: 8})
+				if err := db.RegisterType(workload.AccountType()); err != nil {
+					b.Fatal(err)
+				}
+				mgr := txn.NewManager(db, nil, nil, txn.Options{Node: "e19"})
+				// A long visibility timeout: the whole backlog is submitted up
+				// front and sits in lanes until executed.
+				q := queue.New("e19", queue.Options{VisibilityTimeout: 10 * time.Minute})
+				e := process.NewEngine(mgr, q, process.Options{Workers: workers})
+				def := process.NewDefinition("e19")
+				def.Step("e19.step", func(ctx *process.StepContext) error {
+					time.Sleep(stepLatency)
+					return ctx.Txn.Update(ctx.Event.Entity, repro.Delta("balance", 1))
+				})
+				if err := e.Register(def); err != nil {
+					b.Fatal(err)
+				}
+				zipf := workload.NewZipf(19, 256, 1.2)
+				for i := 0; i < b.N; i++ {
+					ev := queue.Event{
+						Name:   "e19.step",
+						Entity: e19Key(skew, zipf, i),
+						TxnID:  fmt.Sprintf("e19-%d", i),
+					}
+					if err := e.Submit(ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				e.Start()
+				deadline := time.Now().Add(5 * time.Minute)
+				for e.Stats().StepsExecuted < uint64(b.N) {
+					if time.Now().After(deadline) {
+						b.Fatalf("timed out: %+v", e.Stats())
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+				b.StopTimer()
+				e.Stop()
+				stats := e.Stats()
+				if stats.StepsExecuted != uint64(b.N) {
+					b.Fatalf("steps executed = %d, want %d", stats.StepsExecuted, b.N)
+				}
+				b.ReportMetric(float64(stats.LaneSteals)*1000/float64(b.N), "steals/1ksteps")
+				b.ReportMetric(float64(stats.PeakLaneDepth), "peak-lane-depth")
+			})
+		}
 	}
 }
 

@@ -1,5 +1,5 @@
-// Command benchharness runs scaled-down versions of the seventeen experiments
-// (E1..E17 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
+// Command benchharness runs scaled-down versions of the experiments
+// (E1..E19 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
 // experiment, the way the paper's evaluation section would have reported
 // them. The authoritative, parameter-swept versions are the testing.B
 // benchmarks in bench_test.go; this command exists to regenerate the tables
@@ -32,6 +32,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/migrate"
 	"repro/internal/netsim"
+	"repro/internal/process"
+	"repro/internal/queue"
 	"repro/internal/replica"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -52,7 +54,7 @@ func main() {
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6},
 		{"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11}, {"E12", e12},
 		{"E13", e13}, {"E14", e14}, {"E15", e15}, {"E16", e16}, {"E17", e17},
-		{"E18", e18},
+		{"E18", e18}, {"E19", e19},
 	}
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.name) {
@@ -747,6 +749,67 @@ func e18(n int) *metrics.Table {
 		elapsed := time.Since(start)
 		db.Close()
 		tbl.AddRow("append", mode, total, elapsed, opsPerSec(total, elapsed))
+	}
+	return tbl
+}
+
+// E19: the work-stealing step pool across workers × entity skew. Steps
+// carry a modeled 100µs service time, so throughput is step-latency-bound:
+// uniform keys scale with workers, a single hot entity serialises by
+// contract and must stay flat.
+func e19(n int) *metrics.Table {
+	tbl := metrics.NewTable("E19 — work-stealing step pool: workers × entity skew (principles 2.5/2.6)",
+		"skew", "workers", "steps", "ops/sec", "lane steals", "peak lane depth")
+	const stepLatency = 100 * time.Microsecond
+	const entities = 256
+	for _, skew := range []string{"uniform", "zipfian", "single-hot"} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			db := lsdb.Open(lsdb.Options{Node: "e19", Validation: entity.Managed, Shards: 8})
+			db.RegisterType(workload.AccountType())
+			mgr := txn.NewManager(db, nil, nil, txn.Options{Node: "e19"})
+			q := queue.New("e19", queue.Options{VisibilityTimeout: 10 * time.Minute})
+			e := process.NewEngine(mgr, q, process.Options{Workers: workers})
+			def := process.NewDefinition("e19")
+			def.Step("e19.step", func(ctx *process.StepContext) error {
+				time.Sleep(stepLatency)
+				return ctx.Txn.Update(ctx.Event.Entity, repro.Delta("balance", 1))
+			})
+			if err := e.Register(def); err != nil {
+				log.Fatalf("E19: %v", err)
+			}
+			zipf := workload.NewZipf(19, entities, 1.2)
+			steps := n / 4
+			for i := 0; i < steps; i++ {
+				id := "acct-hot"
+				switch skew {
+				case "uniform":
+					id = fmt.Sprintf("acct-%d", i%entities)
+				case "zipfian":
+					id = fmt.Sprintf("acct-%d", zipf.Next())
+				}
+				ev := queue.Event{
+					Name:   "e19.step",
+					Entity: repro.Key{Type: "Account", ID: id},
+					TxnID:  fmt.Sprintf("e19-%d", i),
+				}
+				if err := e.Submit(ev); err != nil {
+					log.Fatalf("E19: %v", err)
+				}
+			}
+			start := time.Now()
+			e.Start()
+			deadline := time.Now().Add(5 * time.Minute)
+			for e.Stats().StepsExecuted < uint64(steps) {
+				if time.Now().After(deadline) {
+					log.Fatalf("E19: timed out waiting for steps: %+v", e.Stats())
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			elapsed := time.Since(start)
+			e.Stop()
+			stats := e.Stats()
+			tbl.AddRow(skew, workers, steps, opsPerSec(steps, elapsed), stats.LaneSteals, stats.PeakLaneDepth)
+		}
 	}
 	return tbl
 }

@@ -15,7 +15,7 @@
 //
 // Usage: soupsd [-addr :8080] [-units 4] [-consistency eventual|strong]
 //
-//	[-groupcommit] [-maxbatch 64]
+//	[-workers 2] [-groupcommit] [-maxbatch 64]
 //	[-data-dir DIR] [-fsync-mode always|os] [-checkpoint-every 4096]
 //
 // With -data-dir the node is durable: every commit cycle is appended to a
@@ -47,6 +47,7 @@ var (
 	addr        = flag.String("addr", ":8080", "listen address")
 	units       = flag.Int("units", 4, "number of serialization units")
 	consistency = flag.String("consistency", "eventual", "eventual or strong")
+	workers     = flag.Int("workers", 0, "process-step workers per unit in the work-stealing pool (0 = default 2)")
 	groupCommit = flag.Bool("groupcommit", false, "batch concurrent appends via per-shard group commit")
 	maxBatch    = flag.Int("maxbatch", 0, "max appends per group-commit batch (0 = default 64)")
 	dataDir     = flag.String("data-dir", "", "durable mode: write-ahead log + checkpoint directory (empty = in-memory)")
@@ -82,7 +83,7 @@ func main() {
 		log.Fatal(err)
 	}
 	k, err := repro.Bootstrap(repro.Options{
-		Node: "soupsd", Units: *units, Consistency: mode,
+		Node: "soupsd", Units: *units, Consistency: mode, Workers: *workers,
 		GroupCommit: *groupCommit, MaxAppendBatch: *maxBatch,
 		DataDir: *dataDir, Fsync: sync, CheckpointEvery: *ckptEvery,
 	}, repro.StandardTypes()...)
@@ -279,6 +280,19 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, s.kernel.Metrics().Dump())
+	// Step-pool scheduling counters, aggregated across units (peak lane
+	// depth is the maximum over units). See docs/OPERATIONS.md for how to
+	// read them.
+	ps := s.kernel.ProcessStats()
+	fmt.Fprintf(w, "process.steps_executed %d\n", ps.StepsExecuted)
+	fmt.Fprintf(w, "process.steps_failed %d\n", ps.StepsFailed)
+	fmt.Fprintf(w, "process.retries %d\n", ps.Retries)
+	fmt.Fprintf(w, "process.compensations %d\n", ps.Compensations)
+	fmt.Fprintf(w, "process.collapsed %d\n", ps.Collapsed)
+	fmt.Fprintf(w, "process.lane_steals %d\n", ps.LaneSteals)
+	fmt.Fprintf(w, "process.peak_lane_depth %d\n", ps.PeakLaneDepth)
+	fmt.Fprintf(w, "process.keyed_dequeues %d\n", ps.KeyedDequeues)
+	fmt.Fprintf(w, "process.queue_depth %d\n", s.kernel.QueueDepth())
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

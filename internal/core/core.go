@@ -11,6 +11,16 @@
 // serialization units, schedules steps, maintains aggregates asynchronously
 // and handles constraint violations and conflicts as managed exceptions
 // rather than refusals.
+//
+// Scheduling: each serialization unit runs its own process engine, and
+// Start launches Options.Workers workers per unit as a work-stealing pool
+// over per-entity serial lanes (see internal/process). Steps for different
+// entities run concurrently across — and now also within — units, while
+// every entity's steps execute serially in enqueue order, the guarantee the
+// paper's at-least-once-plus-idempotence recipe depends on. ProcessStats
+// aggregates the pool counters (lane steals, peak lane depth, keyed
+// dequeues) across units; docs/CONCURRENCY.md states the full ordering
+// contract.
 package core
 
 import (
@@ -126,7 +136,10 @@ type Options struct {
 	DeferredAggregates *bool
 	// CollapseVertical enables inline execution of follow-up steps.
 	CollapseVertical bool
-	// Workers is the number of process workers per unit when Start is used.
+	// Workers is the size of each unit's work-stealing step pool when Start
+	// is used (default 2). Workers claim whole per-entity lanes, so raising
+	// it scales cross-entity step throughput with cores without ever
+	// reordering one entity's steps.
 	Workers int
 	// TxnRetries is how many times Transact retries optimistic conflicts.
 	TxnRetries int
@@ -245,7 +258,14 @@ func Open(opts Options) (*Kernel, error) {
 			Node:                clock.NodeID(id),
 			EnforceSingleEntity: opts.Consistency == EventualSOUPS,
 		})
-		q := queue.New(string(id), queue.Options{})
+		// Unit queues are in-process and die with the kernel, so visibility
+		// redelivery exists only for a consumer that lost a message while the
+		// process lives — which the engine's lanes never do. A long lease
+		// keeps deep lane backlogs (the dispatcher leases the whole
+		// deliverable backlog into lanes) from churning reclaim/redelivery
+		// cycles and spuriously dead-lettering messages that are alive in a
+		// lane; see the step-pool notes in internal/process.
+		q := queue.New(string(id), queue.Options{VisibilityTimeout: 10 * time.Minute})
 		engine := process.NewEngine(mgr, q, process.Options{
 			Workers:          opts.Workers,
 			TxnMode:          opts.txnMode(),
@@ -948,7 +968,9 @@ func (k *Kernel) Import(r io.Reader) error {
 	return k.Checkpoint()
 }
 
-// ProcessStats sums process-engine statistics across units.
+// ProcessStats aggregates process-engine statistics across units: counters
+// are summed; PeakLaneDepth — a high-water mark, not a rate — is the
+// maximum over units.
 func (k *Kernel) ProcessStats() process.Stats {
 	var total process.Stats
 	for _, u := range k.units {
@@ -962,6 +984,11 @@ func (k *Kernel) ProcessStats() process.Stats {
 		total.AuditLines += s.AuditLines
 		total.UnknownEvents += s.UnknownEvents
 		total.EnqueuedEvents += s.EnqueuedEvents
+		total.LaneSteals += s.LaneSteals
+		total.KeyedDequeues += s.KeyedDequeues
+		if s.PeakLaneDepth > total.PeakLaneDepth {
+			total.PeakLaneDepth = s.PeakLaneDepth
+		}
 	}
 	return total
 }

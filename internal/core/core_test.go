@@ -577,3 +577,54 @@ func TestKernelGroupCommitTentativePromises(t *testing.T) {
 		t.Fatalf("stock after reconciliation = %d, want 0 (3 kept promises applied, 2 withdrawn)", got)
 	}
 }
+
+// TestKernelPoolStatsAggregateAcrossUnits drives the started kernel — the
+// per-unit work-stealing pools — across several units and entities and
+// checks that every step lands exactly once and the pool's scheduling
+// counters surface through ProcessStats.
+func TestKernelPoolStatsAggregateAcrossUnits(t *testing.T) {
+	k := newKernel(t, Options{Node: "pool", Units: 2, Workers: 4})
+	def := process.NewDefinition("bump")
+	def.Step("acct.bump", func(ctx *process.StepContext) error {
+		return ctx.Txn.Update(ctx.Event.Entity, entity.Delta("balance", 1))
+	})
+	if err := k.DefineProcess(def); err != nil {
+		t.Fatal(err)
+	}
+	k.Start()
+	const entities, perEntity = 8, 10
+	for seq := 0; seq < perEntity; seq++ {
+		for ent := 0; ent < entities; ent++ {
+			ev := queue.Event{
+				Name:   "acct.bump",
+				Entity: accountKey(fmt.Sprintf("P%d", ent)),
+				TxnID:  fmt.Sprintf("p%d-%d", ent, seq),
+			}
+			if err := k.Submit(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const want = entities * perEntity
+	deadline := time.Now().Add(30 * time.Second)
+	for k.ProcessStats().StepsExecuted < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %+v", k.ProcessStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	k.Stop()
+	for ent := 0; ent < entities; ent++ {
+		st, err := k.Read(accountKey(fmt.Sprintf("P%d", ent)))
+		if err != nil || st.Float("balance") != perEntity {
+			t.Fatalf("P%d = %v, %v", ent, st, err)
+		}
+	}
+	stats := k.ProcessStats()
+	if stats.StepsExecuted != want {
+		t.Fatalf("steps executed = %d, want %d", stats.StepsExecuted, want)
+	}
+	if stats.PeakLaneDepth == 0 {
+		t.Fatalf("peak lane depth never recorded: %+v", stats)
+	}
+}

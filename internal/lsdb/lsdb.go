@@ -1101,4 +1101,3 @@ func (db *DB) Close() error {
 	}
 	return db.opts.Backend.Close()
 }
-

@@ -164,7 +164,7 @@ func TestRecoverAfterCompactAndMarkObsolete(t *testing.T) {
 			for i := 0; i < 6; i++ {
 				k := entity.Key{Type: "Account", ID: fmt.Sprintf("cold%d", i)}
 				for j := 0; j < 3; j++ {
-					if _, err := db.Append(k, []entity.Op{entity.Delta("balance", float64(j + 1))}, stamp(int64(i*10+j+1)), "n", fmt.Sprintf("c%d-%d", i, j)); err != nil {
+					if _, err := db.Append(k, []entity.Op{entity.Delta("balance", float64(j+1))}, stamp(int64(i*10+j+1)), "n", fmt.Sprintf("c%d-%d", i, j)); err != nil {
 						t.Fatal(err)
 					}
 				}

@@ -6,6 +6,19 @@
 // supports non-transactional audit writes and post-rollback compensation
 // actions, and implements the vertical and horizontal step-collapsing
 // optimisations sketched in section 3.1.
+//
+// Scheduling is a work-stealing worker pool over per-entity serial lanes
+// (pool.go): a dispatcher pulls events off the queue in per-entity enqueue
+// order and hash-routes each one to its entity's lane; workers claim and
+// steal whole lanes, never individual messages. Steps for different
+// entities therefore run concurrently — the parallelism the paper's
+// serialization units promise (2.5/2.6) — while every entity's steps,
+// including retries, backoff redeliveries and same-entity vertically
+// collapsed children, execute serially in enqueue order. That ordering is
+// what lets idempotent consumers treat at-least-once delivery as effective
+// exactly-once (the Helland recipe the paper cites in 2.4); the contract is
+// written out in docs/CONCURRENCY.md and pinned by the ordering stress
+// suite in order_test.go.
 package process
 
 import (
@@ -112,8 +125,10 @@ func (d *Definition) Events() []string {
 
 // Options configure an Engine.
 type Options struct {
-	// Workers is the number of concurrent step executors (default 1; the
-	// experiments sweep this for the parallelism claims of 2.5/2.6).
+	// Workers is the size of the work-stealing pool Start launches (default
+	// 1; experiment E19 sweeps this for the parallelism claims of 2.5/2.6).
+	// Workers steal whole entity lanes, so any setting preserves per-entity
+	// ordering; more workers only add cross-entity concurrency.
 	Workers int
 	// MaxAttempts is how many times a step is retried before compensation
 	// (default 5).
@@ -150,10 +165,22 @@ type Stats struct {
 	AuditLines     uint64
 	UnknownEvents  uint64
 	EnqueuedEvents uint64
+	// LaneSteals counts lanes an idle worker claimed from another worker's
+	// run queue — the work-stealing that keeps all cores busy under skew.
+	LaneSteals uint64
+	// PeakLaneDepth is the most deliveries any single entity lane has held
+	// at once: a high value means one entity dominates the workload and its
+	// steps are (correctly) serialising.
+	PeakLaneDepth uint64
+	// KeyedDequeues counts deliveries a lane owner pulled straight off the
+	// queue for its own entity (lane hinting), bypassing the dispatcher.
+	KeyedDequeues uint64
 }
 
 // Engine schedules process steps from a queue against one serialization
-// unit's transaction manager.
+// unit's transaction manager. Start launches the work-stealing pool; Drain
+// executes synchronously on the calling goroutine. Both preserve per-entity
+// enqueue order.
 type Engine struct {
 	opts Options
 	mgr  *txn.Manager
@@ -166,7 +193,7 @@ type Engine struct {
 	auditLog  []string
 	stopCh    chan struct{}
 	stopped   bool
-	wg        sync.WaitGroup
+	pool      *pool           // non-nil once Start launched the worker pool
 	completed map[string]bool // step identities already executed successfully
 }
 
@@ -233,19 +260,24 @@ func (e *Engine) Submit(ev queue.Event) error {
 	return err
 }
 
-// Start launches the worker pool.
+// Start launches the work-stealing worker pool: a dispatcher routing
+// dequeued events onto per-entity serial lanes and Options.Workers workers
+// claiming (and stealing) whole lanes. It is a no-op if the pool is already
+// running or the engine stopped.
 func (e *Engine) Start() {
-	for i := 0; i < e.opts.Workers; i++ {
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			e.workerLoop()
-		}()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pool != nil || e.stopped {
+		return
 	}
+	e.pool = newPool(e, e.opts.Workers)
+	e.pool.start()
 }
 
-// Stop terminates the workers after the queue drains or immediately if the
-// queue is already closed. It is safe to call more than once.
+// Stop terminates the pool after in-flight steps finish. Deliveries still
+// waiting in lanes are abandoned un-acked (the engine is terminal after
+// Stop); their effects either committed — and are recorded in the
+// idempotence set — or never happened. It is safe to call more than once.
 func (e *Engine) Stop() {
 	e.mu.Lock()
 	if e.stopped {
@@ -254,17 +286,22 @@ func (e *Engine) Stop() {
 	}
 	e.stopped = true
 	close(e.stopCh)
+	p := e.pool
 	e.mu.Unlock()
-	e.wg.Wait()
+	if p != nil {
+		p.stop()
+	}
 }
 
 // Drain processes queued events synchronously on the calling goroutine until
-// the queue is empty. It is what tests and single-threaded benchmarks use
-// instead of Start/Stop.
+// nothing is deliverable. It is what tests and single-threaded benchmarks
+// use instead of Start/Stop. The ordered dequeue keeps per-entity enqueue
+// order even here: an entity whose head delivery is backing off is held
+// back entirely rather than having its later steps run first.
 func (e *Engine) Drain() int {
 	n := 0
 	for {
-		m, err := e.q.Dequeue(e.opts.Topic)
+		m, err := e.q.DequeueOrdered(e.opts.Topic)
 		if errors.Is(err, queue.ErrEmpty) || errors.Is(err, queue.ErrClosed) {
 			return n
 		}
@@ -276,27 +313,13 @@ func (e *Engine) Drain() int {
 	}
 }
 
-func (e *Engine) workerLoop() {
-	for {
-		select {
-		case <-e.stopCh:
-			return
-		default:
-		}
-		m, err := e.q.DequeueWait(e.opts.Topic, 20*time.Millisecond)
-		if errors.Is(err, queue.ErrClosed) {
-			return
-		}
-		if err != nil {
-			continue
-		}
-		e.handleMessage(m)
-	}
-}
-
-// handleMessage executes the step for one delivery, acking or nacking it.
+// handleMessage executes the step for one delivery on the synchronous Drain
+// path, acking or nacking it. Retries round-trip through the queue here —
+// with a single caller and the ordered dequeue that cannot reorder an
+// entity's steps; the pool path instead retries inside the lane
+// (runLaneDelivery).
 func (e *Engine) handleMessage(m *queue.Message) {
-	err := e.executeStep(m.Event, m.Attempts, e.opts.CollapseDepth)
+	err := e.executeStep(m.Event, m.Attempts, e.opts.CollapseDepth, nil)
 	switch {
 	case err == nil:
 		_ = e.q.Ack(m.ID)
@@ -326,6 +349,39 @@ func (e *Engine) handleMessage(m *queue.Message) {
 	}
 }
 
+// runLaneDelivery executes one lane-owned delivery and classifies the
+// outcome. It reports true when the delivery is terminal — executed,
+// deduplicated, unknown, or dead-lettered through its compensation handler
+// — and false when the lane should keep it at the head and back off.
+func (e *Engine) runLaneDelivery(lm laneMsg, laneKey entity.Key) bool {
+	err := e.executeStep(lm.m.Event, lm.attempts, e.opts.CollapseDepth, &laneKey)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrUnknownStep):
+		e.mu.Lock()
+		e.stats.UnknownEvents++
+		e.mu.Unlock()
+		return true
+	default:
+		e.mu.Lock()
+		e.stats.Retries++
+		maxed := lm.attempts >= e.opts.MaxAttempts
+		comp := e.comps[lm.m.Event.Name]
+		e.mu.Unlock()
+		if maxed {
+			if comp != nil {
+				comp(lm.m.Event, lm.attempts, err)
+				e.mu.Lock()
+				e.stats.Compensations++
+				e.mu.Unlock()
+			}
+			return true
+		}
+		return false
+	}
+}
+
 // stepIdentity derives the idempotence key of one step execution.
 func stepIdentity(ev queue.Event) string {
 	if ev.TxnID == "" {
@@ -336,9 +392,12 @@ func stepIdentity(ev queue.Event) string {
 
 // executeStep runs the handler for one event inside its own transaction. If
 // vertical collapsing is enabled, events emitted by the step whose handlers
-// are known locally are executed inline (depth-limited); everything else goes
-// through the queue.
-func (e *Engine) executeStep(ev queue.Event, attempt, depth int) error {
+// are known locally are executed inline (depth-limited); everything else
+// goes through the queue. laneKey, when non-nil, is the entity lane this
+// execution is serialised under: inline collapsing is then restricted to
+// children of that same entity, because running another entity's step here
+// would bypass that entity's lane and break its serial order.
+func (e *Engine) executeStep(ev queue.Event, attempt, depth int, laneKey *entity.Key) error {
 	e.mu.Lock()
 	h, ok := e.handlers[ev.Name]
 	already := e.completed[stepIdentity(ev)]
@@ -373,13 +432,13 @@ func (e *Engine) executeStep(ev queue.Event, attempt, depth int) error {
 		e.completed[id] = true
 	}
 	e.mu.Unlock()
-	e.dispatch(ctx.emitted, depth)
+	e.dispatch(ctx.emitted, depth, laneKey)
 	return nil
 }
 
 // dispatch delivers events emitted by a committed step: inline when vertical
 // collapsing applies, otherwise through the destination queue.
-func (e *Engine) dispatch(events []queue.Event, depth int) {
+func (e *Engine) dispatch(events []queue.Event, depth int, laneKey *entity.Key) {
 	for _, next := range events {
 		target := e.q
 		if e.opts.Route != nil {
@@ -392,11 +451,15 @@ func (e *Engine) dispatch(events []queue.Event, depth int) {
 		e.mu.Unlock()
 		// Inline collapsing only applies when the next step runs on this very
 		// unit; cross-unit events always travel through their owning queue.
-		if e.opts.CollapseVertical && depth > 0 && local && target == e.q {
+		// Under the pool it is additionally restricted to the lane's own
+		// entity: a collapsed child runs inside its parent's serialisation
+		// slot, and only the lane owner may do that for this entity.
+		sameLane := laneKey == nil || *laneKey == next.Entity
+		if e.opts.CollapseVertical && depth > 0 && local && target == e.q && sameLane {
 			e.mu.Lock()
 			e.stats.Collapsed++
 			e.mu.Unlock()
-			if err := e.executeStep(next, 1, depth-1); err == nil {
+			if err := e.executeStep(next, 1, depth-1, laneKey); err == nil {
 				continue
 			}
 			// Inline execution failed: fall back to the queue so the normal
@@ -422,7 +485,7 @@ func (e *Engine) HorizontalBatch(maxEvents int) (int, error) {
 	var order []entity.Key
 	taken := 0
 	for taken < maxEvents {
-		m, err := e.q.Dequeue(e.opts.Topic)
+		m, err := e.q.DequeueOrdered(e.opts.Topic)
 		if errors.Is(err, queue.ErrEmpty) {
 			break
 		}
@@ -481,16 +544,22 @@ func (e *Engine) HorizontalBatch(maxEvents int) (int, error) {
 		e.stats.Collapsed += uint64(len(group) - 1)
 		e.stats.EventsEmitted += uint64(len(emitted))
 		e.mu.Unlock()
-		e.dispatch(emitted, 0)
+		e.dispatch(emitted, 0, nil)
 	}
 	return absorbed, nil
 }
 
-// Stats returns a copy of the counters.
+// Stats returns a copy of the counters, including the pool's scheduling
+// counters when Start has launched it.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	s := e.stats
+	p := e.pool
+	e.mu.Unlock()
+	if p != nil {
+		s.LaneSteals, s.PeakLaneDepth, s.KeyedDequeues = p.snapshot()
+	}
+	return s
 }
 
 // AuditLog returns a copy of the non-transactional audit lines.

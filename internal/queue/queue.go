@@ -5,6 +5,23 @@
 // at-least-once-plus-idempotence recipe). Enqueue and dequeue are always
 // local operations — never distributed transactions — even when the logical
 // destination is a remote serialization unit (principle 2.6).
+//
+// Message IDs are assigned at enqueue, so ID order is enqueue order. Three
+// dequeue disciplines serve the process engine's scheduling model:
+//
+//   - Dequeue / DequeueWait: plain FIFO over deliverable messages. A message
+//     delayed by retry backoff or EnqueueDelayed is skipped, so later
+//     messages — including later messages for the same entity — may be
+//     delivered first.
+//   - DequeueOrdered / DequeueWaitOrdered: per-entity enqueue order. When an
+//     entity's earliest pending message is not yet deliverable, the entity's
+//     later messages are held back too (head-of-line blocking per entity,
+//     never across entities). This is the intake discipline of the process
+//     engine's work-stealing pool: it guarantees an entity's steps reach
+//     their serial lane in enqueue order even across backoff redeliveries.
+//   - DequeueEntity: the earliest deliverable message for exactly one entity
+//     key. A lane owner uses it to keep pulling a hot entity's work directly
+//     ("lane hinting") without going through the shared intake.
 package queue
 
 import (
@@ -85,12 +102,22 @@ type Queue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	seq     clock.Sequence
-	ready   []*Message // deliverable, FIFO by enqueue order
+	ready   []*Message // pending, ascending by ID (= enqueue order)
 	leased  map[uint64]*lease
 	dead    []*Message
 	acked   uint64
 	closed  bool
 	dupTick int
+	// nextExpiry is the earliest lease deadline (zero when unknown): the
+	// reclaim scan is skipped until it passes, so dequeues stay O(ready
+	// prefix) even with thousands of messages leased into process lanes.
+	nextExpiry time.Time
+	// leasedByKey counts in-flight leases per entity. DequeueEntity refuses
+	// to serve an entity with a lease outstanding: the leased message may be
+	// an earlier-enqueued one still in a consumer's hands (e.g. dequeued by
+	// the pool dispatcher but not yet routed), and handing out a later one
+	// would reorder the entity's steps.
+	leasedByKey map[entity.Key]int
 }
 
 type lease struct {
@@ -110,7 +137,7 @@ func New(name string, opts Options) *Queue {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
-	q := &Queue{opts: opts, name: name, leased: map[uint64]*lease{}}
+	q := &Queue{opts: opts, name: name, leased: map[uint64]*lease{}, leasedByKey: map[entity.Key]int{}}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -147,42 +174,135 @@ func (q *Queue) EnqueueDelayed(topic string, ev Event, delay time.Duration) (uin
 // Dequeue returns the next deliverable message for the topic (any topic when
 // topic is empty) and leases it for the visibility timeout. The caller must
 // Ack or Nack it. Returns ErrEmpty when nothing is deliverable right now.
+// Delayed messages are skipped, so Dequeue alone does not preserve
+// per-entity order across backoffs; see DequeueOrdered.
 func (q *Queue) Dequeue(topic string) (*Message, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.dequeueLocked(topic)
+	return q.dequeueLocked(topic, false)
 }
 
-func (q *Queue) dequeueLocked(topic string) (*Message, error) {
+// DequeueOrdered is Dequeue with per-entity head-of-line blocking: a message
+// is withheld while an earlier-enqueued message for the same entity is
+// pending but not yet deliverable (retry backoff, EnqueueDelayed). Other
+// entities are unaffected — one entity backing off never stalls another.
+// This is the discipline that keeps an entity's steps flowing to the process
+// engine in enqueue order.
+func (q *Queue) DequeueOrdered(topic string) (*Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dequeueLocked(topic, true)
+}
+
+// dequeueLocked scans the pending list — kept in ID (enqueue) order — for
+// the first deliverable message of the topic and leases it. With ordered
+// set, entities whose earliest pending message is still delayed are skipped
+// entirely so their later messages cannot overtake it.
+func (q *Queue) dequeueLocked(topic string, ordered bool) (*Message, error) {
 	if q.closed {
 		return nil, ErrClosed
 	}
 	now := q.opts.Clock()
 	q.reclaimExpiredLocked(now)
+	var blocked map[entity.Key]bool
 	for i, m := range q.ready {
 		if topic != "" && m.Topic != topic {
 			continue
 		}
 		if m.NotBefore.After(now) {
+			if ordered {
+				if blocked == nil {
+					blocked = map[entity.Key]bool{}
+				}
+				blocked[m.Event.Entity] = true
+			}
 			continue
 		}
-		q.ready = append(q.ready[:i], q.ready[i+1:]...)
-		m.Attempts++
-		q.leased[m.ID] = &lease{msg: m, deadline: now.Add(q.opts.VisibilityTimeout)}
-		cp := *m
-		return &cp, nil
+		if ordered && blocked[m.Event.Entity] {
+			continue
+		}
+		return q.leaseLocked(i, now), nil
 	}
 	return nil, ErrEmpty
+}
+
+// DequeueEntity returns the earliest pending message for exactly key on the
+// topic. When that message exists but is not deliverable yet (retry backoff,
+// delayed enqueue), or when any of the entity's messages is currently
+// leased to another consumer — possibly an earlier-enqueued one not yet
+// visible here — it returns ErrEmpty rather than skipping ahead: the
+// entity's order is never reordered around its own head.
+func (q *Queue) DequeueEntity(topic string, key entity.Key) (*Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	now := q.opts.Clock()
+	q.reclaimExpiredLocked(now)
+	if q.leasedByKey[key] > 0 {
+		return nil, ErrEmpty
+	}
+	for i, m := range q.ready {
+		if topic != "" && m.Topic != topic {
+			continue
+		}
+		if m.Event.Entity != key {
+			continue
+		}
+		if m.NotBefore.After(now) {
+			return nil, ErrEmpty
+		}
+		return q.leaseLocked(i, now), nil
+	}
+	return nil, ErrEmpty
+}
+
+// leaseLocked removes ready[i] from the pending list and leases it.
+func (q *Queue) leaseLocked(i int, now time.Time) *Message {
+	m := q.ready[i]
+	q.ready = append(q.ready[:i], q.ready[i+1:]...)
+	m.Attempts++
+	deadline := now.Add(q.opts.VisibilityTimeout)
+	if _, exists := q.leased[m.ID]; !exists {
+		q.leasedByKey[m.Event.Entity]++
+	}
+	q.leased[m.ID] = &lease{msg: m, deadline: deadline}
+	if q.nextExpiry.IsZero() || deadline.Before(q.nextExpiry) {
+		q.nextExpiry = deadline
+	}
+	cp := *m
+	return &cp
+}
+
+// unleaseLocked drops the per-entity lease count for a settled lease.
+func (q *Queue) unleaseLocked(m *Message) {
+	if n := q.leasedByKey[m.Event.Entity]; n <= 1 {
+		delete(q.leasedByKey, m.Event.Entity)
+	} else {
+		q.leasedByKey[m.Event.Entity] = n - 1
+	}
 }
 
 // DequeueWait blocks until a message is available for the topic, the timeout
 // elapses (returning ErrEmpty), or the queue is closed.
 func (q *Queue) DequeueWait(topic string, timeout time.Duration) (*Message, error) {
+	return q.dequeueWait(topic, timeout, false)
+}
+
+// DequeueWaitOrdered is DequeueWait with DequeueOrdered's per-entity
+// head-of-line blocking. It is the blocking intake of the process engine's
+// dispatcher.
+func (q *Queue) DequeueWaitOrdered(topic string, timeout time.Duration) (*Message, error) {
+	return q.dequeueWait(topic, timeout, true)
+}
+
+func (q *Queue) dequeueWait(topic string, timeout time.Duration, ordered bool) (*Message, error) {
 	deadline := time.Now().Add(timeout)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
-		m, err := q.dequeueLocked(topic)
+		m, err := q.dequeueLocked(topic, ordered)
 		if err == nil || errors.Is(err, ErrClosed) {
 			return m, err
 		}
@@ -198,14 +318,26 @@ func (q *Queue) DequeueWait(topic string, timeout time.Duration) (*Message, erro
 }
 
 // reclaimExpiredLocked returns leased messages whose visibility timeout has
-// passed to the ready list (at-least-once redelivery).
+// passed to the ready list (at-least-once redelivery). The scan is skipped
+// while the earliest lease deadline is still in the future, so dequeues do
+// not pay O(leased) when a large backlog sits in process lanes.
 func (q *Queue) reclaimExpiredLocked(now time.Time) {
+	if len(q.leased) == 0 || (!q.nextExpiry.IsZero() && now.Before(q.nextExpiry)) {
+		return
+	}
+	next := time.Time{}
 	for id, l := range q.leased {
 		if now.After(l.deadline) {
 			delete(q.leased, id)
+			q.unleaseLocked(l.msg)
 			q.requeueLocked(l.msg)
+			continue
+		}
+		if next.IsZero() || l.deadline.Before(next) {
+			next = l.deadline
 		}
 	}
+	q.nextExpiry = next
 }
 
 func (q *Queue) requeueLocked(m *Message) {
@@ -228,13 +360,17 @@ func (q *Queue) Ack(id uint64) error {
 		return fmt.Errorf("%w: %d", ErrUnknownLease, id)
 	}
 	delete(q.leased, id)
+	q.unleaseLocked(l.msg)
 	q.acked++
 	if q.opts.DuplicateEvery > 0 {
 		q.dupTick++
 		if q.dupTick%q.opts.DuplicateEvery == 0 {
 			// Simulated duplicate delivery of an already-processed message.
+			// Re-sort: the duplicate carries its original ID and the pending
+			// list must stay in ID order for the ordered dequeues.
 			dup := *l.msg
 			q.ready = append(q.ready, &dup)
+			sort.SliceStable(q.ready, func(i, j int) bool { return q.ready[i].ID < q.ready[j].ID })
 			q.cond.Broadcast()
 		}
 	}
@@ -251,6 +387,7 @@ func (q *Queue) Nack(id uint64, backoff time.Duration) error {
 		return fmt.Errorf("%w: %d", ErrUnknownLease, id)
 	}
 	delete(q.leased, id)
+	q.unleaseLocked(l.msg)
 	l.msg.NotBefore = q.opts.Clock().Add(backoff)
 	q.requeueLocked(l.msg)
 	return nil

@@ -460,3 +460,150 @@ func TestReliableDeliveryProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDequeueOrderedBlocksDelayedEntityHead(t *testing.T) {
+	now := time.Unix(0, 0)
+	q := New("unit-1", Options{Clock: func() time.Time { return now }})
+	// Entity X's head is delayed (a retry backoff in flight); a later X
+	// message and an unrelated Y message are immediately deliverable.
+	q.EnqueueDelayed("t", ev("step", "X"), 50*time.Millisecond)
+	q.Enqueue("t", ev("step", "X"))
+	q.Enqueue("t", ev("step", "Y"))
+
+	// Plain Dequeue would hand out the second X message here; the ordered
+	// dequeue must hold X back entirely and serve Y.
+	m, err := q.DequeueOrdered("t")
+	if err != nil || m.Event.Entity.ID != "Y" {
+		t.Fatalf("DequeueOrdered = %v, %v; want Y", m, err)
+	}
+	if _, err := q.DequeueOrdered("t"); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("X delivered around its delayed head: %v", err)
+	}
+	// Once the head becomes deliverable, X's messages come out in enqueue
+	// order.
+	now = now.Add(time.Second)
+	first, err := q.DequeueOrdered("t")
+	if err != nil {
+		t.Fatalf("DequeueOrdered after delay: %v", err)
+	}
+	second, err := q.DequeueOrdered("t")
+	if err != nil {
+		t.Fatalf("DequeueOrdered after delay: %v", err)
+	}
+	if first.ID > second.ID || first.Event.Entity.ID != "X" || second.Event.Entity.ID != "X" {
+		t.Fatalf("X delivered out of order: %d then %d", first.ID, second.ID)
+	}
+}
+
+func TestDequeueEntityServesOneKeyInOrder(t *testing.T) {
+	q := New("unit-1", Options{})
+	q.Enqueue("t", ev("step", "X"))
+	q.Enqueue("t", ev("step", "Y"))
+	q.Enqueue("t", ev("step", "X"))
+	keyX := entity.Key{Type: "Order", ID: "X"}
+
+	m1, err := q.DequeueEntity("t", keyX)
+	if err != nil || m1.Event.Entity.ID != "X" {
+		t.Fatalf("DequeueEntity = %v, %v", m1, err)
+	}
+	// While m1 is leased the entity is blocked (see
+	// TestDequeueEntityBlockedWhileEntityLeased); settle it first, the way a
+	// lane acks its head before hinting for more.
+	if err := q.Ack(m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := q.DequeueEntity("t", keyX)
+	if err != nil || m2.Event.Entity.ID != "X" || m2.ID < m1.ID {
+		t.Fatalf("DequeueEntity second = %v, %v", m2, err)
+	}
+	if err := q.Ack(m2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.DequeueEntity("t", keyX); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty for drained key, got %v", err)
+	}
+	// Y was never touched.
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want Y still pending", q.Len())
+	}
+}
+
+func TestDequeueEntityRespectsDelayedHead(t *testing.T) {
+	now := time.Unix(0, 0)
+	q := New("unit-1", Options{Clock: func() time.Time { return now }})
+	q.EnqueueDelayed("t", ev("step", "X"), 50*time.Millisecond)
+	q.Enqueue("t", ev("step", "X"))
+	keyX := entity.Key{Type: "Order", ID: "X"}
+	// The entity's earliest message is delayed: nothing may be served, not
+	// even the later deliverable one.
+	if _, err := q.DequeueEntity("t", keyX); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("DequeueEntity skipped a delayed head: %v", err)
+	}
+	now = now.Add(time.Second)
+	m, err := q.DequeueEntity("t", keyX)
+	if err != nil || m.Attempts != 1 {
+		t.Fatalf("DequeueEntity after delay = %v, %v", m, err)
+	}
+}
+
+func TestLeaseReclaimWithManyLeases(t *testing.T) {
+	// The nextExpiry fast path must not break redelivery: lease a batch,
+	// expire them all, and verify every message comes back.
+	now := time.Unix(0, 0)
+	q := New("unit-1", Options{VisibilityTimeout: 10 * time.Second, Clock: func() time.Time { return now }})
+	const n = 64
+	for i := 0; i < n; i++ {
+		q.Enqueue("t", ev("step", fmt.Sprintf("K%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		if _, err := q.Dequeue("t"); err != nil {
+			t.Fatalf("Dequeue: %v", err)
+		}
+	}
+	if q.InFlight() != n {
+		t.Fatalf("InFlight = %d", q.InFlight())
+	}
+	now = now.Add(11 * time.Second)
+	seen := 0
+	for {
+		m, err := q.Dequeue("t")
+		if errors.Is(err, ErrEmpty) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Dequeue: %v", err)
+		}
+		if m.Attempts != 2 {
+			t.Fatalf("Attempts = %d, want 2", m.Attempts)
+		}
+		seen++
+	}
+	if seen != n {
+		t.Fatalf("redelivered %d of %d", seen, n)
+	}
+}
+
+func TestDequeueEntityBlockedWhileEntityLeased(t *testing.T) {
+	// The lane-hinting safety rule: while any of an entity's messages is
+	// leased to another consumer (e.g. the pool dispatcher between dequeue
+	// and route), DequeueEntity must refuse — handing out a later message
+	// would let it overtake the in-flight earlier one.
+	q := New("unit-1", Options{})
+	q.Enqueue("t", ev("step", "X"))
+	q.Enqueue("t", ev("step", "X"))
+	keyX := entity.Key{Type: "Order", ID: "X"}
+	m1, err := q.Dequeue("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.DequeueEntity("t", keyX); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("DequeueEntity served around a leased earlier message: %v", err)
+	}
+	if err := q.Ack(m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := q.DequeueEntity("t", keyX)
+	if err != nil || m2.ID <= m1.ID {
+		t.Fatalf("DequeueEntity after settle = %v, %v", m2, err)
+	}
+}

@@ -1,0 +1,60 @@
+//go:build unix
+
+// Data-directory lock (unix): an exclusive flock lease on a LOCK file.
+//
+// Two processes appending to the same WAL directory would interleave
+// frames and corrupt the log, so OpenWAL takes the lease before touching
+// anything else and a second opener fails fast with ErrDirLocked. flock is
+// an advisory lock tied to the open file description: the kernel releases
+// it when the holder exits — including kill -9 — so a crashed process never
+// leaves a stale lease behind and the recovery path reopens the directory
+// without manual cleanup.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// dirLock is a held data-directory lease.
+type dirLock struct {
+	f *os.File
+}
+
+// acquireDirLock takes the exclusive lease on dir's LOCK file, failing fast
+// with ErrDirLocked when another process holds it.
+func acquireDirLock(dir string) (*dirLock, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		// Only contention is "locked"; anything else (e.g. ENOLCK on a
+		// filesystem without flock support) must surface as what it is, or
+		// operators go hunting for a holder that does not exist.
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("%w: %s is held by another process", ErrDirLocked, path)
+		}
+		return nil, fmt.Errorf("storage: locking %s: %w", path, err)
+	}
+	// Record the holder for operators inspecting the directory; the content
+	// is informational — the flock, not the bytes, is the lease.
+	_ = f.Truncate(0)
+	_, _ = fmt.Fprintf(f, "%d\n", os.Getpid())
+	return &dirLock{f: f}, nil
+}
+
+// release drops the lease. The LOCK file itself stays behind (removing it
+// would race a concurrent opener); only the flock matters.
+func (l *dirLock) release() {
+	if l == nil || l.f == nil {
+		return
+	}
+	_ = syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	_ = l.f.Close()
+	l.f = nil
+}

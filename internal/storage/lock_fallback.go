@@ -1,0 +1,50 @@
+//go:build !unix
+
+// Data-directory lock (non-unix fallback): an O_EXCL-created LOCK file
+// holding the owner's pid. Unlike the flock lease on unix, this lock is not
+// released by the kernel when the holder dies, so a crash leaves a stale
+// LOCK behind; the error message tells the operator to remove it after
+// verifying the recorded pid is gone (see docs/OPERATIONS.md).
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// dirLock is a held data-directory lease.
+type dirLock struct {
+	path string
+}
+
+// acquireDirLock creates dir's LOCK file exclusively, failing fast with
+// ErrDirLocked when it already exists.
+func acquireDirLock(dir string) (*dirLock, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			pid, _ := os.ReadFile(path)
+			return nil, fmt.Errorf("%w: %s exists (held by pid %s; remove it only after verifying that process is gone)",
+				ErrDirLocked, path, strings.TrimSpace(string(pid)))
+		}
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	_, _ = fmt.Fprintf(f, "%d\n", os.Getpid())
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &dirLock{path: path}, nil
+}
+
+// release removes the LOCK file.
+func (l *dirLock) release() {
+	if l == nil || l.path == "" {
+		return
+	}
+	_ = os.Remove(l.path)
+	l.path = ""
+}

@@ -53,11 +53,19 @@ var (
 
 const (
 	manifestName = "CHECKPOINT"
+	// lockFileName is the exclusive-access lease of a data directory; see
+	// lock.go / lock_fallback.go.
+	lockFileName = "LOCK"
 	frameHeader  = 8 // uint32 length + uint32 CRC
 	// maxFrame bounds a single record payload. A length prefix beyond it is
 	// treated as corruption rather than an allocation request.
 	maxFrame = 1 << 28
 )
+
+// ErrDirLocked is returned by OpenWAL when another process holds the data
+// directory's lock: two writers interleaving appends in one WAL directory
+// would corrupt the log, so the second opener fails fast instead.
+var ErrDirLocked = errors.New("storage: data directory locked")
 
 // SyncMode selects when the WAL forces appended bytes to stable storage.
 type SyncMode int
@@ -146,15 +154,19 @@ type WAL struct {
 	broken   bool
 	man      manifest
 	hasMan   bool
+	lock     *dirLock
 	segIndex uint64
 	seg      *os.File
 	segSize  int64
 	buf      []byte // frame scratch, reused across batches
 }
 
-// OpenWAL opens (or initialises) the segmented WAL in dir. Opening reads
-// only the manifest; segment scanning and torn-tail repair happen on Replay
-// (or are done silently before the first append when Replay is skipped).
+// OpenWAL opens (or initialises) the segmented WAL in dir, taking the
+// directory's exclusive lock first — a second process opening the same
+// directory fails fast with ErrDirLocked instead of interleaving appends.
+// Opening reads only the manifest; segment scanning and torn-tail repair
+// happen on Replay (or are done silently before the first append when
+// Replay is skipped). Close releases the lock.
 func OpenWAL(opts WALOptions) (*WAL, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("storage: WALOptions.Dir must be set")
@@ -165,15 +177,21 @@ func OpenWAL(opts WALOptions) (*WAL, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
-	w := &WAL{opts: opts}
+	lock, err := acquireDirLock(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{opts: opts, lock: lock}
 	raw, err := os.ReadFile(filepath.Join(opts.Dir, manifestName))
 	switch {
 	case err == nil:
 		if err := json.Unmarshal(raw, &w.man); err != nil {
+			lock.release()
 			return nil, fmt.Errorf("storage: malformed manifest: %w", err)
 		}
 		w.hasMan = true
 	case !os.IsNotExist(err):
+		lock.release()
 		return nil, fmt.Errorf("storage: %w", err)
 	}
 	return w, nil
@@ -356,7 +374,7 @@ func (w *WAL) Sync() error {
 	return nil
 }
 
-// Close syncs and releases the WAL.
+// Close syncs and releases the WAL, dropping the data-directory lock.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -364,6 +382,10 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
+	defer func() {
+		w.lock.release()
+		w.lock = nil
+	}()
 	if w.seg == nil {
 		return nil
 	}

@@ -423,3 +423,32 @@ func TestWALCheckpointSurvivesRestart(t *testing.T) {
 	}
 	w2.Close()
 }
+
+func TestWALDirLockRefusesSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]WALRecord{appendRec(1, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	// A second opener of the same directory must fail fast — two processes
+	// interleaving appends in one WAL directory would corrupt the log.
+	if _, err := OpenWAL(WALOptions{Dir: dir}); !errors.Is(err, ErrDirLocked) {
+		t.Fatalf("second opener: got %v, want ErrDirLocked", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close releases the lease: reopening succeeds and replays the log.
+	w2, err := OpenWAL(WALOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	got, _ := collect(t, w2)
+	if len(got) != 1 || got[0].LSN != 1 {
+		t.Fatalf("replay after relock = %v", got)
+	}
+	w2.Close()
+}

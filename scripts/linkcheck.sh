@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Markdown link check: every relative link target in the repo's markdown
+# files must resolve to an existing file or directory. External links
+# (http/https/mailto) and pure in-page anchors are skipped; a #fragment on a
+# relative link is stripped before the existence check. This is the CI guard
+# that keeps README/DESIGN/EXPERIMENTS/docs from rotting as files move.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=$(find . -path ./.git -prune -o -name '*.md' -print | sort)
+
+broken=0
+for f in $files; do
+  dir=$(dirname "$f")
+  # Extract inline link targets: ](target)
+  targets=$(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' || true)
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip a trailing #fragment and any "title" suffix.
+    target="${target%%#*}"
+    target="${target%% *}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "broken link in $f: $target"
+      broken=1
+    fi
+  done <<EOF
+$targets
+EOF
+done
+
+if [ "$broken" -ne 0 ]; then
+  echo "FAIL: broken markdown links found" >&2
+  exit 1
+fi
+echo "ok: all relative markdown links resolve"
