@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-append bench-io bench-storage bench-pool recovery-smoke linkcheck tables clean
+.PHONY: build test vet race bench bench-append bench-io bench-storage bench-pool bench-replication replication-faults recovery-smoke linkcheck tables clean
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The E1..E19 experiment benchmarks (see EXPERIMENTS.md).
+# The E1..E20 experiment benchmarks (see EXPERIMENTS.md).
 bench:
 	$(GO) test -run xxx -bench BenchmarkE -benchtime 200x ./...
 
@@ -38,8 +38,20 @@ bench-storage:
 bench-pool:
 	$(GO) test -run xxx -bench BenchmarkE19 -benchtime 200x .
 
+# The E20 replication benchmark on its own: unreplicated baseline vs
+# WAL-shipping at async/sync/quorum ack over simulated 2ms links.
+bench-replication:
+	$(GO) test -run xxx -bench BenchmarkE20 -benchtime 200x .
+
+# The full replication fault matrix under the race detector: every ack mode
+# against seeded partitions, loss, latency and standby crashes, plus the
+# failover and divergence suites (CI runs the -short subset).
+replication-faults:
+	$(GO) test -race -run 'TestFaultMatrix|TestCrossMode|TestFailover|TestDivergent|TestPromiseLimit' ./internal/replica/
+
 # End-to-end crash test: populate a durable soupsd, kill -9, restart from the
-# data directory, verify states and a backup/restore round trip.
+# data directory, verify states and a backup/restore round trip — then kill
+# a replicated primary -9 and promote one of its two standbys.
 recovery-smoke:
 	./scripts/recovery-smoke.sh
 

@@ -1046,3 +1046,80 @@ func BenchmarkE12OnlineMigration(b *testing.B) {
 		})
 	}
 }
+
+// --- E20: WAL-shipped replication — the price of each ack mode -------------
+
+// BenchmarkE20ReplicationModes prices the replication ack spectrum on the
+// write path: the same sequential append stream against an unreplicated
+// store (baseline), and against a primary shipping every commit to standbys
+// over a simulated network with 2ms one-way link latency (a WAN-ish hop,
+// chosen to dominate the simulator's timer granularity so the rows read as
+// the latency model, not as sleep overhead), under each ack mode. Async
+// should track the baseline (shipping is fire-and-forget); sync pays a
+// round trip per standby per commit (the shipper walks standbys in order);
+// quorum ships to all and needs the majority's acks. The gap between the
+// rows is the paper's consistency dial rendered in nanoseconds — what
+// principle 2.1's "embrace inconsistency" buys when you take it.
+func BenchmarkE20ReplicationModes(b *testing.B) {
+	const linkLatency = 2 * time.Millisecond
+	stamp := func(n int64) clock.Timestamp { return clock.Timestamp{WallNanos: n, Node: "e20"} }
+	for _, cfg := range []struct {
+		name     string
+		standbys int
+		mode     replica.AckMode
+	}{
+		{"serial", 0, replica.AckAsync},
+		{"async-2sb", 2, replica.AckAsync},
+		{"sync-2sb", 2, replica.AckSync},
+		{"quorum-3sb", 3, replica.AckQuorum},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db := lsdb.Open(lsdb.Options{Node: "e20", Backend: storage.NewMemory(), Shards: 4})
+			if err := db.RegisterType(workload.AccountType()); err != nil {
+				b.Fatal(err)
+			}
+			var sh *replica.Shipper
+			if cfg.standbys > 0 {
+				net := netsim.New(netsim.Config{})
+				defer net.Close()
+				var ids []clock.NodeID
+				for s := 0; s < cfg.standbys; s++ {
+					id := clock.NodeID(fmt.Sprintf("e20-s%d", s))
+					if _, err := replica.NewStandby(replica.StandbyOptions{
+						Self: id, Net: net, Backends: []storage.Backend{storage.NewMemory()},
+					}); err != nil {
+						b.Fatal(err)
+					}
+					net.SetLinkFault("e20-p", id, netsim.LinkFault{ExtraLatency: linkLatency})
+					net.SetLinkFault(id, "e20-p", netsim.LinkFault{ExtraLatency: linkLatency})
+					ids = append(ids, id)
+				}
+				sh = replica.NewShipper(replica.ShipperOptions{
+					Self: "e20-p", Standbys: ids, Mode: cfg.mode, Net: net,
+					Source: func(_ int, after uint64) []lsdb.Record { return db.RecordsAfter(after) },
+				})
+				db.SetCommitSink(sh.Sink(0))
+			}
+			keys := make([]entity.Key, 8)
+			for i := range keys {
+				keys[i] = entity.Key{Type: "Account", ID: fmt.Sprintf("E20-%d", i)}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := db.Append(keys[i%len(keys)], []entity.Op{entity.Delta("balance", 1)},
+					stamp(int64(i+1)), "e20-p", fmt.Sprintf("e20-%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if sh != nil {
+				st := sh.Stats()
+				if cfg.mode != replica.AckAsync && st.ShipFailures > 0 {
+					b.Fatalf("%d ship failures on a healthy network", st.ShipFailures)
+				}
+				b.ReportMetric(float64(st.RecordsShipped)/float64(b.N), "shipped/op")
+			}
+		})
+	}
+}

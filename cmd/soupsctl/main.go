@@ -10,8 +10,11 @@
 //	soupsctl -server http://localhost:8080 backup store.ndjson
 //	soupsctl -server http://localhost:8080 restore store.ndjson
 //	soupsctl -server http://localhost:8080 checkpoint
+//	soupsctl -server http://localhost:8081 promote
 //
-// backup streams the node's full log through the export codec (stdout when
+// promote tells a standby soupsd to take over as primary (recovering a full
+// kernel from its received log); point -server at the standby, not the dead
+// primary. backup streams the node's full log through the export codec (stdout when
 // no file is given); restore replays such a stream into a freshly started
 // node with the same unit count.
 package main
@@ -58,6 +61,8 @@ func main() {
 		restore(args[1:])
 	case "checkpoint":
 		postEmpty(*server + "/checkpoint")
+	case "promote":
+		postEmpty(*server + "/promote")
 	default:
 		usage()
 	}
@@ -68,6 +73,7 @@ func usage() {
   get|history Type ID
   set|delta Type ID field=value ...
   warnings | metrics | checkpoint
+  promote          tell a standby to take over as primary
   backup  [file]   stream the node's log to file (default stdout)
   restore [file]   replay a backup stream into the node (default stdin)`)
 	os.Exit(2)

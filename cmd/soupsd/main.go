@@ -12,16 +12,25 @@
 //	GET  /backup                          portable JSON export of every unit's log
 //	POST /restore                         replay a backup stream into a fresh node
 //	POST /checkpoint                      force a storage checkpoint on every unit
+//	POST /replicate                       receive one shipped WAL batch (standby role)
+//	POST /promote                         standby takes over as primary
 //
 // Usage: soupsd [-addr :8080] [-units 4] [-consistency eventual|strong]
 //
 //	[-workers 2] [-groupcommit] [-maxbatch 64]
 //	[-data-dir DIR] [-fsync-mode always|os] [-checkpoint-every 4096]
+//	[-role primary|standby] [-standbys URL,URL] [-ack async|sync|quorum]
 //
 // With -data-dir the node is durable: every commit cycle is appended to a
 // segmented write-ahead log per unit, startup recovers from the latest
 // checkpoint plus the log tail (truncating a torn final record if the
 // previous process died mid-write), and SIGINT/SIGTERM flush before exit.
+//
+// With -standbys the primary also ships every commit cycle to the listed
+// standby processes (-ack picks async, sync or quorum acknowledgement). A
+// -role standby process serves only /replicate, /metrics and /healthz until
+// POST /promote recovers a full kernel from the received log; see
+// docs/OPERATIONS.md for the failover runbook.
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -55,8 +65,29 @@ var (
 	ckptEvery   = flag.Int("checkpoint-every", 4096, "records per unit between automatic checkpoints (-1 disables)")
 )
 
+// server is one soupsd node: in the primary role kernel is set; in the
+// standby role standby is set until a promotion swaps a recovered kernel in.
 type server struct {
-	kernel *repro.Kernel
+	mu      sync.Mutex
+	kernel  *repro.Kernel
+	standby *standbyReceiver
+}
+
+// k returns the live kernel, or nil while this node is an unpromoted standby.
+func (s *server) k() *repro.Kernel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kernel
+}
+
+// dataKernel resolves the kernel for a data-path request, answering 503 for
+// an unpromoted standby (the data lives in its received log, unopened).
+func (s *server) dataKernel(w http.ResponseWriter) *repro.Kernel {
+	k := s.k()
+	if k == nil {
+		http.Error(w, "standby: not serving data (POST /promote to take over)", http.StatusServiceUnavailable)
+	}
+	return k
 }
 
 type opRequest struct {
@@ -72,29 +103,55 @@ type stateResponse struct {
 	Deleted   bool                   `json:"deleted,omitempty"`
 }
 
-func main() {
-	flag.Parse()
+// openKernel bootstraps a kernel from the command-line flags. The promotion
+// path reuses it: a promoted standby is configured exactly like a primary
+// started over the same data directory.
+func openKernel() (*repro.Kernel, error) {
 	mode := repro.EventualSOUPS
 	if strings.HasPrefix(strings.ToLower(*consistency), "strong") {
 		mode = repro.StrongSingleCopy
 	}
 	sync, err := storage.ParseSyncMode(*fsyncMode)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	k, err := repro.Bootstrap(repro.Options{
+	repl, err := replicationFromFlags()
+	if err != nil {
+		return nil, err
+	}
+	return repro.Bootstrap(repro.Options{
 		Node: "soupsd", Units: *units, Consistency: mode, Workers: *workers,
 		GroupCommit: *groupCommit, MaxAppendBatch: *maxBatch,
 		DataDir: *dataDir, Fsync: sync, CheckpointEvery: *ckptEvery,
+		Replication: repl,
 	}, repro.StandardTypes()...)
-	if err != nil {
-		log.Fatalf("bootstrap: %v", err)
-	}
-	defer k.Close()
-	k.Start()
-	defer k.Stop()
+}
 
-	s := &server{kernel: k}
+func main() {
+	flag.Parse()
+	s := &server{}
+	switch *role {
+	case "primary":
+		k, err := openKernel()
+		if err != nil {
+			log.Fatalf("bootstrap: %v", err)
+		}
+		k.Start()
+		s.kernel = k
+	case "standby":
+		sync, err := storage.ParseSyncMode(*fsyncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recv, err := openStandbyReceiver(*dataDir, *units, sync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.standby = recv
+	default:
+		log.Fatalf("unknown -role %q (want primary or standby)", *role)
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/entities/", s.handleEntity)
 	mux.HandleFunc("/history/", s.handleHistory)
@@ -103,16 +160,9 @@ func main() {
 	mux.HandleFunc("/backup", s.handleBackup)
 	mux.HandleFunc("/restore", s.handleRestore)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		// Background storage failures (a stopped automatic checkpoint, an
-		// unlogged compaction mark) do not fail any request; the probe is
-		// where they must surface.
-		if err := k.StorageErr(); err != nil {
-			http.Error(w, "degraded: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/replicate", s.handleReplicate)
+	mux.HandleFunc("/promote", s.handlePromote)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	// Durable shutdown: stop accepting traffic, then flush the write-ahead
@@ -128,20 +178,74 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)
-		if err := k.Flush(); err != nil {
-			log.Printf("flush: %v", err)
-		}
+		s.shutdownNode()
 	}()
 
 	durable := "in-memory"
 	if *dataDir != "" {
-		durable = fmt.Sprintf("data-dir=%s fsync=%s", *dataDir, sync)
+		durable = fmt.Sprintf("data-dir=%s fsync=%s", *dataDir, *fsyncMode)
 	}
-	log.Printf("soupsd listening on %s (units=%d consistency=%s groupcommit=%v %s)", *addr, *units, mode, *groupCommit, durable)
+	if s.k() != nil {
+		repl := "replication off"
+		if rs := s.k().ReplicaStats(); rs.Enabled {
+			repl = fmt.Sprintf("shipping to %d standbys ack=%s", rs.Standbys, rs.Mode)
+		}
+		log.Printf("soupsd primary listening on %s (units=%d consistency=%s groupcommit=%v %s, %s)",
+			*addr, *units, *consistency, *groupCommit, durable, repl)
+	} else {
+		log.Printf("soupsd standby listening on %s (units=%d %s); POST /promote to take over", *addr, *units, durable)
+	}
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	<-done
+	s.closeNode()
+}
+
+// shutdownNode flushes whichever role is live at signal time.
+func (s *server) shutdownNode() {
+	s.mu.Lock()
+	k, recv := s.kernel, s.standby
+	s.mu.Unlock()
+	if k != nil {
+		if err := k.Flush(); err != nil {
+			log.Printf("flush: %v", err)
+		}
+	}
+	if recv != nil {
+		if err := recv.close(); err != nil {
+			log.Printf("closing standby receivers: %v", err)
+		}
+	}
+}
+
+// closeNode releases the kernel after the listener has drained.
+func (s *server) closeNode() {
+	s.mu.Lock()
+	k := s.kernel
+	s.mu.Unlock()
+	if k != nil {
+		k.Stop()
+		k.Close()
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	k, recv := s.kernel, s.standby
+	s.mu.Unlock()
+	if recv != nil {
+		fmt.Fprintln(w, "ok (standby)")
+		return
+	}
+	// Background storage failures (a stopped automatic checkpoint, an
+	// unlogged compaction mark) do not fail any request; the probe is
+	// where they must surface.
+	if err := k.StorageErr(); err != nil {
+		http.Error(w, "degraded: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // parseKey extracts "Type/ID" from a path like /entities/Type/ID.
@@ -155,6 +259,10 @@ func parseKey(path, prefix string) (repro.Key, error) {
 }
 
 func (s *server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	k := s.dataKernel(w)
+	if k == nil {
+		return
+	}
 	key, err := parseKey(r.URL.Path, "/entities/")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -162,7 +270,7 @@ func (s *server) handleEntity(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
-		st, err := s.kernel.Read(key)
+		st, err := k.Read(key)
 		if errors.Is(err, lsdb.ErrNotFound) {
 			http.Error(w, "not found", http.StatusNotFound)
 			return
@@ -189,7 +297,7 @@ func (s *server) handleEntity(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "no operations", http.StatusBadRequest)
 			return
 		}
-		res, err := s.kernel.Update(key, ops...)
+		res, err := k.Update(key, ops...)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
@@ -210,12 +318,16 @@ func normalise(v interface{}) interface{} {
 }
 
 func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	k := s.dataKernel(w)
+	if k == nil {
+		return
+	}
 	key, err := parseKey(r.URL.Path, "/history/")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	h, err := s.kernel.History(key)
+	h, err := k.History(key)
 	if errors.Is(err, lsdb.ErrNotFound) {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
@@ -228,8 +340,12 @@ func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleWarnings(w http.ResponseWriter, _ *http.Request) {
+	k := s.dataKernel(w)
+	if k == nil {
+		return
+	}
 	var out []string
-	for _, warning := range s.kernel.Warnings() {
+	for _, warning := range k.Warnings() {
 		out = append(out, warning.String())
 	}
 	writeJSON(w, out)
@@ -242,8 +358,12 @@ func (s *server) handleBackup(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	k := s.dataKernel(w)
+	if k == nil {
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if err := s.kernel.Export(w); err != nil {
+	if err := k.Export(w); err != nil {
 		// Headers are gone; all we can do is log and cut the stream short.
 		log.Printf("backup: %v", err)
 	}
@@ -257,7 +377,11 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if err := s.kernel.Import(r.Body); err != nil {
+	k := s.dataKernel(w)
+	if k == nil {
+		return
+	}
+	if err := k.Import(r.Body); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -270,7 +394,11 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if err := s.kernel.Checkpoint(); err != nil {
+	k := s.dataKernel(w)
+	if k == nil {
+		return
+	}
+	if err := k.Checkpoint(); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -279,11 +407,18 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, s.kernel.Metrics().Dump())
+	s.mu.Lock()
+	k, recv := s.kernel, s.standby
+	s.mu.Unlock()
+	if recv != nil {
+		s.replicationMetrics(w, nil, recv)
+		return
+	}
+	fmt.Fprintln(w, k.Metrics().Dump())
 	// Step-pool scheduling counters, aggregated across units (peak lane
 	// depth is the maximum over units). See docs/OPERATIONS.md for how to
 	// read them.
-	ps := s.kernel.ProcessStats()
+	ps := k.ProcessStats()
 	fmt.Fprintf(w, "process.steps_executed %d\n", ps.StepsExecuted)
 	fmt.Fprintf(w, "process.steps_failed %d\n", ps.StepsFailed)
 	fmt.Fprintf(w, "process.retries %d\n", ps.Retries)
@@ -292,7 +427,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "process.lane_steals %d\n", ps.LaneSteals)
 	fmt.Fprintf(w, "process.peak_lane_depth %d\n", ps.PeakLaneDepth)
 	fmt.Fprintf(w, "process.keyed_dequeues %d\n", ps.KeyedDequeues)
-	fmt.Fprintf(w, "process.queue_depth %d\n", s.kernel.QueueDepth())
+	fmt.Fprintf(w, "process.queue_depth %d\n", k.QueueDepth())
+	s.replicationMetrics(w, k, nil)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

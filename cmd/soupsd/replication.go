@@ -1,0 +1,261 @@
+// WAL-shipped replication over HTTP: a primary soupsd ships every commit
+// cycle (and obsolescence/compaction mark) of every unit to standby soupsd
+// processes; a standby appends the received stream into the same unit-N WAL
+// layout a durable primary writes, so promotion is nothing special — close
+// the receivers and run the ordinary recovery-based bootstrap over the data
+// directory.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/clock"
+	"repro/internal/lsdb"
+	"repro/internal/replica"
+	"repro/internal/storage"
+)
+
+var (
+	role        = flag.String("role", "primary", "primary (serves data, ships its WAL) or standby (receives the stream; POST /promote to take over)")
+	standbysCSV = flag.String("standbys", "", "comma-separated standby base URLs the primary ships every commit to")
+	ackFlag     = flag.String("ack", "async", "replication ack mode: async, sync or quorum")
+	shipTimeout = flag.Duration("ship-timeout", 500*time.Millisecond, "timeout per ship request")
+)
+
+// shipEnvelope is the HTTP wire form of a replica.ShipBatch: one JSON
+// document per batch, records in the portable codec (which carries kind and
+// compaction horizon, so marks ship like appends).
+type shipEnvelope struct {
+	From    string                 `json:"from"`
+	Unit    int                    `json:"unit"`
+	Records []lsdb.PersistedRecord `json:"records"`
+}
+
+// httpTransport implements replica.Transport as POST {standby}/replicate.
+// Asynchronous mode sends the same bounded request and merely ignores the
+// verdict — a down standby costs at most the timeout, and the shipper's
+// failure counter still ticks.
+type httpTransport struct {
+	client *http.Client
+	urls   map[clock.NodeID]string
+}
+
+func (t *httpTransport) Ship(peer clock.NodeID, batch replica.ShipBatch, _ bool, timeout time.Duration) error {
+	base, ok := t.urls[peer]
+	if !ok {
+		return fmt.Errorf("soupsd: unknown standby %s", peer)
+	}
+	env := shipEnvelope{From: string(batch.From), Unit: batch.Unit, Records: make([]lsdb.PersistedRecord, 0, len(batch.Records))}
+	for _, rec := range batch.Records {
+		env.Records = append(env.Records, lsdb.ToPersisted(rec))
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/replicate", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("soupsd: standby %s answered %s", peer, resp.Status)
+	}
+	return nil
+}
+
+// replicationFromFlags builds the kernel's replication options from -standbys
+// and -ack; nil when replication is off.
+func replicationFromFlags() (*repro.ReplicationOptions, error) {
+	if *standbysCSV == "" {
+		return nil, nil
+	}
+	mode, err := replica.ParseAckMode(*ackFlag)
+	if err != nil {
+		return nil, err
+	}
+	urls := map[clock.NodeID]string{}
+	var ids []clock.NodeID
+	for i, u := range strings.Split(*standbysCSV, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		id := clock.NodeID(fmt.Sprintf("standby-%d", i))
+		ids = append(ids, id)
+		urls[id] = strings.TrimRight(u, "/")
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	return &repro.ReplicationOptions{
+		Self:      "soupsd",
+		Standbys:  ids,
+		Ack:       mode,
+		Timeout:   *shipTimeout,
+		Transport: &httpTransport{client: &http.Client{}, urls: urls},
+	}, nil
+}
+
+// standbyReceiver is the standby role's whole state: one WAL per unit, in the
+// exact directory layout a durable primary uses, fed by /replicate.
+type standbyReceiver struct {
+	sb   *replica.Standby
+	wals []*storage.WAL
+}
+
+func openStandbyReceiver(dataDir string, units int, sync storage.SyncMode) (*standbyReceiver, error) {
+	if dataDir == "" {
+		return nil, fmt.Errorf("soupsd: -role standby requires -data-dir (the received log must survive this process)")
+	}
+	var wals []*storage.WAL
+	backends := make([]storage.Backend, 0, units)
+	for i := 0; i < units; i++ {
+		w, err := storage.OpenWAL(storage.WALOptions{
+			Dir:  filepath.Join(dataDir, fmt.Sprintf("unit-%d", i)),
+			Sync: sync,
+		})
+		if err != nil {
+			for _, open := range wals {
+				open.Close()
+			}
+			return nil, fmt.Errorf("soupsd: opening standby unit %d: %w", i, err)
+		}
+		wals = append(wals, w)
+		backends = append(backends, w)
+	}
+	sb, err := replica.NewStandby(replica.StandbyOptions{Self: "standby", Backends: backends})
+	if err != nil {
+		for _, open := range wals {
+			open.Close()
+		}
+		return nil, err
+	}
+	return &standbyReceiver{sb: sb, wals: wals}, nil
+}
+
+// close fences the receiver and releases the WALs (promotion reopens them
+// through the ordinary recovery path).
+func (r *standbyReceiver) close() error {
+	r.sb.Stop()
+	var firstErr error
+	for _, w := range r.wals {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// handleReplicate receives one shipped batch (standby role only). A 200
+// answer means the batch is appended to the unit's WAL — with -fsync-mode
+// always, durably — which is what a synchronous primary's ack relies on.
+func (s *server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	recv := s.standby
+	s.mu.Unlock()
+	if recv == nil {
+		http.Error(w, "not a standby", http.StatusBadRequest)
+		return
+	}
+	var env shipEnvelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		http.Error(w, "malformed batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	records := make([]lsdb.Record, 0, len(env.Records))
+	for _, pr := range env.Records {
+		rec, err := lsdb.FromPersisted(pr)
+		if err != nil {
+			http.Error(w, "malformed record: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		records = append(records, rec)
+	}
+	wm, gap, err := recv.sb.Receive(replica.ShipBatch{From: clock.NodeID(env.From), Unit: env.Unit, Records: records})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]interface{}{"watermark": wm, "gap": gap})
+}
+
+// handlePromote turns a standby into the primary: fence the receivers, close
+// their WALs, and bootstrap a kernel over the data directory — the received
+// log replays through the same recovery a restarted durable primary runs.
+// The promoted node honours the replication flags, so a standby started with
+// -standbys ships onward to the rest of the cluster after taking over.
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.standby == nil {
+		http.Error(w, "not a standby", http.StatusBadRequest)
+		return
+	}
+	if err := s.standby.close(); err != nil {
+		http.Error(w, "closing receivers: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	k, err := openKernel()
+	if err != nil {
+		http.Error(w, "recovering kernel: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	k.Start()
+	s.standby = nil
+	s.kernel = k
+	writeJSON(w, map[string]string{"status": "promoted", "role": "primary"})
+}
+
+// replicationMetrics appends the replication lines to /metrics.
+func (s *server) replicationMetrics(w io.Writer, k *repro.Kernel, recv *standbyReceiver) {
+	if recv != nil {
+		st := recv.sb.Stats()
+		fmt.Fprintf(w, "replication.role standby\n")
+		fmt.Fprintf(w, "replication.batches_received %d\n", st.BatchesReceived)
+		fmt.Fprintf(w, "replication.records_received %d\n", st.RecordsReceived)
+		fmt.Fprintf(w, "replication.duplicates %d\n", st.Duplicates)
+		fmt.Fprintf(w, "replication.gaps %d\n", st.Gaps)
+		for i := 0; i < recv.sb.Units(); i++ {
+			fmt.Fprintf(w, "replication.watermark.unit%d %d\n", i, recv.sb.Watermark(i))
+		}
+		return
+	}
+	rs := k.ReplicaStats()
+	if !rs.Enabled {
+		return
+	}
+	fmt.Fprintf(w, "replication.role primary\n")
+	fmt.Fprintf(w, "replication.mode %s\n", rs.Mode)
+	fmt.Fprintf(w, "replication.standbys %d\n", rs.Standbys)
+	fmt.Fprintf(w, "replication.batches_shipped %d\n", rs.Ship.BatchesShipped)
+	fmt.Fprintf(w, "replication.records_shipped %d\n", rs.Ship.RecordsShipped)
+	fmt.Fprintf(w, "replication.sync_acks %d\n", rs.Ship.SyncAcks)
+	fmt.Fprintf(w, "replication.ship_failures %d\n", rs.Ship.ShipFailures)
+}

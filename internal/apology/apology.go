@@ -25,6 +25,12 @@ var (
 	// ErrAlreadySettled is returned when a promise has already been kept or
 	// broken.
 	ErrAlreadySettled = errors.New("apology: promise already settled")
+	// ErrPromiseLimit is returned by MakeChecked when an entity already
+	// carries its maximum number of pending promises. Refusing the promise
+	// up front is the guardrail against unbounded over-promising: every
+	// pending promise is a potential apology, and a business caps how many
+	// it is willing to owe on one entity before it stops promising.
+	ErrPromiseLimit = errors.New("apology: promise limit reached")
 )
 
 // Status is the lifecycle state of a promise.
@@ -102,6 +108,12 @@ type Options struct {
 	Clock func() time.Time
 	// OnBreak is called for every broken promise (may be nil).
 	OnBreak BreakHook
+	// MaxPendingPerEntity caps how many pending promises one entity may
+	// carry at once; MakeChecked refuses further promises with
+	// ErrPromiseLimit until some settle. Zero means unlimited. The plain
+	// Make path registers unconditionally — callers that configure a limit
+	// should promise through MakeChecked.
+	MaxPendingPerEntity int
 }
 
 // Ledger tracks promises and the apologies issued for broken ones. All
@@ -126,9 +138,36 @@ func NewLedger(opts Options) *Ledger {
 }
 
 // Make registers a new pending promise and returns it with an assigned ID.
+// It never refuses; see MakeChecked for the limit-enforcing variant.
 func (l *Ledger) Make(p Promise) Promise {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.makeLocked(p)
+}
+
+// MakeChecked registers a new pending promise like Make, but enforces
+// Options.MaxPendingPerEntity: when the promise's entity already carries the
+// maximum number of pending promises it returns ErrPromiseLimit and registers
+// nothing. The check and the registration are atomic, so concurrent promisers
+// cannot jointly overshoot the limit.
+func (l *Ledger) MakeChecked(p Promise) (Promise, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if max := l.opts.MaxPendingPerEntity; max > 0 {
+		pending := 0
+		for _, q := range l.promises {
+			if q.Status == Pending && q.Entity == p.Entity {
+				pending++
+			}
+		}
+		if pending >= max {
+			return Promise{}, fmt.Errorf("%w: %d pending on %s", ErrPromiseLimit, pending, p.Entity)
+		}
+	}
+	return l.makeLocked(p), nil
+}
+
+func (l *Ledger) makeLocked(p Promise) Promise {
 	l.seq++
 	if p.ID == "" {
 		p.ID = fmt.Sprintf("promise-%d", l.seq)

@@ -238,3 +238,75 @@ func TestConcurrentMakeAndSettle(t *testing.T) {
 		t.Fatalf("rate = %v", l.ApologyRate())
 	}
 }
+
+func TestPromiseLimitExhaustion(t *testing.T) {
+	l := NewLedger(Options{MaxPendingPerEntity: 2})
+	// Fill the entity to its limit.
+	p1, err := l.MakeChecked(Promise{Entity: book("b1"), Partner: "alice"})
+	if err != nil {
+		t.Fatalf("first promise: %v", err)
+	}
+	if _, err := l.MakeChecked(Promise{Entity: book("b1"), Partner: "bob"}); err != nil {
+		t.Fatalf("second promise: %v", err)
+	}
+	// The third promise on the same entity is refused...
+	if _, err := l.MakeChecked(Promise{Entity: book("b1"), Partner: "carol"}); !errors.Is(err, ErrPromiseLimit) {
+		t.Fatalf("third promise: want ErrPromiseLimit, got %v", err)
+	}
+	// ...and registers nothing.
+	if pending, _, _ := l.Counts(); pending != 2 {
+		t.Fatalf("pending after refusal = %d, want 2", pending)
+	}
+	// Another entity is unaffected: the limit is per entity.
+	if _, err := l.MakeChecked(Promise{Entity: book("b2"), Partner: "carol"}); err != nil {
+		t.Fatalf("other entity: %v", err)
+	}
+	// Settling a promise frees capacity — kept or broken both count.
+	if err := l.Keep(p1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.MakeChecked(Promise{Entity: book("b1"), Partner: "carol"}); err != nil {
+		t.Fatalf("promise after settling: %v", err)
+	}
+}
+
+func TestPromiseLimitUnlimitedByDefault(t *testing.T) {
+	l := NewLedger(Options{})
+	for i := 0; i < 100; i++ {
+		if _, err := l.MakeChecked(Promise{Entity: book("b1")}); err != nil {
+			t.Fatalf("promise %d refused without a limit: %v", i, err)
+		}
+	}
+}
+
+func TestPromiseLimitConcurrentMakersNeverOvershoot(t *testing.T) {
+	const limit = 5
+	l := NewLedger(Options{MaxPendingPerEntity: limit})
+	var wg sync.WaitGroup
+	var refused sync.Map
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.MakeChecked(Promise{Entity: book("b1")}); err != nil {
+				refused.Store(i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	pending, _, _ := l.Counts()
+	if pending != limit {
+		t.Fatalf("pending = %d, want exactly the limit %d", pending, limit)
+	}
+	refusals := 0
+	refused.Range(func(_, v interface{}) bool {
+		if !errors.Is(v.(error), ErrPromiseLimit) {
+			t.Fatalf("unexpected refusal error: %v", v)
+		}
+		refusals++
+		return true
+	})
+	if refusals != 20-limit {
+		t.Fatalf("refusals = %d, want %d", refusals, 20-limit)
+	}
+}

@@ -42,9 +42,11 @@ import (
 	"repro/internal/lsdb"
 	"repro/internal/metrics"
 	"repro/internal/migrate"
+	"repro/internal/netsim"
 	"repro/internal/partition"
 	"repro/internal/process"
 	"repro/internal/queue"
+	"repro/internal/replica"
 	"repro/internal/storage"
 	"repro/internal/txn"
 )
@@ -143,6 +145,48 @@ type Options struct {
 	Workers int
 	// TxnRetries is how many times Transact retries optimistic conflicts.
 	TxnRetries int
+	// PromiseLimit caps how many pending promises one entity may carry at
+	// once: UpdateTentative refuses further promises on that entity with
+	// apology.ErrPromiseLimit until some settle. Every pending promise is a
+	// potential apology; this is the guardrail against unbounded
+	// over-promising. Zero means unlimited.
+	PromiseLimit int
+	// Replication ships every unit's durable log to standby replicas: each
+	// unit's store gets a commit sink that forwards its commit cycles (and
+	// obsolescence/compaction marks) under the configured ack mode. Nil
+	// disables replication.
+	Replication *ReplicationOptions
+	// UnitBackends, when non-nil, supplies the per-unit storage backends
+	// directly instead of opening WALs under DataDir: unit i is recovered
+	// from UnitBackends[i], and its length must equal Units. This is how a
+	// promoted standby becomes a kernel — its received logs are handed here
+	// — and how tests run durable semantics on in-memory backends. Takes
+	// precedence over DataDir.
+	UnitBackends []storage.Backend
+}
+
+// ReplicationOptions configure the primary side of WAL shipping (see
+// internal/replica: the shipped stream is the storage log itself, and a
+// standby is promoted by replaying it).
+type ReplicationOptions struct {
+	// Self is this node's id on the transport; defaults to Options.Node.
+	Self clock.NodeID
+	// Standbys are the peers every commit cycle ships to.
+	Standbys []clock.NodeID
+	// Ack selects the durability/latency trade-off: AckAsync (default),
+	// AckSync or AckQuorum. Under the synchronous modes a failed ship
+	// surfaces to the writer as an error wrapping replica.ErrStandbyAcks —
+	// the write is still committed and durable locally (post-install
+	// indeterminacy).
+	Ack replica.AckMode
+	// Timeout bounds each synchronous ship (default 500ms).
+	Timeout time.Duration
+	// Transport moves the batches; when nil and Net is set a
+	// replica.NetTransport is used. cmd/soupsd supplies an HTTP transport.
+	Transport replica.Transport
+	// Net, when set, also registers a catch-up handler so standbys can pull
+	// missing log tails from this kernel.
+	Net *netsim.Network
 }
 
 func (o *Options) fill() {
@@ -219,6 +263,8 @@ type Kernel struct {
 	mu       sync.Mutex
 	closed   bool
 	units    map[partition.UnitID]*unit
+	byIndex  []*unit // creation order: byIndex[i] owns unit-i (replication's unit numbering)
+	shipper  *replica.Shipper
 	unitIDs  []partition.UnitID
 	dir      *partition.Directory
 	locks    *locks.Manager
@@ -242,7 +288,13 @@ func Open(opts Options) (*Kernel, error) {
 		registry: migrate.NewRegistry(),
 		metrics:  metrics.NewRegistry(),
 	}
-	k.ledger = apology.NewLedger(apology.Options{OnBreak: k.onPromiseBroken})
+	k.ledger = apology.NewLedger(apology.Options{
+		OnBreak:             k.onPromiseBroken,
+		MaxPendingPerEntity: opts.PromiseLimit,
+	})
+	if opts.UnitBackends != nil && len(opts.UnitBackends) != opts.Units {
+		return nil, fmt.Errorf("core: %d unit backends for %d units", len(opts.UnitBackends), opts.Units)
+	}
 	locator := partition.NewHashLocator(64)
 	var participants []txn.Participant
 	for i := 0; i < opts.Units; i++ {
@@ -285,13 +337,42 @@ func Open(opts Options) (*Kernel, error) {
 			maint:  aggregate.NewMaintainer(db, maintMode),
 		}
 		k.units[id] = u
+		k.byIndex = append(k.byIndex, u)
 		k.unitIDs = append(k.unitIDs, id)
 		participants = append(participants, txn.Participant{Manager: mgr})
 	}
 	sort.Slice(k.unitIDs, func(i, j int) bool { return k.unitIDs[i] < k.unitIDs[j] })
 	k.dir = partition.NewDirectory(locator)
 	k.coord = txn.NewCoordinator(participants...)
+	if r := opts.Replication; r != nil && len(r.Standbys) > 0 {
+		self := r.Self
+		if self == "" {
+			self = opts.Node
+		}
+		k.shipper = replica.NewShipper(replica.ShipperOptions{
+			Self:      self,
+			Standbys:  r.Standbys,
+			Mode:      r.Ack,
+			Timeout:   r.Timeout,
+			Transport: r.Transport,
+			Net:       r.Net,
+			Source:    k.unitTail,
+		})
+		// Attaching the sinks here is safe: the kernel is not shared yet,
+		// so no commit can race the late bind.
+		for i, u := range k.byIndex {
+			u.db.SetCommitSink(k.shipper.Sink(i))
+		}
+	}
 	return k, nil
+}
+
+// unitTail serves standby catch-up requests from a unit's log.
+func (k *Kernel) unitTail(unit int, after uint64) []lsdb.Record {
+	if unit < 0 || unit >= len(k.byIndex) {
+		return nil
+	}
+	return k.byIndex[unit].db.RecordsAfter(after)
 }
 
 // openUnitStore opens one unit's log store: purely in-memory without a
@@ -309,6 +390,14 @@ func openUnitStore(opts Options, id partition.UnitID, index int) (*lsdb.DB, erro
 		GroupCommit:     opts.GroupCommit,
 		MaxBatch:        opts.MaxAppendBatch,
 		CheckpointEvery: opts.CheckpointEvery,
+	}
+	if opts.UnitBackends != nil {
+		dbOpts.Backend = opts.UnitBackends[index]
+		db, err := lsdb.Recover(dbOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering unit %s from supplied backend: %w", id, err)
+		}
+		return db, nil
 	}
 	if opts.DataDir == "" {
 		return lsdb.Open(dbOpts), nil
@@ -506,14 +595,22 @@ func (k *Kernel) UpdateTentative(key entity.Key, partner, kind string, quantity 
 	if err != nil {
 		return apology.Promise{}, err
 	}
-	k.metrics.Counter("promise.made").Inc()
-	p := k.ledger.Make(apology.Promise{
+	p, err := k.ledger.MakeChecked(apology.Promise{
 		Kind:     kind,
 		Entity:   key,
 		TxnID:    res.TxnID,
 		Partner:  partner,
 		Quantity: quantity,
 	})
+	if err != nil {
+		// The entity is at its promise limit: withdraw the tentative record
+		// just written so the refused promise leaves no trace in rollups (it
+		// stays in the log as an obsolete record, like any broken promise).
+		k.metrics.Counter("promise.refused").Inc()
+		_ = u.db.MarkObsolete(key, res.TxnID)
+		return apology.Promise{}, err
+	}
+	k.metrics.Counter("promise.made").Inc()
 	return p, nil
 }
 
@@ -1004,6 +1101,57 @@ func (k *Kernel) TxnStats() txn.Stats {
 		total.LockTimeouts += s.LockTimeouts
 	}
 	return total
+}
+
+// ReplicaStats describes the kernel's replication posture and progress.
+type ReplicaStats struct {
+	// Enabled is false when the kernel ships nowhere.
+	Enabled bool
+	// Mode is the ack discipline ("async", "sync", "quorum").
+	Mode string
+	// Standbys is how many peers every commit ships to.
+	Standbys int
+	// Ship are the cumulative shipping counters.
+	Ship replica.ShipStats
+}
+
+// ReplicaStats returns the replication counters (zero value when replication
+// is off).
+func (k *Kernel) ReplicaStats() ReplicaStats {
+	if k.shipper == nil {
+		return ReplicaStats{}
+	}
+	return ReplicaStats{
+		Enabled:  true,
+		Mode:     k.shipper.Mode().String(),
+		Standbys: len(k.shipper.Standbys()),
+		Ship:     k.shipper.Stats(),
+	}
+}
+
+// PromoteStandby turns a log-receiving standby into a live kernel: it unions
+// the log tails the surviving peers hold (quorum acks can scatter batches
+// across standbys, so no single log is guaranteed complete), fences the
+// standby against the old stream, and opens a kernel that recovers every unit
+// from the received logs — the same replay a restart performs, so watermarks,
+// caches and per-entity lane order come back exactly as the primary committed
+// them. Unreachable peers are skipped (they are usually why promotion is
+// happening). opts.Units is forced to the standby's unit count; set
+// opts.Replication to have the new primary ship onward to the remaining
+// standbys.
+func PromoteStandby(sb *replica.Standby, peers []clock.NodeID, opts Options) (*Kernel, error) {
+	for _, p := range peers {
+		if p == sb.ID() {
+			continue
+		}
+		for u := 0; u < sb.Units(); u++ {
+			_, _ = sb.CatchUp(p, u) // best effort
+		}
+	}
+	sb.Stop()
+	opts.Units = sb.Units()
+	opts.UnitBackends = sb.Backends()
+	return Open(opts)
 }
 
 // QueueDepth returns the number of pending events across all units.

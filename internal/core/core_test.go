@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/apology"
 	"repro/internal/entity"
 	"repro/internal/lsdb"
 	"repro/internal/migrate"
@@ -626,5 +627,45 @@ func TestKernelPoolStatsAggregateAcrossUnits(t *testing.T) {
 	}
 	if stats.PeakLaneDepth == 0 {
 		t.Fatalf("peak lane depth never recorded: %+v", stats)
+	}
+}
+
+// A kernel-level promise limit: UpdateTentative refuses promises beyond
+// Options.PromiseLimit per entity, and a refused promise leaves no trace in
+// the entity's rollup (its tentative record is withdrawn).
+func TestUpdateTentativePromiseLimit(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", PromiseLimit: 2})
+	key := invKey("I1")
+	if _, err := k.Update(key, entity.Set("stock", int64(10))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := k.UpdateTentative(key, fmt.Sprintf("partner-%d", i), "reservation", 1,
+			entity.Delta("stock", -1)); err != nil {
+			t.Fatalf("promise %d: %v", i, err)
+		}
+	}
+	_, err := k.UpdateTentative(key, "partner-2", "reservation", 1, entity.Delta("stock", -1))
+	if !errors.Is(err, apology.ErrPromiseLimit) {
+		t.Fatalf("third promise: want ErrPromiseLimit, got %v", err)
+	}
+	// The refused promise's tentative delta must not survive in the rollup.
+	st, err := k.Read(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Float("stock"); got != 8 {
+		t.Fatalf("stock = %v, want 8 (two promised, the refused third withdrawn)", got)
+	}
+	if pending := len(k.Ledger().PendingFor(key)); pending != 2 {
+		t.Fatalf("pending promises = %d, want 2", pending)
+	}
+	// Settling frees capacity at the kernel level too.
+	promises := k.Ledger().PendingFor(key)
+	if err := k.KeepPromise(promises[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.UpdateTentative(key, "partner-3", "reservation", 1, entity.Delta("stock", -1)); err != nil {
+		t.Fatalf("promise after settling: %v", err)
 	}
 }

@@ -123,8 +123,22 @@ func TestDurableKernelRestart(t *testing.T) {
 	k2 := newKernel(t, opts)
 	assertSameKernelStates(t, want, kernelStates(t, k2))
 	// The log continues: a fresh write lands and survives another restart.
+	// Asserting the balance actually moved matters — the restarted node must
+	// resume its transaction-id sequence past the recovered log, or the new
+	// write wears a recycled id and is silently dropped as its own replay.
+	before, err := k2.Read(accountKey("acct-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := k2.Update(accountKey("acct-0"), entity.Delta("balance", 100)); err != nil {
 		t.Fatalf("write after restart: %v", err)
+	}
+	after, err := k2.Read(accountKey("acct-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := after.Float("balance"), before.Float("balance")+100; got != want {
+		t.Fatalf("balance after restart write = %v, want %v (recycled txn id dropped the write)", got, want)
 	}
 	want2 := kernelStates(t, k2)
 	k2.Close()

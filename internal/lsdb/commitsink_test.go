@@ -1,0 +1,159 @@
+package lsdb
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/storage"
+)
+
+// sinkLog collects everything a commit sink receives, in order.
+type sinkLog struct {
+	mu   sync.Mutex
+	recs []Record
+	err  error
+}
+
+func (s *sinkLog) sink(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, recs...)
+	return s.err
+}
+
+func (s *sinkLog) all() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.recs...)
+}
+
+// The sink must see exactly what the backend does — commit cycles,
+// obsolescence marks and compaction horizons, in log order — so a sink that
+// appends to a second log reproduces the first.
+func TestCommitSinkMirrorsBackend(t *testing.T) {
+	backend := storage.NewMemory()
+	var log sinkLog
+	db := newTestDB(t, Options{Backend: backend, Shards: 1, CommitSink: log.sink})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	if _, err := db.Append(key, []entity.Op{entity.Delta("balance", 10)}, stamp(1), "n", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append(key, []entity.Op{entity.Delta("balance", 5)}, stamp(2), "n", "t2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MarkObsolete(key, "t2"); err != nil {
+		t.Fatal(err)
+	}
+	db.Compact(1)
+
+	var backendRecs []Record
+	if _, err := backend.Replay(func(rec Record) error {
+		backendRecs = append(backendRecs, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.all(); !reflect.DeepEqual(got, backendRecs) {
+		t.Fatalf("sink saw %d records, backend holds %d:\nsink    %+v\nbackend %+v",
+			len(got), len(backendRecs), got, backendRecs)
+	}
+	kinds := map[storage.RecordKind]int{}
+	for _, rec := range log.all() {
+		kinds[rec.Kind]++
+	}
+	if kinds[storage.KindAppend] != 2 || kinds[storage.KindObsolete] != 1 || kinds[storage.KindCompact] != 1 {
+		t.Fatalf("sink kinds = %v, want 2 appends, 1 obsolete, 1 compact", kinds)
+	}
+}
+
+// A sink failure must reach the writer — a synchronous replication mode that
+// cannot reach its standbys fails the append — while the record stays
+// committed locally (post-install indeterminacy, same as a backend error).
+func TestCommitSinkErrorReachesWriterRecordStaysCommitted(t *testing.T) {
+	log := sinkLog{err: errors.New("standby unreachable")}
+	db := newTestDB(t, Options{CommitSink: log.sink})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	if _, err := db.Append(key, []entity.Op{entity.Delta("balance", 10)}, stamp(1), "n", "t1"); !errors.Is(err, log.err) {
+		t.Fatalf("append with failing sink: err = %v, want wrapped sink error", err)
+	}
+	st, _, err := db.Current(key)
+	if err != nil || st.Float("balance") != 10 {
+		t.Fatalf("record not committed locally after sink failure: %v %v", st, err)
+	}
+}
+
+// Under group commit, one sink call per batch and a failure fans out to every
+// writer in it.
+func TestCommitSinkGroupCommitBatchFanout(t *testing.T) {
+	log := sinkLog{err: errors.New("quorum lost")}
+	db := newTestDB(t, Options{GroupCommit: true, Shards: 1, CommitSink: log.sink})
+	const writers = 8
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := db.Append(entity.Key{Type: "Account", ID: "A1"},
+				[]entity.Op{entity.Delta("balance", 1)}, stamp(int64(i+1)), "n", "")
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, log.err) {
+			t.Fatalf("writer err = %v, want the sink error", err)
+		}
+	}
+	st, _, err := db.Current(entity.Key{Type: "Account", ID: "A1"})
+	if err != nil || st.Float("balance") != writers {
+		t.Fatalf("batch not committed locally: %v %v", st, err)
+	}
+}
+
+// Recover must not re-ship: the replayed records went through the sink when
+// they were first written, and a promoted standby replaying its received log
+// must not try to replicate it back.
+func TestCommitSinkSilentDuringRecover(t *testing.T) {
+	backend := storage.NewMemory()
+	db := newTestDB(t, Options{Backend: backend})
+	key := entity.Key{Type: "Account", ID: "A1"}
+	for i := 0; i < 5; i++ {
+		if _, err := db.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i+1)), "n", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var log sinkLog
+	rec, err := Recover(Options{Node: "test-node", Backend: backend, CommitSink: log.sink}, accountType(), orderType())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := log.all(); len(got) != 0 {
+		t.Fatalf("sink received %d records during recovery, want 0", len(got))
+	}
+	// The sink stays attached for post-recovery traffic.
+	if _, err := rec.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(10), "n", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.all(); len(got) != 1 {
+		t.Fatalf("sink received %d records after recovery, want 1", len(got))
+	}
+}
+
+// SetCommitSink late-binds the sink after Open, before the store is shared.
+func TestSetCommitSinkAfterOpen(t *testing.T) {
+	db := newTestDB(t, Options{})
+	var log sinkLog
+	db.SetCommitSink(log.sink)
+	if _, err := db.Append(entity.Key{Type: "Account", ID: "A1"},
+		[]entity.Op{entity.Delta("balance", 1)}, stamp(1), "n", ""); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.all()) != 1 {
+		t.Fatal("late-bound sink not invoked")
+	}
+}

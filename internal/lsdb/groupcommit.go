@@ -227,7 +227,7 @@ func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.
 	// durability latency across every writer in the batch. A backend error
 	// is indeterminate for the whole batch (the records are installed), so
 	// every writer in it receives the error.
-	if db.opts.Backend != nil || db.opts.CommitHook != nil {
+	if db.opts.Backend != nil || db.opts.CommitHook != nil || db.opts.CommitSink != nil {
 		recs := make([]Record, len(live))
 		for i, r := range live {
 			recs[i] = r.res.Record

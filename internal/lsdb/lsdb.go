@@ -121,6 +121,20 @@ type Options struct {
 	// get an error even though their appends are in the log (the same
 	// indeterminacy any post-commit failure has).
 	CommitHook func(records []Record)
+	// CommitSink is the error-returning sibling of CommitHook: the
+	// attachment point for WAL-shipping replication. It receives every
+	// record written to the durable log — commit cycles, obsolescence marks
+	// and compaction horizons — in the order the backend does, under the
+	// same shard lock, so a sink that appends to another log reproduces
+	// this one. Unlike CommitHook its error reaches the writers of the
+	// cycle: a synchronous replication mode that could not reach its
+	// standbys fails the append. Like a backend error the failure is
+	// post-install and therefore indeterminate — the records are committed
+	// locally and visible; only the replication guarantee is in doubt.
+	// Invoked concurrently from independently committing shards; not
+	// invoked during Recover (the replayed records were already shipped
+	// when first written). See also SetCommitSink for attaching after Open.
+	CommitSink func(records []Record) error
 	// Backend, when non-nil, is the durable storage engine under the store:
 	// every commit cycle appends its records to it (one AppendBatch — one
 	// framed batch write, one log force — per cycle, so group commit
@@ -349,7 +363,7 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 	}
 	resState := db.commitAppendLocked(s, &rec, next)
 	res := AppendResult{Record: rec, State: resState, Warnings: warnings}
-	if db.opts.Backend != nil || db.opts.CommitHook != nil {
+	if db.opts.Backend != nil || db.opts.CommitHook != nil || db.opts.CommitSink != nil {
 		if err := db.commitCycleLocked([]Record{rec}); err != nil {
 			return res, err
 		}
@@ -371,10 +385,28 @@ func (db *DB) commitCycleLocked(records []Record) error {
 		}
 		db.sinceCkpt.Add(int64(len(records)))
 	}
+	// Replication ships after local durability: a batch is never on a
+	// standby without also being in this node's log. The CommitHook still
+	// runs on a sink failure — observability must see the cycle that did
+	// commit — and the sink's error goes to every writer in it.
+	var sinkErr error
+	if db.opts.CommitSink != nil && !db.recovering {
+		if err := db.opts.CommitSink(records); err != nil {
+			sinkErr = fmt.Errorf("lsdb: commit sink failed (records are committed locally): %w", err)
+		}
+	}
 	if db.opts.CommitHook != nil {
 		db.opts.CommitHook(records)
 	}
-	return nil
+	return sinkErr
+}
+
+// SetCommitSink attaches (or replaces) the commit sink after Open. The kernel
+// uses it to wire replication up once all the units' stores exist. It must be
+// called before the store is shared with writers; attaching mid-traffic races
+// with committing shards.
+func (db *DB) SetCommitSink(fn func(records []Record) error) {
+	db.opts.CommitSink = fn
 }
 
 // applyForAppendLocked validates one append and applies it to the current
@@ -490,11 +522,19 @@ func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
 	// The record is already durable without its obsolete flag; log the
 	// history rewrite as a mark so recovery re-applies it. Written under the
 	// shard lock, so the mark is ordered after the record it withdraws and
-	// before any later append to the same entity.
-	if db.opts.Backend != nil && !db.recovering {
+	// before any later append to the same entity. The mark ships through the
+	// commit sink too: a standby's log must withdraw the same promises.
+	if !db.recovering {
 		mark := Record{Kind: storage.KindObsolete, Key: key, TxnID: txnID}
-		if err := db.opts.Backend.AppendBatch([]Record{mark}); err != nil {
-			return fmt.Errorf("lsdb: backend mark failed (mark is applied in memory): %w", err)
+		if db.opts.Backend != nil {
+			if err := db.opts.Backend.AppendBatch([]Record{mark}); err != nil {
+				return fmt.Errorf("lsdb: backend mark failed (mark is applied in memory): %w", err)
+			}
+		}
+		if db.opts.CommitSink != nil {
+			if err := db.opts.CommitSink([]Record{mark}); err != nil {
+				return fmt.Errorf("lsdb: commit sink mark failed (mark is applied locally): %w", err)
+			}
 		}
 	}
 	return nil
@@ -966,10 +1006,17 @@ func (db *DB) Compact(beforeLSN uint64) CompactStats {
 	// the log. Appends racing with the marker can make replay keep entities
 	// the live store archived (or archive ones it kept) — the rollup states
 	// are identical either way, only the summarised/retained split differs.
-	if db.opts.Backend != nil && !db.recovering {
+	if !db.recovering {
 		mark := Record{Kind: storage.KindCompact, Horizon: beforeLSN}
-		if err := db.opts.Backend.AppendBatch([]Record{mark}); err != nil {
-			db.setBackendErr(fmt.Errorf("lsdb: backend compact mark failed: %w", err))
+		if db.opts.Backend != nil {
+			if err := db.opts.Backend.AppendBatch([]Record{mark}); err != nil {
+				db.setBackendErr(fmt.Errorf("lsdb: backend compact mark failed: %w", err))
+			}
+		}
+		if db.opts.CommitSink != nil {
+			if err := db.opts.CommitSink([]Record{mark}); err != nil {
+				db.setBackendErr(fmt.Errorf("lsdb: commit sink compact mark failed: %w", err))
+			}
 		}
 	}
 	return stats

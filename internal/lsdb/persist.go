@@ -44,6 +44,12 @@ type PersistedRecord struct {
 	Tentative bool          `json:"tentative,omitempty"`
 	Obsolete  bool          `json:"obsolete,omitempty"`
 	Ops       []PersistedOp `json:"ops"`
+	// Kind and Horizon carry history-rewrite marks (obsolescence, compaction)
+	// over the replication wire. Both are zero on ordinary appended records —
+	// and on every record in a backup stream, which exports live records only
+	// — so the backup format is unchanged.
+	Kind    int    `json:"kind,omitempty"`
+	Horizon uint64 `json:"horizon,omitempty"`
 }
 
 // PersistedOp is the JSON wire shape of one operation descriptor.
@@ -68,6 +74,11 @@ func ToPersisted(r Record) PersistedRecord {
 		TxnID:     r.TxnID,
 		Tentative: r.Tentative,
 		Obsolete:  r.Obsolete,
+		Kind:      int(r.Kind),
+		Horizon:   r.Horizon,
+	}
+	if r.Key == (entity.Key{}) {
+		pr.Key = "" // a compaction mark has no key; "/" would not re-parse
 	}
 	for _, op := range r.Ops {
 		pr.Ops = append(pr.Ops, PersistedOp{
@@ -84,9 +95,12 @@ func ToPersisted(r Record) PersistedRecord {
 // the entity layer expects, preserving 64-bit integer magnitudes that the
 // float64 detour would corrupt.
 func FromPersisted(pr PersistedRecord) (Record, error) {
-	key, err := entity.ParseKey(pr.Key)
-	if err != nil {
-		return Record{}, err
+	var key entity.Key
+	if pr.Key != "" {
+		var err error
+		if key, err = entity.ParseKey(pr.Key); err != nil {
+			return Record{}, err
+		}
 	}
 	stamp, err := clock.ParseTimestamp(pr.Stamp)
 	if err != nil {
@@ -103,6 +117,7 @@ func FromPersisted(pr PersistedRecord) (Record, error) {
 		LSN: pr.LSN, Key: key, Ops: ops, Stamp: stamp,
 		Origin: clock.NodeID(pr.Origin), TxnID: pr.TxnID,
 		Tentative: pr.Tentative, Obsolete: pr.Obsolete,
+		Kind: storage.RecordKind(pr.Kind), Horizon: pr.Horizon,
 	}, nil
 }
 

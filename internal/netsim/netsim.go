@@ -53,6 +53,26 @@ type Config struct {
 	Seed int64
 }
 
+// LinkFault is a directional fault override for one from→to link, layered on
+// top of the network-wide Config. The fault-injection harness scripts these
+// per link so a schedule can degrade exactly one direction of one connection
+// — a flaky primary→standby path, an asymmetric partition — while the rest of
+// the fabric stays healthy.
+type LinkFault struct {
+	// Block makes the link behave like a partition: async sends are
+	// silently discarded, requests fail with ErrUnreachable.
+	Block bool
+	// Loss is an additional independent drop probability (0..1) applied
+	// after the network-wide LossRate.
+	Loss float64
+	// ExtraLatency is added to each one-way traversal of the link.
+	ExtraLatency time.Duration
+}
+
+type linkKey struct {
+	from, to clock.NodeID
+}
+
 // Handler consumes asynchronous messages delivered to a node.
 type Handler func(from clock.NodeID, payload interface{})
 
@@ -82,6 +102,7 @@ type Network struct {
 	rng    *rand.Rand
 	nodes  map[clock.NodeID]*node
 	groups map[clock.NodeID]int // partition group per node; all zero = healed
+	links  map[linkKey]LinkFault
 	stats  Stats
 	wg     sync.WaitGroup
 	closed bool
@@ -101,6 +122,7 @@ func New(cfg Config) *Network {
 		rng:    rand.New(rand.NewSource(seed)),
 		nodes:  map[clock.NodeID]*node{},
 		groups: map[clock.NodeID]int{},
+		links:  map[linkKey]LinkFault{},
 	}
 }
 
@@ -178,6 +200,35 @@ func (n *Network) Partitioned(a, b clock.NodeID) bool {
 	return n.groups[a] != n.groups[b]
 }
 
+// SetLinkFault installs (or replaces) the directional fault override on the
+// from→to link. The zero LinkFault clears any override, same as
+// ClearLinkFault.
+func (n *Network) SetLinkFault(from, to clock.NodeID, f LinkFault) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := linkKey{from, to}
+	if f == (LinkFault{}) {
+		delete(n.links, key)
+		return
+	}
+	n.links[key] = f
+}
+
+// ClearLinkFault removes the directional fault override on the from→to link.
+func (n *Network) ClearLinkFault(from, to clock.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, linkKey{from, to})
+}
+
+// ClearLinkFaults removes every per-link fault override. Partitions and the
+// network-wide Config are unaffected.
+func (n *Network) ClearLinkFaults() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links = map[linkKey]LinkFault{}
+}
+
 // SetLossRate changes the async loss probability at runtime.
 func (n *Network) SetLossRate(p float64) {
 	n.mu.Lock()
@@ -229,7 +280,8 @@ func (n *Network) Send(from, to clock.NodeID, payload interface{}) error {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, from)
 	}
 	n.stats.Sent++
-	if n.groups[from] != n.groups[to] {
+	fault := n.links[linkKey{from, to}]
+	if n.groups[from] != n.groups[to] || fault.Block {
 		n.stats.Blocked++
 		n.mu.Unlock()
 		return nil
@@ -239,7 +291,12 @@ func (n *Network) Send(from, to clock.NodeID, payload interface{}) error {
 		n.mu.Unlock()
 		return nil
 	}
-	delay := n.latencyLocked()
+	if fault.Loss > 0 && n.rng.Float64() < fault.Loss {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	delay := n.latencyLocked() + fault.ExtraLatency
 	handler := dst.handler
 	n.wg.Add(1)
 	n.mu.Unlock()
@@ -263,8 +320,19 @@ func (n *Network) Send(from, to clock.NodeID, payload interface{}) error {
 // handler, paying the simulated latency both ways. Partitions make it fail
 // with ErrUnreachable after UnreachableDelay (the caller-side timeout);
 // losses make it fail with ErrDropped so the caller can retry.
+//
+// The handler runs on its own goroutine and its response is returned through
+// a reply slot private to this call. When the round trip exceeds timeout the
+// caller gets ErrTimeout and the late response is discarded with the slot —
+// it can never surface as the answer to a later request — but the handler
+// still runs, so destination-side effects happen exactly as they would on a
+// real network where only the ack was lost.
 func (n *Network) Request(from, to clock.NodeID, payload interface{}, timeout time.Duration) (interface{}, error) {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errors.New("netsim: closed")
+	}
 	dst, ok := n.nodes[to]
 	if !ok {
 		n.mu.Unlock()
@@ -275,7 +343,8 @@ func (n *Network) Request(from, to clock.NodeID, payload interface{}, timeout ti
 		return nil, fmt.Errorf("%w: %s", ErrNoHandler, to)
 	}
 	n.stats.Requests++
-	if n.groups[from] != n.groups[to] {
+	fault := n.links[linkKey{from, to}]
+	if n.groups[from] != n.groups[to] || fault.Block {
 		n.stats.RequestFail++
 		wait := n.cfg.UnreachableDelay
 		n.mu.Unlock()
@@ -290,28 +359,55 @@ func (n *Network) Request(from, to clock.NodeID, payload interface{}, timeout ti
 		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s -> %s", ErrDropped, from, to)
 	}
-	rtt := n.latencyLocked() + n.latencyLocked()
+	if fault.Loss > 0 && n.rng.Float64() < fault.Loss {
+		n.stats.RequestFail++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s -> %s", ErrDropped, from, to)
+	}
+	there := n.latencyLocked() + fault.ExtraLatency
+	back := n.latencyLocked() + n.links[linkKey{to, from}].ExtraLatency
 	handler := dst.reqHandler
+	n.wg.Add(1)
 	n.mu.Unlock()
 
-	if timeout > 0 && rtt > timeout {
-		time.Sleep(timeout)
+	type result struct {
+		resp interface{}
+		err  error
+	}
+	reply := make(chan result, 1) // private slot: a late response parks here and is garbage collected
+	go func() {
+		defer n.wg.Done()
+		if there > 0 {
+			time.Sleep(there)
+		}
+		resp, err := handler(from, payload)
+		if back > 0 {
+			time.Sleep(back)
+		}
+		reply <- result{resp, err}
+	}()
+
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case r := <-reply:
+		if r.err != nil {
+			n.mu.Lock()
+			n.stats.RequestFail++
+			n.mu.Unlock()
+			return nil, r.err
+		}
+		return r.resp, nil
+	case <-expired:
 		n.mu.Lock()
 		n.stats.RequestFail++
 		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: rtt %v exceeds %v", ErrTimeout, rtt, timeout)
+		return nil, fmt.Errorf("%w: %s -> %s after %v", ErrTimeout, from, to, timeout)
 	}
-	if rtt > 0 {
-		time.Sleep(rtt)
-	}
-	resp, err := handler(from, payload)
-	if err != nil {
-		n.mu.Lock()
-		n.stats.RequestFail++
-		n.mu.Unlock()
-		return nil, err
-	}
-	return resp, nil
 }
 
 // Broadcast sends payload to every registered node except the sender and

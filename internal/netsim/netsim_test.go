@@ -210,6 +210,104 @@ func TestRequestTimeoutWhenLatencyTooHigh(t *testing.T) {
 	}
 }
 
+// Regression: a handler response that arrives after the caller timed out must
+// be discarded with that request's private reply slot — it must never surface
+// as the answer to a later request — while the handler's side effects still
+// happen (only the ack was lost, not the work).
+func TestRequestTimeoutDoesNotLeakLateResponse(t *testing.T) {
+	n := New(Config{})
+	n.Register("client", nil)
+	var calls atomic.Int64
+	n.RegisterRequestHandler("server", func(clock.NodeID, interface{}) (interface{}, error) {
+		if calls.Add(1) == 1 {
+			time.Sleep(60 * time.Millisecond)
+			return "SLOW", nil
+		}
+		return "FAST", nil
+	})
+	if _, err := n.Request("client", "server", 1, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("first request: want ErrTimeout, got %v", err)
+	}
+	resp, err := n.Request("client", "server", 2, time.Second)
+	if err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+	if resp != "FAST" {
+		t.Fatalf("second request got %v — the timed-out response leaked into a later reply slot", resp)
+	}
+	n.Quiesce()
+	if calls.Load() != 2 {
+		t.Fatalf("handler calls = %d, want 2 (timed-out request must still run its handler)", calls.Load())
+	}
+}
+
+// Regression: even when the simulated rtt alone exceeds the timeout, the
+// destination handler must run — on a real network the request is in flight
+// and the server does the work; only the caller gives up waiting.
+func TestRequestTimeoutStillInvokesHandler(t *testing.T) {
+	n := New(Config{BaseLatency: 30 * time.Millisecond})
+	n.Register("client", nil)
+	var invoked atomic.Bool
+	n.RegisterRequestHandler("server", func(clock.NodeID, interface{}) (interface{}, error) {
+		invoked.Store(true)
+		return 1, nil
+	})
+	if _, err := n.Request("client", "server", 1, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	n.Quiesce()
+	if !invoked.Load() {
+		t.Fatal("handler never invoked for a request that timed out at the caller")
+	}
+}
+
+func TestLinkFaultBlockIsDirectional(t *testing.T) {
+	n := New(Config{UnreachableDelay: time.Millisecond})
+	var got atomic.Int64
+	n.Register("a", func(clock.NodeID, interface{}) { got.Add(1) })
+	n.Register("b", func(clock.NodeID, interface{}) { got.Add(1) })
+	n.RegisterRequestHandler("b", func(clock.NodeID, interface{}) (interface{}, error) { return 1, nil })
+	n.SetLinkFault("a", "b", LinkFault{Block: true})
+	n.Send("a", "b", 1) // blocked
+	n.Send("b", "a", 2) // unaffected direction
+	n.Quiesce()
+	if got.Load() != 1 {
+		t.Fatalf("delivered = %d, want 1 (a->b blocked, b->a open)", got.Load())
+	}
+	if _, err := n.Request("a", "b", 1, time.Second); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("request over blocked link: want ErrUnreachable, got %v", err)
+	}
+	n.ClearLinkFault("a", "b")
+	n.Send("a", "b", 3)
+	n.Quiesce()
+	if got.Load() != 2 {
+		t.Fatal("link did not recover after ClearLinkFault")
+	}
+}
+
+func TestLinkFaultLossAndLatency(t *testing.T) {
+	n := New(Config{})
+	var got atomic.Int64
+	n.Register("a", nil)
+	n.Register("b", func(clock.NodeID, interface{}) { got.Add(1) })
+	n.SetLinkFault("a", "b", LinkFault{Loss: 1.0})
+	n.Send("a", "b", 1)
+	n.Quiesce()
+	if got.Load() != 0 {
+		t.Fatal("message survived 100% link loss")
+	}
+	n.SetLinkFault("a", "b", LinkFault{ExtraLatency: 50 * time.Millisecond})
+	n.RegisterRequestHandler("b", func(clock.NodeID, interface{}) (interface{}, error) { return 1, nil })
+	if _, err := n.Request("a", "b", 1, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("slow link: want ErrTimeout, got %v", err)
+	}
+	n.ClearLinkFaults()
+	if _, err := n.Request("a", "b", 1, time.Second); err != nil {
+		t.Fatalf("after ClearLinkFaults: %v", err)
+	}
+	n.Quiesce()
+}
+
 func TestRequestLoss(t *testing.T) {
 	n := New(Config{LossRate: 1.0})
 	n.Register("client", nil)

@@ -1,0 +1,137 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/apology"
+	"repro/internal/clock"
+	"repro/internal/entity"
+	"repro/internal/netsim"
+)
+
+// Divergence under partition, reconciled with apologies (principles 2.1 and
+// 2.9): both sides of a partition keep promising from the same stock on
+// local knowledge; the heal makes the over-promise visible; the resolution
+// is not a rollback but first-come-first-served honouring, one broken
+// promise, compensation, and withdrawal of the losing tentative record on
+// every replica.
+func TestDivergentTentativePromisesApologizedOnHeal(t *testing.T) {
+	c := newCluster(t, 2, Eventual, netsim.Config{})
+	r0, r1 := rep(t, c, 0), rep(t, c, 1)
+	stock := acct("book-stock")
+
+	if _, err := r0.Write(stock, []entity.Op{entity.Set("balance", 5)}, "seed"); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, c, stock, time.Second)
+
+	c.Network().Partition([]clock.NodeID{r0.ID()}, []clock.NodeID{r1.ID()})
+
+	// A deterministic promise clock so first-come-first-served is exact.
+	now := time.Unix(1000, 0)
+	tick := func() time.Time { now = now.Add(time.Second); return now }
+	withdraw := func(p apology.Promise, reason string) {
+		// The infrastructure's compensation hook: the broken promise's
+		// tentative record is withdrawn wherever it replicated.
+		for _, r := range []*Replica{r0, r1} {
+			if err := r.DB().MarkObsolete(p.Entity, p.TxnID); err != nil {
+				t.Errorf("withdrawing %s on %s: %v", p.TxnID, r.ID(), err)
+			}
+		}
+	}
+	ledger := apology.NewLedger(apology.Options{Clock: tick, OnBreak: withdraw})
+
+	// Each side promises from the stock it can see. Individually both fit
+	// (5-4 and 5-3); together they overbook by 2 — the classic bookstore of
+	// principle 2.9.
+	if _, err := r0.WriteTentative(stock, []entity.Op{entity.Delta("balance", -4)}, "promise-r0"); err != nil {
+		t.Fatal(err)
+	}
+	p0 := ledger.Make(apology.Promise{Kind: "reservation", Entity: stock, TxnID: "promise-r0", Partner: "alice", Quantity: 4})
+	if _, err := r1.WriteTentative(stock, []entity.Op{entity.Delta("balance", -3)}, "promise-r1"); err != nil {
+		t.Fatal(err)
+	}
+	ledger.Make(apology.Promise{Kind: "reservation", Entity: stock, TxnID: "promise-r1", Partner: "bob", Quantity: 3})
+
+	st0, _ := r0.ReadLocal(stock)
+	st1, _ := r1.ReadLocal(stock)
+	if st0.Float("balance") != 1 || st1.Float("balance") != 2 {
+		t.Fatalf("partitioned local views = %v / %v, want 1 / 2", st0.Float("balance"), st1.Float("balance"))
+	}
+
+	// Heal. Anti-entropy merges both histories and the divergence
+	// materializes: the shared stock has been promised below zero.
+	c.Network().Heal()
+	c.SyncRound()
+	waitConverged(t, c, stock, time.Second)
+	st0, _ = r0.ReadLocal(stock)
+	if st0.Float("balance") != -2 {
+		t.Fatalf("merged balance = %v, want -2 (both promises applied)", st0.Float("balance"))
+	}
+
+	// Reconcile: honour promises first-come-first-served against the real
+	// stock; the one that does not fit is broken with compensation.
+	kept, apologies, err := ledger.ResolveOverbooking(stock, 5, "overbooked during partition", "10% discount voucher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 1 || len(apologies) != 1 {
+		t.Fatalf("kept %d promises, %d apologies; want 1 and 1", kept, len(apologies))
+	}
+	a := apologies[0]
+	if a.Partner != "bob" || a.Compensation != "10% discount voucher" {
+		t.Fatalf("apology = %+v, want bob compensated (alice promised first)", a)
+	}
+	if got, _ := ledger.Get(p0.ID); got.Status != apology.Kept {
+		t.Fatalf("alice's promise = %s, want kept", got.Status)
+	}
+
+	// The withdrawal converges everywhere: stock is non-negative again and
+	// identical on both replicas.
+	c.SyncRound()
+	waitConverged(t, c, stock, time.Second)
+	for _, r := range []*Replica{r0, r1} {
+		st, err := r.ReadLocal(stock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Float("balance") != 1 {
+			t.Fatalf("%s balance after apology = %v, want 1 (5 - kept 4)", r.ID(), st.Float("balance"))
+		}
+	}
+	if rate := ledger.ApologyRate(); rate != 0.5 {
+		t.Fatalf("apology rate = %v, want 0.5", rate)
+	}
+}
+
+// The promise limit is the up-front guardrail on the same machinery: once an
+// entity carries its cap of pending promises, further ones are refused
+// rather than becoming future apologies — even when replicas would accept
+// the tentative write itself.
+func TestPromiseLimitBoundsDivergenceExposure(t *testing.T) {
+	c := newCluster(t, 2, Eventual, netsim.Config{})
+	r0 := rep(t, c, 0)
+	stock := acct("limited-stock")
+	if _, err := r0.Write(stock, []entity.Op{entity.Set("balance", 100)}, "seed"); err != nil {
+		t.Fatal(err)
+	}
+	ledger := apology.NewLedger(apology.Options{MaxPendingPerEntity: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := ledger.MakeChecked(apology.Promise{Entity: stock, Quantity: 1}); err != nil {
+			t.Fatalf("promise %d refused below the limit: %v", i, err)
+		}
+	}
+	if _, err := ledger.MakeChecked(apology.Promise{Entity: stock, Quantity: 1}); !errors.Is(err, apology.ErrPromiseLimit) {
+		t.Fatalf("err = %v, want ErrPromiseLimit", err)
+	}
+	// Settling one frees capacity for the next promise.
+	pending := ledger.Pending()
+	if err := ledger.Keep(pending[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ledger.MakeChecked(apology.Promise{Entity: stock, Quantity: 1}); err != nil {
+		t.Fatalf("promise refused after capacity freed: %v", err)
+	}
+}

@@ -198,6 +198,22 @@ func (r *Replica) Write(key entity.Key, ops []entity.Op, txnID string) (clock.Ti
 	}
 }
 
+// WriteTentative applies ops as a tentative record — a promise the replica
+// may later have to withdraw with an apology. Tentative writes always commit
+// locally and ship asynchronously, whatever the replica's mode: a promise is
+// made on local knowledge precisely when coordination is unavailable, and the
+// apology machinery (not the write path) owns reconciling it later.
+func (r *Replica) WriteTentative(key entity.Key, ops []entity.Op, txnID string) (clock.Timestamp, error) {
+	rec, err := r.appendLocal(key, ops, txnID, true)
+	if err != nil {
+		r.reject()
+		return clock.Timestamp{}, err
+	}
+	r.shipAsync([]shippedRecord{rec})
+	r.accept()
+	return rec.Stamp, nil
+}
+
 // writeEventual commits locally and ships asynchronously (subjective
 // consistency; the show goes on even if peers are unreachable).
 func (r *Replica) writeEventual(key entity.Key, ops []entity.Op, txnID string) (clock.Timestamp, error) {

@@ -1,0 +1,639 @@
+// WAL-shipped replication: the primary's durable log is the replication
+// stream.
+//
+// The in-memory scheme in replica.go re-applies operation descriptors on
+// every peer; this file implements the production shape the paper's section 2
+// calls "active systems with asynchronous/synchronous commits to backups":
+// the primary ships every record written to its storage.Backend — commit
+// cycles (riding the group-commit cadence via lsdb.Options.CommitSink),
+// obsolescence marks, compaction horizons — to standby replicas that append
+// them, unapplied, into backends of their own. A standby is therefore a log
+// copy, not a second database: promotion replays the received log through
+// lsdb.Recover, which rebuilds stores, caches and watermarks exactly as a
+// restart would, and the promoted node resumes as primary.
+//
+// Ack modes tune the durability/latency trade-off per cluster:
+//
+//   - AckAsync: the commit cycle returns as soon as the batch is handed to
+//     the transport; loss and partitions are healed by catch-up.
+//   - AckSync: every standby must acknowledge the durable append before the
+//     writers' commit returns ("synchronous commit to backup").
+//   - AckQuorum: a majority of the cluster (standbys + primary) must hold the
+//     batch before the commit returns.
+//
+// A standby tracks, per unit, the contiguous prefix of append LSNs it holds
+// (plus the out-of-order set beyond it — commit cycles from independently
+// committing shards ship concurrently, so arrival order is not LSN order).
+// Anything missing is pulled by LSN with a catch-up request, served straight
+// from the source's durable log (storage.Streamer). The contiguous watermark
+// is durably recorded through storage.ReplicationMarker so a restarted
+// standby knows how far its log reaches without replaying it.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/entity"
+	"repro/internal/lsdb"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+)
+
+// AckMode selects when a shipped commit cycle is acknowledged to its writers.
+type AckMode int
+
+// Ack modes.
+const (
+	// AckAsync hands the batch to the transport and returns: maximum
+	// throughput, and a primary crash can lose commits that were acked to
+	// clients but not yet received by any standby.
+	AckAsync AckMode = iota
+	// AckSync returns only after every standby acknowledged the durable
+	// append: an acked write survives the loss of all but one node.
+	AckSync
+	// AckQuorum returns after a majority of the cluster (standbys plus the
+	// primary itself) holds the batch.
+	AckQuorum
+)
+
+// String returns the flag spelling of the mode.
+func (m AckMode) String() string {
+	switch m {
+	case AckSync:
+		return "sync"
+	case AckQuorum:
+		return "quorum"
+	default:
+		return "async"
+	}
+}
+
+// ParseAckMode maps the -ack flag vocabulary onto an AckMode.
+func ParseAckMode(s string) (AckMode, error) {
+	switch s {
+	case "async", "":
+		return AckAsync, nil
+	case "sync":
+		return AckSync, nil
+	case "quorum":
+		return AckQuorum, nil
+	default:
+		return AckAsync, fmt.Errorf("replica: unknown ack mode %q (want async, sync or quorum)", s)
+	}
+}
+
+// ErrStandbyAcks is returned to writers when a synchronous ack mode could not
+// gather enough standby acknowledgements. Like any post-commit failure it is
+// indeterminate: the records are committed and durable on the primary; only
+// the replication guarantee is in doubt.
+var ErrStandbyAcks = errors.New("replica: insufficient standby acks")
+
+// ShipBatch is the wire unit of WAL shipping: one commit cycle (or one
+// history-rewrite mark, or a catch-up tail) of one serialization unit.
+type ShipBatch struct {
+	From    clock.NodeID
+	Unit    int
+	Records []lsdb.Record
+}
+
+// shipAck acknowledges a synchronous ShipBatch with the standby's new
+// contiguous watermark for the unit.
+type shipAck struct {
+	Unit      int
+	Watermark uint64
+}
+
+// catchupRequest asks a node for the records of one unit after an LSN.
+type catchupRequest struct {
+	Unit  int
+	After uint64
+}
+
+type catchupResponse struct {
+	Records []lsdb.Record
+}
+
+// Transport moves ship batches to a standby. The bundled NetTransport runs
+// over netsim; cmd/soupsd provides an HTTP implementation for real processes.
+type Transport interface {
+	// Ship delivers batch to peer. When sync is true it must not return
+	// success before the standby durably appended the batch; when false it
+	// may return immediately (loss is the caller's problem, healed by
+	// catch-up).
+	Ship(peer clock.NodeID, batch ShipBatch, sync bool, timeout time.Duration) error
+}
+
+// NetTransport ships over a simulated network: synchronous batches as
+// requests, asynchronous ones as sends (silently lossy, like a datagram).
+type NetTransport struct {
+	Net  *netsim.Network
+	Self clock.NodeID
+}
+
+// Ship implements Transport.
+func (t NetTransport) Ship(peer clock.NodeID, batch ShipBatch, sync bool, timeout time.Duration) error {
+	if sync {
+		resp, err := t.Net.Request(t.Self, peer, batch, timeout)
+		if err != nil {
+			return err
+		}
+		if _, ok := resp.(shipAck); !ok {
+			return fmt.Errorf("replica: unexpected ship response %T", resp)
+		}
+		return nil
+	}
+	return t.Net.Send(t.Self, peer, batch)
+}
+
+// ShipStats counts the primary side of WAL shipping.
+type ShipStats struct {
+	BatchesShipped uint64
+	RecordsShipped uint64
+	SyncAcks       uint64
+	ShipFailures   uint64
+	CatchupServed  uint64
+}
+
+// ShipperOptions configure the primary side of WAL shipping.
+type ShipperOptions struct {
+	// Self is the primary's node id on the transport.
+	Self clock.NodeID
+	// Standbys are the peers every batch ships to.
+	Standbys []clock.NodeID
+	// Mode selects the ack discipline.
+	Mode AckMode
+	// Timeout bounds each synchronous ship (default 500ms).
+	Timeout time.Duration
+	// Transport moves the batches. When nil and Net is set, a NetTransport
+	// is used.
+	Transport Transport
+	// Source serves catch-up requests: the records of one unit with
+	// LSN > after (an lsdb.RecordsAfter closure, or a storage.Streamer
+	// read). Nil disables catch-up serving.
+	Source func(unit int, after uint64) []lsdb.Record
+	// Net, when set, registers Self on the simulated network (senders must
+	// be registered) and, with Source, a catch-up request handler.
+	Net *netsim.Network
+}
+
+// Shipper is the primary side of WAL shipping: its Sink closures attach to
+// the units' stores as lsdb.Options.CommitSink and ship every logged record
+// to the standbys under the configured ack mode.
+type Shipper struct {
+	opts ShipperOptions
+
+	mu    sync.Mutex
+	stats ShipStats
+}
+
+// NewShipper creates a shipper and, on a simulated network, registers its
+// catch-up handler.
+func NewShipper(opts ShipperOptions) *Shipper {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 500 * time.Millisecond
+	}
+	if opts.Transport == nil && opts.Net != nil {
+		opts.Transport = NetTransport{Net: opts.Net, Self: opts.Self}
+	}
+	s := &Shipper{opts: opts}
+	if opts.Net != nil {
+		opts.Net.Register(opts.Self, nil)
+		if opts.Source != nil {
+			opts.Net.RegisterRequestHandler(opts.Self, s.onRequest)
+		}
+	}
+	return s
+}
+
+// Mode returns the configured ack mode.
+func (s *Shipper) Mode() AckMode { return s.opts.Mode }
+
+// Standbys returns the configured standby ids.
+func (s *Shipper) Standbys() []clock.NodeID {
+	return append([]clock.NodeID(nil), s.opts.Standbys...)
+}
+
+// Stats returns a copy of the counters.
+func (s *Shipper) Stats() ShipStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Sink returns the commit sink for one unit's store. The returned closure is
+// invoked under the store's shard lock with records that are already
+// installed and durable locally; per-entity order is preserved because an
+// entity commits under one shard lock.
+func (s *Shipper) Sink(unit int) func([]lsdb.Record) error {
+	return func(records []lsdb.Record) error { return s.ship(unit, records) }
+}
+
+// acksNeeded is how many standby acks the mode requires before a commit
+// returns. Quorum counts the primary itself as one holder.
+func (s *Shipper) acksNeeded() int {
+	switch s.opts.Mode {
+	case AckSync:
+		return len(s.opts.Standbys)
+	case AckQuorum:
+		return (len(s.opts.Standbys)+1)/2 + 1 - 1
+	default:
+		return 0
+	}
+}
+
+func (s *Shipper) ship(unit int, records []lsdb.Record) error {
+	if len(s.opts.Standbys) == 0 || s.opts.Transport == nil || len(records) == 0 {
+		return nil
+	}
+	// The sink's slice is only valid for the duration of the call, and an
+	// asynchronous transport delivers after it returns: copy.
+	recs := make([]lsdb.Record, len(records))
+	copy(recs, records)
+	batch := ShipBatch{From: s.opts.Self, Unit: unit, Records: recs}
+	sync := s.opts.Mode != AckAsync
+	acks, failures := 0, 0
+	var firstErr error
+	for _, peer := range s.opts.Standbys {
+		if err := s.opts.Transport.Ship(peer, batch, sync, s.opts.Timeout); err != nil {
+			failures++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if sync {
+			acks++
+		}
+	}
+	s.mu.Lock()
+	s.stats.BatchesShipped++
+	s.stats.RecordsShipped += uint64(len(recs))
+	s.stats.SyncAcks += uint64(acks)
+	s.stats.ShipFailures += uint64(failures)
+	s.mu.Unlock()
+	if need := s.acksNeeded(); acks < need {
+		if firstErr != nil {
+			return fmt.Errorf("%w: %d/%d (%v)", ErrStandbyAcks, acks, need, firstErr)
+		}
+		return fmt.Errorf("%w: %d/%d", ErrStandbyAcks, acks, need)
+	}
+	return nil
+}
+
+// onRequest serves catch-up requests from the primary's log.
+func (s *Shipper) onRequest(from clock.NodeID, payload interface{}) (interface{}, error) {
+	req, ok := payload.(catchupRequest)
+	if !ok {
+		return nil, fmt.Errorf("replica: unknown request %T", payload)
+	}
+	recs := s.opts.Source(req.Unit, req.After)
+	s.mu.Lock()
+	s.stats.CatchupServed++
+	s.mu.Unlock()
+	return catchupResponse{Records: recs}, nil
+}
+
+// StandbyStats counts the standby side of WAL shipping.
+type StandbyStats struct {
+	BatchesReceived uint64
+	RecordsReceived uint64
+	Duplicates      uint64
+	Gaps            uint64
+	CatchupRounds   uint64
+	CatchupRecords  uint64
+}
+
+// StandbyOptions configure a log-receiving standby.
+type StandbyOptions struct {
+	// Self is the standby's node id on the network.
+	Self clock.NodeID
+	// Net is the simulated network the standby receives on (nil for
+	// transports that deliver by calling Receive directly, like HTTP).
+	Net *netsim.Network
+	// Backends hold the received log, one per serialization unit of the
+	// primary. For a durable standby use WALs (with SyncAlways, an ack
+	// means the batch survives the standby's own crash).
+	Backends []storage.Backend
+	// PersistEvery records the contiguous watermark through
+	// storage.ReplicationMarker every N received batches (default 1; the
+	// WAL's marker is a manifest install, so busy standbys raise this).
+	PersistEvery int
+	// AutoCatchUp pulls the missing tail from the shipping node as soon as
+	// a gap is detected, inline on the delivery. Off by default so the
+	// fault harness can script catch-up deterministically.
+	AutoCatchUp bool
+	// Timeout bounds the standby's own requests (default 500ms).
+	Timeout time.Duration
+}
+
+// unitProgress tracks how much of one unit's append-LSN space the standby
+// holds: the contiguous prefix plus the out-of-order set beyond it.
+type unitProgress struct {
+	contig  uint64
+	pending map[uint64]bool
+}
+
+// markLocked records lsn as held and advances the contiguous watermark.
+func (u *unitProgress) markLocked(lsn uint64) {
+	if lsn <= u.contig {
+		return
+	}
+	u.pending[lsn] = true
+	for u.pending[u.contig+1] {
+		delete(u.pending, u.contig+1)
+		u.contig++
+	}
+}
+
+// hasLocked reports whether lsn is already held.
+func (u *unitProgress) hasLocked(lsn uint64) bool {
+	return lsn <= u.contig || u.pending[lsn]
+}
+
+// Standby receives a primary's shipped log into per-unit backends. It applies
+// nothing — it is a log copy, promoted by replaying the backends through
+// lsdb.Recover (see Promote).
+type Standby struct {
+	opts StandbyOptions
+
+	mu      sync.Mutex
+	stopped bool
+	units   []unitProgress
+	batches uint64
+	stats   StandbyStats
+}
+
+// NewStandby creates a standby over its unit backends. Existing backend
+// content (a restarted standby re-opening its received log) is scanned to
+// resume the per-unit progress, and the network handlers are registered.
+func NewStandby(opts StandbyOptions) (*Standby, error) {
+	if len(opts.Backends) == 0 {
+		return nil, errors.New("replica: standby needs at least one unit backend")
+	}
+	if opts.PersistEvery <= 0 {
+		opts.PersistEvery = 1
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 500 * time.Millisecond
+	}
+	sb := &Standby{opts: opts, units: make([]unitProgress, len(opts.Backends))}
+	for i := range sb.units {
+		sb.units[i].pending = map[uint64]bool{}
+	}
+	for i, b := range opts.Backends {
+		u := &sb.units[i]
+		if _, err := b.Replay(func(rec storage.WALRecord) error {
+			if rec.Kind == storage.KindAppend {
+				u.markLocked(rec.LSN)
+			}
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("replica: scanning standby unit %d: %w", i, err)
+		}
+	}
+	if opts.Net != nil {
+		opts.Net.Register(opts.Self, sb.onMessage)
+		opts.Net.RegisterRequestHandler(opts.Self, sb.onRequest)
+	}
+	return sb, nil
+}
+
+// ID returns the standby's node id.
+func (sb *Standby) ID() clock.NodeID { return sb.opts.Self }
+
+// Units returns how many unit logs the standby receives.
+func (sb *Standby) Units() int { return len(sb.opts.Backends) }
+
+// Backends exposes the received per-unit logs (promotion opens stores over
+// them).
+func (sb *Standby) Backends() []storage.Backend {
+	return append([]storage.Backend(nil), sb.opts.Backends...)
+}
+
+// Watermark returns the contiguous replication watermark of one unit: every
+// append with LSN at or below it has been received.
+func (sb *Standby) Watermark(unit int) uint64 {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if unit < 0 || unit >= len(sb.units) {
+		return 0
+	}
+	return sb.units[unit].contig
+}
+
+// Stats returns a copy of the counters.
+func (sb *Standby) Stats() StandbyStats {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.stats
+}
+
+// Stop makes the standby refuse further batches (promotion fences the old
+// stream this way).
+func (sb *Standby) Stop() {
+	sb.mu.Lock()
+	sb.stopped = true
+	sb.mu.Unlock()
+}
+
+// Receive appends one batch to the unit's log, deduplicating records the
+// standby already holds (catch-up tails overlap in-flight ships). It returns
+// the unit's new contiguous watermark and whether a gap is open — some LSN
+// below the batch's highest is still missing (lost or still in flight from
+// another shard's commit).
+func (sb *Standby) Receive(batch ShipBatch) (watermark uint64, gap bool, err error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.stopped {
+		return 0, false, errors.New("replica: standby stopped")
+	}
+	if batch.Unit < 0 || batch.Unit >= len(sb.units) {
+		return 0, false, fmt.Errorf("replica: unknown unit %d", batch.Unit)
+	}
+	u := &sb.units[batch.Unit]
+	var fresh []lsdb.Record
+	for _, rec := range batch.Records {
+		if rec.Kind == storage.KindAppend && u.hasLocked(rec.LSN) {
+			sb.stats.Duplicates++
+			continue
+		}
+		fresh = append(fresh, rec)
+	}
+	if len(fresh) > 0 {
+		// Durability before progress: the marks advance only for records
+		// the backend accepted, so a failed append is indistinguishable
+		// from a lost batch and heals the same way.
+		if err := sb.opts.Backends[batch.Unit].AppendBatch(fresh); err != nil {
+			return u.contig, len(u.pending) > 0, fmt.Errorf("replica: standby append: %w", err)
+		}
+		for _, rec := range fresh {
+			if rec.Kind == storage.KindAppend {
+				u.markLocked(rec.LSN)
+			}
+		}
+	}
+	sb.stats.BatchesReceived++
+	sb.stats.RecordsReceived += uint64(len(fresh))
+	gap = len(u.pending) > 0
+	if gap {
+		sb.stats.Gaps++
+	}
+	sb.batches++
+	if sb.batches%uint64(sb.opts.PersistEvery) == 0 {
+		if rm, ok := sb.opts.Backends[batch.Unit].(storage.ReplicationMarker); ok {
+			_ = rm.SetReplicationWatermark(u.contig)
+		}
+	}
+	return u.contig, gap, nil
+}
+
+// onMessage receives asynchronous ship batches.
+func (sb *Standby) onMessage(from clock.NodeID, payload interface{}) {
+	batch, ok := payload.(ShipBatch)
+	if !ok {
+		return
+	}
+	_, gap, _ := sb.Receive(batch)
+	if gap && sb.opts.AutoCatchUp {
+		_, _ = sb.CatchUp(batch.From, batch.Unit)
+	}
+}
+
+// onRequest receives synchronous ship batches and serves catch-up requests
+// from the standby's own log (a promoting peer unions the surviving tails
+// this way).
+func (sb *Standby) onRequest(from clock.NodeID, payload interface{}) (interface{}, error) {
+	switch msg := payload.(type) {
+	case ShipBatch:
+		watermark, gap, err := sb.Receive(msg)
+		if err != nil {
+			return nil, err
+		}
+		if gap && sb.opts.AutoCatchUp {
+			if _, err := sb.CatchUp(msg.From, msg.Unit); err == nil {
+				watermark = sb.Watermark(msg.Unit)
+			}
+		}
+		return shipAck{Unit: msg.Unit, Watermark: watermark}, nil
+	case catchupRequest:
+		return sb.serveCatchup(msg)
+	default:
+		return nil, fmt.Errorf("replica: unknown request %T", payload)
+	}
+}
+
+// serveCatchup streams the standby's received log after an LSN.
+func (sb *Standby) serveCatchup(req catchupRequest) (interface{}, error) {
+	sb.mu.Lock()
+	if req.Unit < 0 || req.Unit >= len(sb.opts.Backends) {
+		sb.mu.Unlock()
+		return nil, fmt.Errorf("replica: unknown unit %d", req.Unit)
+	}
+	backend := sb.opts.Backends[req.Unit]
+	sb.mu.Unlock()
+	recs, err := TailAfter(backend, req.After)
+	if err != nil {
+		return nil, err
+	}
+	return catchupResponse{Records: recs}, nil
+}
+
+// TailAfter collects a backend's records after an LSN: through the
+// storage.Streamer fast path when available, otherwise by filtered replay.
+func TailAfter(backend storage.Backend, after uint64) ([]lsdb.Record, error) {
+	var recs []lsdb.Record
+	collect := func(rec storage.WALRecord) error {
+		recs = append(recs, rec)
+		return nil
+	}
+	if st, ok := backend.(storage.Streamer); ok {
+		if err := st.StreamAfter(after, collect); err != nil {
+			return nil, err
+		}
+		return recs, nil
+	}
+	if _, err := backend.Replay(func(rec storage.WALRecord) error {
+		if rec.Kind == storage.KindAppend && rec.LSN <= after {
+			return nil
+		}
+		if rec.Kind == storage.KindSummary {
+			return storage.ErrCompacted
+		}
+		return collect(rec)
+	}); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// CatchUp pulls the records of one unit after the standby's contiguous
+// watermark from a peer — the primary (served from its store) or another
+// standby (served from its received log) — and appends the fresh ones. It
+// returns how many records the peer sent.
+func (sb *Standby) CatchUp(from clock.NodeID, unit int) (int, error) {
+	if sb.opts.Net == nil {
+		return 0, errors.New("replica: standby has no network")
+	}
+	after := sb.Watermark(unit)
+	resp, err := sb.opts.Net.Request(sb.opts.Self, from, catchupRequest{Unit: unit, After: after}, sb.opts.Timeout)
+	if err != nil {
+		return 0, err
+	}
+	cr, ok := resp.(catchupResponse)
+	if !ok {
+		return 0, fmt.Errorf("replica: unexpected catch-up response %T", resp)
+	}
+	sb.mu.Lock()
+	sb.stats.CatchupRounds++
+	sb.stats.CatchupRecords += uint64(len(cr.Records))
+	sb.mu.Unlock()
+	if len(cr.Records) == 0 {
+		return 0, nil
+	}
+	if _, _, err := sb.Receive(ShipBatch{From: from, Unit: unit, Records: cr.Records}); err != nil {
+		return len(cr.Records), err
+	}
+	return len(cr.Records), nil
+}
+
+// RecoverUnit replays one unit's received log into a live store — the replay
+// half of promotion. The passed options are used as-is except for Backend.
+func (sb *Standby) RecoverUnit(unit int, opts lsdb.Options, types ...*entity.Type) (*lsdb.DB, error) {
+	if unit < 0 || unit >= len(sb.opts.Backends) {
+		return nil, fmt.Errorf("replica: unknown unit %d", unit)
+	}
+	opts.Backend = sb.opts.Backends[unit]
+	return lsdb.Recover(opts, types...)
+}
+
+// Promote turns the standby into a primary: it unions the log tails the
+// surviving peers hold (per-write quorums can scatter acked batches across
+// standbys; the union is what makes "a majority holds it" recoverable), stops
+// receiving from the old stream, and replays every unit through lsdb.Recover.
+// Unreachable peers are skipped — they are usually why promotion is
+// happening. The returned stores resume the primary's LSN watermarks, so a
+// shipper attached to them continues the stream.
+func (sb *Standby) Promote(peers []clock.NodeID, opts lsdb.Options, types ...*entity.Type) ([]*lsdb.DB, error) {
+	for _, p := range peers {
+		if p == sb.opts.Self {
+			continue
+		}
+		for unit := range sb.opts.Backends {
+			_, _ = sb.CatchUp(p, unit) // best effort
+		}
+	}
+	sb.Stop()
+	dbs := make([]*lsdb.DB, len(sb.opts.Backends))
+	for i := range dbs {
+		db, err := sb.RecoverUnit(i, opts, types...)
+		if err != nil {
+			return nil, fmt.Errorf("replica: promoting unit %d: %w", i, err)
+		}
+		dbs[i] = db
+	}
+	return dbs, nil
+}

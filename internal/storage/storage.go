@@ -122,17 +122,50 @@ type Backend interface {
 // ErrClosed is returned by operations on a closed backend.
 var ErrClosed = errors.New("storage: backend closed")
 
+// ErrCompacted reports that a StreamAfter cut predates history that has been
+// compacted into archived summaries: the records the receiver is missing no
+// longer exist individually, so a tail stream cannot serve them. The receiver
+// must bootstrap from a full copy instead.
+var ErrCompacted = errors.New("storage: stream cut predates compacted history")
+
+// Streamer is the optional catch-up interface of a backend: replication uses
+// it to re-ship the log tail a standby missed (loss, partition, restart)
+// straight from durable storage, without holding the whole history in memory.
+// Both bundled backends implement it.
+type Streamer interface {
+	// StreamAfter streams, in log order, every appended entity record with
+	// LSN > after plus the history-rewrite marks (obsolescence, compaction)
+	// in the scanned range. Archived summaries cannot be cut by LSN: when
+	// the requested cut predates a checkpoint that contains summaries,
+	// StreamAfter fails with ErrCompacted instead of silently gapping.
+	StreamAfter(after uint64, fn func(WALRecord) error) error
+}
+
+// ReplicationMarker is the optional replication-watermark interface of a
+// backend: a standby durably records the highest LSN it has received so a
+// restart (or a promotion decision) can read how far the received log reaches
+// without replaying it. The WAL persists the mark in its checkpoint manifest.
+type ReplicationMarker interface {
+	// ReplicationWatermark returns the recorded replication watermark
+	// (0 when never set).
+	ReplicationWatermark() uint64
+	// SetReplicationWatermark durably records lsn as the replication
+	// watermark.
+	SetReplicationWatermark(lsn uint64) error
+}
+
 // Memory is the in-process backend: append-only slices, no durability. It is
 // the no-op choice for main-memory deployments (a restart loses the log, as
 // before this package existed) while still honouring the full Backend
 // contract — Replay returns what was appended — so tests can run one store
 // against Memory and one against a WAL and compare.
 type Memory struct {
-	mu        sync.Mutex
-	closed    bool
-	watermark uint64
-	ckpt      []WALRecord // latest checkpoint content
-	tail      []WALRecord // records appended after the checkpoint
+	mu         sync.Mutex
+	closed     bool
+	watermark  uint64
+	replicated uint64
+	ckpt       []WALRecord // latest checkpoint content
+	tail       []WALRecord // records appended after the checkpoint
 }
 
 // NewMemory returns an empty in-memory backend.
@@ -208,4 +241,54 @@ func (m *Memory) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.ckpt) + len(m.tail)
+}
+
+// StreamAfter streams retained append records with LSN > after plus the marks
+// in range, per the Streamer contract. A checkpoint holding archived
+// summaries can only be skipped wholesale (every record in it has
+// LSN <= watermark); a cut inside it fails with ErrCompacted.
+func (m *Memory) StreamAfter(after uint64, fn func(WALRecord) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	parts := [2][]WALRecord{m.ckpt, m.tail}
+	if after >= m.watermark {
+		parts[0] = nil // checkpoint content is wholly at or below the cut
+	}
+	for _, recs := range parts {
+		for _, rec := range recs {
+			switch rec.Kind {
+			case KindAppend:
+				if rec.LSN <= after {
+					continue
+				}
+			case KindSummary:
+				return ErrCompacted
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicationWatermark returns the recorded replication watermark.
+func (m *Memory) ReplicationWatermark() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replicated
+}
+
+// SetReplicationWatermark records lsn as the replication watermark.
+func (m *Memory) SetReplicationWatermark(lsn uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.replicated = lsn
+	return nil
 }

@@ -136,6 +136,12 @@ type manifest struct {
 	Watermark uint64 `json:"watermark"`
 	Segment   uint64 `json:"segment"`
 	Offset    int64  `json:"offset"`
+	// Replicated is the replication watermark: the highest LSN a standby has
+	// durably received into this log (see ReplicationMarker). It rides the
+	// manifest so it survives restarts without a log replay, and is carried
+	// forward unchanged by checkpoints. A manifest may exist for this field
+	// alone, before any checkpoint (Snapshot empty, Segment zero).
+	Replicated uint64 `json:"replicated,omitempty"`
 }
 
 // WAL is the segmented write-ahead log backend. All methods are safe for
@@ -416,7 +422,7 @@ func (w *WAL) Replay(fn func(WALRecord) error) (uint64, error) {
 }
 
 func (w *WAL) replayLocked(fn func(WALRecord) error) error {
-	if w.hasMan && fn != nil {
+	if w.hasMan && w.man.Snapshot != "" && fn != nil {
 		path := filepath.Join(w.opts.Dir, w.man.Snapshot)
 		if err := scanFile(path, ckptMagic, int64(len(ckptMagic)), false, fn); err != nil {
 			return err
@@ -587,11 +593,12 @@ func (w *WAL) Checkpoint(watermark uint64, fill func(put func(WALRecord) error) 
 		return err
 	}
 	man := manifest{
-		Seq:       seq,
-		Snapshot:  snapName,
-		Watermark: watermark,
-		Segment:   w.segIndex,
-		Offset:    w.segSize,
+		Seq:        seq,
+		Snapshot:   snapName,
+		Watermark:  watermark,
+		Segment:    w.segIndex,
+		Offset:     w.segSize,
+		Replicated: w.man.Replicated,
 	}
 	if err := w.installManifestLocked(man); err != nil {
 		return err
@@ -679,6 +686,91 @@ func (w *WAL) installManifestLocked(man manifest) error {
 		return err
 	}
 	w.man, w.hasMan = man, true
+	return nil
+}
+
+// ReplicationWatermark returns the manifest's replication watermark.
+func (w *WAL) ReplicationWatermark() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.man.Replicated
+}
+
+// SetReplicationWatermark durably records lsn in the manifest. Installing a
+// manifest is a write-fsync-rename cycle, so callers batch updates (every few
+// shipped batches) rather than marking every append.
+func (w *WAL) SetReplicationWatermark(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.man.Replicated == lsn && (w.hasMan || lsn == 0) {
+		return nil
+	}
+	man := w.man
+	man.Replicated = lsn
+	return w.installManifestLocked(man)
+}
+
+// StreamAfter streams retained append records with LSN > after plus the marks
+// in range, per the Streamer contract. When the cut is at or past the
+// checkpoint watermark the snapshot is skipped unread — everything in it has
+// LSN <= watermark — which is the common case for a standby briefly behind.
+// A cut inside a snapshot that holds archived summaries fails with
+// ErrCompacted: the missing detail records no longer exist.
+func (w *WAL) StreamAfter(after uint64, fn func(WALRecord) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if !w.scanned {
+		// Validate (and torn-tail repair) the segments once before serving
+		// them, exactly as replay would.
+		if err := w.replayLocked(nil); err != nil {
+			return err
+		}
+	}
+	filter := func(rec WALRecord) error {
+		switch rec.Kind {
+		case KindAppend:
+			if rec.LSN <= after {
+				return nil
+			}
+		case KindSummary:
+			return ErrCompacted
+		}
+		return fn(rec)
+	}
+	if w.hasMan && w.man.Snapshot != "" && after < w.man.Watermark {
+		path := filepath.Join(w.opts.Dir, w.man.Snapshot)
+		if err := scanFile(path, ckptMagic, int64(len(ckptMagic)), false, filter); err != nil {
+			return err
+		}
+	}
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	for n, i := range segs {
+		start := int64(len(segMagic))
+		if w.hasMan {
+			if i < w.man.Segment {
+				continue
+			}
+			if i == w.man.Segment {
+				start = w.man.Offset
+			}
+		}
+		path := filepath.Join(w.opts.Dir, segName(i))
+		if info, err := os.Stat(path); err == nil && info.Size() <= start {
+			continue // nothing after the cut (or torn creation already handled by replay)
+		}
+		if err := scanFile(path, segMagic, start, n == len(segs)-1, filter); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

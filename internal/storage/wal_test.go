@@ -452,3 +452,199 @@ func TestWALDirLockRefusesSecondOpener(t *testing.T) {
 	}
 	w2.Close()
 }
+
+func streamAfter(t *testing.T, s Streamer, after uint64) []WALRecord {
+	t.Helper()
+	var out []WALRecord
+	if err := s.StreamAfter(after, func(rec WALRecord) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("StreamAfter(%d): %v", after, err)
+	}
+	return out
+}
+
+func TestReplicationWatermarkPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ReplicationWatermark(); got != 0 {
+		t.Fatalf("fresh watermark = %d", got)
+	}
+	if err := w.AppendBatch([]WALRecord{appendRec(1, "a"), appendRec(2, "b")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetReplicationWatermark(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The watermark must survive a reopen without a replay, even though no
+	// checkpoint was ever taken, and the log content must be intact.
+	w2, err := OpenWAL(WALOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.ReplicationWatermark(); got != 2 {
+		t.Fatalf("watermark after reopen = %d, want 2", got)
+	}
+	recs, _ := collect(t, w2)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+}
+
+func TestReplicationWatermarkCarriedThroughCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	recs := []WALRecord{appendRec(1, "a"), appendRec(2, "b")}
+	if err := w.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetReplicationWatermark(7); err != nil {
+		t.Fatal(err)
+	}
+	err = w.Checkpoint(2, func(put func(WALRecord) error) error {
+		for _, rec := range recs {
+			if err := put(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ReplicationWatermark(); got != 7 {
+		t.Fatalf("watermark after checkpoint = %d, want 7", got)
+	}
+}
+
+func TestStreamAfterServesTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALOptions{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for lsn := uint64(1); lsn <= 10; lsn++ {
+		if err := w.AppendBatch([]WALRecord{appendRec(lsn, "a")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := streamAfter(t, w, 6)
+	if len(got) != 4 {
+		t.Fatalf("streamed %d records after 6, want 4", len(got))
+	}
+	for i, rec := range got {
+		if want := uint64(7 + i); rec.LSN != want {
+			t.Fatalf("rec[%d].LSN = %d, want %d", i, rec.LSN, want)
+		}
+	}
+	// Marks in range pass through.
+	if err := w.AppendBatch([]WALRecord{{Kind: KindObsolete, Key: entity.Key{Type: "Account", ID: "a"}, TxnID: "t3"}}); err != nil {
+		t.Fatal(err)
+	}
+	got = streamAfter(t, w, 10)
+	if len(got) != 1 || got[0].Kind != KindObsolete {
+		t.Fatalf("stream after 10 = %+v, want the obsolete mark", got)
+	}
+}
+
+func TestStreamAfterAcrossCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	recs := []WALRecord{appendRec(1, "a"), appendRec(2, "b"), appendRec(3, "c")}
+	if err := w.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(3, func(put func(WALRecord) error) error {
+		for _, rec := range recs {
+			if err := put(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]WALRecord{appendRec(4, "d")}); err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the checkpoint: snapshot records past the cut plus the tail.
+	got := streamAfter(t, w, 1)
+	if len(got) != 3 || got[0].LSN != 2 || got[2].LSN != 4 {
+		t.Fatalf("stream after 1 = %d records (LSNs %v), want 2,3,4", len(got), lsns(got))
+	}
+	// Cut at the watermark: snapshot skipped wholesale, tail only.
+	got = streamAfter(t, w, 3)
+	if len(got) != 1 || got[0].LSN != 4 {
+		t.Fatalf("stream after 3 = %v, want just LSN 4", lsns(got))
+	}
+}
+
+func lsns(recs []WALRecord) []uint64 {
+	out := make([]uint64, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.LSN
+	}
+	return out
+}
+
+func TestStreamAfterCompactedHistoryFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AppendBatch([]WALRecord{appendRec(1, "a"), appendRec(2, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint whose content includes an archived summary: the detail
+	// records below the compaction horizon no longer exist individually.
+	summary := WALRecord{Kind: KindSummary, Key: entity.Key{Type: "Account", ID: "a"}, Summary: &entity.State{}}
+	if err := w.Checkpoint(2, func(put func(WALRecord) error) error {
+		return put(summary)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = w.StreamAfter(0, func(WALRecord) error { return nil })
+	if !errors.Is(err, ErrCompacted) {
+		t.Fatalf("stream into compacted history: want ErrCompacted, got %v", err)
+	}
+	// At or past the watermark the snapshot is skipped and streaming works.
+	if got := streamAfter(t, w, 2); len(got) != 0 {
+		t.Fatalf("stream after watermark = %v, want empty", lsns(got))
+	}
+}
+
+func TestMemoryStreamAndWatermark(t *testing.T) {
+	m := NewMemory()
+	if err := m.AppendBatch([]WALRecord{appendRec(1, "a"), appendRec(2, "b")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := streamAfter(t, m, 1); len(got) != 1 || got[0].LSN != 2 {
+		t.Fatalf("memory stream after 1 = %v", lsns(got))
+	}
+	if err := m.SetReplicationWatermark(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReplicationWatermark(); got != 2 {
+		t.Fatalf("memory watermark = %d", got)
+	}
+}

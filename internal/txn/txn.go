@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -121,7 +123,29 @@ func NewManager(db *lsdb.DB, lm *locks.Manager, hlc *clock.HLC, opts Options) *M
 	if hlc == nil {
 		hlc = clock.NewHLC(opts.Node)
 	}
-	return &Manager{opts: opts, db: db, hlc: hlc, locks: lm, ids: clock.Sequence{}}
+	m := &Manager{opts: opts, db: db, hlc: hlc, locks: lm, ids: clock.Sequence{}}
+	m.resumeIDs()
+	return m
+}
+
+// resumeIDs advances the id sequence past every transaction id this node name
+// already issued into the store. Commit treats a duplicate transaction id as
+// an at-least-once retry and silently skips the append, so a manager opened
+// over a recovered log (durable restart, promoted standby) must not recycle
+// ids — a fresh write wearing an old id would be dropped as its own replay.
+func (m *Manager) resumeIDs() {
+	prefix := fmt.Sprintf("%s-txn-", m.opts.Node)
+	var floor uint64
+	for _, rec := range m.db.RecordsAfter(0) {
+		n, ok := strings.CutPrefix(rec.TxnID, prefix)
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseUint(n, 10, 64); err == nil && v > floor {
+			floor = v
+		}
+	}
+	m.ids.AdvanceTo(floor)
 }
 
 // DB returns the underlying serialization unit.

@@ -563,3 +563,51 @@ func TestOptimisticConflictSurvivesGroupCommit(t *testing.T) {
 		t.Fatalf("Commit err = %v, want ErrConflict", err)
 	}
 }
+
+// A manager opened over a store that already holds this node's transactions
+// (a recovered log after a durable restart or a standby promotion) must
+// resume the id sequence past them: Commit treats a duplicate id as an
+// at-least-once retry and silently skips the append, so a recycled id would
+// make a fresh write vanish.
+func TestManagerResumesTxnIDsFromRecoveredLog(t *testing.T) {
+	m := newUnit(t, "u1", Options{})
+	for i := 0; i < 3; i++ {
+		tx := m.Begin(Solipsistic)
+		if err := tx.Update(acct("A"), entity.Delta("balance", 1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Restart": a new manager over the same store and node name.
+	resumed := NewManager(m.DB(), nil, nil, Options{Node: "u1"})
+	tx := resumed.Begin(Solipsistic)
+	if got, want := tx.ID(), "u1-txn-4"; got != want {
+		t.Fatalf("first txn id after restart = %s, want %s", got, want)
+	}
+	if err := tx.Update(acct("A"), entity.Delta("balance", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := resumed.DB().Current(acct("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Float("balance") != 4 {
+		t.Fatalf("balance = %v, want 4 (post-restart write was dropped as a duplicate)", st.Float("balance"))
+	}
+
+	// Foreign txn ids (other nodes, caller-supplied) must not confuse the scan.
+	if _, err := resumed.DB().Append(acct("A"), []entity.Op{entity.Delta("balance", 1)},
+		clock.Timestamp{WallNanos: 99, Node: "u2"}, "u2", "u2-txn-900"); err != nil {
+		t.Fatal(err)
+	}
+	again := NewManager(resumed.DB(), nil, nil, Options{Node: "u1"})
+	if got, want := again.Begin(Solipsistic).ID(), "u1-txn-5"; got != want {
+		t.Fatalf("txn id after foreign writes = %s, want %s", got, want)
+	}
+}

@@ -50,6 +50,15 @@ const (
 // MultiWrite is one entity write inside a multi-entity request.
 type MultiWrite = core.MultiWrite
 
+// ReplicationOptions configure WAL-shipped replication of a kernel's units
+// to standby replicas (Options.Replication); see internal/replica for the
+// ack modes and transport contract.
+type ReplicationOptions = core.ReplicationOptions
+
+// ReplicaStats describes a kernel's replication posture and shipping
+// progress (Kernel.ReplicaStats).
+type ReplicaStats = core.ReplicaStats
+
 // SyncMode selects when the write-ahead log forces appended bytes to stable
 // storage (Options.Fsync, meaningful with Options.DataDir).
 type SyncMode = storage.SyncMode

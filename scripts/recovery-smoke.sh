@@ -3,13 +3,17 @@
 # shutdown flush), restart it from the data directory alone, and verify the
 # states and a backup/restore round trip. This is the end-to-end check that
 # the storage engine's crash story holds outside the Go test harness.
+# A second act runs the replicated failover story: a primary shipping its WAL
+# to two standbys is killed -9 and one standby is promoted in its place.
 set -euo pipefail
 
 PORT="${PORT:-18473}"
+SB1_PORT=$((PORT + 1))
+SB2_PORT=$((PORT + 2))
 SERVER="http://127.0.0.1:${PORT}"
 WORK="$(mktemp -d)"
 DATA="${WORK}/data"
-trap 'if [ -n "${PID:-}" ]; then kill -9 "${PID}" 2>/dev/null || true; fi; rm -rf "${WORK}"' EXIT
+trap 'for p in "${PID:-}" "${SB1_PID:-}" "${SB2_PID:-}"; do [ -n "${p}" ] && kill -9 "${p}" 2>/dev/null || true; done; rm -rf "${WORK}"' EXIT
 
 echo "== build"
 go build -o "${WORK}/soupsd" ./cmd/soupsd
@@ -76,4 +80,69 @@ if [ "${balance}" != "100" ]; then
   exit 1
 fi
 echo "ok: backup/restore round trip (balance=${balance})"
+
+echo "== three-node failover: primary + two standbys, kill -9, promote"
+kill -9 "${PID}"
+wait "${PID}" 2>/dev/null || true
+PID=""
+rm -rf "${DATA}"
+
+ctl1() { "${WORK}/soupsctl" -server "http://127.0.0.1:${SB1_PORT}" "$@"; }
+ctl2() { "${WORK}/soupsctl" -server "http://127.0.0.1:${SB2_PORT}" "$@"; }
+
+"${WORK}/soupsd" -addr "127.0.0.1:${SB1_PORT}" -role standby -units 2 \
+  -data-dir "${WORK}/sb1" -fsync-mode always >"${WORK}/sb1.log" 2>&1 &
+SB1_PID=$!
+"${WORK}/soupsd" -addr "127.0.0.1:${SB2_PORT}" -role standby -units 2 \
+  -data-dir "${WORK}/sb2" -fsync-mode always >"${WORK}/sb2.log" 2>&1 &
+SB2_PID=$!
+"${WORK}/soupsd" -addr "127.0.0.1:${PORT}" -units 2 -groupcommit \
+  -data-dir "${DATA}" -fsync-mode always \
+  -standbys "http://127.0.0.1:${SB1_PORT},http://127.0.0.1:${SB2_PORT}" \
+  -ack sync >"${WORK}/primary.log" 2>&1 &
+PID=$!
+wait_up
+
+echo "== populate through the replicated primary"
+ctl set Account A-2 owner=carol >/dev/null
+for i in $(seq 1 15); do
+  ctl delta Account A-2 balance=4 >/dev/null
+done
+
+# A standby serves metrics but refuses data until promoted.
+if ctl1 get Account A-2 >/dev/null 2>&1; then
+  echo "FAIL: unpromoted standby answered a data read" >&2
+  exit 1
+fi
+received="$(ctl1 metrics | grep -o 'replication.records_received [0-9]*' | grep -o '[0-9]*$')"
+if [ "${received}" -lt 16 ]; then
+  echo "FAIL: standby received ${received} records, want >= 16" >&2
+  exit 1
+fi
+
+echo "== kill -9 the primary, promote standby 1"
+kill -9 "${PID}"
+wait "${PID}" 2>/dev/null || true
+PID=""
+ctl1 promote >/dev/null
+
+balance="$(ctl1 get Account A-2 | grep -o '"balance": [0-9]*' | grep -o '[0-9]*')"
+if [ "${balance}" != "60" ]; then
+  echo "FAIL: balance on promoted standby = '${balance}', want 60" >&2
+  exit 1
+fi
+# The promoted node is a full primary: it takes writes.
+ctl1 delta Account A-2 balance=4 >/dev/null
+balance="$(ctl1 get Account A-2 | grep -o '"balance": [0-9]*' | grep -o '[0-9]*')"
+if [ "${balance}" != "64" ]; then
+  echo "FAIL: balance after post-promotion write = '${balance}', want 64" >&2
+  exit 1
+fi
+# The second standby kept its own synchronously acked copy of the stream.
+received2="$(ctl2 metrics | grep -o 'replication.records_received [0-9]*' | grep -o '[0-9]*$')"
+if [ "${received2}" -lt 16 ]; then
+  echo "FAIL: surviving standby holds ${received2} records, want >= 16" >&2
+  exit 1
+fi
+echo "ok: failover (acked writes survived, promoted node live, peer standby intact)"
 echo "PASS"
