@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-append bench-io bench-storage bench-pool bench-replication replication-faults recovery-smoke linkcheck tables clean
+.PHONY: build test vet race bench bench-append bench-io bench-storage bench-pool bench-replication replication-faults storage-faults recovery-smoke linkcheck tables clean
 
 build:
 	$(GO) build ./...
@@ -49,9 +49,21 @@ bench-replication:
 replication-faults:
 	$(GO) test -race -run 'TestFaultMatrix|TestCrossMode|TestFailover|TestDivergent|TestPromiseLimit' ./internal/replica/
 
+# Graceful-degradation suites under the race detector: the storage fault
+# matrix across ack modes, degraded read-only modes and repair, breaker and
+# retry behaviour, the exhaustive torn-write recovery matrix, admission
+# control and deadlines, and the kernel/HTTP 503 surface.
+storage-faults:
+	$(GO) test -race -run 'TestStorageFaultMatrix|TestEnospc|TestFsync|TestCorruption|TestBreaker|TestShipRetry' ./internal/replica/
+	$(GO) test -race -run 'TestFaultBackend|TestWALTornWriteRecoveryMatrix|TestWALMidLogCorruption' ./internal/storage/
+	$(GO) test -race -run 'TestMaxDepth|TestRedelivery|TestDeadline|TestExtendLease|TestLaneLeaseRenewal|TestEngineDropsExpired|TestEmitInherits' ./internal/queue/ ./internal/process/
+	$(GO) test -race -run 'TestKernelSheds|TestKernelDegraded|TestEventSubmitSheds|TestDegradedStorage|TestEventDeadline' ./internal/core/ ./cmd/soupsd/
+
 # End-to-end crash test: populate a durable soupsd, kill -9, restart from the
 # data directory, verify states and a backup/restore round trip — then kill
-# a replicated primary -9 and promote one of its two standbys.
+# a replicated primary -9 and promote one of its two standbys, and finally
+# run a node out of disk on a small tmpfs (writes shed 503, reads serve,
+# freeing space re-arms; skipped where tmpfs cannot be mounted).
 recovery-smoke:
 	./scripts/recovery-smoke.sh
 

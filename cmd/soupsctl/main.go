@@ -7,6 +7,7 @@
 //	soupsctl -server http://localhost:8080 delta Account A-1 balance=-25
 //	soupsctl -server http://localhost:8080 history Order O-1
 //	soupsctl -server http://localhost:8080 metrics
+//	soupsctl -server http://localhost:8080 status
 //	soupsctl -server http://localhost:8080 backup store.ndjson
 //	soupsctl -server http://localhost:8080 restore store.ndjson
 //	soupsctl -server http://localhost:8080 checkpoint
@@ -29,6 +30,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -52,6 +54,8 @@ func main() {
 		get(*server + "/warnings")
 	case "metrics":
 		get(*server + "/metrics")
+	case "status":
+		status()
 	case "set", "delta":
 		requireArgs(args, 4)
 		post(args[0], args[1], args[2], args[3:])
@@ -73,6 +77,7 @@ func usage() {
   get|history Type ID
   set|delta Type ID field=value ...
   warnings | metrics | checkpoint
+  status           degraded/overload/breaker posture of the node
   promote          tell a standby to take over as primary
   backup  [file]   stream the node's log to file (default stdout)
   restore [file]   replay a backup stream into the node (default stdin)`)
@@ -157,6 +162,79 @@ func restore(args []string) {
 	fmt.Printf("%s\n", bytes.TrimSpace(body))
 	if resp.StatusCode >= 300 {
 		os.Exit(1)
+	}
+}
+
+// status renders GET /status as a short operator summary: role, write
+// availability, any degraded units, shed counters and breaker states. Fetch
+// /status directly for the raw JSON.
+func status() {
+	url := *server + "/status"
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		fmt.Printf("%s\n", bytes.TrimSpace(body))
+		os.Exit(1)
+	}
+	var st struct {
+		Role   string `json:"role"`
+		Health *struct {
+			WritesOK      bool `json:"writes_ok"`
+			DegradedUnits int  `json:"degraded_units"`
+			Units         []struct {
+				Unit      string `json:"unit"`
+				Depth     int    `json:"queue_depth"`
+				Degraded  bool   `json:"degraded"`
+				Reason    string `json:"reason"`
+				Permanent bool   `json:"permanent"`
+				Error     string `json:"error"`
+			} `json:"units"`
+			QueueDepth      int               `json:"queue_depth"`
+			QueueShed       uint64            `json:"queue_shed"`
+			DeadlineDropped uint64            `json:"deadline_dropped"`
+			WritesRefused   uint64            `json:"writes_refused"`
+			Breakers        map[string]string `json:"breakers"`
+		} `json:"health"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		log.Fatalf("status: malformed response: %v", err)
+	}
+	fmt.Printf("role: %s\n", st.Role)
+	if st.Health == nil {
+		return
+	}
+	h := st.Health
+	writes := "ok"
+	if !h.WritesOK {
+		writes = fmt.Sprintf("DEGRADED (%d unit(s) read-only)", h.DegradedUnits)
+	}
+	fmt.Printf("writes: %s\n", writes)
+	fmt.Printf("queue: depth=%d shed=%d deadline_dropped=%d writes_refused=%d\n",
+		h.QueueDepth, h.QueueShed, h.DeadlineDropped, h.WritesRefused)
+	for _, u := range h.Units {
+		if !u.Degraded {
+			continue
+		}
+		perm := "retryable"
+		if u.Permanent {
+			perm = "permanent"
+		}
+		fmt.Printf("  %s: degraded reason=%s (%s) err=%s\n", u.Unit, u.Reason, perm, u.Error)
+	}
+	if len(h.Breakers) > 0 {
+		names := make([]string, 0, len(h.Breakers))
+		for name := range h.Breakers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("breakers:\n")
+		for _, name := range names {
+			fmt.Printf("  %s: %s\n", name, h.Breakers[name])
+		}
 	}
 }
 

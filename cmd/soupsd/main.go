@@ -5,21 +5,30 @@
 //
 //	GET  /entities/{Type}/{ID}            current subjective state
 //	POST /entities/{Type}/{ID}            apply operations: {"set":{"f":v}, "delta":{"f":n}, "describe":"..."}
+//	POST /events                          submit a process-step event: {"name":..., "type":..., "id":..., "data":{...}, "deadline_ms":N}
 //	GET  /history/{Type}/{ID}             insert-only version trace
 //	GET  /warnings                        managed constraint violations so far
 //	GET  /metrics                         kernel metric dump (plain text)
 //	GET  /healthz                         liveness probe
+//	GET  /readyz                          readiness: 503 while writes are degraded or shedding
+//	GET  /status                          degraded/overload/breaker posture as JSON
 //	GET  /backup                          portable JSON export of every unit's log
 //	POST /restore                         replay a backup stream into a fresh node
 //	POST /checkpoint                      force a storage checkpoint on every unit
 //	POST /replicate                       receive one shipped WAL batch (standby role)
 //	POST /promote                         standby takes over as primary
 //
+// Writes refused by admission control (per-unit queue past -max-queue-depth)
+// or by a unit in degraded read-only mode answer 503 with a Retry-After
+// header; reads keep serving either way. See the degraded-modes runbook in
+// docs/OPERATIONS.md.
+//
 // Usage: soupsd [-addr :8080] [-units 4] [-consistency eventual|strong]
 //
 //	[-workers 2] [-groupcommit] [-maxbatch 64]
 //	[-data-dir DIR] [-fsync-mode always|os] [-checkpoint-every 4096]
 //	[-role primary|standby] [-standbys URL,URL] [-ack async|sync|quorum]
+//	[-max-queue-depth 4096] [-retry-after 1s]
 //
 // With -data-dir the node is durable: every commit cycle is appended to a
 // segmented write-ahead log per unit, startup recovers from the latest
@@ -50,6 +59,7 @@ import (
 
 	"repro"
 	"repro/internal/lsdb"
+	"repro/internal/queue"
 	"repro/internal/storage"
 )
 
@@ -63,6 +73,8 @@ var (
 	dataDir     = flag.String("data-dir", "", "durable mode: write-ahead log + checkpoint directory (empty = in-memory)")
 	fsyncMode   = flag.String("fsync-mode", "os", "WAL durability: always (fsync per commit cycle) or os (page cache)")
 	ckptEvery   = flag.Int("checkpoint-every", 4096, "records per unit between automatic checkpoints (-1 disables)")
+	maxDepth    = flag.Int("max-queue-depth", 4096, "admission control: shed event submits past this per-unit queue depth with 503 (0 = unbounded)")
+	retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 503 backpressure/degraded responses")
 )
 
 // server is one soupsd node: in the primary role kernel is set; in the
@@ -123,7 +135,8 @@ func openKernel() (*repro.Kernel, error) {
 		Node: "soupsd", Units: *units, Consistency: mode, Workers: *workers,
 		GroupCommit: *groupCommit, MaxAppendBatch: *maxBatch,
 		DataDir: *dataDir, Fsync: sync, CheckpointEvery: *ckptEvery,
-		Replication: repl,
+		MaxQueueDepth: *maxDepth,
+		Replication:   repl,
 	}, repro.StandardTypes()...)
 }
 
@@ -154,6 +167,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/entities/", s.handleEntity)
+	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/history/", s.handleHistory)
 	mux.HandleFunc("/warnings", s.handleWarnings)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -163,6 +177,8 @@ func main() {
 	mux.HandleFunc("/replicate", s.handleReplicate)
 	mux.HandleFunc("/promote", s.handlePromote)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/status", s.handleStatus)
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	// Durable shutdown: stop accepting traffic, then flush the write-ahead
@@ -298,6 +314,9 @@ func (s *server) handleEntity(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res, err := k.Update(key, ops...)
+		if shedResponse(w, err) {
+			return
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
@@ -306,6 +325,120 @@ func (s *server) handleEntity(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// shedResponse maps backpressure and degraded-storage refusals onto 503 with
+// a Retry-After hint, so load balancers and clients back off instead of
+// treating shed writes as hard failures. Returns true if it wrote a response.
+func shedResponse(w http.ResponseWriter, err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, queue.ErrOverloaded) || errors.Is(err, lsdb.ErrDegraded) {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int((*retryAfter).Seconds())))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return true
+	}
+	return false
+}
+
+type eventRequest struct {
+	Name       string                 `json:"name"`
+	Type       string                 `json:"type"`
+	ID         string                 `json:"id"`
+	Data       map[string]interface{} `json:"data,omitempty"`
+	DeadlineMS int64                  `json:"deadline_ms,omitempty"`
+}
+
+// handleEvents submits one process-step event through admission control. A
+// deadline_ms budget travels with the event: work still queued past it is
+// dropped instead of executed.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k := s.dataKernel(w)
+	if k == nil {
+		return
+	}
+	var req eventRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "malformed body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Name == "" || req.Type == "" || req.ID == "" {
+		http.Error(w, "name, type and id are required", http.StatusBadRequest)
+		return
+	}
+	ev := repro.Event{
+		Name:   req.Name,
+		Entity: repro.Key{Type: req.Type, ID: req.ID},
+		Data:   req.Data,
+	}
+	if req.DeadlineMS > 0 {
+		ev.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	if err := k.Submit(ev); err != nil {
+		if shedResponse(w, err) {
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]string{"status": "accepted"})
+}
+
+// handleReadyz is the readiness probe: unlike /healthz (liveness) it answers
+// 503 while any unit refuses writes, so rotations drain traffic from a node
+// that is up but degraded.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	k, recv := s.kernel, s.standby
+	s.mu.Unlock()
+	if recv != nil {
+		fmt.Fprintln(w, "ok (standby)")
+		return
+	}
+	h := k.Health()
+	if !h.WritesOK {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int((*retryAfter).Seconds())))
+		reason := "degraded"
+		for _, u := range h.Units {
+			if u.Degraded {
+				reason = fmt.Sprintf("%s degraded (%s)", u.Unit, u.Reason)
+				break
+			}
+		}
+		http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	if err := k.StorageErr(); err != nil {
+		http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleStatus reports the node's degraded/overload/breaker posture as JSON
+// (soupsctl status renders it).
+func (s *server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	k, recv := s.kernel, s.standby
+	s.mu.Unlock()
+	if recv != nil {
+		writeJSON(w, map[string]interface{}{"role": "standby"})
+		return
+	}
+	out := map[string]interface{}{
+		"role":   "primary",
+		"health": k.Health(),
+	}
+	if rs := k.ReplicaStats(); rs.Enabled {
+		out["replication"] = rs
+	}
+	writeJSON(w, out)
 }
 
 // normalise maps JSON numbers that are integral onto int64 so Int fields
@@ -428,6 +561,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "process.peak_lane_depth %d\n", ps.PeakLaneDepth)
 	fmt.Fprintf(w, "process.keyed_dequeues %d\n", ps.KeyedDequeues)
 	fmt.Fprintf(w, "process.queue_depth %d\n", k.QueueDepth())
+	fmt.Fprintf(w, "process.deadline_dropped %d\n", ps.DeadlineDropped)
+	fmt.Fprintf(w, "process.lease_renewals %d\n", ps.LeaseRenewals)
+	// Degraded-modes posture: admission-control sheds, units refusing writes
+	// and write attempts bounced off read-only units.
+	h := k.Health()
+	fmt.Fprintf(w, "queue.shed %d\n", h.QueueShed)
+	fmt.Fprintf(w, "degraded.units %d\n", h.DegradedUnits)
+	fmt.Fprintf(w, "degraded.writes_refused %d\n", h.WritesRefused)
 	s.replicationMetrics(w, k, nil)
 }
 

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -258,4 +259,16 @@ func (s *server) replicationMetrics(w io.Writer, k *repro.Kernel, recv *standbyR
 	fmt.Fprintf(w, "replication.records_shipped %d\n", rs.Ship.RecordsShipped)
 	fmt.Fprintf(w, "replication.sync_acks %d\n", rs.Ship.SyncAcks)
 	fmt.Fprintf(w, "replication.ship_failures %d\n", rs.Ship.ShipFailures)
+	fmt.Fprintf(w, "replication.ship_retries %d\n", rs.Ship.ShipRetries)
+	fmt.Fprintf(w, "replication.breaker_opens %d\n", rs.Ship.BreakerOpens)
+	fmt.Fprintf(w, "replication.breaker_short_circuits %d\n", rs.Ship.BreakerShortCircuits)
+	states := k.Health().Breakers
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "replication.breaker.%s %s\n", name, states[name])
+	}
 }

@@ -407,6 +407,23 @@ func (s *Sequence) Reserve(n int) uint64 {
 	return first
 }
 
+// Rollback un-issues a reservation of n identifiers starting at first. The
+// LSDB calls it when a log-first append fails after reserving LSNs: putting
+// the run back keeps the durable log dense (no LSN gaps), which standby
+// contiguous watermarks and the group-commit contract depend on. It succeeds
+// only when first..first+n-1 is exactly the tip of the sequence — callers
+// must serialise allocation and rollback under their own lock so no later
+// reservation can interleave.
+func (s *Sequence) Rollback(first uint64, n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || first == 0 || first+uint64(n)-1 != s.next {
+		return false
+	}
+	s.next = first - 1
+	return true
+}
+
 // Peek returns the most recently issued identifier (0 if none yet).
 func (s *Sequence) Peek() uint64 {
 	s.mu.Lock()

@@ -143,6 +143,17 @@ type Options struct {
 	// it scales cross-entity step throughput with cores without ever
 	// reordering one entity's steps.
 	Workers int
+	// MaxQueueDepth is the admission-control high-water mark on each unit's
+	// event queue: a Submit that would grow a unit's pending list past it is
+	// shed with an error wrapping queue.ErrOverloaded (soupsd maps it to
+	// 503 + Retry-After). Redeliveries of accepted work are exempt, so
+	// backpressure never reorders or drops per-entity work already taken in.
+	// Zero disables shedding.
+	MaxQueueDepth int
+	// RearmAfter is how long a unit stays in retryable degraded read-only
+	// mode (an ENOSPC-style append failure) before the next write probes the
+	// backend again (default 1s; see lsdb.Options.RearmAfter).
+	RearmAfter time.Duration
 	// TxnRetries is how many times Transact retries optimistic conflicts.
 	TxnRetries int
 	// PromiseLimit caps how many pending promises one entity may carry at
@@ -317,7 +328,10 @@ func Open(opts Options) (*Kernel, error) {
 		// deliverable backlog into lanes) from churning reclaim/redelivery
 		// cycles and spuriously dead-lettering messages that are alive in a
 		// lane; see the step-pool notes in internal/process.
-		q := queue.New(string(id), queue.Options{VisibilityTimeout: 10 * time.Minute})
+		q := queue.New(string(id), queue.Options{
+			VisibilityTimeout: 10 * time.Minute,
+			MaxDepth:          opts.MaxQueueDepth,
+		})
 		engine := process.NewEngine(mgr, q, process.Options{
 			Workers:          opts.Workers,
 			TxnMode:          opts.txnMode(),
@@ -390,6 +404,7 @@ func openUnitStore(opts Options, id partition.UnitID, index int) (*lsdb.DB, erro
 		GroupCommit:     opts.GroupCommit,
 		MaxBatch:        opts.MaxAppendBatch,
 		CheckpointEvery: opts.CheckpointEvery,
+		RearmAfter:      opts.RearmAfter,
 	}
 	if opts.UnitBackends != nil {
 		dbOpts.Backend = opts.UnitBackends[index]
@@ -1083,6 +1098,8 @@ func (k *Kernel) ProcessStats() process.Stats {
 		total.EnqueuedEvents += s.EnqueuedEvents
 		total.LaneSteals += s.LaneSteals
 		total.KeyedDequeues += s.KeyedDequeues
+		total.DeadlineDropped += s.DeadlineDropped
+		total.LeaseRenewals += s.LeaseRenewals
 		if s.PeakLaneDepth > total.PeakLaneDepth {
 			total.PeakLaneDepth = s.PeakLaneDepth
 		}
@@ -1161,6 +1178,92 @@ func (k *Kernel) QueueDepth() int {
 		total += u.queue.Len()
 	}
 	return total
+}
+
+// UnitHealth is one serialization unit's degraded posture.
+type UnitHealth struct {
+	Unit       string `json:"unit"`
+	QueueDepth int    `json:"queue_depth"`
+	// Degraded marks a unit refusing writes; Reason is the documented
+	// degraded state ("append-error", "fail-stopped", "corrupt",
+	// "poisoned"), Permanent whether only repair/restart clears it.
+	Degraded  bool      `json:"degraded,omitempty"`
+	Reason    string    `json:"reason,omitempty"`
+	Permanent bool      `json:"permanent,omitempty"`
+	Since     time.Time `json:"since,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// Health is the kernel's health surface: whether writes are being accepted,
+// which units are degraded and why, the queue/backpressure counters, and
+// the standby breaker states. soupsd serves it on /readyz and /status and
+// folds the counters into /metrics; soupsctl status prints it.
+type Health struct {
+	// WritesOK is false while any unit refuses writes (degraded read-only
+	// mode). Reads keep serving either way.
+	WritesOK      bool         `json:"writes_ok"`
+	DegradedUnits int          `json:"degraded_units"`
+	Units         []UnitHealth `json:"units"`
+	// QueueDepth is the pending-event total; QueueShed counts enqueues
+	// refused by admission control; DeadlineDropped counts events dropped
+	// unexecuted past their deadline (at dequeue or in a lane);
+	// WritesRefused counts appends refused with lsdb.ErrDegraded.
+	QueueDepth      int    `json:"queue_depth"`
+	QueueShed       uint64 `json:"queue_shed"`
+	DeadlineDropped uint64 `json:"deadline_dropped"`
+	WritesRefused   uint64 `json:"writes_refused"`
+	// Breakers maps each standby to its circuit-breaker state ("closed",
+	// "open", "half-open"); nil when replication is off.
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+// Health returns the kernel's degraded/overload posture. It is cheap enough
+// to poll: degraded states are lock-free reads and the counters take one
+// short lock each.
+func (k *Kernel) Health() Health {
+	h := Health{WritesOK: true}
+	for _, id := range k.unitIDs {
+		u := k.units[id]
+		uh := UnitHealth{Unit: string(id), QueueDepth: u.queue.Len()}
+		if d := u.db.Degraded(); d != nil {
+			uh.Degraded = true
+			uh.Reason = d.Reason
+			uh.Permanent = d.Permanent
+			uh.Since = d.Since
+			if d.Err != nil {
+				uh.Error = d.Err.Error()
+			}
+			h.WritesOK = false
+			h.DegradedUnits++
+		}
+		h.QueueDepth += uh.QueueDepth
+		h.QueueShed += u.queue.Shed()
+		h.DeadlineDropped += u.queue.DeadlineDropped() + u.engine.Stats().DeadlineDropped
+		h.WritesRefused += u.db.WritesRefused()
+		h.Units = append(h.Units, uh)
+	}
+	if k.shipper != nil {
+		h.Breakers = map[string]string{}
+		for peer, st := range k.shipper.BreakerStates() {
+			h.Breakers[string(peer)] = st
+		}
+	}
+	return h
+}
+
+// RepairUnit heals a fail-stopped or corrupt unit backend: the bad log
+// suffix is quarantined and refilled from fetch (nil refills from the
+// unit's own in-memory store, which log-first commit guarantees is a
+// superset of the durable log). See lsdb.Repair.
+func (k *Kernel) RepairUnit(unit int, fetch func(after uint64) ([]lsdb.Record, error)) error {
+	if unit < 0 || unit >= len(k.byIndex) {
+		return fmt.Errorf("core: unknown unit %d", unit)
+	}
+	db := k.byIndex[unit].db
+	if fetch == nil {
+		fetch = func(after uint64) ([]lsdb.Record, error) { return db.RecordsAfter(after), nil }
+	}
+	return db.Repair(fetch)
 }
 
 // --- Secondary data ------------------------------------------------------------

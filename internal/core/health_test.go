@@ -1,0 +1,126 @@
+package core
+
+// Kernel-level graceful degradation: admission control sheds event submits
+// past MaxQueueDepth without reordering accepted work, storage faults put a
+// unit into degraded read-only mode that Health reports and RepairUnit
+// clears, and the two surfaces compose on one kernel.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/entity"
+	"repro/internal/lsdb"
+	"repro/internal/process"
+	"repro/internal/queue"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func TestKernelShedsSubmitsAtMaxQueueDepth(t *testing.T) {
+	k := newKernel(t, Options{Node: "n1", Units: 1, MaxQueueDepth: 4})
+	var mu sync.Mutex
+	var ran []string
+	def := process.NewDefinition("load")
+	def.Step("load.step", func(ctx *process.StepContext) error {
+		mu.Lock()
+		ran = append(ran, ctx.Event.TxnID)
+		mu.Unlock()
+		return ctx.Txn.Update(ctx.Event.Entity, entity.Delta("balance", 1))
+	})
+	if err := k.DefineProcess(def); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"t1", "t2", "t3", "t4"} {
+		if err := k.Submit(queue.Event{Name: "load.step", Entity: accountKey("A1"), TxnID: id}); err != nil {
+			t.Fatalf("submit %s within depth: %v", id, err)
+		}
+	}
+	err := k.Submit(queue.Event{Name: "load.step", Entity: accountKey("A1"), TxnID: "t5"})
+	if !errors.Is(err, queue.ErrOverloaded) {
+		t.Fatalf("submit past depth = %v, want ErrOverloaded", err)
+	}
+	h := k.Health()
+	if !h.WritesOK {
+		t.Fatal("overload is backpressure, not degradation: writes must stay OK")
+	}
+	if h.QueueDepth != 4 || h.QueueShed != 1 {
+		t.Fatalf("health depth=%d shed=%d, want 4/1", h.QueueDepth, h.QueueShed)
+	}
+	// The shed submit left the accepted backlog untouched: draining executes
+	// t1..t4 in enqueue order, and the freed depth admits new work.
+	if n := k.Drain(); n != 4 {
+		t.Fatalf("drained %d steps, want 4", n)
+	}
+	mu.Lock()
+	got := append([]string(nil), ran...)
+	mu.Unlock()
+	for i, want := range []string{"t1", "t2", "t3", "t4"} {
+		if got[i] != want {
+			t.Fatalf("execution order %v, want t1..t4 in enqueue order", got)
+		}
+	}
+	if err := k.Submit(queue.Event{Name: "load.step", Entity: accountKey("A1"), TxnID: "t6"}); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+func TestKernelDegradedUnitHealthAndRepair(t *testing.T) {
+	fb := storage.NewFaultBackend(storage.NewMemory())
+	k, err := Bootstrap(Options{
+		Node:         "n1",
+		Units:        1,
+		UnitBackends: []storage.Backend{fb},
+		RearmAfter:   time.Hour, // no self-healing probe: the test drives recovery
+	}, workload.Types()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	if _, err := k.Update(accountKey("A1"), entity.Delta("balance", 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	fb.FailAppends(1)
+	if _, err := k.Update(accountKey("A1"), entity.Delta("balance", 5)); !errors.Is(err, lsdb.ErrDegraded) {
+		t.Fatalf("update into full disk = %v, want ErrDegraded", err)
+	}
+	h := k.Health()
+	if h.WritesOK || h.DegradedUnits != 1 {
+		t.Fatalf("health after fault = %+v, want one degraded unit", h)
+	}
+	if u := h.Units[0]; !u.Degraded || u.Reason != "append-error" || u.Permanent {
+		t.Fatalf("unit health = %+v, want retryable append-error", u)
+	}
+	if st, err := k.Read(accountKey("A1")); err != nil || st.Float("balance") != 10 {
+		t.Fatalf("degraded read = %v %v, want balance 10 from cache", st, err)
+	}
+	// Second write inside the re-arm window is refused without a probe.
+	if _, err := k.Update(accountKey("A1"), entity.Delta("balance", 5)); !errors.Is(err, lsdb.ErrDegraded) {
+		t.Fatalf("second update = %v, want ErrDegraded", err)
+	}
+	if h := k.Health(); h.WritesRefused == 0 {
+		t.Fatal("WritesRefused did not count the refused update")
+	}
+
+	// The fault window has passed; repair (nil fetch refills from the unit's
+	// own store, a superset of the durable log) re-arms writes.
+	fb.Heal()
+	if err := k.RepairUnit(0, nil); err != nil {
+		t.Fatalf("RepairUnit: %v", err)
+	}
+	if h := k.Health(); !h.WritesOK {
+		t.Fatalf("health after repair = %+v, want writes OK", h)
+	}
+	if _, err := k.Update(accountKey("A1"), entity.Delta("balance", 7)); err != nil {
+		t.Fatalf("update after repair: %v", err)
+	}
+	if st, _ := k.Read(accountKey("A1")); st.Float("balance") != 17 {
+		t.Fatalf("balance = %v, want 17 (refused writes left no trace)", st.Float("balance"))
+	}
+	if err := k.RepairUnit(7, nil); err == nil {
+		t.Fatal("RepairUnit on unknown unit index must fail")
+	}
+}

@@ -209,10 +209,16 @@ func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.
 	if len(live) == 0 {
 		return live
 	}
-	first := db.lsn.Reserve(len(live))
+	// One commit cycle — one LSN run, one backend append, one log force, one
+	// commit-hook call — for the whole batch: this is where group commit
+	// amortises durability latency across every writer in the batch.
+	// Log-first: the batch reaches the durable backend before any record is
+	// installed, so a backend refusal fails the whole batch cleanly — no
+	// state changed, every writer gets the typed degraded error, and the
+	// rolled-back reservation keeps the log dense.
+	recs := make([]Record, len(live))
 	for i, r := range live {
-		r.res.Record = Record{
-			LSN:       first + uint64(i),
+		recs[i] = Record{
 			Key:       r.key,
 			Ops:       r.ops,
 			Stamp:     r.stamp,
@@ -220,22 +226,24 @@ func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.
 			TxnID:     r.txnID,
 			Tentative: r.tentative,
 		}
+	}
+	if err := db.logAppend(recs); err != nil {
+		for _, r := range live {
+			r.err = err
+			r.next = nil
+		}
+		return live
+	}
+	for i, r := range live {
+		r.res.Record = recs[i]
 		r.res.State = db.commitAppendLocked(s, &r.res.Record, r.next)
 	}
-	// One commit cycle — one backend append, one log force, one commit-hook
-	// call — for the whole batch: this is where group commit amortises
-	// durability latency across every writer in the batch. A backend error
-	// is indeterminate for the whole batch (the records are installed), so
-	// every writer in it receives the error.
-	if db.opts.Backend != nil || db.opts.CommitHook != nil || db.opts.CommitSink != nil {
-		recs := make([]Record, len(live))
-		for i, r := range live {
-			recs[i] = r.res.Record
-		}
-		if err := db.commitCycleLocked(recs); err != nil {
-			for _, r := range live {
-				r.err = err
-			}
+	// The sink's post-install error (replication ack shortfall) is
+	// indeterminate for the whole batch — the records are committed and
+	// visible — so every writer in it receives it.
+	if err := db.postCommitLocked(recs); err != nil {
+		for _, r := range live {
+			r.err = err
 		}
 	}
 	return live

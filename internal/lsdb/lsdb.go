@@ -36,6 +36,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/entity"
@@ -141,11 +142,17 @@ type Options struct {
 	// amortises durability latency exactly as it does the CommitHook), and
 	// MarkObsolete/Compact log their history rewrites as marks. Open attaches
 	// the backend for writing only; to rebuild a store from a backend's
-	// content use Recover. The backend write happens after the cycle's
-	// records are installed in memory, so a backend error is indeterminate
-	// the same way a CommitHook panic is: the records are committed and
-	// visible, and every writer in the cycle receives the error.
+	// content use Recover. Commits are log-first: the backend append happens
+	// before the cycle's records are installed in memory, so a backend error
+	// is a clean refusal — nothing was committed, the writers get a typed
+	// ErrDegraded, and the unit enters degraded read-only mode (see
+	// degraded.go) until the backend heals or is repaired.
 	Backend storage.Backend
+	// RearmAfter is how long a unit degraded by a retryable append error
+	// (ENOSPC and kin) waits before probing the backend with the next real
+	// append. Zero uses a one-second default. Permanent states (fsync
+	// poisoning, corruption, fail-stop) never probe.
+	RearmAfter time.Duration
 	// CheckpointEvery, with a Backend attached, takes a checkpoint after
 	// roughly this many records have been committed since the last one.
 	// Checkpoints bound recovery to the log tail written after them. Zero
@@ -220,6 +227,21 @@ type DB struct {
 
 	lsn    clock.Sequence // global LSN allocator, shared by all shards
 	shards []*shard
+
+	// logMu makes LSN allocation and the backend append of a commit cycle
+	// atomic (log-first commit, see degraded.go): a failed append can then
+	// roll its reservation back safely, keeping the log dense. Lock order:
+	// shard.mu before logMu; logMu never wraps a shard lock.
+	logMu sync.Mutex
+	// repairMu serialises Repair calls (quarantine + refill spans two logMu
+	// critical sections).
+	repairMu sync.Mutex
+	// degraded is the unit's degraded read-only state (nil: writes accepted).
+	// Mutated under logMu; read lock-free by health surfaces.
+	degraded       atomic.Pointer[degradedInfo]
+	degradedEvents atomic.Uint64
+	writesRefused  atomic.Uint64
+	rearms         atomic.Uint64
 
 	// recovering suppresses backend writes while Recover replays the
 	// backend's own content back into the store. Written only before the DB
@@ -352,53 +374,27 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 	if err != nil {
 		return AppendResult{}, err
 	}
-	rec := Record{
-		LSN:       db.lsn.Next(),
+	// Log-first: the record reaches the durable backend (which assigns the
+	// cycle its LSN run atomically under logMu) before anything is installed
+	// in memory. A refusal is clean — no state changed, the writer gets the
+	// typed degraded error. See degraded.go.
+	recs := []Record{{
 		Key:       key,
 		Ops:       ops,
 		Stamp:     stamp,
 		Origin:    origin,
 		TxnID:     txnID,
 		Tentative: tentative,
+	}}
+	if err := db.logAppend(recs); err != nil {
+		return AppendResult{}, err
 	}
-	resState := db.commitAppendLocked(s, &rec, next)
-	res := AppendResult{Record: rec, State: resState, Warnings: warnings}
-	if db.opts.Backend != nil || db.opts.CommitHook != nil || db.opts.CommitSink != nil {
-		if err := db.commitCycleLocked([]Record{rec}); err != nil {
-			return res, err
-		}
+	resState := db.commitAppendLocked(s, &recs[0], next)
+	res := AppendResult{Record: recs[0], State: resState, Warnings: warnings}
+	if err := db.postCommitLocked(recs); err != nil {
+		return res, err
 	}
 	return res, nil
-}
-
-// commitCycleLocked finishes one commit cycle after its records are
-// installed in memory: the write-ahead append to the durable backend (one
-// framed batch write, one log force per cycle), then the user CommitHook.
-// The caller holds the shard's write lock, so the backend sees cycles in
-// the order readers of this shard do. A backend error is returned to every
-// writer in the cycle; their records are already committed and visible (the
-// same indeterminacy any post-commit failure has — see Options.Backend).
-func (db *DB) commitCycleLocked(records []Record) error {
-	if db.opts.Backend != nil && !db.recovering {
-		if err := db.opts.Backend.AppendBatch(records); err != nil {
-			return fmt.Errorf("lsdb: backend append failed (records are committed in memory): %w", err)
-		}
-		db.sinceCkpt.Add(int64(len(records)))
-	}
-	// Replication ships after local durability: a batch is never on a
-	// standby without also being in this node's log. The CommitHook still
-	// runs on a sink failure — observability must see the cycle that did
-	// commit — and the sink's error goes to every writer in it.
-	var sinkErr error
-	if db.opts.CommitSink != nil && !db.recovering {
-		if err := db.opts.CommitSink(records); err != nil {
-			sinkErr = fmt.Errorf("lsdb: commit sink failed (records are committed locally): %w", err)
-		}
-	}
-	if db.opts.CommitHook != nil {
-		db.opts.CommitHook(records)
-	}
-	return sinkErr
 }
 
 // SetCommitSink attaches (or replaces) the commit sink after Open. The kernel
@@ -510,6 +506,16 @@ func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
 	if rec == nil {
 		return fmt.Errorf("%w: lsn %d", ErrNotFound, lsn)
 	}
+	// The record is already durable without its obsolete flag; log the
+	// history rewrite as a mark so recovery re-applies it — log-first, like
+	// appends: a degraded backend refuses the mark before memory changes
+	// (marks are writes too, and read-only mode refuses them the same way).
+	// Written under the shard lock, so the mark is ordered after the record
+	// it withdraws and before any later append to the same entity.
+	mark := Record{Kind: storage.KindObsolete, Key: key, TxnID: txnID}
+	if err := db.logMarks([]Record{mark}); err != nil {
+		return err
+	}
 	rec.Obsolete = true
 	// The materialised state folded the withdrawn record in; drop it so the
 	// next read rebuilds from the log. The snapshot only has to go if it
@@ -519,22 +525,11 @@ func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
 	if snap, ok := s.snaps[key]; ok && snap.lsn >= lsn {
 		delete(s.snaps, key)
 	}
-	// The record is already durable without its obsolete flag; log the
-	// history rewrite as a mark so recovery re-applies it. Written under the
-	// shard lock, so the mark is ordered after the record it withdraws and
-	// before any later append to the same entity. The mark ships through the
-	// commit sink too: a standby's log must withdraw the same promises.
-	if !db.recovering {
-		mark := Record{Kind: storage.KindObsolete, Key: key, TxnID: txnID}
-		if db.opts.Backend != nil {
-			if err := db.opts.Backend.AppendBatch([]Record{mark}); err != nil {
-				return fmt.Errorf("lsdb: backend mark failed (mark is applied in memory): %w", err)
-			}
-		}
-		if db.opts.CommitSink != nil {
-			if err := db.opts.CommitSink([]Record{mark}); err != nil {
-				return fmt.Errorf("lsdb: commit sink mark failed (mark is applied locally): %w", err)
-			}
+	// The mark ships through the commit sink too: a standby's log must
+	// withdraw the same promises. Post-install, like any sink call.
+	if !db.recovering && db.opts.CommitSink != nil {
+		if err := db.opts.CommitSink([]Record{mark}); err != nil {
+			return fmt.Errorf("lsdb: commit sink mark failed (mark is applied locally): %w", err)
 		}
 	}
 	return nil
@@ -1008,12 +1003,12 @@ func (db *DB) Compact(beforeLSN uint64) CompactStats {
 	// are identical either way, only the summarised/retained split differs.
 	if !db.recovering {
 		mark := Record{Kind: storage.KindCompact, Horizon: beforeLSN}
-		if db.opts.Backend != nil {
-			if err := db.opts.Backend.AppendBatch([]Record{mark}); err != nil {
-				db.setBackendErr(fmt.Errorf("lsdb: backend compact mark failed: %w", err))
-			}
-		}
-		if db.opts.CommitSink != nil {
+		if err := db.logMarks([]Record{mark}); err != nil {
+			// The in-memory compaction already happened; a refused mark is
+			// remembered rather than returned (replay would keep entities
+			// the live store archived — the rollup states are identical).
+			db.setBackendErr(fmt.Errorf("lsdb: backend compact mark failed: %w", err))
+		} else if db.opts.CommitSink != nil {
 			if err := db.opts.CommitSink([]Record{mark}); err != nil {
 				db.setBackendErr(fmt.Errorf("lsdb: commit sink compact mark failed: %w", err))
 			}

@@ -58,6 +58,9 @@ type lane struct {
 	home int // preferred worker index: hash of the entity key
 	// parked marks a lane waiting out a retry backoff; a timer requeues it.
 	parked bool
+	// lastRenew is when the owner last renewed the visibility leases of the
+	// deliveries this lane holds (zero until the first drain touches it).
+	lastRenew time.Time
 	// notBefore delays the lane's next execution (retry backoff). The failed
 	// delivery stays at the head of fifo, so the entity's later steps wait
 	// behind it instead of overtaking it.
@@ -69,6 +72,12 @@ type lane struct {
 type pool struct {
 	e       *Engine
 	workers int
+	// renewEvery is the lease-renewal cadence: a lane owner refreshes the
+	// visibility leases of the deliveries it holds every renewEvery while
+	// draining, so a backlog deeper than one visibility timeout's worth of
+	// work is neither reclaimed out from under the lane (redelivery thrash)
+	// nor marched attempt by attempt into the dead-letter list.
+	renewEvery time.Duration
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -81,14 +90,16 @@ type pool struct {
 	steals    uint64
 	peakDepth uint64
 	hints     uint64
+	renewals  uint64
 }
 
 func newPool(e *Engine, workers int) *pool {
 	p := &pool{
-		e:       e,
-		workers: workers,
-		lanes:   map[entity.Key]*lane{},
-		runq:    make([][]*lane, workers),
+		e:          e,
+		workers:    workers,
+		renewEvery: e.q.VisibilityTimeout() / 3,
+		lanes:      map[entity.Key]*lane{},
+		runq:       make([][]*lane, workers),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
@@ -252,6 +263,7 @@ func (p *pool) drain(ln *lane) {
 			p.mu.Unlock()
 			return
 		}
+		p.renewLeasesLocked(ln, time.Now())
 		if budget <= 0 {
 			if len(ln.fifo) > 0 {
 				// Yield: back of the home run queue, behind waiting lanes.
@@ -324,6 +336,30 @@ func (p *pool) drain(ln *lane) {
 	}
 }
 
+// renewLeasesLocked refreshes the visibility leases of every delivery the
+// lane still holds, at most once per renewEvery. The first touch only
+// stamps the clock — the leases were granted at dequeue, so a full renewal
+// interval of margin remains. A renewal that fails (the delivery was acked
+// or already reclaimed) is ignored; insertLocked dedups any redelivery.
+func (p *pool) renewLeasesLocked(ln *lane, now time.Time) {
+	if p.renewEvery <= 0 || len(ln.fifo) == 0 {
+		return
+	}
+	if ln.lastRenew.IsZero() {
+		ln.lastRenew = now
+		return
+	}
+	if now.Sub(ln.lastRenew) < p.renewEvery {
+		return
+	}
+	ln.lastRenew = now
+	for _, lm := range ln.fifo {
+		if p.e.q.ExtendLease(lm.m.ID) == nil {
+			p.renewals++
+		}
+	}
+}
+
 // parkLocked suspends a backing-off lane; a timer requeues it on its home
 // worker when the backoff elapses.
 func (p *pool) parkLocked(ln *lane) {
@@ -348,8 +384,8 @@ func (p *pool) unpark(ln *lane) {
 }
 
 // snapshot returns the pool counters for Engine.Stats.
-func (p *pool) snapshot() (steals, peakDepth, hints uint64) {
+func (p *pool) snapshot() (steals, peakDepth, hints, renewals uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.steals, p.peakDepth, p.hints
+	return p.steals, p.peakDepth, p.hints, p.renewals
 }

@@ -68,6 +68,11 @@ func (c *StepContext) Emit(ev queue.Event) {
 	if ev.TxnID == "" {
 		ev.TxnID = fmt.Sprintf("%s/%s#%d", c.Txn.ID(), ev.Name, len(c.emitted))
 	}
+	if ev.Deadline.IsZero() {
+		// Follow-up steps inherit the triggering request's patience: if the
+		// submitter stops waiting, the whole chain becomes droppable.
+		ev.Deadline = c.Event.Deadline
+	}
 	c.emitted = append(c.emitted, ev)
 }
 
@@ -175,6 +180,12 @@ type Stats struct {
 	// KeyedDequeues counts deliveries a lane owner pulled straight off the
 	// queue for its own entity (lane hinting), bypassing the dispatcher.
 	KeyedDequeues uint64
+	// DeadlineDropped counts deliveries discarded unexecuted because their
+	// event deadline had passed by the time a worker reached them.
+	DeadlineDropped uint64
+	// LeaseRenewals counts visibility-lease renewals lane owners issued for
+	// deliveries they were still holding.
+	LeaseRenewals uint64
 }
 
 // Engine schedules process steps from a queue against one serialization
@@ -319,6 +330,10 @@ func (e *Engine) Drain() int {
 // entity's steps; the pool path instead retries inside the lane
 // (runLaneDelivery).
 func (e *Engine) handleMessage(m *queue.Message) {
+	if e.pastDeadline(m.Event) {
+		_ = e.q.Ack(m.ID)
+		return
+	}
 	err := e.executeStep(m.Event, m.Attempts, e.opts.CollapseDepth, nil)
 	switch {
 	case err == nil:
@@ -354,6 +369,9 @@ func (e *Engine) handleMessage(m *queue.Message) {
 // deduplicated, unknown, or dead-lettered through its compensation handler
 // — and false when the lane should keep it at the head and back off.
 func (e *Engine) runLaneDelivery(lm laneMsg, laneKey entity.Key) bool {
+	if e.pastDeadline(lm.m.Event) {
+		return true
+	}
 	err := e.executeStep(lm.m.Event, lm.attempts, e.opts.CollapseDepth, &laneKey)
 	switch {
 	case err == nil:
@@ -380,6 +398,20 @@ func (e *Engine) runLaneDelivery(lm laneMsg, laneKey entity.Key) bool {
 		}
 		return false
 	}
+}
+
+// pastDeadline reports (and counts) a delivery whose event deadline passed
+// before execution: the queue drops expired work at dequeue, but a deadline
+// can also expire while the delivery waits in a lane, so the engine
+// re-checks immediately before running the step. The drop is terminal.
+func (e *Engine) pastDeadline(ev queue.Event) bool {
+	if ev.Deadline.IsZero() || !time.Now().After(ev.Deadline) {
+		return false
+	}
+	e.mu.Lock()
+	e.stats.DeadlineDropped++
+	e.mu.Unlock()
+	return true
 }
 
 // stepIdentity derives the idempotence key of one step execution.
@@ -557,7 +589,7 @@ func (e *Engine) Stats() Stats {
 	p := e.pool
 	e.mu.Unlock()
 	if p != nil {
-		s.LaneSteals, s.PeakLaneDepth, s.KeyedDequeues = p.snapshot()
+		s.LaneSteals, s.PeakLaneDepth, s.KeyedDequeues, s.LeaseRenewals = p.snapshot()
 	}
 	return s
 }

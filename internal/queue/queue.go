@@ -43,6 +43,12 @@ var (
 	ErrUnknownLease = errors.New("queue: unknown lease")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("queue: closed")
+	// ErrOverloaded is returned by Enqueue when the queue is past its
+	// MaxDepth high-water mark: admission control sheds new work at the
+	// door instead of queueing without bound. Only fresh enqueues shed —
+	// redeliveries of already-accepted messages always re-enter, so
+	// admission control never reorders or drops accepted per-entity work.
+	ErrOverloaded = errors.New("queue: overloaded, enqueue shed")
 )
 
 // Event is the business-level payload of a message: something that happened
@@ -61,6 +67,13 @@ type Event struct {
 	Data map[string]interface{}
 	// Stamp is the HLC timestamp of the emitting transaction.
 	Stamp clock.Timestamp
+	// Deadline, when non-zero, is the latest time executing this event is
+	// still useful (it propagates from the submitting surface — an HTTP
+	// request's patience — through the kernel into the queue and lanes).
+	// Work past its deadline is dropped, not executed: the queue discards
+	// it at dequeue time and the process engine re-checks before running a
+	// step. Events emitted by a step inherit the parent's deadline.
+	Deadline time.Time
 }
 
 // Message is one queued delivery of an event.
@@ -90,6 +103,12 @@ type Options struct {
 	// delivery so tests can demonstrate that idempotent consumers cope
 	// (principle 2.4).
 	DuplicateEvery int
+	// MaxDepth is the admission-control high-water mark: an Enqueue that
+	// would grow the pending list past it is shed with ErrOverloaded.
+	// Redeliveries (Nack, visibility expiry) are exempt — accepted work is
+	// never dropped by backpressure, so per-entity order is untouched.
+	// Zero disables shedding (unbounded intake, the historical behaviour).
+	MaxDepth int
 }
 
 // Queue is a reliable FIFO topic queue with at-least-once delivery,
@@ -118,6 +137,11 @@ type Queue struct {
 	// the pool dispatcher but not yet routed), and handing out a later one
 	// would reorder the entity's steps.
 	leasedByKey map[entity.Key]int
+	// shed counts enqueues refused by the MaxDepth high-water mark;
+	// deadlineDropped counts pending messages discarded because their event
+	// deadline passed before delivery.
+	shed            uint64
+	deadlineDropped uint64
 }
 
 type lease struct {
@@ -145,6 +169,10 @@ func New(name string, opts Options) *Queue {
 // Name returns the queue name.
 func (q *Queue) Name() string { return q.name }
 
+// VisibilityTimeout returns the queue's lease duration; consumers that hold
+// messages for long stretches size their renewal cadence from it.
+func (q *Queue) VisibilityTimeout() time.Duration { return q.opts.VisibilityTimeout }
+
 // Enqueue adds an event for delivery and returns its message id. Enqueue is
 // always a local, non-distributed operation.
 func (q *Queue) Enqueue(topic string, ev Event) (uint64, error) {
@@ -157,6 +185,10 @@ func (q *Queue) EnqueueDelayed(topic string, ev Event, delay time.Duration) (uin
 	defer q.mu.Unlock()
 	if q.closed {
 		return 0, ErrClosed
+	}
+	if q.opts.MaxDepth > 0 && len(q.ready) >= q.opts.MaxDepth {
+		q.shed++
+		return 0, fmt.Errorf("%w: %s at depth %d", ErrOverloaded, q.name, len(q.ready))
 	}
 	now := q.opts.Clock()
 	m := &Message{
@@ -204,6 +236,7 @@ func (q *Queue) dequeueLocked(topic string, ordered bool) (*Message, error) {
 	}
 	now := q.opts.Clock()
 	q.reclaimExpiredLocked(now)
+	q.dropExpiredLocked(now)
 	var blocked map[entity.Key]bool
 	for i, m := range q.ready {
 		if topic != "" && m.Topic != topic {
@@ -240,6 +273,7 @@ func (q *Queue) DequeueEntity(topic string, key entity.Key) (*Message, error) {
 	}
 	now := q.opts.Clock()
 	q.reclaimExpiredLocked(now)
+	q.dropExpiredLocked(now)
 	if q.leasedByKey[key] > 0 {
 		return nil, ErrEmpty
 	}
@@ -273,6 +307,23 @@ func (q *Queue) leaseLocked(i int, now time.Time) *Message {
 	}
 	cp := *m
 	return &cp
+}
+
+// dropExpiredLocked discards pending messages whose event deadline has
+// passed: the submitter has stopped waiting, so executing the step would be
+// work nobody observes. The drop is terminal — no dead-letter, no
+// redelivery — and only ever removes whole messages from the pending list,
+// so the per-entity order of the work that remains is untouched.
+func (q *Queue) dropExpiredLocked(now time.Time) {
+	kept := q.ready[:0]
+	for _, m := range q.ready {
+		if !m.Event.Deadline.IsZero() && now.After(m.Event.Deadline) {
+			q.deadlineDropped++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	q.ready = kept
 }
 
 // unleaseLocked drops the per-entity lease count for a settled lease.
@@ -377,6 +428,23 @@ func (q *Queue) Ack(id uint64) error {
 	return nil
 }
 
+// ExtendLease renews the visibility lease of a dequeued message: its
+// redelivery deadline moves to a fresh VisibilityTimeout from now. Lane
+// owners renew the leases of the messages they hold, so a backlog that
+// takes longer than the visibility timeout to drain is neither reclaimed
+// for redelivery (which would thrash — the lane still holds the message)
+// nor pushed attempt by attempt toward a spurious dead-lettering.
+func (q *Queue) ExtendLease(id uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.leased[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownLease, id)
+	}
+	l.deadline = q.opts.Clock().Add(q.opts.VisibilityTimeout)
+	return nil
+}
+
 // Nack returns a leased message to the queue after the given backoff. After
 // MaxAttempts the message is dead-lettered instead.
 func (q *Queue) Nack(id uint64, backoff time.Duration) error {
@@ -424,6 +492,22 @@ func (q *Queue) Acked() uint64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.acked
+}
+
+// Shed returns the number of enqueues refused by the MaxDepth high-water
+// mark (admission control).
+func (q *Queue) Shed() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.shed
+}
+
+// DeadlineDropped returns the number of pending messages discarded because
+// their event deadline passed before delivery.
+func (q *Queue) DeadlineDropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.deadlineDropped
 }
 
 // Close shuts the queue; blocked DequeueWait calls return ErrClosed.

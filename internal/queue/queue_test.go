@@ -607,3 +607,137 @@ func TestDequeueEntityBlockedWhileEntityLeased(t *testing.T) {
 		t.Fatalf("DequeueEntity after settle = %v, %v", m2, err)
 	}
 }
+
+func TestMaxDepthShedsFreshEnqueuesTyped(t *testing.T) {
+	q := New("unit-1", Options{MaxDepth: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := q.Enqueue("t", ev("e", fmt.Sprintf("%d", i))); err != nil {
+			t.Fatalf("Enqueue %d: %v", i, err)
+		}
+	}
+	if _, err := q.Enqueue("t", ev("e", "over")); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("enqueue past high-water mark: err = %v, want ErrOverloaded", err)
+	}
+	if q.Shed() != 1 {
+		t.Fatalf("Shed = %d, want 1", q.Shed())
+	}
+	// Draining makes room: the shed is backpressure, not a closed door.
+	m, err := q.Dequeue("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Ack(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue("t", ev("e", "retry")); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+}
+
+// Redeliveries — nacks and lease expiries — are exempt from the high-water
+// mark: admission control sheds only work the queue never accepted, so
+// accepted per-entity work is never dropped or reordered by overload.
+func TestRedeliveryExemptFromMaxDepth(t *testing.T) {
+	now := time.Unix(0, 0)
+	q := New("unit-1", Options{MaxDepth: 1, VisibilityTimeout: 10 * time.Second, Clock: func() time.Time { return now }})
+	if _, err := q.Enqueue("t", ev("e", "1")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := q.Dequeue("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queue is at capacity again with a second accepted message.
+	if _, err := q.Enqueue("t", ev("e", "2")); err != nil {
+		t.Fatal(err)
+	}
+	// Nack of the leased message re-enters past the mark without shedding.
+	if err := q.Nack(m.ID, 0); err != nil {
+		t.Fatalf("nack into a full queue: %v", err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (redelivery admitted)", q.Len())
+	}
+	// A fresh enqueue is shed.
+	if _, err := q.Enqueue("t", ev("e", "3")); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("fresh enqueue: err = %v, want ErrOverloaded", err)
+	}
+	// Lease-expiry requeue is exempt too.
+	m2, err := q.Dequeue("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(11 * time.Second)
+	m3, err := q.Dequeue("t")
+	if err != nil {
+		t.Fatalf("expired lease did not redeliver into the full queue: %v", err)
+	}
+	_ = m2
+	_ = m3
+}
+
+// A message whose deadline passed while queued is dropped at dequeue — work
+// nobody is waiting for anymore is not executed.
+func TestDeadlineExpiredDroppedAtDequeue(t *testing.T) {
+	now := time.Unix(0, 0)
+	q := New("unit-1", Options{Clock: func() time.Time { return now }})
+	stale := ev("e", "stale")
+	stale.Deadline = now.Add(5 * time.Second)
+	if _, err := q.Enqueue("t", stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue("t", ev("e", "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(6 * time.Second)
+	m, err := q.Dequeue("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Event.Entity.ID != "fresh" {
+		t.Fatalf("dequeued %s, want the un-deadlined message", m.Event.Entity.ID)
+	}
+	if q.DeadlineDropped() != 1 {
+		t.Fatalf("DeadlineDropped = %d, want 1", q.DeadlineDropped())
+	}
+	// The drop is terminal: not redelivered, not dead-lettered.
+	if len(q.DeadLetters()) != 0 {
+		t.Fatalf("deadline drop went to the dead letter queue: %v", q.DeadLetters())
+	}
+	if _, err := q.Dequeue("t"); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("stale message still deliverable: %v", err)
+	}
+}
+
+// ExtendLease pushes a held message's visibility deadline out, so a lane
+// owner working through a deep backlog keeps its claim.
+func TestExtendLeaseRenewsVisibility(t *testing.T) {
+	now := time.Unix(0, 0)
+	q := New("unit-1", Options{VisibilityTimeout: 10 * time.Second, Clock: func() time.Time { return now }})
+	if _, err := q.Enqueue("t", ev("e", "1")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := q.Dequeue("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Renew at 8s: the lease now runs to 18s.
+	now = now.Add(8 * time.Second)
+	if err := q.ExtendLease(m.ID); err != nil {
+		t.Fatalf("ExtendLease: %v", err)
+	}
+	// 16s — past the original lease, inside the renewed one.
+	now = now.Add(8 * time.Second)
+	if _, err := q.Dequeue("t"); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("renewed lease expired early: %v", err)
+	}
+	// 19s — past the renewed lease: redelivered.
+	now = now.Add(3 * time.Second)
+	m2, err := q.Dequeue("t")
+	if err != nil || m2.ID != m.ID {
+		t.Fatalf("redelivery after renewed lease expired: %v %v", m2, err)
+	}
+	if err := q.ExtendLease(999); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("ExtendLease on unknown lease: err = %v, want ErrUnknownLease", err)
+	}
+}

@@ -42,12 +42,20 @@ type faultHarness struct {
 
 	net      *netsim.Network
 	p        *shipPrimary
+	pfb      *storage.FaultBackend // the primary's backend, fault-injectable
 	sbIDs    []clock.NodeID
 	standbys map[clock.NodeID]*Standby
 	backends map[clock.NodeID]storage.Backend
 
+	// storageFaults adds the disk's failure vocabulary to the fault
+	// schedule: ENOSPC windows, torn appends, corruption, mid-run repair.
+	// Off for the pure link-fault tests (whose model assumes every write
+	// commits locally).
+	storageFaults bool
+	refused       int // writes refused with ErrDegraded (never committed anywhere)
+
 	keys   []entity.Key
-	model  map[entity.Key]float64 // sum of every issued write (all commit locally)
+	model  map[entity.Key]float64 // sum of every committed write
 	writes []harnessWrite
 }
 
@@ -73,7 +81,10 @@ func newFaultHarness(t *testing.T, mode AckMode, seed int64, nStandbys int) *fau
 		h.backends[id] = storage.NewMemory()
 		h.standbys[id] = newShipStandby(t, h.net, id, h.backends[id])
 	}
-	h.p = newShipPrimary(t, h.net, "p", h.sbIDs, mode)
+	// A nanosecond re-arm: after a retryable degrade every subsequent write
+	// is admitted as a probe, so an injected ENOSPC window refuses roughly
+	// its length in writes and then heals without wall-clock waits.
+	h.p, h.pfb = newFaultShipPrimary(t, h.net, h.sbIDs, mode, time.Nanosecond)
 	return h
 }
 
@@ -100,7 +111,49 @@ func (h *faultHarness) fault() {
 		h.net.ClearLinkFaults()
 	case r < 0.34: // crash a standby and restart it over its surviving log
 		h.restart(sb)
+	case r < 0.42: // disk-full window on the primary
+		if h.storageFaults {
+			h.pfb.FailAppends(1 + int(severity*2))
+		}
+	case r < 0.46: // torn append: fail-stop until quarantine
+		if h.storageFaults {
+			h.pfb.TearNextAppend()
+		}
+	case r < 0.50: // corruption detected at the next append
+		if h.storageFaults {
+			h.pfb.CorruptFrom(uint64(len(h.writes)) + 1)
+		}
+	case r < 0.62: // operator shows up: heal the disk, repair the unit
+		if h.storageFaults {
+			h.repairStorage()
+		}
 	}
+}
+
+// repairStorage is the operator action for a degraded primary: cancel
+// pending retryable injections and, for the permanent states (fail-stopped,
+// corrupt), quarantine the bad log suffix and refill it. Log-first commits
+// mean the primary's own memory is authoritative for the refill — it never
+// installed anything the log did not accept.
+func (h *faultHarness) repairStorage() {
+	h.pfb.Heal()
+	if d := h.p.db.Degraded(); d != nil && d.Permanent {
+		if err := h.p.db.Repair(func(after uint64) ([]lsdb.Record, error) {
+			return h.p.db.RecordsAfter(after), nil
+		}); err != nil {
+			h.fatalf("storage repair: %v", err)
+		}
+	}
+}
+
+// documentedDegradedReason matches the taxonomy in internal/lsdb/degraded.go
+// and docs/OPERATIONS.md.
+func documentedDegradedReason(reason string) bool {
+	switch reason {
+	case "append-error", "fail-stopped", "corrupt", "poisoned":
+		return true
+	}
+	return false
 }
 
 // restart models a standby crash: the process dies (receiver refuses the
@@ -125,6 +178,20 @@ func (h *faultHarness) write(i int) {
 	amount := float64(h.rngW.Intn(9) + 1)
 	txn := fmt.Sprintf("w%d", i)
 	_, err := h.p.db.Append(key, []entity.Op{entity.Delta("balance", amount)}, ts(int64(i+1)), "p", txn)
+	if errors.Is(err, lsdb.ErrDegraded) {
+		// Log-first refusal: nothing was installed or shipped, the LSN
+		// reservation rolled back, and the client saw a determinate typed
+		// error — the write never happened anywhere.
+		h.refused++
+		d := h.p.db.Degraded()
+		if d == nil {
+			h.fatalf("write %s refused with ErrDegraded but the unit reports healthy", txn)
+		}
+		if !documentedDegradedReason(d.Reason) {
+			h.fatalf("write %s refused with undocumented degraded reason %q", txn, d.Reason)
+		}
+		return
+	}
 	if err != nil && !errors.Is(err, ErrStandbyAcks) {
 		h.fatalf("write %s failed outside replication: %v", txn, err)
 	}
@@ -138,6 +205,9 @@ func (h *faultHarness) write(i int) {
 // standby pull its missing tail; afterwards every standby must hold the full
 // log.
 func (h *faultHarness) healAndConverge() {
+	if h.storageFaults {
+		h.repairStorage()
+	}
 	h.net.ClearLinkFaults()
 	h.net.Quiesce()
 	want := uint64(len(h.writes))
@@ -323,6 +393,42 @@ func TestCrossModeEquivalenceAfterHealAndSync(t *testing.T) {
 				got := h.run(steps)
 				if !sameState(got, want) {
 					h.fatalf("mode diverged from serial baseline:\n got %v\nwant %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// The storage-fault dimension: the same seeded schedule with disk faults —
+// ENOSPC windows, torn appends, detected corruption, scripted repairs —
+// layered over the link faults, across every ack mode. Invariants per cell:
+// no crash, every refusal is a documented typed degraded state (checked in
+// write), no acked write is lost across failover, and after heal + repair
+// the standbys converge and the promoted store matches the model of
+// committed writes exactly.
+func TestStorageFaultMatrixKeepsInvariantsAndConverges(t *testing.T) {
+	seeds := []int64{2, 9, 21}
+	steps := 80
+	if testing.Short() {
+		seeds = seeds[:1]
+		steps = 40
+	}
+	for _, mode := range []AckMode{AckAsync, AckSync, AckQuorum} {
+		for _, seed := range seeds {
+			mode, seed := mode, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+				h := newFaultHarness(t, mode, seed, 2)
+				h.storageFaults = true
+				defer h.net.Close()
+				final := h.run(steps)
+				if !sameState(final, h.model) {
+					h.fatalf("promoted state diverged from model:\n got %v\nwant %v", final, h.model)
+				}
+				fs := h.pfb.Stats()
+				t.Logf("mode=%s seed=%d: %d committed, %d refused, degraded episodes=%d, faults=%+v",
+					mode, seed, len(h.writes), h.refused, h.p.db.DegradedEvents(), fs)
+				if h.p.db.DegradedEvents() == 0 {
+					t.Fatalf("schedule injected no storage degradation (faults=%+v); pick a different seed", fs)
 				}
 			})
 		}

@@ -33,6 +33,7 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -156,6 +157,14 @@ type ShipStats struct {
 	SyncAcks       uint64
 	ShipFailures   uint64
 	CatchupServed  uint64
+	// ShipRetries counts transient transport failures absorbed by the
+	// in-ship retry loop (each retry that was attempted, successful or not).
+	ShipRetries uint64
+	// BreakerOpens counts closed→open transitions across all standbys.
+	BreakerOpens uint64
+	// BreakerShortCircuits counts ships skipped because the standby's
+	// breaker was open — failures that cost nothing instead of a timeout.
+	BreakerShortCircuits uint64
 }
 
 // ShipperOptions configure the primary side of WAL shipping.
@@ -178,6 +187,54 @@ type ShipperOptions struct {
 	// Net, when set, registers Self on the simulated network (senders must
 	// be registered) and, with Source, a catch-up request handler.
 	Net *netsim.Network
+	// RetryAttempts is how many extra tries a failed ship gets before its
+	// error counts toward the ack verdict (default 2; negative disables):
+	// one dropped packet must not fail a sync commit. Retries are bounded
+	// and jittered; they absorb transient transport faults, not dead
+	// standbys — those are the breaker's job.
+	RetryAttempts int
+	// RetryBackoff is the base delay between retries (default 5ms), doubled
+	// per retry and jittered ±50% so retrying shippers do not convoy.
+	RetryBackoff time.Duration
+	// BreakerThreshold opens a standby's circuit breaker after this many
+	// consecutive failed ships (default 3). While open, ships to that
+	// standby are skipped outright — a persistently dead standby in sync
+	// mode stops costing a timeout per commit cycle.
+	BreakerThreshold int
+	// BreakerCooldown is how long a breaker stays open before one probe
+	// ship is let through half-open (default 2s). A successful probe closes
+	// the breaker; the standby then heals the gap through catch-up.
+	BreakerCooldown time.Duration
+	// Now supplies time for breaker state transitions (default time.Now);
+	// tests inject a fake clock to step through cooldowns deterministically.
+	Now func() time.Time
+}
+
+// breakerState is a standby circuit breaker's position.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker tracks one standby's failure streak. Guarded by Shipper.mu.
+type breaker struct {
+	state    breakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
 }
 
 // Shipper is the primary side of WAL shipping: its Sink closures attach to
@@ -186,8 +243,10 @@ type ShipperOptions struct {
 type Shipper struct {
 	opts ShipperOptions
 
-	mu    sync.Mutex
-	stats ShipStats
+	mu       sync.Mutex
+	stats    ShipStats
+	breakers map[clock.NodeID]*breaker
+	jitter   *rand.Rand // retry-backoff jitter; seeded, guarded by mu
 }
 
 // NewShipper creates a shipper and, on a simulated network, registers its
@@ -199,7 +258,31 @@ func NewShipper(opts ShipperOptions) *Shipper {
 	if opts.Transport == nil && opts.Net != nil {
 		opts.Transport = NetTransport{Net: opts.Net, Self: opts.Self}
 	}
-	s := &Shipper{opts: opts}
+	if opts.RetryAttempts < 0 {
+		opts.RetryAttempts = 0
+	} else if opts.RetryAttempts == 0 {
+		opts.RetryAttempts = 2
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 5 * time.Millisecond
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 2 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Shipper{
+		opts:     opts,
+		breakers: map[clock.NodeID]*breaker{},
+		jitter:   rand.New(rand.NewSource(1)),
+	}
+	for _, peer := range opts.Standbys {
+		s.breakers[peer] = &breaker{}
+	}
 	if opts.Net != nil {
 		opts.Net.Register(opts.Self, nil)
 		if opts.Source != nil {
@@ -258,7 +341,16 @@ func (s *Shipper) ship(unit int, records []lsdb.Record) error {
 	acks, failures := 0, 0
 	var firstErr error
 	for _, peer := range s.opts.Standbys {
-		if err := s.opts.Transport.Ship(peer, batch, sync, s.opts.Timeout); err != nil {
+		if !s.breakerAdmits(peer) {
+			failures++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica: standby %s breaker open", peer)
+			}
+			continue
+		}
+		err := s.shipWithRetry(peer, batch, sync)
+		s.breakerReport(peer, err == nil)
+		if err != nil {
 			failures++
 			if firstErr == nil {
 				firstErr = err
@@ -282,6 +374,88 @@ func (s *Shipper) ship(unit int, records []lsdb.Record) error {
 		return fmt.Errorf("%w: %d/%d", ErrStandbyAcks, acks, need)
 	}
 	return nil
+}
+
+// shipWithRetry ships to one standby, absorbing transient transport errors
+// with up to RetryAttempts bounded, jittered, exponentially backed-off
+// retries before the error reaches the ack verdict.
+func (s *Shipper) shipWithRetry(peer clock.NodeID, batch ShipBatch, sync bool) error {
+	err := s.opts.Transport.Ship(peer, batch, sync, s.opts.Timeout)
+	backoff := s.opts.RetryBackoff
+	for try := 0; err != nil && try < s.opts.RetryAttempts; try++ {
+		s.mu.Lock()
+		s.stats.ShipRetries++
+		// ±50% jitter: concurrent shard shippers retrying the same blip
+		// should not re-collide in lockstep.
+		delay := backoff/2 + time.Duration(s.jitter.Int63n(int64(backoff)))
+		s.mu.Unlock()
+		time.Sleep(delay)
+		backoff *= 2
+		err = s.opts.Transport.Ship(peer, batch, sync, s.opts.Timeout)
+	}
+	return err
+}
+
+// breakerAdmits decides whether a ship to peer may go out. Closed admits;
+// open short-circuits until the cooldown elapses, then lets exactly one
+// probe through half-open (concurrent ships keep short-circuiting while the
+// probe is in flight).
+func (s *Shipper) breakerAdmits(peer clock.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakers[peer]
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if s.opts.Now().Sub(b.openedAt) >= s.opts.BreakerCooldown {
+			b.state = breakerHalfOpen
+			return true // the probe
+		}
+	}
+	s.stats.BreakerShortCircuits++
+	return false
+}
+
+// breakerReport feeds one ship outcome into peer's breaker: a success
+// closes it (the standby then heals any gap through catch-up); a failure
+// re-opens a half-open breaker immediately and opens a closed one after
+// BreakerThreshold consecutive failures.
+func (s *Shipper) breakerReport(peer clock.NodeID, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakers[peer]
+	if b == nil {
+		return
+	}
+	if ok {
+		b.state = breakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= s.opts.BreakerThreshold {
+		if b.state != breakerOpen {
+			s.stats.BreakerOpens++
+		}
+		b.state = breakerOpen
+		b.openedAt = s.opts.Now()
+	}
+}
+
+// BreakerStates reports each standby's breaker position ("closed", "open",
+// "half-open") for the health surface.
+func (s *Shipper) BreakerStates() map[clock.NodeID]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[clock.NodeID]string, len(s.breakers))
+	for peer, b := range s.breakers {
+		out[peer] = b.state.String()
+	}
+	return out
 }
 
 // onRequest serves catch-up requests from the primary's log.

@@ -128,6 +128,33 @@ var ErrClosed = errors.New("storage: backend closed")
 // must bootstrap from a full copy instead.
 var ErrCompacted = errors.New("storage: stream cut predates compacted history")
 
+// ErrPoisoned reports a backend that observed an fsync failure. A failed
+// fsync leaves the page cache and the disk in unknown disagreement, and a
+// retried fsync can report success without making the lost pages durable
+// (the kernel marks them clean when it first reports the error). The only
+// honest reaction is to fail-stop the writer side permanently; recovery is
+// a restart — which replays only what the disk really holds — or a repair
+// from a peer's copy of the log.
+var ErrPoisoned = errors.New("storage: backend poisoned by fsync failure")
+
+// ErrFailStopped reports a backend that refused further appends after a
+// partial write it could not erase: continuing would bury garbage under
+// valid frames and turn a transient write error into mid-log corruption.
+// Unlike ErrPoisoned it is repairable — Quarantine truncates the partial
+// suffix and re-arms the backend.
+var ErrFailStopped = errors.New("storage: backend fail-stopped after a partial append")
+
+// Quarantiner is the optional repair interface of a backend. When replay or
+// a tail stream hits corruption, Quarantine isolates the corrupt suffix —
+// everything after the last verifiably good record is truncated or set
+// aside — and re-arms the backend for appends. The caller then refills the
+// removed suffix from a peer's copy of the log (replication catch-up)
+// before resuming writes. It returns the LSN of the last good append record
+// the backend still holds.
+type Quarantiner interface {
+	Quarantine() (lastGood uint64, err error)
+}
+
 // Streamer is the optional catch-up interface of a backend: replication uses
 // it to re-ship the log tail a standby missed (loss, partition, restart)
 // straight from durable storage, without holding the whole history in memory.
@@ -273,6 +300,21 @@ func (m *Memory) StreamAfter(after uint64, fn func(WALRecord) error) error {
 		}
 	}
 	return nil
+}
+
+// truncateTailAfter drops the tail suffix starting at the first append
+// record with LSN > lsn (everything logged after that point — marks
+// included — is suspect once the log is being quarantined; the repair
+// refill re-supplies the range from a peer).
+func (m *Memory) truncateTailAfter(lsn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, rec := range m.tail {
+		if rec.Kind == KindAppend && rec.LSN > lsn {
+			m.tail = m.tail[:i]
+			return
+		}
+	}
 }
 
 // ReplicationWatermark returns the recorded replication watermark.

@@ -157,7 +157,14 @@ type WAL struct {
 	// broken marks the WAL fail-stopped: a partial append could not be
 	// erased, so continuing would bury garbage under valid frames and turn
 	// a transient write error into unrecoverable mid-segment corruption.
-	broken   bool
+	// Quarantine repairs it by truncating the partial suffix.
+	broken bool
+	// poisoned marks the WAL permanently unusable for writes: an fsync
+	// reported failure, so the page cache and the disk are in unknown
+	// disagreement and a retried fsync could claim success without making
+	// the lost pages durable. Nothing clears it in-process — recovery is a
+	// restart (replaying what the disk really holds) or a failover.
+	poisoned bool
 	man      manifest
 	hasMan   bool
 	lock     *dirLock
@@ -235,8 +242,11 @@ func (w *WAL) AppendBatch(recs []WALRecord) error {
 	if w.closed {
 		return ErrClosed
 	}
+	if w.poisoned {
+		return fmt.Errorf("storage: append: %w", ErrPoisoned)
+	}
 	if w.broken {
-		return errors.New("storage: WAL fail-stopped after an unerasable partial append")
+		return fmt.Errorf("storage: append: %w (unerasable partial append)", ErrFailStopped)
 	}
 	if err := w.ensureActiveLocked(); err != nil {
 		return err
@@ -260,7 +270,11 @@ func (w *WAL) AppendBatch(recs []WALRecord) error {
 	w.segSize += int64(len(w.buf))
 	if w.opts.Sync == SyncAlways {
 		if err := w.seg.Sync(); err != nil {
-			return fmt.Errorf("storage: append sync: %w", err)
+			// Never retry a failed fsync: the kernel marked the dirty pages
+			// clean when it reported the error, so a second fsync can succeed
+			// without the data being durable. Poison the WAL permanently.
+			w.poisoned = true
+			return fmt.Errorf("storage: append sync: %w: %v", ErrPoisoned, err)
 		}
 	}
 	if w.segSize >= w.opts.SegmentBytes {
@@ -355,7 +369,8 @@ func (w *WAL) createSegmentLocked(i uint64) error {
 // next one.
 func (w *WAL) rotateLocked() error {
 	if err := w.seg.Sync(); err != nil {
-		return fmt.Errorf("storage: seal sync: %w", err)
+		w.poisoned = true
+		return fmt.Errorf("storage: seal sync: %w: %v", ErrPoisoned, err)
 	}
 	if err := w.seg.Close(); err != nil {
 		return fmt.Errorf("storage: seal close: %w", err)
@@ -371,11 +386,15 @@ func (w *WAL) Sync() error {
 	if w.closed {
 		return ErrClosed
 	}
+	if w.poisoned {
+		return fmt.Errorf("storage: sync: %w", ErrPoisoned)
+	}
 	if w.seg == nil {
 		return nil
 	}
 	if err := w.seg.Sync(); err != nil {
-		return fmt.Errorf("storage: sync: %w", err)
+		w.poisoned = true
+		return fmt.Errorf("storage: sync: %w: %v", ErrPoisoned, err)
 	}
 	return nil
 }
@@ -772,6 +791,100 @@ func (w *WAL) StreamAfter(after uint64, fn func(WALRecord) error) error {
 		}
 	}
 	return nil
+}
+
+// Quarantine isolates a corrupt log suffix so the WAL can accept appends
+// again: it re-scans the replayable tail, truncates the first corrupt
+// segment at the corruption offset, sets every later segment aside (renamed
+// with a .quarantined suffix — kept for forensics, invisible to replay) and
+// clears the fail-stop flag. It returns the highest append LSN the log
+// still verifiably holds; the caller refills everything after it from a
+// peer's copy (replication catch-up) before resuming writes. A poisoned WAL
+// (fsync failure) refuses: quarantine cannot restore unknown durability.
+// A corrupt checkpoint snapshot also refuses — the suffix-truncation repair
+// only applies to the tail, not to checkpointed state.
+func (w *WAL) Quarantine() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.poisoned {
+		return 0, fmt.Errorf("storage: quarantine: %w", ErrPoisoned)
+	}
+	if w.seg != nil {
+		w.seg.Close()
+		w.seg = nil
+	}
+	var lastGood uint64
+	if w.hasMan {
+		lastGood = w.man.Watermark
+		if w.man.Snapshot != "" {
+			path := filepath.Join(w.opts.Dir, w.man.Snapshot)
+			if err := scanFile(path, ckptMagic, int64(len(ckptMagic)), false, nil); err != nil {
+				return 0, fmt.Errorf("storage: quarantine: checkpoint snapshot is corrupt, restore from backup: %w", err)
+			}
+		}
+	}
+	segs, err := w.segments()
+	if err != nil {
+		return 0, err
+	}
+	cut := -1
+	for n, i := range segs {
+		start := int64(len(segMagic))
+		if w.hasMan {
+			if i < w.man.Segment {
+				continue
+			}
+			if i == w.man.Segment {
+				start = w.man.Offset
+			}
+		}
+		path := filepath.Join(w.opts.Dir, segName(i))
+		if info, err := os.Stat(path); err == nil && info.Size() < int64(len(segMagic)) {
+			// Torn creation: nothing in it was ever durable.
+			if err := rewriteSegmentHeader(path); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		scanErr := scanFile(path, segMagic, start, false, func(rec WALRecord) error {
+			if rec.Kind == KindAppend && rec.LSN > lastGood {
+				lastGood = rec.LSN
+			}
+			return nil
+		})
+		if scanErr == nil {
+			continue
+		}
+		var ce *CorruptError
+		if !errors.As(scanErr, &ce) {
+			return 0, scanErr
+		}
+		if ce.Offset < int64(len(segMagic)) {
+			// The segment header itself is bad: no frame in it is trustworthy.
+			if err := rewriteSegmentHeader(path); err != nil {
+				return 0, err
+			}
+		} else if err := tornOrCorrupt(path, ce.Offset, true, ce.Reason); err != nil {
+			return 0, err
+		}
+		cut = n
+		break
+	}
+	if cut >= 0 {
+		for _, i := range segs[cut+1:] {
+			name := segName(i)
+			os.Rename(filepath.Join(w.opts.Dir, name), filepath.Join(w.opts.Dir, name+".quarantined"))
+		}
+		if err := syncDir(w.opts.Dir); err != nil {
+			return 0, err
+		}
+	}
+	w.broken = false
+	w.scanned = true
+	return lastGood, nil
 }
 
 // pruneLocked removes segments wholly covered by the installed checkpoint

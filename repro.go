@@ -59,6 +59,14 @@ type ReplicationOptions = core.ReplicationOptions
 // progress (Kernel.ReplicaStats).
 type ReplicaStats = core.ReplicaStats
 
+// Health describes a kernel's degraded/overload posture (Kernel.Health):
+// degraded read-only units, admission-control counters and standby circuit
+// breaker states.
+type Health = core.Health
+
+// UnitHealth is one serialization unit's entry in Health.
+type UnitHealth = core.UnitHealth
+
 // SyncMode selects when the write-ahead log forces appended bytes to stable
 // storage (Options.Fsync, meaningful with Options.DataDir).
 type SyncMode = storage.SyncMode
