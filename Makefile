@@ -41,7 +41,7 @@ bench-pool:
 # The E20 replication benchmark on its own: unreplicated baseline vs
 # WAL-shipping at async/sync/quorum ack over simulated 2ms links.
 bench-replication:
-	$(GO) test -run xxx -bench BenchmarkE20 -benchtime 200x .
+	$(GO) test -run xxx -bench 'BenchmarkE2[01]' -benchtime 200x .
 
 # The full replication fault matrix under the race detector: every ack mode
 # against seeded partitions, loss, latency and standby crashes, plus the

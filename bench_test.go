@@ -1055,11 +1055,12 @@ func BenchmarkE12OnlineMigration(b *testing.B) {
 // over a simulated network with 2ms one-way link latency (a WAN-ish hop,
 // chosen to dominate the simulator's timer granularity so the rows read as
 // the latency model, not as sleep overhead), under each ack mode. Async
-// should track the baseline (shipping is fire-and-forget); sync pays a
-// round trip per standby per commit (the shipper walks standbys in order);
-// quorum ships to all and needs the majority's acks. The gap between the
-// rows is the paper's consistency dial rendered in nanoseconds — what
-// principle 2.1's "embrace inconsistency" buys when you take it.
+// should track the baseline (shipping is fire-and-forget); sync and quorum
+// pay ~one round trip per commit regardless of standby count, because the
+// per-standby lanes fan out concurrently and the commit blocks only on an
+// ack barrier (E21 isolates that fan-out). The gap between the rows is the
+// paper's consistency dial rendered in nanoseconds — what principle 2.1's
+// "embrace inconsistency" buys when you take it.
 func BenchmarkE20ReplicationModes(b *testing.B) {
 	const linkLatency = 2 * time.Millisecond
 	stamp := func(n int64) clock.Timestamp { return clock.Timestamp{WallNanos: n, Node: "e20"} }
@@ -1096,7 +1097,7 @@ func BenchmarkE20ReplicationModes(b *testing.B) {
 				}
 				sh = replica.NewShipper(replica.ShipperOptions{
 					Self: "e20-p", Standbys: ids, Mode: cfg.mode, Net: net,
-					Source: func(_ int, after uint64) []lsdb.Record { return db.RecordsAfter(after) },
+					Source: func(_ int, after uint64, limit int) []lsdb.Record { return db.RecordsAfterN(after, limit) },
 				})
 				db.SetCommitSink(sh.Sink(0))
 			}
@@ -1114,12 +1115,91 @@ func BenchmarkE20ReplicationModes(b *testing.B) {
 			}
 			b.StopTimer()
 			if sh != nil {
+				sh.Drain() // async lanes may still be delivering; settle before reading stats
 				st := sh.Stats()
 				if cfg.mode != replica.AckAsync && st.ShipFailures > 0 {
 					b.Fatalf("%d ship failures on a healthy network", st.ShipFailures)
 				}
 				b.ReportMetric(float64(st.RecordsShipped)/float64(b.N), "shipped/op")
 			}
+		})
+	}
+}
+
+// --- E21: parallel ship fan-out — sync and quorum at ~1 RTT ----------------
+
+// BenchmarkE21ParallelFanout measures what fanning the per-standby ships out
+// of the commit path buys: with 2ms one-way links (4ms RTT), a sync commit
+// to 2 standbys and a quorum commit to 3 should each cost ~1 RTT — the lanes
+// ship concurrently and the barrier releases at the slowest *needed* ack —
+// where a serial walk would cost one RTT per standby (E20's pre-fan-out
+// recording: 11.2ms for sync-2sb, 16.3ms for quorum-3sb). The one-slow row
+// parks a 10ms link inside a quorum-of-3 set: the majority acks over fast
+// links satisfy the barrier, so the slow standby prices at zero on the
+// commit path (it trails behind in its own lane, healed by catch-up if its
+// window overflows — reported as overflows/op).
+func BenchmarkE21ParallelFanout(b *testing.B) {
+	const linkLatency = 2 * time.Millisecond
+	const slowLatency = 10 * time.Millisecond
+	stamp := func(n int64) clock.Timestamp { return clock.Timestamp{WallNanos: n, Node: "e21"} }
+	for _, cfg := range []struct {
+		name     string
+		standbys int
+		mode     replica.AckMode
+		slow     int // standbys (from the front) behind a slow link
+	}{
+		{"sync-2sb", 2, replica.AckSync, 0},
+		{"quorum-3sb", 3, replica.AckQuorum, 0},
+		{"quorum-3sb-one-slow", 3, replica.AckQuorum, 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db := lsdb.Open(lsdb.Options{Node: "e21", Backend: storage.NewMemory(), Shards: 4})
+			if err := db.RegisterType(workload.AccountType()); err != nil {
+				b.Fatal(err)
+			}
+			net := netsim.New(netsim.Config{})
+			defer net.Close()
+			var ids []clock.NodeID
+			for s := 0; s < cfg.standbys; s++ {
+				id := clock.NodeID(fmt.Sprintf("e21-s%d", s))
+				if _, err := replica.NewStandby(replica.StandbyOptions{
+					Self: id, Net: net, Backends: []storage.Backend{storage.NewMemory()},
+				}); err != nil {
+					b.Fatal(err)
+				}
+				lat := linkLatency
+				if s < cfg.slow {
+					lat = slowLatency
+				}
+				net.SetLinkFault("e21-p", id, netsim.LinkFault{ExtraLatency: lat})
+				net.SetLinkFault(id, "e21-p", netsim.LinkFault{ExtraLatency: lat})
+				ids = append(ids, id)
+			}
+			sh := replica.NewShipper(replica.ShipperOptions{
+				Self: "e21-p", Standbys: ids, Mode: cfg.mode, Net: net,
+				Source: func(_ int, after uint64, limit int) []lsdb.Record { return db.RecordsAfterN(after, limit) },
+			})
+			db.SetCommitSink(sh.Sink(0))
+			key := entity.Key{Type: "Account", ID: "E21"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := db.Append(key, []entity.Op{entity.Delta("balance", 1)},
+					stamp(int64(i+1)), "e21-p", fmt.Sprintf("e21-%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			rtt := float64(2 * linkLatency)
+			b.ReportMetric(float64(b.Elapsed())/float64(b.N)/rtt, "rtts/op")
+			st := sh.Stats()
+			if cfg.slow == 0 {
+				sh.Drain()
+				if st.ShipFailures > 0 {
+					b.Fatalf("%d ship failures on a healthy network", st.ShipFailures)
+				}
+			}
+			b.ReportMetric(float64(st.WindowOverflows)/float64(b.N), "overflows/op")
 		})
 	}
 }

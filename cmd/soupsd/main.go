@@ -175,6 +175,7 @@ func main() {
 	mux.HandleFunc("/restore", s.handleRestore)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/replicate", s.handleReplicate)
+	mux.HandleFunc("/catchup", s.handleCatchup)
 	mux.HandleFunc("/promote", s.handlePromote)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +32,9 @@ var (
 	standbysCSV = flag.String("standbys", "", "comma-separated standby base URLs the primary ships every commit to")
 	ackFlag     = flag.String("ack", "async", "replication ack mode: async, sync or quorum")
 	shipTimeout = flag.Duration("ship-timeout", 500*time.Millisecond, "timeout per ship request")
+	shipWindow  = flag.Int("ship-window", 0, "per-standby in-flight ship window (0 = library default 128); a full lane fails that ship instead of stalling the commit")
+	catchupSize = flag.Int("catchup-chunk", 0, "appended records per catch-up chunk served and pulled (0 = library default 512)")
+	persistMark = flag.Int("persist-watermark-every", 0, "standby role: persist the replication watermark every N batches per unit (0 = every batch)")
 )
 
 // shipEnvelope is the HTTP wire form of a replica.ShipBatch: one JSON
@@ -108,11 +112,13 @@ func replicationFromFlags() (*repro.ReplicationOptions, error) {
 		return nil, nil
 	}
 	return &repro.ReplicationOptions{
-		Self:      "soupsd",
-		Standbys:  ids,
-		Ack:       mode,
-		Timeout:   *shipTimeout,
-		Transport: &httpTransport{client: &http.Client{}, urls: urls},
+		Self:         "soupsd",
+		Standbys:     ids,
+		Ack:          mode,
+		Timeout:      *shipTimeout,
+		Transport:    &httpTransport{client: &http.Client{}, urls: urls},
+		Window:       *shipWindow,
+		CatchupChunk: *catchupSize,
 	}, nil
 }
 
@@ -143,7 +149,12 @@ func openStandbyReceiver(dataDir string, units int, sync storage.SyncMode) (*sta
 		wals = append(wals, w)
 		backends = append(backends, w)
 	}
-	sb, err := replica.NewStandby(replica.StandbyOptions{Self: "standby", Backends: backends})
+	sb, err := replica.NewStandby(replica.StandbyOptions{
+		Self:         "standby",
+		Backends:     backends,
+		PersistEvery: *persistMark,
+		CatchupChunk: *catchupSize,
+	})
 	if err != nil {
 		for _, open := range wals {
 			open.Close()
@@ -203,6 +214,68 @@ func (s *server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]interface{}{"watermark": wm, "gap": gap})
 }
 
+// handleCatchup serves one streaming catch-up chunk from either role: a
+// primary answers from its live unit log, a standby from its received log.
+// Query parameters: unit, after (the puller's cursor LSN), limit (appended
+// records per chunk; the server clamps it). The response carries the chunk
+// plus "more" — pullers loop, advancing "after" to the highest append LSN
+// received, until more is false.
+func (s *server) handleCatchup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	unit, err := strconv.Atoi(r.URL.Query().Get("unit"))
+	if err != nil {
+		http.Error(w, "bad unit: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	after, err := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+	if err != nil && r.URL.Query().Get("after") != "" {
+		http.Error(w, "bad after: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	max := maxCatchupChunk
+	if *catchupSize > 0 && *catchupSize < max {
+		max = *catchupSize
+	}
+	if limit <= 0 || limit > max {
+		limit = max
+	}
+	s.mu.Lock()
+	recv, k := s.standby, s.kernel
+	s.mu.Unlock()
+	var recs []lsdb.Record
+	var more bool
+	switch {
+	case recv != nil:
+		recs, more, err = recv.sb.ServeCatchup(unit, after, limit)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	case k != nil:
+		// One extra record decides more; the slice below cuts it back off.
+		recs = k.UnitTail(unit, after, limit+1)
+		if len(recs) > limit {
+			recs, more = recs[:limit], true
+		}
+	default:
+		http.Error(w, "no log to serve", http.StatusServiceUnavailable)
+		return
+	}
+	out := make([]lsdb.PersistedRecord, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, lsdb.ToPersisted(rec))
+	}
+	writeJSON(w, map[string]interface{}{"records": out, "more": more})
+}
+
+// maxCatchupChunk caps how many appended records one /catchup response may
+// carry regardless of what the puller asked for.
+const maxCatchupChunk = 512
+
 // handlePromote turns a standby into the primary: fence the receivers, close
 // their WALs, and bootstrap a kernel over the data directory — the received
 // log replays through the same recovery a restarted durable primary runs.
@@ -243,6 +316,8 @@ func (s *server) replicationMetrics(w io.Writer, k *repro.Kernel, recv *standbyR
 		fmt.Fprintf(w, "replication.records_received %d\n", st.RecordsReceived)
 		fmt.Fprintf(w, "replication.duplicates %d\n", st.Duplicates)
 		fmt.Fprintf(w, "replication.gaps %d\n", st.Gaps)
+		fmt.Fprintf(w, "replication.catchup_rounds %d\n", st.CatchupRounds)
+		fmt.Fprintf(w, "replication.catchup_records %d\n", st.CatchupRecords)
 		for i := 0; i < recv.sb.Units(); i++ {
 			fmt.Fprintf(w, "replication.watermark.unit%d %d\n", i, recv.sb.Watermark(i))
 		}
@@ -260,6 +335,8 @@ func (s *server) replicationMetrics(w io.Writer, k *repro.Kernel, recv *standbyR
 	fmt.Fprintf(w, "replication.sync_acks %d\n", rs.Ship.SyncAcks)
 	fmt.Fprintf(w, "replication.ship_failures %d\n", rs.Ship.ShipFailures)
 	fmt.Fprintf(w, "replication.ship_retries %d\n", rs.Ship.ShipRetries)
+	fmt.Fprintf(w, "replication.window_overflows %d\n", rs.Ship.WindowOverflows)
+	fmt.Fprintf(w, "replication.catchup_served %d\n", rs.Ship.CatchupServed)
 	fmt.Fprintf(w, "replication.breaker_opens %d\n", rs.Ship.BreakerOpens)
 	fmt.Fprintf(w, "replication.breaker_short_circuits %d\n", rs.Ship.BreakerShortCircuits)
 	states := k.Health().Breakers

@@ -198,6 +198,13 @@ type ReplicationOptions struct {
 	// Net, when set, also registers a catch-up handler so standbys can pull
 	// missing log tails from this kernel.
 	Net *netsim.Network
+	// Window bounds each standby lane's in-flight batch queue (default
+	// 128). The commit path never blocks on a full lane: the overflow
+	// counts as that standby's ship failure and heals through catch-up.
+	Window int
+	// CatchupChunk caps how many appended records one catch-up response
+	// carries (default 512); standbys stream the tail chunk by chunk.
+	CatchupChunk int
 }
 
 func (o *Options) fill() {
@@ -364,13 +371,15 @@ func Open(opts Options) (*Kernel, error) {
 			self = opts.Node
 		}
 		k.shipper = replica.NewShipper(replica.ShipperOptions{
-			Self:      self,
-			Standbys:  r.Standbys,
-			Mode:      r.Ack,
-			Timeout:   r.Timeout,
-			Transport: r.Transport,
-			Net:       r.Net,
-			Source:    k.unitTail,
+			Self:         self,
+			Standbys:     r.Standbys,
+			Mode:         r.Ack,
+			Timeout:      r.Timeout,
+			Transport:    r.Transport,
+			Net:          r.Net,
+			Source:       k.unitTail,
+			Window:       r.Window,
+			CatchupChunk: r.CatchupChunk,
 		})
 		// Attaching the sinks here is safe: the kernel is not shared yet,
 		// so no commit can race the late bind.
@@ -381,12 +390,20 @@ func Open(opts Options) (*Kernel, error) {
 	return k, nil
 }
 
-// unitTail serves standby catch-up requests from a unit's log.
-func (k *Kernel) unitTail(unit int, after uint64) []lsdb.Record {
+// UnitTail returns one streaming catch-up chunk of a unit's log: up to limit
+// records with LSN > after, in log order (limit <= 0 means unbounded).
+// cmd/soupsd serves /catchup from it.
+func (k *Kernel) UnitTail(unit int, after uint64, limit int) []lsdb.Record {
+	return k.unitTail(unit, after, limit)
+}
+
+// unitTail serves standby catch-up requests from a unit's log, bounded to
+// one streaming chunk.
+func (k *Kernel) unitTail(unit int, after uint64, limit int) []lsdb.Record {
 	if unit < 0 || unit >= len(k.byIndex) {
 		return nil
 	}
-	return k.byIndex[unit].db.RecordsAfter(after)
+	return k.byIndex[unit].db.RecordsAfterN(after, limit)
 }
 
 // openUnitStore opens one unit's log store: purely in-memory without a
@@ -863,6 +880,12 @@ func (k *Kernel) Stop() {
 	k.mu.Unlock()
 	for _, u := range k.units {
 		u.engine.Stop()
+	}
+	if k.shipper != nil {
+		// Flush the lanes before stopping them so an orderly shutdown does
+		// not turn in-flight async batches into catch-up work.
+		k.shipper.Drain()
+		k.shipper.Close()
 	}
 }
 

@@ -10,18 +10,26 @@ import (
 	"repro/internal/storage"
 )
 
-// sinkLog collects everything a commit sink receives, in order.
+// sinkLog collects everything a commit sink receives, in order. Its capture
+// phase records the batch; the returned wait reports the configured error, so
+// the tests exercise both halves of the two-phase contract.
 type sinkLog struct {
-	mu   sync.Mutex
-	recs []Record
-	err  error
+	mu    sync.Mutex
+	recs  []Record
+	err   error
+	waits uint64 // how many wait functions were invoked
 }
 
-func (s *sinkLog) sink(recs []Record) error {
+func (s *sinkLog) sink(recs []Record) func() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.recs = append(s.recs, recs...)
-	return s.err
+	return func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.waits++
+		return s.err
+	}
 }
 
 func (s *sinkLog) all() []Record {
@@ -141,6 +149,31 @@ func TestCommitSinkSilentDuringRecover(t *testing.T) {
 	}
 	if got := log.all(); len(got) != 1 {
 		t.Fatalf("sink received %d records after recovery, want 1", len(got))
+	}
+}
+
+// The ack wait runs with no shard lock held: a wait that reads the store —
+// as a replication barrier consulting watermarks might — must not deadlock
+// against the shard lock its own commit cycle held during capture. Exercised
+// on both the serial and the group-commit path; a regression here hangs the
+// test rather than failing an assert.
+func TestCommitSinkWaitRunsOffShardLock(t *testing.T) {
+	key := entity.Key{Type: "Account", ID: "A1"}
+	for _, group := range []bool{false, true} {
+		var db *DB
+		sink := func(recs []Record) func() error {
+			return func() error {
+				_, _, err := db.Current(key) // same shard as the commit
+				return err
+			}
+		}
+		db = newTestDB(t, Options{Shards: 1, GroupCommit: group, CommitSink: sink})
+		if _, err := db.Append(key, []entity.Op{entity.Delta("balance", 1)}, stamp(1), "n", "t1"); err != nil {
+			t.Fatalf("group=%v: %v", group, err)
+		}
+		if err := db.MarkObsolete(key, "t1"); err != nil {
+			t.Fatalf("group=%v: MarkObsolete: %v", group, err)
+		}
 	}
 }
 

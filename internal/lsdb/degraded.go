@@ -213,22 +213,36 @@ func (db *DB) logMarks(marks []Record) error {
 }
 
 // postCommitLocked finishes a commit cycle after its records are installed:
-// the replication sink, then the observability hook. A sink failure is
-// post-install and therefore indeterminate — the records are committed
-// locally and visible; only the replication guarantee is in doubt. The
-// CommitHook still runs on a sink failure: observability must see the
-// cycle that did commit. The caller holds the shard's write lock.
-func (db *DB) postCommitLocked(records []Record) error {
-	var sinkErr error
+// the replication sink's capture phase, then the observability hook. The
+// caller holds the shard's write lock; the sink's capture must therefore be
+// fast and non-blocking (it snapshots the batch and hands it to the shipping
+// lanes). The returned wait function — nil when no acknowledgement is owed —
+// is the sink's ack barrier; the caller invokes it through waitCommitSink
+// *after* releasing the shard lock, so a slow or retrying standby never
+// stalls the shard's readers or other writers.
+func (db *DB) postCommitLocked(records []Record) func() error {
+	var wait func() error
 	if db.opts.CommitSink != nil && !db.recovering {
-		if err := db.opts.CommitSink(records); err != nil {
-			sinkErr = fmt.Errorf("lsdb: commit sink failed (records are committed locally): %w", err)
-		}
+		wait = db.opts.CommitSink(records)
 	}
 	if db.opts.CommitHook != nil {
 		db.opts.CommitHook(records)
 	}
-	return sinkErr
+	return wait
+}
+
+// waitCommitSink blocks on a commit sink's ack barrier (with no lock held)
+// and wraps its error in the post-install phrasing: a sink failure is
+// indeterminate — the records are committed locally and visible; only the
+// replication guarantee is in doubt.
+func waitCommitSink(wait func() error) error {
+	if wait == nil {
+		return nil
+	}
+	if err := wait(); err != nil {
+		return fmt.Errorf("lsdb: commit sink failed (records are committed locally): %w", err)
+	}
+	return nil
 }
 
 // Repair heals a fail-stopped or corrupt backend: it quarantines the bad

@@ -158,7 +158,17 @@ func (db *DB) drainShard(s *shard, self *appendReq) {
 		}
 		clear(states)
 		clear(txns)
-		live = db.commitBatch(s, batch, live[:0], states, txns)
+		var wait func() error
+		live, wait = db.commitBatch(s, batch, live[:0], states, txns)
+		// The replication ack wait runs after commitBatch released the shard
+		// lock and before the followers are signalled: readers and the next
+		// batch's enqueuers proceed during the wait, but a sink error still
+		// reaches every writer of this batch.
+		if err := waitCommitSink(wait); err != nil {
+			for _, r := range live {
+				r.err = err
+			}
+		}
 		for _, r := range batch {
 			if r != self {
 				r.done <- struct{}{}
@@ -184,7 +194,7 @@ func (db *DB) drainShard(s *shard, self *appendReq) {
 // frozen states in order. Because failed requests were excluded before the
 // reservation, every reserved LSN is used and the global log stays dense,
 // exactly as on the serial path.
-func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.Key]*entity.State, txns map[entity.Key]map[string]bool) []*appendReq {
+func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.Key]*entity.State, txns map[entity.Key]map[string]bool) ([]*appendReq, func() error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, r := range batch {
@@ -207,7 +217,7 @@ func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.
 		live = append(live, r)
 	}
 	if len(live) == 0 {
-		return live
+		return live, nil
 	}
 	// One commit cycle — one LSN run, one backend append, one log force, one
 	// commit-hook call — for the whole batch: this is where group commit
@@ -232,19 +242,16 @@ func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.
 			r.err = err
 			r.next = nil
 		}
-		return live
+		return live, nil
 	}
 	for i, r := range live {
 		r.res.Record = recs[i]
 		r.res.State = db.commitAppendLocked(s, &r.res.Record, r.next)
 	}
-	// The sink's post-install error (replication ack shortfall) is
-	// indeterminate for the whole batch — the records are committed and
-	// visible — so every writer in it receives it.
-	if err := db.postCommitLocked(recs); err != nil {
-		for _, r := range live {
-			r.err = err
-		}
-	}
-	return live
+	// The sink's capture runs here under the shard lock (order is the
+	// contract); the returned ack wait is the caller's to run after this
+	// function releases the lock. Its post-install error (replication ack
+	// shortfall) is indeterminate for the whole batch — the records are
+	// committed and visible — so the caller hands it to every writer.
+	return live, db.postCommitLocked(recs)
 }

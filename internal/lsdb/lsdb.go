@@ -122,20 +122,26 @@ type Options struct {
 	// get an error even though their appends are in the log (the same
 	// indeterminacy any post-commit failure has).
 	CommitHook func(records []Record)
-	// CommitSink is the error-returning sibling of CommitHook: the
-	// attachment point for WAL-shipping replication. It receives every
-	// record written to the durable log — commit cycles, obsolescence marks
-	// and compaction horizons — in the order the backend does, under the
-	// same shard lock, so a sink that appends to another log reproduces
-	// this one. Unlike CommitHook its error reaches the writers of the
-	// cycle: a synchronous replication mode that could not reach its
-	// standbys fails the append. Like a backend error the failure is
+	// CommitSink is the two-phase sibling of CommitHook: the attachment
+	// point for WAL-shipping replication. The call itself (the capture
+	// phase) receives every record written to the durable log — commit
+	// cycles, obsolescence marks and compaction horizons — in the order the
+	// backend does, under the same shard lock, so a sink that forwards to
+	// another log observes this one's order. Because the shard lock is
+	// held, the capture phase must be fast and must never block on I/O,
+	// sleep, or wait for the network: it snapshots the batch, hands it to
+	// the shipping machinery, and returns. The returned wait function (nil
+	// when the mode needs no acknowledgement) is invoked by the store
+	// *after* the shard lock is released; its error reaches the writers of
+	// the cycle: a synchronous replication mode that could not gather its
+	// acks fails the append. Like a backend error that failure is
 	// post-install and therefore indeterminate — the records are committed
 	// locally and visible; only the replication guarantee is in doubt.
 	// Invoked concurrently from independently committing shards; not
 	// invoked during Recover (the replayed records were already shipped
-	// when first written). See also SetCommitSink for attaching after Open.
-	CommitSink func(records []Record) error
+	// when first written). See also SetCommitSink for attaching after Open,
+	// and docs/CONCURRENCY.md for the full sink contract.
+	CommitSink func(records []Record) (wait func() error)
 	// Backend, when non-nil, is the durable storage engine under the store:
 	// every commit cycle appends its records to it (one AppendBatch — one
 	// framed batch write, one log force — per cycle, so group commit
@@ -369,9 +375,9 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 		return db.appendGrouped(s, typ, key, ops, stamp, origin, txnID, tentative)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	next, warnings, err := db.applyForAppendLocked(s, typ, key, ops, txnID, tentative, nil, nil)
 	if err != nil {
+		s.mu.Unlock()
 		return AppendResult{}, err
 	}
 	// Log-first: the record reaches the durable backend (which assigns the
@@ -387,11 +393,16 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 		Tentative: tentative,
 	}}
 	if err := db.logAppend(recs); err != nil {
+		s.mu.Unlock()
 		return AppendResult{}, err
 	}
 	resState := db.commitAppendLocked(s, &recs[0], next)
+	wait := db.postCommitLocked(recs)
+	s.mu.Unlock()
+	// The replication ack wait happens with no lock held: readers and other
+	// writers of the shard proceed while this writer blocks on its acks.
 	res := AppendResult{Record: recs[0], State: resState, Warnings: warnings}
-	if err := db.postCommitLocked(recs); err != nil {
+	if err := waitCommitSink(wait); err != nil {
 		return res, err
 	}
 	return res, nil
@@ -401,7 +412,7 @@ func (db *DB) append(key entity.Key, ops []entity.Op, stamp clock.Timestamp, ori
 // uses it to wire replication up once all the units' stores exist. It must be
 // called before the store is shared with writers; attaching mid-traffic races
 // with committing shards.
-func (db *DB) SetCommitSink(fn func(records []Record) error) {
+func (db *DB) SetCommitSink(fn func(records []Record) func() error) {
 	db.opts.CommitSink = fn
 }
 
@@ -497,13 +508,14 @@ func (s *shard) appendRecordLocked(rec Record, segmentSize int) {
 func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
 	s := db.shardFor(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	lsn, ok := s.byTxn[key][txnID]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: txn %s on %s", ErrNotFound, txnID, key)
 	}
 	rec := s.recordAtLocked(lsn)
 	if rec == nil {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: lsn %d", ErrNotFound, lsn)
 	}
 	// The record is already durable without its obsolete flag; log the
@@ -514,6 +526,7 @@ func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
 	// it withdraws and before any later append to the same entity.
 	mark := Record{Kind: storage.KindObsolete, Key: key, TxnID: txnID}
 	if err := db.logMarks([]Record{mark}); err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	rec.Obsolete = true
@@ -526,9 +539,15 @@ func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
 		delete(s.snaps, key)
 	}
 	// The mark ships through the commit sink too: a standby's log must
-	// withdraw the same promises. Post-install, like any sink call.
+	// withdraw the same promises. Captured under the shard lock (ordered
+	// after the record it withdraws), acked after it, like any sink call.
+	var wait func() error
 	if !db.recovering && db.opts.CommitSink != nil {
-		if err := db.opts.CommitSink([]Record{mark}); err != nil {
+		wait = db.opts.CommitSink([]Record{mark})
+	}
+	s.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
 			return fmt.Errorf("lsdb: commit sink mark failed (mark is applied locally): %w", err)
 		}
 	}
@@ -823,6 +842,17 @@ func (db *DB) recordsAfterLocked(after uint64) []Record {
 	return out
 }
 
+// RecordsAfterN is RecordsAfter bounded to the first limit records of the
+// tail (in LSN order); limit <= 0 means unbounded. Streaming catch-up serves
+// chunk-sized tails this way so one response never carries the whole log.
+func (db *DB) RecordsAfterN(after uint64, limit int) []Record {
+	recs := db.RecordsAfter(after)
+	if limit > 0 && len(recs) > limit {
+		recs = recs[:limit:limit]
+	}
+	return recs
+}
+
 // RecordsFor returns all records of one entity in LSN order.
 func (db *DB) RecordsFor(key entity.Key) []Record {
 	s := db.shardFor(key)
@@ -1009,8 +1039,11 @@ func (db *DB) Compact(beforeLSN uint64) CompactStats {
 			// the live store archived — the rollup states are identical).
 			db.setBackendErr(fmt.Errorf("lsdb: backend compact mark failed: %w", err))
 		} else if db.opts.CommitSink != nil {
-			if err := db.opts.CommitSink([]Record{mark}); err != nil {
-				db.setBackendErr(fmt.Errorf("lsdb: commit sink compact mark failed: %w", err))
+			// No shard lock is held here; capture and wait inline.
+			if wait := db.opts.CommitSink([]Record{mark}); wait != nil {
+				if err := wait(); err != nil {
+					db.setBackendErr(fmt.Errorf("lsdb: commit sink compact mark failed: %w", err))
+				}
 			}
 		}
 	}

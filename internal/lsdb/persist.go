@@ -385,6 +385,50 @@ func (db *DB) LoadRecord(rec Record) {
 	s.mu.Unlock()
 }
 
+// IngestShipped installs replicated records that arrive *after* a store has
+// been recovered — the streaming half of promotion, where a promoted standby
+// already serves reads while the union of its peers' log tails is still being
+// pulled chunk by chunk. Appends keep their original LSNs (the bulk-load
+// path, which also advances the LSN sequence so post-union writes continue
+// the stream) and are re-appended to this store's own backend so the durable
+// log stays a complete copy; history-rewrite marks are re-applied through the
+// ordinary mark paths, which log and (when a sink is attached) re-ship them.
+//
+// The caller guarantees what Recover's replay would have: records arrive in
+// log order, appends of one entity in ascending LSN order, no LSN collides
+// with a locally-assigned one (promotion refuses writes until the union
+// completes), and duplicates are filtered before the call.
+func (db *DB) IngestShipped(recs []Record) error {
+	for _, rec := range recs {
+		switch rec.Kind {
+		case storage.KindObsolete:
+			// ErrNotFound mirrors Recover: the mark's record may live in a
+			// chunk that never arrives (compacted away on the peer) — the
+			// live store's mark was a no-op then too.
+			if err := db.MarkObsolete(rec.Key, rec.TxnID); err != nil && !errors.Is(err, ErrNotFound) {
+				return fmt.Errorf("lsdb: ingest mark: %w", err)
+			}
+		case storage.KindCompact:
+			db.Compact(rec.Horizon)
+		case storage.KindAppend:
+			if db.opts.Backend != nil {
+				one := []Record{rec}
+				db.logMu.Lock()
+				err := db.opts.Backend.AppendBatch(one)
+				db.logMu.Unlock()
+				if err != nil {
+					return fmt.Errorf("lsdb: ingest append: %w", err)
+				}
+			}
+			rec.Kind, rec.Horizon, rec.Summary = 0, 0, nil
+			db.LoadRecord(rec)
+		default:
+			return fmt.Errorf("lsdb: ingest: unknown record kind %d", rec.Kind)
+		}
+	}
+	return nil
+}
+
 // normaliseJSON converts JSON-decoded numbers to the int64/float64 split the
 // entity layer expects. With UseNumber decoding, integral values of any
 // magnitude map to int64 exactly; without it (a raw float64) the integral

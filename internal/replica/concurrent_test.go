@@ -1,0 +1,111 @@
+package replica
+
+// The concurrent-ship dimension of the fault matrix: several writers commit
+// in parallel while the lanes fan their batches out to a deliberately uneven
+// standby set — one behind a slow link, one parked behind a block, one
+// taking losses — under every ack mode. The serial matrix cannot see lane
+// races (a commit's ack wait overlapping the next commit's capture, barrier
+// verdicts racing late reports, breaker flips under concurrent traffic);
+// this one runs exactly those interleavings, under -race in CI.
+//
+// Invariants per cell: every write the client saw acked survives failover,
+// a commit whose ack requirement is satisfied never fails because of the
+// parked standby, and after heal + catch-up the standbys converge on the
+// full log and the promoted store matches the model.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/entity"
+	"repro/internal/netsim"
+)
+
+type concurrentWrite struct {
+	txn    string
+	key    entity.Key
+	amount float64
+	acked  bool
+}
+
+func TestConcurrentShipFaultMatrix(t *testing.T) {
+	seeds := []int64{5, 13}
+	writers, perWriter := 4, 15
+	if testing.Short() {
+		seeds = seeds[:1]
+		perWriter = 8
+	}
+	for _, mode := range []AckMode{AckAsync, AckSync, AckQuorum} {
+		for _, seed := range seeds {
+			mode, seed := mode, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+				h := newFaultHarness(t, mode, seed, 3)
+				defer h.net.Close()
+				// s1 is the slow standby for the whole run: every one of its
+				// deliveries rides a laggy link while the other lanes ack
+				// fast — the shape that exposes a fan-out waiting on the
+				// slowest lane when it should not.
+				h.net.SetLinkFault("p", "s1", netsim.LinkFault{ExtraLatency: 500 * time.Microsecond})
+
+				results := make([][]concurrentWrite, writers)
+				errs := make(chan error, writers)
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed*100 + int64(w)))
+						for i := 0; i < perWriter; i++ {
+							key := h.keys[rng.Intn(len(h.keys))]
+							amount := float64(rng.Intn(9) + 1)
+							txn := fmt.Sprintf("c%d-%d", w, i)
+							_, err := h.p.db.Append(key, []entity.Op{entity.Delta("balance", amount)},
+								ts(int64(w)*1000+int64(i)+1), "p", txn)
+							if err != nil && !errors.Is(err, ErrStandbyAcks) {
+								errs <- fmt.Errorf("writer %d append %s: %v", w, txn, err)
+								return
+							}
+							// Committed on the primary either way; only the
+							// client's ack differs (post-install verdict).
+							results[w] = append(results[w], concurrentWrite{txn: txn, key: key, amount: amount, acked: err == nil})
+						}
+					}(w)
+				}
+				// Faults land mid-stream, while writers are in flight: park
+				// one standby outright, then open a lossy window on another,
+				// then bring the parked one back.
+				time.Sleep(2 * time.Millisecond)
+				h.net.SetLinkFault("p", "s3", netsim.LinkFault{Block: true})
+				time.Sleep(5 * time.Millisecond)
+				h.net.SetLinkFault("p", "s2", netsim.LinkFault{Loss: 0.5})
+				time.Sleep(5 * time.Millisecond)
+				h.net.ClearLinkFault("p", "s3")
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				// Fold the per-writer journals into the harness model so its
+				// heal/convergence and failover invariants apply unchanged.
+				for w := range results {
+					if got := len(results[w]); got != perWriter {
+						t.Fatalf("writer %d completed %d/%d writes", w, got, perWriter)
+					}
+					for _, r := range results[w] {
+						h.model[r.key] += r.amount
+						h.writes = append(h.writes, harnessWrite{txn: r.txn, key: r.key, amount: r.amount, acked: r.acked})
+					}
+				}
+				h.healAndConverge()
+				final := h.failover()
+				if !sameState(final, h.model) {
+					h.fatalf("promoted state diverged from model:\n got %v\nwant %v", final, h.model)
+				}
+			})
+		}
+	}
+}

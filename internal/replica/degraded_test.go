@@ -36,7 +36,7 @@ func newFaultShipPrimary(t *testing.T, net *netsim.Network, standbys []clock.Nod
 		Mode:     mode,
 		Timeout:  250 * time.Millisecond,
 		Net:      net,
-		Source:   func(unit int, after uint64) []lsdb.Record { return db.RecordsAfter(after) },
+		Source:   func(unit int, after uint64, limit int) []lsdb.Record { return db.RecordsAfterN(after, limit) },
 	})
 	db.SetCommitSink(sh.Sink(0))
 	return &shipPrimary{db: db, shipper: sh}, fb
@@ -250,7 +250,7 @@ func TestBreakerOpensShortCircuitsAndHealsHalfOpen(t *testing.T) {
 	sh := NewShipper(ShipperOptions{
 		Self: "p", Standbys: []clock.NodeID{"s1"}, Mode: AckSync,
 		Timeout: 50 * time.Millisecond, Net: net,
-		Source:           func(unit int, after uint64) []lsdb.Record { return db.RecordsAfter(after) },
+		Source:           func(unit int, after uint64, limit int) []lsdb.Record { return db.RecordsAfterN(after, limit) },
 		RetryAttempts:    -1, // isolate the breaker from the retry loop
 		BreakerThreshold: 2,
 		BreakerCooldown:  time.Second,

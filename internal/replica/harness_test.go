@@ -209,6 +209,9 @@ func (h *faultHarness) healAndConverge() {
 		h.repairStorage()
 	}
 	h.net.ClearLinkFaults()
+	// Lanes ship asynchronously: drain them (retries now succeed against the
+	// healed links) before quiescing the network's in-flight deliveries.
+	h.p.shipper.Drain()
 	h.net.Quiesce()
 	want := uint64(len(h.writes))
 	for _, id := range h.sbIDs {

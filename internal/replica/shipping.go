@@ -12,10 +12,19 @@
 // lsdb.Recover, which rebuilds stores, caches and watermarks exactly as a
 // restart would, and the promoted node resumes as primary.
 //
+// Shipping is fanned out, not serial: the commit sink's capture phase (which
+// runs under the store's shard lock) only snapshots the batch and enqueues it
+// on one bounded lane per standby; per-standby goroutines do the actual
+// transport work — including retries, jittered backoff and the circuit
+// breaker — with no store lock held. Sync and quorum commits block on an ack
+// barrier that releases at the slowest *needed* ack: quorum returns after the
+// majority, so one slow or parked standby prices only its own lane, and a
+// commit over N standbys costs one round trip, not N.
+//
 // Ack modes tune the durability/latency trade-off per cluster:
 //
 //   - AckAsync: the commit cycle returns as soon as the batch is handed to
-//     the transport; loss and partitions are healed by catch-up.
+//     the lanes; loss and partitions are healed by catch-up.
 //   - AckSync: every standby must acknowledge the durable append before the
 //     writers' commit returns ("synchronous commit to backup").
 //   - AckQuorum: a majority of the cluster (standbys + primary) must hold the
@@ -24,10 +33,12 @@
 // A standby tracks, per unit, the contiguous prefix of append LSNs it holds
 // (plus the out-of-order set beyond it — commit cycles from independently
 // committing shards ship concurrently, so arrival order is not LSN order).
-// Anything missing is pulled by LSN with a catch-up request, served straight
-// from the source's durable log (storage.Streamer). The contiguous watermark
-// is durably recorded through storage.ReplicationMarker so a restarted
-// standby knows how far its log reaches without replaying it.
+// Anything missing is pulled by LSN with streaming catch-up: segment-sized
+// chunks over repeated requests, each response bounded and resumable by the
+// highest append LSN received, so a deep backlog never rides in one message.
+// The contiguous watermark is durably recorded through
+// storage.ReplicationMarker so a restarted standby knows how far its log
+// reaches without replaying it.
 package replica
 
 import (
@@ -109,13 +120,20 @@ type shipAck struct {
 }
 
 // catchupRequest asks a node for the records of one unit after an LSN.
+// Limit bounds how many appended records the response may carry (the server
+// clamps it to its own chunk size); 0 lets the server choose.
 type catchupRequest struct {
 	Unit  int
 	After uint64
+	Limit int
 }
 
+// catchupResponse carries one streaming catch-up chunk. More reports that
+// the tail continues past the chunk: the puller advances its cursor to the
+// chunk's highest append LSN and asks again.
 type catchupResponse struct {
 	Records []lsdb.Record
+	More    bool
 }
 
 // Transport moves ship batches to a standby. The bundled NetTransport runs
@@ -158,13 +176,18 @@ type ShipStats struct {
 	ShipFailures   uint64
 	CatchupServed  uint64
 	// ShipRetries counts transient transport failures absorbed by the
-	// in-ship retry loop (each retry that was attempted, successful or not).
+	// in-lane retry loop (each retry that was attempted, successful or not).
 	ShipRetries uint64
 	// BreakerOpens counts closed→open transitions across all standbys.
 	BreakerOpens uint64
 	// BreakerShortCircuits counts ships skipped because the standby's
 	// breaker was open — failures that cost nothing instead of a timeout.
 	BreakerShortCircuits uint64
+	// WindowOverflows counts ships refused because the standby's lane
+	// already had Window batches in flight: the commit proceeds (the
+	// overflow counts as that standby's failure, healed by catch-up)
+	// instead of the shard stalling behind a slow standby.
+	WindowOverflows uint64
 }
 
 // ShipperOptions configure the primary side of WAL shipping.
@@ -180,10 +203,11 @@ type ShipperOptions struct {
 	// Transport moves the batches. When nil and Net is set, a NetTransport
 	// is used.
 	Transport Transport
-	// Source serves catch-up requests: the records of one unit with
-	// LSN > after (an lsdb.RecordsAfter closure, or a storage.Streamer
-	// read). Nil disables catch-up serving.
-	Source func(unit int, after uint64) []lsdb.Record
+	// Source serves catch-up requests: up to limit records of one unit with
+	// LSN > after, in log order (an lsdb.RecordsAfterN closure, or a
+	// storage.Streamer read); limit <= 0 means unbounded. Nil disables
+	// catch-up serving.
+	Source func(unit int, after uint64, limit int) []lsdb.Record
 	// Net, when set, registers Self on the simulated network (senders must
 	// be registered) and, with Source, a catch-up request handler.
 	Net *netsim.Network
@@ -191,10 +215,11 @@ type ShipperOptions struct {
 	// error counts toward the ack verdict (default 2; negative disables):
 	// one dropped packet must not fail a sync commit. Retries are bounded
 	// and jittered; they absorb transient transport faults, not dead
-	// standbys — those are the breaker's job.
+	// standbys — those are the breaker's job. Retries run inside the
+	// standby's lane, so their backoff delays only that standby.
 	RetryAttempts int
 	// RetryBackoff is the base delay between retries (default 5ms), doubled
-	// per retry and jittered ±50% so retrying shippers do not convoy.
+	// per retry and jittered ±50% so retrying lanes do not convoy.
 	RetryBackoff time.Duration
 	// BreakerThreshold opens a standby's circuit breaker after this many
 	// consecutive failed ships (default 3). While open, ships to that
@@ -205,6 +230,14 @@ type ShipperOptions struct {
 	// ship is let through half-open (default 2s). A successful probe closes
 	// the breaker; the standby then heals the gap through catch-up.
 	BreakerCooldown time.Duration
+	// Window bounds each standby lane's in-flight batch queue (default
+	// 128). The capture phase never blocks: a batch that does not fit
+	// fails that standby's ship immediately (WindowOverflows) and the gap
+	// heals through catch-up, exactly like a lossy transport.
+	Window int
+	// CatchupChunk caps how many appended records one catch-up response
+	// carries (default 512). Pullers stream the tail chunk by chunk.
+	CatchupChunk int
 	// Now supplies time for breaker state transitions (default time.Now);
 	// tests inject a fake clock to step through cooldowns deterministically.
 	Now func() time.Time
@@ -237,20 +270,103 @@ type breaker struct {
 	openedAt time.Time
 }
 
+// laneJob is one batch on a standby's shipping lane, with the ack barrier
+// (nil in async mode) the lane reports its outcome to.
+type laneJob struct {
+	batch ShipBatch
+	bar   *ackBarrier
+	sync  bool
+}
+
+// ackBarrier gathers one commit cycle's per-standby ship outcomes and
+// releases the waiting writers at the slowest *needed* ack: quorum releases
+// after the majority, not after every standby, and a cycle whose success has
+// become arithmetically impossible fails without waiting out the stragglers.
+// Late reports after release are absorbed; they cannot change the verdict
+// (acks only grow toward an already-satisfied need, and an impossibility
+// release stays impossible).
+type ackBarrier struct {
+	need  int
+	total int
+
+	mu       sync.Mutex
+	acks     int
+	fails    int
+	firstErr error
+	released bool
+	done     chan struct{}
+}
+
+func newAckBarrier(need, total int) *ackBarrier {
+	b := &ackBarrier{need: need, total: total, done: make(chan struct{})}
+	if need <= 0 {
+		b.released = true
+		close(b.done)
+	}
+	return b
+}
+
+// report feeds one standby's outcome in. Safe from concurrent lanes.
+func (b *ackBarrier) report(ok bool, err error) {
+	b.mu.Lock()
+	if ok {
+		b.acks++
+	} else {
+		b.fails++
+		if b.firstErr == nil {
+			b.firstErr = err
+		}
+	}
+	release := !b.released &&
+		(b.acks >= b.need || b.acks+(b.total-b.acks-b.fails) < b.need)
+	if release {
+		b.released = true
+	}
+	b.mu.Unlock()
+	if release {
+		close(b.done)
+	}
+}
+
+// wait blocks until the barrier releases and returns the ack verdict. It is
+// the commit sink's second phase: the store invokes it after the shard lock
+// is released, so writers — not the shard — absorb the round trip.
+func (b *ackBarrier) wait() error {
+	<-b.done
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.acks >= b.need {
+		return nil
+	}
+	if b.firstErr != nil {
+		return fmt.Errorf("%w: %d/%d (%v)", ErrStandbyAcks, b.acks, b.need, b.firstErr)
+	}
+	return fmt.Errorf("%w: %d/%d", ErrStandbyAcks, b.acks, b.need)
+}
+
 // Shipper is the primary side of WAL shipping: its Sink closures attach to
-// the units' stores as lsdb.Options.CommitSink and ship every logged record
-// to the standbys under the configured ack mode.
+// the units' stores as lsdb.Options.CommitSink. The capture phase (under the
+// shard lock) snapshots the batch onto one bounded lane per standby; the
+// lanes ship concurrently and the returned wait blocks the writers on the
+// mode's ack barrier.
 type Shipper struct {
 	opts ShipperOptions
 
 	mu       sync.Mutex
+	idle     *sync.Cond // broadcast when pending drops to zero (Drain)
 	stats    ShipStats
 	breakers map[clock.NodeID]*breaker
 	jitter   *rand.Rand // retry-backoff jitter; seeded, guarded by mu
+	lanes    map[clock.NodeID]chan laneJob
+	pending  int // lane jobs enqueued and not yet finished
+	closed   bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
 }
 
-// NewShipper creates a shipper and, on a simulated network, registers its
-// catch-up handler.
+// NewShipper creates a shipper, starts its per-standby lanes and, on a
+// simulated network, registers its catch-up handler.
 func NewShipper(opts ShipperOptions) *Shipper {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 500 * time.Millisecond
@@ -272,6 +388,12 @@ func NewShipper(opts ShipperOptions) *Shipper {
 	if opts.BreakerCooldown <= 0 {
 		opts.BreakerCooldown = 2 * time.Second
 	}
+	if opts.Window <= 0 {
+		opts.Window = 128
+	}
+	if opts.CatchupChunk <= 0 {
+		opts.CatchupChunk = 512
+	}
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
@@ -279,9 +401,16 @@ func NewShipper(opts ShipperOptions) *Shipper {
 		opts:     opts,
 		breakers: map[clock.NodeID]*breaker{},
 		jitter:   rand.New(rand.NewSource(1)),
+		lanes:    map[clock.NodeID]chan laneJob{},
+		quit:     make(chan struct{}),
 	}
+	s.idle = sync.NewCond(&s.mu)
 	for _, peer := range opts.Standbys {
 		s.breakers[peer] = &breaker{}
+		jobs := make(chan laneJob, opts.Window)
+		s.lanes[peer] = jobs
+		s.wg.Add(1)
+		go s.runLane(peer, jobs)
 	}
 	if opts.Net != nil {
 		opts.Net.Register(opts.Self, nil)
@@ -308,11 +437,15 @@ func (s *Shipper) Stats() ShipStats {
 }
 
 // Sink returns the commit sink for one unit's store. The returned closure is
-// invoked under the store's shard lock with records that are already
-// installed and durable locally; per-entity order is preserved because an
-// entity commits under one shard lock.
-func (s *Shipper) Sink(unit int) func([]lsdb.Record) error {
-	return func(records []lsdb.Record) error { return s.ship(unit, records) }
+// the capture phase of lsdb's two-phase sink contract: invoked under the
+// store's shard lock with records that are already installed and durable
+// locally, it must not block — it snapshots the batch onto the standby lanes
+// and hands back the ack barrier's wait (nil in async mode), which the store
+// runs after releasing the lock. Per-entity order is preserved because an
+// entity commits under one shard lock and captures enqueue under one mutex,
+// so every lane sees commits in the same global order.
+func (s *Shipper) Sink(unit int) func([]lsdb.Record) func() error {
+	return func(records []lsdb.Record) func() error { return s.capture(unit, records) }
 }
 
 // acksNeeded is how many standby acks the mode requires before a commit
@@ -328,68 +461,160 @@ func (s *Shipper) acksNeeded() int {
 	}
 }
 
-func (s *Shipper) ship(unit int, records []lsdb.Record) error {
+// capture is the under-the-lock phase: copy the batch, enqueue it on every
+// standby's lane, return the barrier wait. It never blocks — a lane whose
+// window is full takes an immediate failure for this cycle (counted in
+// WindowOverflows, healed by catch-up) rather than stalling the shard.
+func (s *Shipper) capture(unit int, records []lsdb.Record) func() error {
 	if len(s.opts.Standbys) == 0 || s.opts.Transport == nil || len(records) == 0 {
 		return nil
 	}
-	// The sink's slice is only valid for the duration of the call, and an
-	// asynchronous transport delivers after it returns: copy.
+	// The sink's slice is only valid for the duration of the capture, and
+	// the lanes deliver after it returns: copy.
 	recs := make([]lsdb.Record, len(records))
 	copy(recs, records)
-	batch := ShipBatch{From: s.opts.Self, Unit: unit, Records: recs}
-	sync := s.opts.Mode != AckAsync
-	acks, failures := 0, 0
-	var firstErr error
-	for _, peer := range s.opts.Standbys {
-		if !s.breakerAdmits(peer) {
-			failures++
-			if firstErr == nil {
-				firstErr = fmt.Errorf("replica: standby %s breaker open", peer)
-			}
-			continue
-		}
-		err := s.shipWithRetry(peer, batch, sync)
-		s.breakerReport(peer, err == nil)
-		if err != nil {
-			failures++
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		if sync {
-			acks++
-		}
+	job := laneJob{
+		batch: ShipBatch{From: s.opts.Self, Unit: unit, Records: recs},
+		sync:  s.opts.Mode != AckAsync,
+	}
+	if job.sync {
+		job.bar = newAckBarrier(s.acksNeeded(), len(s.opts.Standbys))
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if job.bar == nil {
+			return nil
+		}
+		return func() error { return fmt.Errorf("%w: shipper closed", ErrStandbyAcks) }
+	}
 	s.stats.BatchesShipped++
 	s.stats.RecordsShipped += uint64(len(recs))
-	s.stats.SyncAcks += uint64(acks)
-	s.stats.ShipFailures += uint64(failures)
-	s.mu.Unlock()
-	if need := s.acksNeeded(); acks < need {
-		if firstErr != nil {
-			return fmt.Errorf("%w: %d/%d (%v)", ErrStandbyAcks, acks, need, firstErr)
+	for _, peer := range s.opts.Standbys {
+		select {
+		case s.lanes[peer] <- job:
+			s.pending++
+		default:
+			s.stats.WindowOverflows++
+			s.stats.ShipFailures++
+			if job.bar != nil {
+				job.bar.report(false, fmt.Errorf("replica: standby %s ship window full", peer))
+			}
 		}
-		return fmt.Errorf("%w: %d/%d", ErrStandbyAcks, acks, need)
 	}
-	return nil
+	s.mu.Unlock()
+	if job.bar == nil {
+		return nil
+	}
+	return job.bar.wait
+}
+
+// runLane is one standby's shipping goroutine: batches go out in enqueue
+// order, and retries, backoff and the breaker run here with no store lock
+// held — a slow or parked standby delays only its own lane. On Close the
+// lane fails whatever is still queued so no barrier waits forever.
+func (s *Shipper) runLane(peer clock.NodeID, jobs chan laneJob) {
+	defer s.wg.Done()
+	for {
+		select {
+		case job := <-jobs:
+			s.shipJob(peer, job)
+		case <-s.quit:
+			for {
+				select {
+				case job := <-jobs:
+					s.finishJob(job, errors.New("replica: shipper closed"))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// shipJob attempts one lane job: breaker check, transport with retries,
+// breaker verdict, then the barrier report.
+func (s *Shipper) shipJob(peer clock.NodeID, job laneJob) {
+	var err error
+	if !s.breakerAdmits(peer) {
+		err = fmt.Errorf("replica: standby %s breaker open", peer)
+	} else {
+		err = s.shipWithRetry(peer, job.batch, job.sync)
+		// Breaker state first, barrier second: when a sync writer wakes,
+		// the breaker already reflects the ship that released it.
+		s.breakerReport(peer, err == nil)
+	}
+	s.finishJob(job, err)
+}
+
+// finishJob reports a job's outcome to its barrier and retires it from the
+// pending count (waking Drain at zero).
+func (s *Shipper) finishJob(job laneJob, err error) {
+	if job.bar != nil {
+		job.bar.report(err == nil, err)
+	}
+	s.mu.Lock()
+	if err == nil {
+		if job.sync {
+			s.stats.SyncAcks++
+		}
+	} else {
+		s.stats.ShipFailures++
+	}
+	s.pending--
+	if s.pending == 0 {
+		s.idle.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Drain blocks until every enqueued ship has been attempted — all lanes
+// idle, all windows empty. Writers never call it; tests and orderly
+// shutdown do, to fence "everything captured so far has reached the
+// transport" before inspecting standbys or rewiring the network.
+func (s *Shipper) Drain() {
+	s.mu.Lock()
+	for s.pending > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the lanes. Queued-but-unattempted batches fail their barriers
+// (ErrStandbyAcks, like any lost ship) and heal through catch-up; captures
+// after Close fail immediately in sync modes and are dropped in async.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
 }
 
 // shipWithRetry ships to one standby, absorbing transient transport errors
 // with up to RetryAttempts bounded, jittered, exponentially backed-off
-// retries before the error reaches the ack verdict.
+// retries before the error reaches the ack verdict. It runs on the
+// standby's lane goroutine: the backoff sleeps hold no lock and delay no
+// other standby (and abort early on Close).
 func (s *Shipper) shipWithRetry(peer clock.NodeID, batch ShipBatch, sync bool) error {
 	err := s.opts.Transport.Ship(peer, batch, sync, s.opts.Timeout)
 	backoff := s.opts.RetryBackoff
 	for try := 0; err != nil && try < s.opts.RetryAttempts; try++ {
 		s.mu.Lock()
 		s.stats.ShipRetries++
-		// ±50% jitter: concurrent shard shippers retrying the same blip
-		// should not re-collide in lockstep.
+		// ±50% jitter: lanes retrying the same blip should not re-collide
+		// in lockstep.
 		delay := backoff/2 + time.Duration(s.jitter.Int63n(int64(backoff)))
 		s.mu.Unlock()
-		time.Sleep(delay)
+		select {
+		case <-time.After(delay):
+		case <-s.quit:
+			return err
+		}
 		backoff *= 2
 		err = s.opts.Transport.Ship(peer, batch, sync, s.opts.Timeout)
 	}
@@ -458,17 +683,47 @@ func (s *Shipper) BreakerStates() map[clock.NodeID]string {
 	return out
 }
 
-// onRequest serves catch-up requests from the primary's log.
+// chunkTail cuts one streaming catch-up chunk out of a tail: at most limit
+// appended records plus the history-rewrite marks interleaved among them.
+// Only appends count toward the limit — marks carry no LSN and ride along —
+// and a cut always lands just before the first append over the limit, so a
+// chunk with more true always advances the puller's cursor (the streaming
+// loop terminates). limit <= 0 means no bound.
+func chunkTail(recs []lsdb.Record, limit int) (chunk []lsdb.Record, more bool) {
+	if limit <= 0 {
+		return recs, false
+	}
+	appends := 0
+	for i, rec := range recs {
+		if rec.Kind != storage.KindAppend {
+			continue
+		}
+		appends++
+		if appends > limit {
+			return recs[:i:i], true
+		}
+	}
+	return recs, false
+}
+
+// onRequest serves streaming catch-up requests from the primary's log.
 func (s *Shipper) onRequest(from clock.NodeID, payload interface{}) (interface{}, error) {
 	req, ok := payload.(catchupRequest)
 	if !ok {
 		return nil, fmt.Errorf("replica: unknown request %T", payload)
 	}
-	recs := s.opts.Source(req.Unit, req.After)
+	limit := req.Limit
+	if limit <= 0 || limit > s.opts.CatchupChunk {
+		limit = s.opts.CatchupChunk
+	}
+	// One extra record decides More without a second scan; chunkTail cuts
+	// it back off.
+	recs := s.opts.Source(req.Unit, req.After, limit+1)
+	chunk, more := chunkTail(recs, limit)
 	s.mu.Lock()
 	s.stats.CatchupServed++
 	s.mu.Unlock()
-	return catchupResponse{Records: recs}, nil
+	return catchupResponse{Records: chunk, More: more}, nil
 }
 
 // StandbyStats counts the standby side of WAL shipping.
@@ -476,9 +731,12 @@ type StandbyStats struct {
 	BatchesReceived uint64
 	RecordsReceived uint64
 	Duplicates      uint64
-	Gaps            uint64
-	CatchupRounds   uint64
-	CatchupRecords  uint64
+	// Gaps counts gap-opening events — transitions from a complete prefix
+	// to a missing LSN — not batches received while a gap happened to be
+	// open (that would conflate backlog depth with fault count).
+	Gaps           uint64
+	CatchupRounds  uint64
+	CatchupRecords uint64
 }
 
 // StandbyOptions configure a log-receiving standby.
@@ -493,22 +751,48 @@ type StandbyOptions struct {
 	// means the batch survives the standby's own crash).
 	Backends []storage.Backend
 	// PersistEvery records the contiguous watermark through
-	// storage.ReplicationMarker every N received batches (default 1; the
-	// WAL's marker is a manifest install, so busy standbys raise this).
+	// storage.ReplicationMarker every N batches *that unit* received
+	// (default 1; the WAL's marker is a manifest install, so busy standbys
+	// raise this). The cadence is per unit so a quiet unit's watermark
+	// still persists on its own schedule.
 	PersistEvery int
 	// AutoCatchUp pulls the missing tail from the shipping node as soon as
 	// a gap is detected, inline on the delivery. Off by default so the
 	// fault harness can script catch-up deterministically.
 	AutoCatchUp bool
+	// CatchupChunk caps how many appended records one catch-up response
+	// this standby serves may carry, and sizes the chunks its own CatchUp
+	// requests ask for (default 512).
+	CatchupChunk int
 	// Timeout bounds the standby's own requests (default 500ms).
 	Timeout time.Duration
 }
 
-// unitProgress tracks how much of one unit's append-LSN space the standby
-// holds: the contiguous prefix plus the out-of-order set beyond it.
+// obsKey identifies an obsolescence mark for deduplication (marks carry no
+// LSN of their own).
+type obsKey struct {
+	key   entity.Key
+	txnID string
+}
+
+// unitProgress tracks how much of one unit's shipped stream the standby
+// holds: the contiguous append-LSN prefix plus the out-of-order set beyond
+// it, the history-rewrite marks already in the log, and the unit's own
+// gap/persist bookkeeping.
 type unitProgress struct {
 	contig  uint64
 	pending map[uint64]bool
+	// gapOpen remembers whether the unit is currently missing an LSN below
+	// its highest, so Gaps counts opening events, not affected batches.
+	gapOpen bool
+	// batches counts received batches for the PersistEvery cadence.
+	batches uint64
+	// obsSeen and compSeen dedup history-rewrite marks: catch-up rounds
+	// re-send every mark after the cursor's position (marks carry no LSN
+	// to filter by), and without dedup the received log would grow without
+	// bound under repeated catch-up.
+	obsSeen  map[obsKey]bool
+	compSeen map[uint64]bool
 }
 
 // markLocked records lsn as held and advances the contiguous watermark.
@@ -528,22 +812,49 @@ func (u *unitProgress) hasLocked(lsn uint64) bool {
 	return lsn <= u.contig || u.pending[lsn]
 }
 
+// freshLocked reports whether the unit's log does not yet hold rec —
+// appends by LSN, marks by identity.
+func (u *unitProgress) freshLocked(rec lsdb.Record) bool {
+	switch rec.Kind {
+	case storage.KindAppend:
+		return !u.hasLocked(rec.LSN)
+	case storage.KindObsolete:
+		return !u.obsSeen[obsKey{key: rec.Key, txnID: rec.TxnID}]
+	case storage.KindCompact:
+		return !u.compSeen[rec.Horizon]
+	default:
+		return true
+	}
+}
+
+// noteLocked records that the unit's log now holds rec.
+func (u *unitProgress) noteLocked(rec lsdb.Record) {
+	switch rec.Kind {
+	case storage.KindAppend:
+		u.markLocked(rec.LSN)
+	case storage.KindObsolete:
+		u.obsSeen[obsKey{key: rec.Key, txnID: rec.TxnID}] = true
+	case storage.KindCompact:
+		u.compSeen[rec.Horizon] = true
+	}
+}
+
 // Standby receives a primary's shipped log into per-unit backends. It applies
 // nothing — it is a log copy, promoted by replaying the backends through
-// lsdb.Recover (see Promote).
+// lsdb.Recover (see Promote and PromoteStreaming).
 type Standby struct {
 	opts StandbyOptions
 
 	mu      sync.Mutex
 	stopped bool
 	units   []unitProgress
-	batches uint64
 	stats   StandbyStats
 }
 
 // NewStandby creates a standby over its unit backends. Existing backend
 // content (a restarted standby re-opening its received log) is scanned to
-// resume the per-unit progress, and the network handlers are registered.
+// resume the per-unit progress — appends and marks alike, so catch-up after
+// a restart still dedups — and the network handlers are registered.
 func NewStandby(opts StandbyOptions) (*Standby, error) {
 	if len(opts.Backends) == 0 {
 		return nil, errors.New("replica: standby needs at least one unit backend")
@@ -551,22 +862,30 @@ func NewStandby(opts StandbyOptions) (*Standby, error) {
 	if opts.PersistEvery <= 0 {
 		opts.PersistEvery = 1
 	}
+	if opts.CatchupChunk <= 0 {
+		opts.CatchupChunk = 512
+	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 500 * time.Millisecond
 	}
 	sb := &Standby{opts: opts, units: make([]unitProgress, len(opts.Backends))}
 	for i := range sb.units {
 		sb.units[i].pending = map[uint64]bool{}
+		sb.units[i].obsSeen = map[obsKey]bool{}
+		sb.units[i].compSeen = map[uint64]bool{}
 	}
 	for i, b := range opts.Backends {
 		u := &sb.units[i]
 		if _, err := b.Replay(func(rec storage.WALRecord) error {
-			if rec.Kind == storage.KindAppend {
-				u.markLocked(rec.LSN)
-			}
+			u.noteLocked(rec)
 			return nil
 		}); err != nil {
 			return nil, fmt.Errorf("replica: scanning standby unit %d: %w", i, err)
+		}
+		if len(u.pending) > 0 {
+			// The restarted log already has a hole: one open gap.
+			u.gapOpen = true
+			sb.stats.Gaps++
 		}
 	}
 	if opts.Net != nil {
@@ -615,10 +934,11 @@ func (sb *Standby) Stop() {
 }
 
 // Receive appends one batch to the unit's log, deduplicating records the
-// standby already holds (catch-up tails overlap in-flight ships). It returns
-// the unit's new contiguous watermark and whether a gap is open — some LSN
-// below the batch's highest is still missing (lost or still in flight from
-// another shard's commit).
+// standby already holds — appends by LSN, history-rewrite marks by identity
+// (catch-up tails overlap in-flight ships, and every catch-up chunk re-sends
+// the marks after its cursor). It returns the unit's new contiguous
+// watermark and whether a gap is open — some LSN below the batch's highest
+// is still missing (lost or still in flight from another shard's commit).
 func (sb *Standby) Receive(batch ShipBatch) (watermark uint64, gap bool, err error) {
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
@@ -631,7 +951,7 @@ func (sb *Standby) Receive(batch ShipBatch) (watermark uint64, gap bool, err err
 	u := &sb.units[batch.Unit]
 	var fresh []lsdb.Record
 	for _, rec := range batch.Records {
-		if rec.Kind == storage.KindAppend && u.hasLocked(rec.LSN) {
+		if !u.freshLocked(rec) {
 			sb.stats.Duplicates++
 			continue
 		}
@@ -645,19 +965,18 @@ func (sb *Standby) Receive(batch ShipBatch) (watermark uint64, gap bool, err err
 			return u.contig, len(u.pending) > 0, fmt.Errorf("replica: standby append: %w", err)
 		}
 		for _, rec := range fresh {
-			if rec.Kind == storage.KindAppend {
-				u.markLocked(rec.LSN)
-			}
+			u.noteLocked(rec)
 		}
 	}
 	sb.stats.BatchesReceived++
 	sb.stats.RecordsReceived += uint64(len(fresh))
 	gap = len(u.pending) > 0
-	if gap {
+	if gap && !u.gapOpen {
 		sb.stats.Gaps++
 	}
-	sb.batches++
-	if sb.batches%uint64(sb.opts.PersistEvery) == 0 {
+	u.gapOpen = gap
+	u.batches++
+	if u.batches%uint64(sb.opts.PersistEvery) == 0 {
 		if rm, ok := sb.opts.Backends[batch.Unit].(storage.ReplicationMarker); ok {
 			_ = rm.SetReplicationWatermark(u.contig)
 		}
@@ -700,7 +1019,7 @@ func (sb *Standby) onRequest(from clock.NodeID, payload interface{}) (interface{
 	}
 }
 
-// serveCatchup streams the standby's received log after an LSN.
+// serveCatchup streams one chunk of the standby's received log after an LSN.
 func (sb *Standby) serveCatchup(req catchupRequest) (interface{}, error) {
 	sb.mu.Lock()
 	if req.Unit < 0 || req.Unit >= len(sb.opts.Backends) {
@@ -713,7 +1032,24 @@ func (sb *Standby) serveCatchup(req catchupRequest) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	return catchupResponse{Records: recs}, nil
+	limit := req.Limit
+	if limit <= 0 || limit > sb.opts.CatchupChunk {
+		limit = sb.opts.CatchupChunk
+	}
+	chunk, more := chunkTail(recs, limit)
+	return catchupResponse{Records: chunk, More: more}, nil
+}
+
+// ServeCatchup returns one streaming chunk of the standby's received log —
+// the transport-agnostic body of the catch-up handler, which cmd/soupsd
+// exposes over HTTP for operator-driven healing and promotion unions.
+func (sb *Standby) ServeCatchup(unit int, after uint64, limit int) ([]lsdb.Record, bool, error) {
+	resp, err := sb.serveCatchup(catchupRequest{Unit: unit, After: after, Limit: limit})
+	if err != nil {
+		return nil, false, err
+	}
+	cr := resp.(catchupResponse)
+	return cr.Records, cr.More, nil
 }
 
 // TailAfter collects a backend's records after an LSN: through the
@@ -744,34 +1080,70 @@ func TailAfter(backend storage.Backend, after uint64) ([]lsdb.Record, error) {
 	return recs, nil
 }
 
-// CatchUp pulls the records of one unit after the standby's contiguous
-// watermark from a peer — the primary (served from its store) or another
-// standby (served from its received log) — and appends the fresh ones. It
-// returns how many records the peer sent.
-func (sb *Standby) CatchUp(from clock.NodeID, unit int) (int, error) {
-	if sb.opts.Net == nil {
-		return 0, errors.New("replica: standby has no network")
-	}
-	after := sb.Watermark(unit)
-	resp, err := sb.opts.Net.Request(sb.opts.Self, from, catchupRequest{Unit: unit, After: after}, sb.opts.Timeout)
+// fetchTail pulls one catch-up chunk of unit from a peer: the records after
+// the cursor, and whether the peer's tail continues past them.
+func (sb *Standby) fetchTail(from clock.NodeID, unit int, after uint64) ([]lsdb.Record, bool, error) {
+	req := catchupRequest{Unit: unit, After: after, Limit: sb.opts.CatchupChunk}
+	resp, err := sb.opts.Net.Request(sb.opts.Self, from, req, sb.opts.Timeout)
 	if err != nil {
-		return 0, err
+		return nil, false, err
 	}
 	cr, ok := resp.(catchupResponse)
 	if !ok {
-		return 0, fmt.Errorf("replica: unexpected catch-up response %T", resp)
+		return nil, false, fmt.Errorf("replica: unexpected catch-up response %T", resp)
 	}
 	sb.mu.Lock()
 	sb.stats.CatchupRounds++
 	sb.stats.CatchupRecords += uint64(len(cr.Records))
 	sb.mu.Unlock()
-	if len(cr.Records) == 0 {
-		return 0, nil
+	return cr.Records, cr.More, nil
+}
+
+// advanceCursor returns the streaming cursor after one chunk: the highest
+// append LSN received, and whether it moved (a chunk that advances nothing
+// ends the stream — the server's cut rule makes that equivalent to More
+// being false).
+func advanceCursor(cursor uint64, recs []lsdb.Record) (uint64, bool) {
+	advanced := false
+	for _, rec := range recs {
+		if rec.Kind == storage.KindAppend && rec.LSN > cursor {
+			cursor, advanced = rec.LSN, true
+		}
 	}
-	if _, _, err := sb.Receive(ShipBatch{From: from, Unit: unit, Records: cr.Records}); err != nil {
-		return len(cr.Records), err
+	return cursor, advanced
+}
+
+// CatchUp streams the records of one unit after the standby's contiguous
+// watermark from a peer — the primary (served from its store) or another
+// standby (served from its received log) — in bounded chunks over repeated
+// requests, appending the fresh ones as they arrive. The stream is resumable
+// by construction: each round asks after the highest append LSN received, so
+// an interrupted catch-up continues where it left off on the next call. It
+// returns how many records the peer sent.
+func (sb *Standby) CatchUp(from clock.NodeID, unit int) (int, error) {
+	if sb.opts.Net == nil {
+		return 0, errors.New("replica: standby has no network")
 	}
-	return len(cr.Records), nil
+	total := 0
+	cursor := sb.Watermark(unit)
+	for {
+		recs, more, err := sb.fetchTail(from, unit, cursor)
+		if err != nil {
+			return total, err
+		}
+		if len(recs) == 0 {
+			return total, nil
+		}
+		total += len(recs)
+		if _, _, err := sb.Receive(ShipBatch{From: from, Unit: unit, Records: recs}); err != nil {
+			return total, err
+		}
+		var advanced bool
+		cursor, advanced = advanceCursor(cursor, recs)
+		if !more || !advanced {
+			return total, nil
+		}
+	}
 }
 
 // RecoverUnit replays one unit's received log into a live store — the replay
@@ -784,22 +1156,66 @@ func (sb *Standby) RecoverUnit(unit int, opts lsdb.Options, types ...*entity.Typ
 	return lsdb.Recover(opts, types...)
 }
 
-// Promote turns the standby into a primary: it unions the log tails the
-// surviving peers hold (per-write quorums can scatter acked batches across
-// standbys; the union is what makes "a majority holds it" recoverable), stops
-// receiving from the old stream, and replays every unit through lsdb.Recover.
-// Unreachable peers are skipped — they are usually why promotion is
-// happening. The returned stores resume the primary's LSN watermarks, so a
-// shipper attached to them continues the stream.
-func (sb *Standby) Promote(peers []clock.NodeID, opts lsdb.Options, types ...*entity.Type) ([]*lsdb.DB, error) {
-	for _, p := range peers {
-		if p == sb.opts.Self {
-			continue
-		}
-		for unit := range sb.opts.Backends {
-			_, _ = sb.CatchUp(p, unit) // best effort
-		}
+// Promotion is an in-flight streaming promotion: the stores are live and
+// serving reads from the locally-received log while the union of the peers'
+// tails streams in chunk by chunk in the background. Writes must wait for
+// Wait — the union installs records at their original LSNs, and a write
+// accepted mid-union could collide with one still in flight.
+type Promotion struct {
+	sb   *Standby
+	dbs  []*lsdb.DB
+	done chan struct{}
+
+	mu     sync.Mutex
+	err    error
+	pulled uint64
+}
+
+// Stores returns the promoted units' live stores. They serve reads
+// immediately; anything the union has already ingested is visible.
+func (p *Promotion) Stores() []*lsdb.DB {
+	return append([]*lsdb.DB(nil), p.dbs...)
+}
+
+// Wait blocks until the catch-up union has finished (unreachable peers are
+// skipped — they are usually why promotion is happening) and returns the
+// first local ingest error, if any. After a nil Wait the stores are ready
+// for writes.
+func (p *Promotion) Wait() error {
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Done reports, without blocking, whether the union has finished.
+func (p *Promotion) Done() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
 	}
+}
+
+// Pulled returns how many union records have been ingested so far. It moves
+// while the union is in flight; reads-during-catch-up tests watch it.
+func (p *Promotion) Pulled() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pulled
+}
+
+// PromoteStreaming turns the standby into a primary without waiting for its
+// peers: it fences the old stream, replays every locally-held unit log
+// through lsdb.Recover — at which point the returned Promotion's stores
+// serve reads — and streams the union of the surviving peers' log tails in
+// the background (per-write quorums can scatter acked batches across
+// standbys; the union is what makes "a majority holds it" recoverable).
+// Chunks are pulled with the same bounded streaming protocol CatchUp uses
+// and installed through lsdb.IngestShipped, which preserves LSNs and keeps
+// the local log a complete copy. Writes wait for Promotion.Wait.
+func (sb *Standby) PromoteStreaming(peers []clock.NodeID, opts lsdb.Options, types ...*entity.Type) (*Promotion, error) {
 	sb.Stop()
 	dbs := make([]*lsdb.DB, len(sb.opts.Backends))
 	for i := range dbs {
@@ -809,5 +1225,95 @@ func (sb *Standby) Promote(peers []clock.NodeID, opts lsdb.Options, types ...*en
 		}
 		dbs[i] = db
 	}
-	return dbs, nil
+	p := &Promotion{sb: sb, dbs: dbs, done: make(chan struct{})}
+	go p.union(peers)
+	return p, nil
+}
+
+// union streams every peer's tail of every unit into the promoted stores.
+func (p *Promotion) union(peers []clock.NodeID) {
+	defer close(p.done)
+	if p.sb.opts.Net == nil {
+		return
+	}
+	for _, peer := range peers {
+		if peer == p.sb.opts.Self {
+			continue
+		}
+		for unit := range p.sb.opts.Backends {
+			if err := p.unionUnit(peer, unit); err != nil {
+				p.mu.Lock()
+				if p.err == nil {
+					p.err = err
+				}
+				p.mu.Unlock()
+			}
+		}
+	}
+}
+
+// unionUnit streams one peer's tail of one unit. Network errors end the
+// stream silently (best effort, like Promote has always been); a local
+// ingest failure is reported through Wait.
+func (p *Promotion) unionUnit(peer clock.NodeID, unit int) error {
+	sb := p.sb
+	cursor := sb.Watermark(unit)
+	for {
+		recs, more, err := sb.fetchTail(peer, unit, cursor)
+		if err != nil {
+			return nil // unreachable peer: skip
+		}
+		if len(recs) == 0 {
+			return nil
+		}
+		fresh := sb.claimFresh(unit, recs)
+		if len(fresh) > 0 {
+			if err := p.dbs[unit].IngestShipped(fresh); err != nil {
+				return fmt.Errorf("replica: union unit %d from %s: %w", unit, peer, err)
+			}
+			p.mu.Lock()
+			p.pulled += uint64(len(fresh))
+			p.mu.Unlock()
+		}
+		var advanced bool
+		cursor, advanced = advanceCursor(cursor, recs)
+		if !more || !advanced {
+			return nil
+		}
+	}
+}
+
+// claimFresh filters a fetched chunk down to the records this unit's log
+// does not yet hold and marks them held — the promotion's equivalent of
+// Receive's dedup (Receive itself is fenced by Stop; the union installs
+// through the live store instead).
+func (sb *Standby) claimFresh(unit int, recs []lsdb.Record) []lsdb.Record {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	u := &sb.units[unit]
+	var fresh []lsdb.Record
+	for _, rec := range recs {
+		if !u.freshLocked(rec) {
+			continue
+		}
+		u.noteLocked(rec)
+		fresh = append(fresh, rec)
+	}
+	return fresh
+}
+
+// Promote turns the standby into a primary and blocks until the union of the
+// surviving peers' log tails is complete — PromoteStreaming followed by
+// Wait. Unreachable peers are skipped. The returned stores resume the
+// primary's LSN watermarks, so a shipper attached to them continues the
+// stream.
+func (sb *Standby) Promote(peers []clock.NodeID, opts lsdb.Options, types ...*entity.Type) ([]*lsdb.DB, error) {
+	p, err := sb.PromoteStreaming(peers, opts, types...)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
+	return p.Stores(), nil
 }

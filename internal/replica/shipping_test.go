@@ -36,7 +36,7 @@ func newShipPrimary(t *testing.T, net *netsim.Network, self clock.NodeID, standb
 		Mode:     mode,
 		Timeout:  250 * time.Millisecond,
 		Net:      net,
-		Source:   func(unit int, after uint64) []lsdb.Record { return db.RecordsAfter(after) },
+		Source:   func(unit int, after uint64, limit int) []lsdb.Record { return db.RecordsAfterN(after, limit) },
 	})
 	db.SetCommitSink(sh.Sink(0))
 	return &shipPrimary{db: db, shipper: sh}
@@ -158,10 +158,14 @@ func TestAsyncLossGapDetectionAndCatchUp(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Async ships ride the lanes: drain them while the loss fault is still
+	// set, so the first three batches are really lost.
+	p.shipper.Drain()
 	net.ClearLinkFaults()
 	if _, err := p.db.Append(key, []entity.Op{entity.Delta("balance", 1)}, ts(4), "p", ""); err != nil {
 		t.Fatal(err)
 	}
+	p.shipper.Drain()
 	net.Quiesce()
 
 	if got := sb.Watermark(0); got != 0 {
@@ -257,11 +261,16 @@ func TestPromoteUnionsQuorumSplitAcrossStandbys(t *testing.T) {
 	if _, err := p.db.Append(key, []entity.Op{entity.Delta("balance", 10)}, ts(1), "p", "t1"); err != nil {
 		t.Fatalf("write acked by s1 only: %v", err)
 	}
+	// Quorum returns at the first ack; the blocked lane is still retrying in
+	// the background. Drain it while the fault is set so the constructed
+	// split survives (a retry after the clear would heal it).
+	p.shipper.Drain()
 	net.ClearLinkFaults()
 	net.SetLinkFault("p", "s1", netsim.LinkFault{Block: true})
 	if _, err := p.db.Append(key, []entity.Op{entity.Delta("balance", 5)}, ts(2), "p", "t2"); err != nil {
 		t.Fatalf("write acked by s2 only: %v", err)
 	}
+	p.shipper.Drain()
 	net.ClearLinkFaults()
 	if s1.Watermark(0) != 1 || s2.Watermark(0) != 0 {
 		t.Fatalf("split setup wrong: s1=%d s2=%d", s1.Watermark(0), s2.Watermark(0))
