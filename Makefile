@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-append bench-io bench-storage bench-pool bench-replication replication-faults storage-faults recovery-smoke linkcheck tables clean
+.PHONY: build test vet race bench bench-append bench-io bench-storage bench-pool bench-replication bench-lsm lsm-race replication-faults storage-faults recovery-smoke linkcheck tables clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,23 @@ bench-pool:
 bench-replication:
 	$(GO) test -run xxx -bench 'BenchmarkE2[01]' -benchtime 200x .
 
+# The E22 tiered-storage benchmarks on their own: per-append stall during a
+# quiesced legacy checkpoint vs an off-hot-path tiered flush, and recovery
+# time as history grows — then the harness regenerates the BENCH_E22.json
+# trajectory file so successive PRs can diff the numbers.
+bench-lsm:
+	$(GO) test -run xxx -bench 'BenchmarkE22' -benchtime 200x .
+	$(GO) run ./cmd/benchharness -only E22 -json BENCH_E22.json
+
+# The tiered-storage suites under the race detector: the LSM store unit
+# tests, the lsdb flush/recovery/cold-read suites, the kill-9 crash matrix
+# over every mid-flush/mid-compaction site, and the chunk-pool ownership
+# tests (CI runs the same set in its tiering job).
+lsm-race:
+	$(GO) test -race ./internal/lsm/
+	$(GO) test -race -run 'TestTiered|TestFlushCompactionCrashMatrix|TestColdEviction|TestCheckpointFailure|TestLegacySnapshot|TestAsOfAndHistory' ./internal/lsdb/
+	$(GO) test -race -run 'TestRecycle|TestChunkPool|TestApplyFailureRecycles' ./internal/entity/
+
 # The full replication fault matrix under the race detector: every ack mode
 # against seeded partitions, loss, latency and standby crashes, plus the
 # failover and divergence suites (CI runs the -short subset).
@@ -71,9 +88,10 @@ recovery-smoke:
 linkcheck:
 	./scripts/linkcheck.sh
 
-# Plain-text experiment tables without the Go test machinery.
+# Plain-text experiment tables without the Go test machinery; the same run
+# refreshes the BENCH_ALL.json trajectory file.
 tables:
-	$(GO) run ./cmd/benchharness
+	$(GO) run ./cmd/benchharness -json BENCH_ALL.json
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/entity"
 	"repro/internal/locks"
 	"repro/internal/lsdb"
+	"repro/internal/lsm"
 	"repro/internal/migrate"
 	"repro/internal/netsim"
 	"repro/internal/process"
@@ -1201,5 +1203,129 @@ func BenchmarkE21ParallelFanout(b *testing.B) {
 			}
 			b.ReportMetric(float64(st.WindowOverflows)/float64(b.N), "overflows/op")
 		})
+	}
+}
+
+// --- E22: tiered storage — off-hot-path flushes, bounded recovery (PR 9) ----
+
+func e22Open(b *testing.B, mode, dir string) *lsdb.DB {
+	b.Helper()
+	wal, err := storage.OpenWAL(storage.WALOptions{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := lsdb.Options{Node: "e22"}
+	if mode == "tiered" {
+		store, err := lsm.Open(wal, lsm.Options{Dir: filepath.Join(dir, "sst"), CompactAfter: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Backend = store
+	} else {
+		opts.Backend = wal
+	}
+	db := lsdb.Open(opts)
+	e18Types(b, db)
+	return db
+}
+
+// BenchmarkE22FlushStall measures per-append latency while a checkpoint of
+// 64k records of history runs concurrently. The legacy backend quiesces every
+// shard for the full serialize+fsync, so an unlucky append stalls for the
+// whole disk write; the tiered flush only briefly holds the shard locks to
+// capture dirty pointers. ns/op is the append cost including any stall;
+// max-stall-ms is the worst single append.
+func BenchmarkE22FlushStall(b *testing.B) {
+	for _, mode := range []string{"legacy", "tiered"} {
+		b.Run(mode, func(b *testing.B) {
+			dir := b.TempDir()
+			db := e22Open(b, mode, dir)
+			defer db.Close()
+			seedStorageBench(b, db, 65536)
+			done := make(chan error, 1)
+			go func() { done <- db.Checkpoint() }()
+			// Give the checkpoint goroutine a head start so the timed appends
+			// actually contend with it rather than finishing before it is
+			// dispatched.
+			time.Sleep(time.Millisecond)
+			var maxStall time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if _, err := db.Append(repro.Key{Type: "Account", ID: fmt.Sprintf("A%d", i%64)},
+					[]repro.Op{repro.Delta("balance", 1)},
+					clock.Timestamp{WallNanos: int64(10000 + i), Node: "e22"}, "e22", ""); err != nil {
+					b.Fatal(err)
+				}
+				if d := time.Since(t0); d > maxStall {
+					maxStall = d
+				}
+			}
+			b.StopTimer()
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(maxStall.Nanoseconds())/1e6, "max-stall-ms")
+		})
+	}
+}
+
+// BenchmarkE22Recovery measures restart time as history grows. The legacy
+// store replays its entire WAL, so recovery scales with total history; the
+// tiered store loads replay pointers from the newest tables and replays only
+// the short tail written after the last flush, so it stays flat.
+func BenchmarkE22Recovery(b *testing.B) {
+	for _, records := range []int{4096, 16384} {
+		for _, mode := range []string{"legacy", "tiered"} {
+			b.Run(fmt.Sprintf("records=%d/%s", records, mode), func(b *testing.B) {
+				dir := b.TempDir()
+				src := e22Open(b, mode, dir)
+				seedStorageBench(b, src, records)
+				if mode == "tiered" {
+					if err := src.Checkpoint(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// A short unflushed tail rides on top in both modes.
+				for i := 0; i < 256; i++ {
+					if _, err := src.Append(repro.Key{Type: "Account", ID: fmt.Sprintf("A%d", i%64)},
+						[]repro.Op{repro.Delta("balance", 1)},
+						clock.Timestamp{WallNanos: int64(records + i + 1), Node: "e22"}, "e22", ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+				head := src.HeadLSN()
+				if err := src.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					wal, err := storage.OpenWAL(storage.WALOptions{Dir: dir})
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts := lsdb.Options{Node: "e22"}
+					if mode == "tiered" {
+						store, err := lsm.Open(wal, lsm.Options{Dir: filepath.Join(dir, "sst"), CompactAfter: 100})
+						if err != nil {
+							b.Fatal(err)
+						}
+						opts.Backend = store
+					} else {
+						opts.Backend = wal
+					}
+					rec, err := lsdb.Recover(opts, workload.AccountType(), workload.OrderType())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rec.HeadLSN() != head {
+						b.Fatalf("recovered head %d, want %d", rec.HeadLSN(), head)
+					}
+					if err := rec.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

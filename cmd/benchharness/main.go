@@ -1,22 +1,29 @@
 // Command benchharness runs scaled-down versions of the experiments
-// (E1..E19 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
+// (E1..E22 in DESIGN.md / EXPERIMENTS.md) and prints one plain-text table per
 // experiment, the way the paper's evaluation section would have reported
 // them. The authoritative, parameter-swept versions are the testing.B
 // benchmarks in bench_test.go; this command exists to regenerate the tables
 // quickly without the Go test machinery.
 //
+// With -json PATH the same tables are additionally written as a JSON array
+// of {experiment, title, columns, rows} objects — the BENCH_*.json
+// trajectory files the Makefile bench targets archive so successive PRs can
+// diff their numbers.
+//
 // Usage:
 //
-//	benchharness [-ops N] [-only E5]
+//	benchharness [-ops N] [-only E5] [-json BENCH_E5.json]
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -29,6 +36,7 @@ import (
 	"repro/internal/entity"
 	"repro/internal/locks"
 	"repro/internal/lsdb"
+	"repro/internal/lsm"
 	"repro/internal/metrics"
 	"repro/internal/migrate"
 	"repro/internal/netsim"
@@ -41,9 +49,21 @@ import (
 )
 
 var (
-	ops  = flag.Int("ops", 2000, "operations per experiment configuration")
-	only = flag.String("only", "", "run only the named experiment (e.g. E5)")
+	ops     = flag.Int("ops", 2000, "operations per experiment configuration")
+	only    = flag.String("only", "", "run only the named experiment (e.g. E5)")
+	jsonOut = flag.String("json", "", "also write the tables as JSON to this file")
 )
+
+// tableJSON is the serialized shape of one experiment table in a
+// BENCH_*.json trajectory file. Rows carry the already-formatted cell
+// strings (durations rounded, floats trimmed) so a diff between two PRs'
+// files reads the same as a diff between their plain-text tables.
+type tableJSON struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
+}
 
 func main() {
 	flag.Parse()
@@ -54,14 +74,33 @@ func main() {
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6},
 		{"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11}, {"E12", e12},
 		{"E13", e13}, {"E14", e14}, {"E15", e15}, {"E16", e16}, {"E17", e17},
-		{"E18", e18}, {"E19", e19},
+		{"E18", e18}, {"E19", e19}, {"E22", e22},
 	}
+	var collected []tableJSON
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.name) {
 			continue
 		}
 		tbl := ex.run(*ops)
 		fmt.Println(tbl.String())
+		if *jsonOut != "" {
+			collected = append(collected, tableJSON{
+				Experiment: ex.name,
+				Title:      tbl.Title,
+				Columns:    tbl.Columns,
+				Rows:       tbl.Rows(),
+			})
+		}
+	}
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal tables: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("write %s: %v", *jsonOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d table(s) to %s\n", len(collected), *jsonOut)
 	}
 }
 
@@ -934,6 +973,153 @@ func e12(n int) *metrics.Table {
 		}
 		tbl.AddRow(strategy.String(), entities, elapsed, writes.Load(), blocked.Load())
 		k.Close()
+	}
+	return tbl
+}
+
+// e22 measures the two claims behind the LSM tier (section 3.1, PR 9). First,
+// persistence must come off the hot path: the legacy Checkpoint holds every
+// shard lock while it serializes and fsyncs the full store, so a writer that
+// arrives mid-checkpoint stalls for the whole disk write, while the tiered
+// flush captures dirty state under the shard locks only long enough to copy
+// pointers and does its serialization and fsync in the background. Second,
+// recovery must stay bounded: because legacy checkpoints stall writers,
+// operators take them rarely and WAL replay grows with history, whereas the
+// tiered store replays the newest tables plus a short WAL tail no matter how
+// much history has accumulated.
+func e22(n int) *metrics.Table {
+	tbl := metrics.NewTable("E22 — tiered storage: off-hot-path flushes and bounded recovery (section 3.1)",
+		"phase", "mode", "records", "p99 append", "max append", "elapsed")
+
+	open := func(mode, dir string) *lsdb.DB {
+		wal, err := storage.OpenWAL(storage.WALOptions{Dir: dir})
+		if err != nil {
+			log.Fatalf("E22: %v", err)
+		}
+		opts := lsdb.Options{Node: "e22"}
+		if mode == "tiered" {
+			store, err := lsm.Open(wal, lsm.Options{Dir: filepath.Join(dir, "sst"), CompactAfter: 100})
+			if err != nil {
+				log.Fatalf("E22: %v", err)
+			}
+			opts.Backend = store
+		} else {
+			opts.Backend = wal
+		}
+		db := lsdb.Open(opts)
+		db.RegisterType(workload.AccountType())
+		db.RegisterType(workload.OrderType())
+		return db
+	}
+	write := func(db *lsdb.DB, i int) {
+		_, err := db.Append(repro.Key{Type: "Account", ID: fmt.Sprintf("A%d", i%64)},
+			[]repro.Op{repro.Delta("balance", 1)},
+			clock.Timestamp{WallNanos: int64(i + 1), Node: "e22"}, "e22", "")
+		if err != nil {
+			log.Fatalf("E22: %v", err)
+		}
+	}
+
+	// Phase 1 — checkpoint stall: preload history, then append continuously
+	// while a checkpoint/flush of that history runs. The recorded per-append
+	// latencies show the stop-the-world quiesce (legacy) against the
+	// off-hot-path flush (tiered).
+	history := 32 * n
+	for _, mode := range []string{"legacy", "tiered"} {
+		dir, err := os.MkdirTemp("", "e22-stall-"+mode)
+		if err != nil {
+			log.Fatalf("E22: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		db := open(mode, dir)
+		for i := 0; i < history; i++ {
+			write(db, i)
+		}
+		hist := metrics.NewHistogram()
+		done := make(chan error, 1)
+		start := time.Now()
+		go func() { done <- db.Checkpoint() }()
+		// Keep appending until the checkpoint finishes (and for at least n
+		// appends) so the timed writes are guaranteed to span the lock
+		// window — otherwise a scheduling accident can let every append run
+		// before the checkpoint goroutine is even dispatched.
+		finished := false
+		for i := 0; i < n || !finished; i++ {
+			if !finished {
+				select {
+				case err := <-done:
+					if err != nil {
+						log.Fatalf("E22 %s checkpoint: %v", mode, err)
+					}
+					finished = true
+				default:
+				}
+			}
+			t0 := time.Now()
+			write(db, history+i)
+			hist.Record(time.Since(t0))
+		}
+		tbl.AddRow("ckpt-stall", mode, history, hist.Quantile(0.99), hist.Max(), time.Since(start))
+		if err := db.Close(); err != nil {
+			log.Fatalf("E22: %v", err)
+		}
+	}
+
+	// Phase 2 — recovery vs history. The legacy store replays its whole WAL
+	// (checkpoints are avoided because phase 1 shows what they cost); the
+	// tiered store flushes every quarter of the load, so recovery reads the
+	// newest tables plus a short tail regardless of total history.
+	for _, mode := range []string{"legacy", "tiered"} {
+		for _, records := range []int{2 * n, 8 * n} {
+			dir, err := os.MkdirTemp("", "e22-recover-"+mode)
+			if err != nil {
+				log.Fatalf("E22: %v", err)
+			}
+			defer os.RemoveAll(dir)
+			db := open(mode, dir)
+			for i := 0; i < records; i++ {
+				write(db, i)
+				if mode == "tiered" && (i+1)%(records/4) == 0 {
+					if err := db.Checkpoint(); err != nil {
+						log.Fatalf("E22: %v", err)
+					}
+				}
+			}
+			head := db.HeadLSN()
+			if err := db.Close(); err != nil {
+				log.Fatalf("E22: %v", err)
+			}
+			t0 := time.Now()
+			rec := func() *lsdb.DB {
+				wal, err := storage.OpenWAL(storage.WALOptions{Dir: dir})
+				if err != nil {
+					log.Fatalf("E22: %v", err)
+				}
+				opts := lsdb.Options{Node: "e22"}
+				if mode == "tiered" {
+					store, err := lsm.Open(wal, lsm.Options{Dir: filepath.Join(dir, "sst"), CompactAfter: 100})
+					if err != nil {
+						log.Fatalf("E22: %v", err)
+					}
+					opts.Backend = store
+				} else {
+					opts.Backend = wal
+				}
+				r, err := lsdb.Recover(opts, workload.AccountType(), workload.OrderType())
+				if err != nil {
+					log.Fatalf("E22 recover (%s): %v", mode, err)
+				}
+				return r
+			}()
+			elapsed := time.Since(t0)
+			if rec.HeadLSN() != head {
+				log.Fatalf("E22: recovered head %d, want %d", rec.HeadLSN(), head)
+			}
+			tbl.AddRow("recovery", mode, records, "-", "-", elapsed)
+			if err := rec.Close(); err != nil {
+				log.Fatalf("E22: %v", err)
+			}
+		}
 	}
 	return tbl
 }

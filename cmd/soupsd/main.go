@@ -64,17 +64,21 @@ import (
 )
 
 var (
-	addr        = flag.String("addr", ":8080", "listen address")
-	units       = flag.Int("units", 4, "number of serialization units")
-	consistency = flag.String("consistency", "eventual", "eventual or strong")
-	workers     = flag.Int("workers", 0, "process-step workers per unit in the work-stealing pool (0 = default 2)")
-	groupCommit = flag.Bool("groupcommit", false, "batch concurrent appends via per-shard group commit")
-	maxBatch    = flag.Int("maxbatch", 0, "max appends per group-commit batch (0 = default 64)")
-	dataDir     = flag.String("data-dir", "", "durable mode: write-ahead log + checkpoint directory (empty = in-memory)")
-	fsyncMode   = flag.String("fsync-mode", "os", "WAL durability: always (fsync per commit cycle) or os (page cache)")
-	ckptEvery   = flag.Int("checkpoint-every", 4096, "records per unit between automatic checkpoints (-1 disables)")
-	maxDepth    = flag.Int("max-queue-depth", 4096, "admission control: shed event submits past this per-unit queue depth with 503 (0 = unbounded)")
-	retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 503 backpressure/degraded responses")
+	addr            = flag.String("addr", ":8080", "listen address")
+	units           = flag.Int("units", 4, "number of serialization units")
+	consistency     = flag.String("consistency", "eventual", "eventual or strong")
+	workers         = flag.Int("workers", 0, "process-step workers per unit in the work-stealing pool (0 = default 2)")
+	groupCommit     = flag.Bool("groupcommit", false, "batch concurrent appends via per-shard group commit")
+	maxBatch        = flag.Int("maxbatch", 0, "max appends per group-commit batch (0 = default 64)")
+	dataDir         = flag.String("data-dir", "", "durable mode: write-ahead log + checkpoint directory (empty = in-memory)")
+	fsyncMode       = flag.String("fsync-mode", "os", "WAL durability: always (fsync per commit cycle) or os (page cache)")
+	ckptEvery       = flag.Int("checkpoint-every", 4096, "records per unit between automatic checkpoints/flushes (-1 disables)")
+	flushBytes      = flag.Int64("flush-bytes", 0, "bytes of committed records per unit between tiered background flushes (0 = default 4 MiB, -1 disables the byte trigger)")
+	compactAfter    = flag.Int("compaction-after", 0, "level-0 SSTables per unit before background compaction merges them (0 = default 4)")
+	compactThrottle = flag.Duration("compaction-throttle", 0, "pause between compaction merge batches (0 = default 500µs, -1ns disables)")
+	noTiered        = flag.Bool("no-tiered-storage", false, "disable the LSM tier: bare WAL with stop-the-world checkpoints (E22 baseline)")
+	maxDepth        = flag.Int("max-queue-depth", 4096, "admission control: shed event submits past this per-unit queue depth with 503 (0 = unbounded)")
+	retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint on 503 backpressure/degraded responses")
 )
 
 // server is one soupsd node: in the primary role kernel is set; in the
@@ -135,6 +139,8 @@ func openKernel() (*repro.Kernel, error) {
 		Node: "soupsd", Units: *units, Consistency: mode, Workers: *workers,
 		GroupCommit: *groupCommit, MaxAppendBatch: *maxBatch,
 		DataDir: *dataDir, Fsync: sync, CheckpointEvery: *ckptEvery,
+		FlushBytes: *flushBytes, CompactAfter: *compactAfter,
+		CompactThrottle: *compactThrottle, DisableTiered: *noTiered,
 		MaxQueueDepth: *maxDepth,
 		Replication:   repl,
 	}, repro.StandardTypes()...)
@@ -570,6 +576,28 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "queue.shed %d\n", h.QueueShed)
 	fmt.Fprintf(w, "degraded.units %d\n", h.DegradedUnits)
 	fmt.Fprintf(w, "degraded.writes_refused %d\n", h.WritesRefused)
+	// LSM tier posture: table layout, bloom effectiveness, flush/compaction
+	// pipeline health (summed across units). Absent on in-memory kernels.
+	if ts, fs, ok := k.TieredStats(); ok {
+		fmt.Fprintf(w, "lsm.levels %d\n", ts.Levels)
+		fmt.Fprintf(w, "lsm.tables %d\n", ts.Tables)
+		fmt.Fprintf(w, "lsm.l0_tables %d\n", ts.L0Tables)
+		fmt.Fprintf(w, "lsm.table_keys %d\n", ts.TableKeys)
+		fmt.Fprintf(w, "lsm.table_bytes %d\n", ts.Bytes)
+		fmt.Fprintf(w, "lsm.bloom_hits %d\n", ts.BloomHits)
+		fmt.Fprintf(w, "lsm.bloom_skips %d\n", ts.BloomSkips)
+		fmt.Fprintf(w, "lsm.bloom_false_positives %d\n", ts.BloomFalse)
+		fmt.Fprintf(w, "lsm.compactions %d\n", ts.Compactions)
+		fmt.Fprintf(w, "lsm.compaction_failures %d\n", ts.CompactFailures)
+		fmt.Fprintf(w, "lsm.compaction_backlog %d\n", ts.CompactionBacklog)
+		fmt.Fprintf(w, "lsm.wal_prune_skips %d\n", ts.WALPruneSkips)
+		fmt.Fprintf(w, "lsm.flushes %d\n", fs.Flushes)
+		fmt.Fprintf(w, "lsm.flush_failures %d\n", fs.Failures)
+		fmt.Fprintf(w, "lsm.flush_stalls %d\n", fs.Stalls)
+		fmt.Fprintf(w, "lsm.flush_pending_bytes %d\n", fs.PendingBytes)
+		fmt.Fprintf(w, "lsm.cold_evicted %d\n", fs.Evicted)
+		fmt.Fprintf(w, "lsm.cold_reads %d\n", fs.ColdReads)
+	}
 	s.replicationMetrics(w, k, nil)
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/entity"
 	"repro/internal/locks"
 	"repro/internal/lsdb"
+	"repro/internal/lsm"
 	"repro/internal/metrics"
 	"repro/internal/migrate"
 	"repro/internal/netsim"
@@ -129,6 +130,24 @@ type Options struct {
 	// SegmentBytes is the WAL segment rotation threshold (only meaningful
 	// with DataDir; default 4 MiB).
 	SegmentBytes int64
+	// FlushBytes triggers a tiered background flush once roughly this many
+	// bytes of record payload have been committed since the last one (only
+	// meaningful with DataDir; default 4 MiB, negative disables the byte
+	// trigger — the CheckpointEvery record trigger still applies).
+	FlushBytes int64
+	// CompactAfter is how many level-0 SSTables accumulate before the
+	// background compactor merges them into the level-1 run (only meaningful
+	// with DataDir; default 4).
+	CompactAfter int
+	// CompactThrottle is the pause the compactor takes between merge batches
+	// so background merging never monopolises the disk against foreground
+	// commits (only meaningful with DataDir; default 500µs, negative
+	// disables throttling).
+	CompactThrottle time.Duration
+	// DisableTiered keeps the pre-LSM layout: a bare WAL per unit with
+	// stop-the-world checkpoints, no SSTables. Escape hatch and the E22
+	// baseline.
+	DisableTiered bool
 	// MaxAppendBatch bounds how many queued appends one group-commit leader
 	// folds into a single batch (default 64; only meaningful with
 	// GroupCommit).
@@ -434,8 +453,9 @@ func openUnitStore(opts Options, id partition.UnitID, index int) (*lsdb.DB, erro
 	if opts.DataDir == "" {
 		return lsdb.Open(dbOpts), nil
 	}
+	unitDir := filepath.Join(opts.DataDir, fmt.Sprintf("unit-%d", index))
 	wal, err := storage.OpenWAL(storage.WALOptions{
-		Dir:          filepath.Join(opts.DataDir, fmt.Sprintf("unit-%d", index)),
+		Dir:          unitDir,
 		SegmentBytes: opts.SegmentBytes,
 		Sync:         opts.Fsync,
 	})
@@ -443,9 +463,25 @@ func openUnitStore(opts Options, id partition.UnitID, index int) (*lsdb.DB, erro
 		return nil, fmt.Errorf("core: unit %s: %w", id, err)
 	}
 	dbOpts.Backend = wal
+	if !opts.DisableTiered {
+		// Tier the WAL: flushes write SSTables beside the segments, the WAL
+		// becomes the tail-only redo log, and recovery reads newest tables
+		// plus that tail instead of a monolithic checkpoint.
+		tiered, err := lsm.Open(wal, lsm.Options{
+			Dir:             filepath.Join(unitDir, "sst"),
+			CompactAfter:    opts.CompactAfter,
+			CompactThrottle: opts.CompactThrottle,
+		})
+		if err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("core: unit %s: %w", id, err)
+		}
+		dbOpts.Backend = tiered
+		dbOpts.FlushBytes = opts.FlushBytes
+	}
 	db, err := lsdb.Recover(dbOpts)
 	if err != nil {
-		wal.Close()
+		dbOpts.Backend.Close()
 		return nil, fmt.Errorf("core: recovering unit %s: %w", id, err)
 	}
 	return db, nil
@@ -1272,6 +1308,51 @@ func (k *Kernel) Health() Health {
 		}
 	}
 	return h
+}
+
+// TieredStats aggregates the LSM tier's posture across every unit: table
+// layout and bloom/compaction counters summed from the backends, flush
+// pipeline counters summed from the stores. ok is false when no unit runs a
+// tiered backend (in-memory kernels, DisableTiered, supplied backends).
+func (k *Kernel) TieredStats() (storage.TieredStats, lsdb.FlushStats, bool) {
+	var ts storage.TieredStats
+	var fs lsdb.FlushStats
+	ok := false
+	for _, u := range k.byIndex {
+		t := u.db.Tiered()
+		if t == nil {
+			continue
+		}
+		ok = true
+		s := t.TieredStats()
+		if s.Levels > ts.Levels {
+			ts.Levels = s.Levels
+		}
+		ts.Tables += s.Tables
+		ts.L0Tables += s.L0Tables
+		ts.TableKeys += s.TableKeys
+		ts.Bytes += s.Bytes
+		ts.BloomHits += s.BloomHits
+		ts.BloomSkips += s.BloomSkips
+		ts.BloomFalse += s.BloomFalse
+		ts.Flushes += s.Flushes
+		ts.FlushFailures += s.FlushFailures
+		ts.Compactions += s.Compactions
+		ts.CompactFailures += s.CompactFailures
+		ts.CompactionBacklog += s.CompactionBacklog
+		ts.WALPruneSkips += s.WALPruneSkips
+		f := u.db.FlushStats()
+		fs.Flushes += f.Flushes
+		fs.Failures += f.Failures
+		fs.Stalls += f.Stalls
+		fs.PendingBytes += f.PendingBytes
+		fs.Evicted += f.Evicted
+		fs.ColdReads += f.ColdReads
+		if fs.Reason == "" {
+			fs.Reason = f.Reason
+		}
+	}
+	return ts, fs, ok
 }
 
 // RepairUnit heals a fail-stopped or corrupt unit backend: the bad log

@@ -311,11 +311,11 @@ func (c *collection) rowAt(pos int) *Child {
 // growth re-allocates amortised up to the chunkSize bound.
 func (c *collection) copyChunk(ci int) {
 	old := c.chunks[ci]
-	rows := make([]Child, len(old.rows))
+	ck := takeChunk(len(old.rows))
 	for i, r := range old.rows {
-		rows[i] = r.Clone()
+		ck.rows[i] = r.Clone()
 	}
-	c.chunks[ci] = &chunk{rows: rows}
+	c.chunks[ci] = ck
 	c.owned[ci] = true
 }
 
@@ -360,7 +360,7 @@ func (c *collection) appendRow(ch Child) {
 		// Row capacity grows with append's amortised doubling; the position
 		// math (pos/chunkSize) caps every chunk at chunkSize rows, so narrow
 		// collections never pay for a full-width backing array.
-		c.chunks = append(c.chunks, &chunk{})
+		c.chunks = append(c.chunks, takeChunk(0))
 		c.owned = append(c.owned, true)
 	} else if !c.owned[ci] {
 		c.copyChunk(ci)
@@ -1027,6 +1027,9 @@ func Apply(typ *Type, prior *State, ops []Op, mode ValidationMode) (*State, []Wa
 	for _, op := range ops {
 		w, err := applyOne(typ, next, op, mode)
 		if err != nil {
+			// The partial clone is abandoned; its privately copied chunks go
+			// back to the free list.
+			next.Recycle()
 			return prior, nil, fmt.Errorf("applying %s to %s: %w", op, prior.Key, err)
 		}
 		warnings = append(warnings, w...)

@@ -1,0 +1,471 @@
+// The tiered flush pipeline: the off-hot-path replacement for stop-the-world
+// checkpoints when the backend implements storage.Tiered.
+//
+// A legacy checkpoint quiesces every writer (all shard locks) while it
+// re-serialises the store's *entire* content into one snapshot — cost grows
+// with history, and the write path stalls for the duration. A flush instead
+// captures only the entities dirtied since the last flush, per shard, under
+// that one shard's write lock (a bounded O(delta) pass), and hands the frozen
+// capture to the tiered backend which serialises and fsyncs an immutable
+// SSTable on the flushing goroutine — writers of other shards never notice,
+// and writers of the captured shard resume as soon as its capture ends.
+//
+// The capture per dirty key is horizon-based: the settled horizon h is the
+// highest LSN such that every record at or below it is settled (non-tentative
+// or obsolete). The flush emits one summary record — the rollup through h —
+// plus a full copy of every index record above h (live tentative promises and
+// records newer than the last settled point, obsolete flags included). That
+// split makes history rewrites crash-safe: a MarkObsolete mark in the WAL
+// tail always finds its target after recovery, because a record that was
+// still withdrawable was never summarised away.
+//
+// After a flush lands, WAL segments up to the seal boundary are pruned (the
+// tables now cover them) and summaries whose entities are fully settled and
+// not referenced by hot caches are evicted from memory, leaving a cold
+// pointer: the next read warms the summary back in through the backend's
+// bloom-guided newest-to-oldest table lookup.
+package lsdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/entity"
+	"repro/internal/storage"
+)
+
+// defaultFlushBytes is the byte-trigger default: roughly one SSTable per
+// 4 MiB of committed record payload.
+const defaultFlushBytes = 4 << 20
+
+// flusher owns the flush pipeline of one tiered store.
+type flusher struct {
+	db *DB
+	// mu serialises flush passes (and excludes ExportCut and Close, which
+	// need a stable capture state).
+	mu sync.Mutex
+	// busy gates the one-shot background goroutine; FlushNow bypasses it and
+	// serialises on mu directly.
+	busy atomic.Bool
+	// stalled marks that the current backlog already counted a stall, so a
+	// hot writer does not count one per append.
+	stalled atomic.Bool
+
+	bytes   atomic.Int64 // approximate payload bytes committed since last flush
+	flushes atomic.Uint64
+	stalls  atomic.Uint64
+	evicted atomic.Uint64
+}
+
+func newFlusher(db *DB) *flusher { return &flusher{db: db} }
+
+// flushBytes resolves the byte trigger (0 → default, negative → disabled).
+func (f *flusher) flushBytes() int64 {
+	if f.db.opts.FlushBytes == 0 {
+		return defaultFlushBytes
+	}
+	if f.db.opts.FlushBytes < 0 {
+		return 0
+	}
+	return f.db.opts.FlushBytes
+}
+
+// maybeTrigger starts a background flush when either trigger (bytes or
+// record count) has fired. Called on the committing goroutine after every
+// append, outside any lock.
+func (f *flusher) maybeTrigger() {
+	db := f.db
+	byBytes := f.flushBytes() > 0 && f.bytes.Load() >= f.flushBytes()
+	byRecs := db.opts.CheckpointEvery > 0 && db.sinceCkpt.Load() >= int64(db.opts.CheckpointEvery)
+	if !byBytes && !byRecs {
+		return
+	}
+	if !f.busy.CompareAndSwap(false, true) {
+		// A flush is already running. If the backlog has run to twice the
+		// trigger, the pipeline is stalling: writers outpace the flusher.
+		if limit := f.flushBytes(); limit > 0 && f.bytes.Load() >= 2*limit &&
+			f.stalled.CompareAndSwap(false, true) {
+			f.stalls.Add(1)
+		}
+		return
+	}
+	go func() {
+		defer f.busy.Store(false)
+		if err := f.flushOnce(); err != nil {
+			f.db.setBackendFailure(err)
+		} else {
+			f.db.clearBackendFailure()
+		}
+	}()
+}
+
+// FlushNow runs one flush pass synchronously — the Checkpoint-compatibility
+// entry point and the test hook.
+func (f *flusher) FlushNow() error {
+	if err := f.flushOnce(); err != nil {
+		f.db.setBackendFailure(err)
+		return err
+	}
+	f.db.clearBackendFailure()
+	return nil
+}
+
+// flushOnce is one complete flush pass: seal the WAL, capture every dirty
+// entity shard by shard, write the SSTable, then prune and evict.
+func (f *flusher) flushOnce() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	db := f.db
+	if db.recovering {
+		return nil
+	}
+	f.stalled.Store(false)
+	// Seal first: every record already appended is now in a closed segment at
+	// or below the boundary, and everything committed from here on lands in
+	// the new active segment (above it). The watermark is read after the
+	// seal, so it covers every LSN the sealed segments can hold.
+	boundary, err := db.tiered.SealWAL()
+	if err != nil {
+		return fmt.Errorf("lsdb: flush seal: %w", err)
+	}
+	watermark := db.lsn.Peek()
+	f.bytes.Store(0)
+	db.sinceCkpt.Store(0)
+
+	var entries []storage.WALRecord
+	var scratch []*entity.State // private rollups to recycle after the write
+	captured := make([]map[entity.Key]struct{}, len(db.shards))
+	for si, s := range db.shards {
+		s.mu.Lock()
+		if len(s.dirty) == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		captured[si] = s.dirty
+		s.dirty = map[entity.Key]struct{}{}
+		keys := make([]entity.Key, 0, len(captured[si]))
+		for key := range captured[si] {
+			keys = append(keys, key)
+		}
+		s.mu.Unlock()
+		// One key per lock hold: a writer to this shard waits at most one
+		// entity's rollup, never the whole shard delta. A record committed
+		// to an already-captured key between holds simply re-dirties it for
+		// the next pass; one committed to a not-yet-captured key rides into
+		// this table with an LSN above the watermark, which recovery
+		// tolerates (the LSN dedup against the replayed WAL tail).
+		for _, key := range keys {
+			s.mu.Lock()
+			recs, priv, err := db.captureKeyLocked(s, key)
+			if err != nil {
+				// Unknown type or unreadable cold summary: leave the key
+				// dirty for the next pass rather than losing it.
+				s.dirty[key] = struct{}{}
+				s.mu.Unlock()
+				continue
+			}
+			s.mu.Unlock()
+			entries = append(entries, recs...)
+			if priv != nil {
+				scratch = append(scratch, priv)
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	// The table writer requires key-grouped, key-ordered input; a stable
+	// sort keeps each key's summary-then-details run intact. (Type, ID)
+	// ordering matches the table's composite-key ordering.
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i].Key, entries[j].Key
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.ID < b.ID
+	})
+	err = db.tiered.FlushTable(entries, watermark, boundary)
+	for _, st := range scratch {
+		st.Recycle()
+	}
+	if err != nil {
+		// Re-arm every captured key: the table never landed, so the next
+		// pass must cover them again (union with keys dirtied since).
+		for si, s := range db.shards {
+			if captured[si] == nil {
+				continue
+			}
+			s.mu.Lock()
+			for k := range captured[si] {
+				s.dirty[k] = struct{}{}
+			}
+			s.mu.Unlock()
+		}
+		return fmt.Errorf("lsdb: flush: %w", err)
+	}
+	f.flushes.Add(1)
+	f.evictCold(watermark)
+	return nil
+}
+
+// captureKeyLocked emits one dirty entity's flush records: the summary at
+// its settled horizon plus full copies of every record above it. The caller
+// holds the shard's write lock. The returned private state, when non-nil, is
+// a scratch rollup owned by the flush and recycled after serialisation.
+func (db *DB) captureKeyLocked(s *shard, key entity.Key) ([]storage.WALRecord, *entity.State, error) {
+	typ, ok := db.TypeOf(key.Type)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
+	}
+	// A dirty key can still be cold-resident when recovery installed both a
+	// cold pointer and tail records; the capture needs its base in memory.
+	if err := db.warmLocked(s, key); err != nil {
+		return nil, nil, err
+	}
+	lsns := s.index[key]
+	arch := s.archived[key]
+	// Settled horizon: advance past every settled record (non-tentative, or
+	// tentative but already withdrawn); the first live tentative promise
+	// blocks it — that record must stay as detail so a later MarkObsolete in
+	// the WAL tail still finds it after recovery.
+	h := s.archivedAt[key]
+	for _, lsn := range lsns {
+		if lsn <= h {
+			continue
+		}
+		rec := s.recordAtLocked(lsn)
+		if rec == nil {
+			continue
+		}
+		if rec.Tentative && !rec.Obsolete {
+			break
+		}
+		h = lsn
+	}
+	var entries []storage.WALRecord
+	var private *entity.State
+	if h > 0 || arch != nil {
+		sum := storage.WALRecord{Kind: storage.KindSummary, Key: key, Horizon: h}
+		switch {
+		case len(lsns) == 0 && arch != nil:
+			// Fully archived (post-Compact or legacy-recovered): the frozen
+			// summary ships zero-copy.
+			sum.Summary = arch
+		default:
+			if c, ok := s.cache[key]; ok && c.head == h && !db.opts.DisableStateCache {
+				// The materialised current state *is* the rollup through h
+				// when no unsettled records sit above it — zero-copy.
+				sum.Summary = c.state
+			} else {
+				st := s.rollupToLocked(key, typ, h)
+				sum.Summary = st
+				private = st
+			}
+		}
+		entries = append(entries, sum)
+	}
+	for _, lsn := range lsns {
+		if lsn <= h {
+			continue
+		}
+		if rec := s.recordAtLocked(lsn); rec != nil {
+			entries = append(entries, *rec)
+		}
+	}
+	return entries, private, nil
+}
+
+// rollupToLocked is rollupLocked bounded to records at or below limit —
+// the flush capture's summary builder. The caller holds the shard's write
+// lock; the result is a private, unfrozen state the flush may recycle.
+func (s *shard) rollupToLocked(key entity.Key, typ *entity.Type, limit uint64) *entity.State {
+	base := entity.NewState(key)
+	startLSN := s.archivedAt[key]
+	if arch := s.archived[key]; arch != nil {
+		base = arch.Clone()
+	}
+	if snap, ok := s.snaps[key]; ok && snap.state != nil && snap.lsn >= startLSN && snap.lsn <= limit {
+		base = snap.state.Clone()
+		startLSN = snap.lsn
+	}
+	for _, lsn := range s.index[key] {
+		if lsn <= startLSN {
+			continue
+		}
+		if lsn > limit {
+			break
+		}
+		rec := s.recordAtLocked(lsn)
+		if rec == nil || rec.Obsolete {
+			continue
+		}
+		next, _, err := entity.Apply(typ, base, rec.Ops, entity.Managed)
+		if err != nil {
+			continue
+		}
+		base = next
+	}
+	return base
+}
+
+// evictCold demotes fully settled archived summaries to cold pointers after
+// a successful flush: their content is durable in the tables (flushed at or
+// below the just-written watermark), their entities have no retained detail,
+// and no hot cache references them. Memory bounded by the working set, not
+// by history.
+func (f *flusher) evictCold(watermark uint64) {
+	for _, s := range f.db.shards {
+		s.mu.Lock()
+		for key := range s.archived {
+			if _, isDirty := s.dirty[key]; isDirty {
+				continue
+			}
+			if len(s.index[key]) > 0 {
+				continue
+			}
+			if _, hot := s.cache[key]; hot {
+				continue
+			}
+			at := s.archivedAt[key]
+			if at > watermark {
+				continue // archived after the capture; not yet durable
+			}
+			delete(s.archived, key)
+			delete(s.archivedAt, key)
+			s.cold[key] = at
+			f.evicted.Add(1)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// warmLocked pulls an evicted entity's summary back from the tiered store.
+// The caller holds the shard's write lock. A no-op for non-cold keys and
+// non-tiered stores.
+func (db *DB) warmLocked(s *shard, key entity.Key) error {
+	if db.tiered == nil {
+		return nil
+	}
+	horizon, isCold := s.cold[key]
+	if !isCold {
+		return nil
+	}
+	rec, err := db.tiered.LookupSummary(key)
+	if err != nil {
+		return fmt.Errorf("lsdb: cold read %s: %w", key, err)
+	}
+	delete(s.cold, key)
+	if rec == nil || rec.Summary == nil {
+		return nil // pointer without a durable summary: treat as absent
+	}
+	s.archived[key] = rec.Summary
+	if rec.Horizon > horizon {
+		horizon = rec.Horizon
+	}
+	if horizon > s.archivedAt[key] {
+		s.archivedAt[key] = horizon
+	}
+	db.coldReads.Add(1)
+	return nil
+}
+
+// ensureWarm is warmLocked for read paths that hold no lock yet: it checks
+// coldness under the read lock and escalates to the write lock only when a
+// warm is actually needed.
+func (db *DB) ensureWarm(s *shard, key entity.Key) error {
+	if db.tiered == nil {
+		return nil
+	}
+	s.mu.RLock()
+	_, isCold := s.cold[key]
+	s.mu.RUnlock()
+	if !isCold {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return db.warmLocked(s, key)
+}
+
+// warmAllLocked warms every cold key of every shard — ExportCut needs the
+// full archive in memory. The caller holds no shard lock.
+func (db *DB) warmAll() error {
+	if db.tiered == nil {
+		return nil
+	}
+	for _, s := range db.shards {
+		s.mu.Lock()
+		for key := range s.cold {
+			if err := db.warmLocked(s, key); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// approxRecordsSize estimates the payload bytes of a committed batch for the
+// flush byte trigger. An estimate is enough: the trigger tunes table sizes,
+// not accounting.
+func approxRecordsSize(recs []Record) int64 {
+	var n int64
+	for i := range recs {
+		r := &recs[i]
+		n += 48 + int64(len(r.Key.Type)+len(r.Key.ID)+len(r.TxnID))
+		for j := range r.Ops {
+			op := &r.Ops[j]
+			n += 24 + int64(len(op.Field)+len(op.Collection)+len(op.ChildID)+len(op.Describe))
+			if sv, ok := op.Value.(string); ok {
+				n += int64(len(sv))
+			}
+			n += int64(16 * len(op.ChildRow))
+		}
+	}
+	return n
+}
+
+// FlushStats reports the tiered flush pipeline's health; the zero value when
+// the store is not tiered.
+type FlushStats struct {
+	// Flushes counts completed flush passes; Failures counts failed
+	// automatic persistence passes (shared with the legacy checkpoint
+	// counter); Stalls counts times the write path outran the flusher by 2x
+	// the byte trigger.
+	Flushes  uint64
+	Failures uint64
+	Stalls   uint64
+	// PendingBytes is the approximate payload committed since the last
+	// flush; Evicted and ColdReads count summary evictions and re-warms.
+	PendingBytes int64
+	Evicted      uint64
+	ColdReads    uint64
+	// Reason is the typed classification of the most recent failed pass
+	// ("" while healthy).
+	Reason string
+}
+
+// FlushStats returns the flush pipeline counters (zero without a tiered
+// backend).
+func (db *DB) FlushStats() FlushStats {
+	if db.flush == nil {
+		return FlushStats{}
+	}
+	_, reason, _ := db.CheckpointFailure()
+	return FlushStats{
+		Flushes:      db.flush.flushes.Load(),
+		Failures:     db.ckptFailures.Load(),
+		Stalls:       db.flush.stalls.Load(),
+		PendingBytes: db.flush.bytes.Load(),
+		Evicted:      db.flush.evicted.Load(),
+		ColdReads:    db.coldReads.Load(),
+		Reason:       reason,
+	}
+}
+
+// Tiered exposes the tiered backend when one is attached (nil otherwise);
+// health surfaces read its table/bloom/compaction statistics through it.
+func (db *DB) Tiered() storage.Tiered { return db.tiered }

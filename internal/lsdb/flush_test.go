@@ -1,0 +1,337 @@
+package lsdb
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/lsm"
+	"repro/internal/storage"
+)
+
+// openTestTiered builds the production stack for tests: a segmented WAL with
+// small segments wrapped in an LSM store with a quiet auto-compactor (tests
+// drive CompactNow explicitly).
+func openTestTiered(t *testing.T, dir string, hooks *lsm.Hooks) *lsm.Store {
+	t.Helper()
+	wal := openTestWAL(t, dir, storage.SyncOS)
+	s, err := lsm.Open(wal, lsm.Options{Dir: filepath.Join(dir, "sst"), CompactAfter: 100, Hooks: hooks})
+	if err != nil {
+		t.Fatalf("lsm.Open: %v", err)
+	}
+	return s
+}
+
+// assertTieredStates compares two stores by observable state: key set and
+// every entity's fields, flags and child rows. Unlike assertIdenticalStores
+// it does not compare record logs — a flushed store legitimately retains
+// fewer raw records than the one that wrote them (settled history lives in
+// table summaries, not the log).
+func assertTieredStates(t *testing.T, want, got *DB) {
+	t.Helper()
+	wantKeys, gotKeys := want.Keys(), got.Keys()
+	if !reflect.DeepEqual(wantKeys, gotKeys) {
+		t.Fatalf("key sets differ: %v vs %v", wantKeys, gotKeys)
+	}
+	if want.HeadLSN() != got.HeadLSN() {
+		t.Fatalf("LSN watermark differs: %d vs %d", want.HeadLSN(), got.HeadLSN())
+	}
+	for _, key := range wantKeys {
+		sw, _, errW := want.Current(key)
+		sg, _, errG := got.Current(key)
+		if errW != nil || errG != nil {
+			t.Fatalf("Current(%s): %v / %v", key, errW, errG)
+		}
+		if !reflect.DeepEqual(sw.Fields, sg.Fields) {
+			t.Fatalf("%s: fields differ:\nwant %v\n got %v", key, sw.Fields, sg.Fields)
+		}
+		if sw.Tentative != sg.Tentative || sw.Deleted != sg.Deleted {
+			t.Fatalf("%s: flags differ", key)
+		}
+		for _, col := range sw.Collections() {
+			if !reflect.DeepEqual(sw.Children(col), sg.Children(col)) {
+				t.Fatalf("%s.%s: rows differ:\nwant %v\n got %v", key, col, sw.Children(col), sg.Children(col))
+			}
+		}
+	}
+}
+
+// warmEverything reads every key once so the source store's post-flush cold
+// pointers are rehydrated before its backend closes; comparisons afterwards
+// run purely in memory.
+func warmEverything(t *testing.T, db *DB) {
+	t.Helper()
+	for _, key := range db.Keys() {
+		if _, _, err := db.Current(key); err != nil {
+			t.Fatalf("warm %s: %v", key, err)
+		}
+	}
+}
+
+// TestTieredFlushRecoverRoundTrip is the tiered analogue of the core recovery
+// round trip: a concurrent group-commit workload with background flushes
+// forced mid-run (tiny byte trigger), a final explicit flush, then recovery
+// through table pointers plus the WAL tail. Run under -race in CI.
+func TestTieredFlushRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := newTestDB(t, Options{
+		Shards: 4, GroupCommit: true, SnapshotEvery: 8,
+		Backend: openTestTiered(t, dir, nil), FlushBytes: 4096,
+	})
+	runScriptsConcurrent(t, db, buildScripts(41, 8, 40, 3))
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	// Post-flush traffic becomes the WAL tail recovery must graft on top.
+	for i := 0; i < 20; i++ {
+		k := entity.Key{Type: "Account", ID: fmt.Sprintf("tail%d", i%4)}
+		if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(1000+i)), "n", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs := db.FlushStats(); fs.Flushes == 0 {
+		t.Fatalf("no flush recorded: %+v", fs)
+	}
+	warmEverything(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	rec, err := Recover(Options{Node: "test-node", Shards: 2, SnapshotEvery: 8,
+		Backend: openTestTiered(t, dir, nil)}, accountType(), orderType())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	assertTieredStates(t, db, rec)
+	// The recovered store continues the log.
+	head := rec.HeadLSN()
+	res, err := rec.Append(entity.Key{Type: "Account", ID: "post"}, []entity.Op{entity.Delta("balance", 1)}, stamp(1), "test-node", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Record.LSN != head+1 {
+		t.Fatalf("append after recover got LSN %d, want %d", res.Record.LSN, head+1)
+	}
+	rec.Close()
+}
+
+// TestTieredObsoleteAfterFlush pins the settled-horizon guarantee: a live
+// tentative promise blocks the horizon, so when its MarkObsolete lands in the
+// WAL tail after the flush, recovery still finds the promise to withdraw.
+func TestTieredObsoleteAfterFlush(t *testing.T) {
+	dir := t.TempDir()
+	db := newTestDB(t, Options{Shards: 2, Backend: openTestTiered(t, dir, nil)})
+	k := entity.Key{Type: "Account", ID: "hot"}
+	if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 5)}, stamp(1), "n", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AppendTentative(k, []entity.Op{entity.Delta("balance", 500)}, stamp(2), "n", "promise-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The withdrawal reaches only the WAL tail; the promise itself is table
+	// detail above the flushed horizon.
+	if err := db.MarkObsolete(k, "promise-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(3), "n", ""); err != nil {
+		t.Fatal(err)
+	}
+	warmEverything(t, db)
+	db.Close()
+
+	rec, err := Recover(Options{Node: "test-node", Shards: 2, Backend: openTestTiered(t, dir, nil)},
+		accountType(), orderType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := rec.Current(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fields["balance"] != 6.0 {
+		t.Fatalf("balance = %v after recovery, want 6 (withdrawn promise resurrected?)", st.Fields["balance"])
+	}
+	rec.Close()
+}
+
+// TestColdEvictionAndWarm: archived-and-settled entities leave memory after a
+// flush, stay enumerable, and warm transparently through the bloom-guided
+// table lookup on the next read.
+func TestColdEvictionAndWarm(t *testing.T) {
+	dir := t.TempDir()
+	db := newTestDB(t, Options{Shards: 2, DisableStateCache: true, Backend: openTestTiered(t, dir, nil)})
+	const keys = 12
+	for i := 0; i < keys; i++ {
+		k := entity.Key{Type: "Account", ID: fmt.Sprintf("c%02d", i)}
+		for j := 0; j < 3; j++ {
+			if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i*3+j+1)), "n", ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Archive everything (Compact folds settled history into summaries and
+	// empties the per-key index), then flush: every summary is now durable in
+	// a table and eligible for eviction.
+	db.Compact(db.HeadLSN() + 1)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fs := db.FlushStats()
+	if fs.Evicted == 0 {
+		t.Fatalf("nothing evicted: %+v", fs)
+	}
+	if got := len(db.Keys()); got != keys {
+		t.Fatalf("cold keys fell out of Keys(): %d, want %d", got, keys)
+	}
+	if !db.Exists(entity.Key{Type: "Account", ID: "c00"}) {
+		t.Fatal("cold key not Exists()")
+	}
+	st, _, err := db.Current(entity.Key{Type: "Account", ID: "c03"})
+	if err != nil {
+		t.Fatalf("cold read: %v", err)
+	}
+	if st.Fields["balance"] != 3.0 {
+		t.Fatalf("cold read balance = %v, want 3", st.Fields["balance"])
+	}
+	if fs := db.FlushStats(); fs.ColdReads == 0 {
+		t.Fatalf("cold read not counted: %+v", fs)
+	}
+	db.Close()
+}
+
+// TestCheckpointFailureBreadcrumb is the satellite fix for the silent-retry
+// gap: failed flush passes count, carry a typed reason, never refuse writes,
+// and the breadcrumb clears on the next success.
+func TestCheckpointFailureBreadcrumb(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("sidecar volume detached")
+	armed := true
+	hooks := &lsm.Hooks{FlushErr: func() error {
+		if armed {
+			return boom
+		}
+		return nil
+	}}
+	db := newTestDB(t, Options{Shards: 2, Backend: openTestTiered(t, dir, hooks)})
+	k := entity.Key{Type: "Account", ID: "a"}
+	if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(1), "n", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, boom) {
+		t.Fatalf("Checkpoint = %v, want injected failure", err)
+	}
+	failures, reason, err := db.CheckpointFailure()
+	if failures != 1 || reason == "" || err == nil {
+		t.Fatalf("CheckpointFailure = (%d, %q, %v), want a counted, typed failure", failures, reason, err)
+	}
+	// A failed flush degrades persistence, not availability.
+	if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(2), "n", ""); err != nil {
+		t.Fatalf("append refused after flush failure: %v", err)
+	}
+	armed = false
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("recovered flush failed: %v", err)
+	}
+	failures, reason, err = db.CheckpointFailure()
+	if failures != 1 || reason != "" || err != nil {
+		t.Fatalf("breadcrumb not cleared after success: (%d, %q, %v)", failures, reason, err)
+	}
+	warmEverything(t, db)
+	db.Close()
+}
+
+// TestLegacySnapshotMigratesToTiered: a store written by the monolithic
+// checkpoint path reopens under a tiered backend, its snapshot summaries are
+// re-marked dirty, and the first flush moves them into tables — after which a
+// third open recovers the same states from tables alone.
+func TestLegacySnapshotMigratesToTiered(t *testing.T) {
+	dir := t.TempDir()
+	legacy := newTestDB(t, Options{Shards: 2, Backend: openTestWAL(t, dir, storage.SyncOS)})
+	for i := 0; i < 10; i++ {
+		k := entity.Key{Type: "Account", ID: fmt.Sprintf("m%d", i%3)}
+		if _, err := legacy.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i+1)), "n", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := legacy.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	legacy.Close()
+
+	mid, err := Recover(Options{Node: "test-node", Shards: 2, Backend: openTestTiered(t, dir, nil)},
+		accountType(), orderType())
+	if err != nil {
+		t.Fatalf("Recover legacy store under tiering: %v", err)
+	}
+	assertTieredStates(t, legacy, mid)
+	if err := mid.Checkpoint(); err != nil {
+		t.Fatalf("migration flush: %v", err)
+	}
+	if ts := mid.Tiered().TieredStats(); ts.Tables == 0 {
+		t.Fatalf("migration flush produced no table: %+v", ts)
+	}
+	warmEverything(t, mid)
+	mid.Close()
+
+	again, err := Recover(Options{Node: "test-node", Shards: 2, Backend: openTestTiered(t, dir, nil)},
+		accountType(), orderType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTieredStates(t, legacy, again)
+	again.Close()
+}
+
+// TestAsOfAndHistoryAcrossFlush: point-in-time reads above the flushed
+// horizon keep working from retained detail after flush and recovery.
+func TestAsOfAndHistoryAcrossFlush(t *testing.T) {
+	dir := t.TempDir()
+	db := newTestDB(t, Options{Shards: 2, Backend: openTestTiered(t, dir, nil)})
+	k := entity.Key{Type: "Account", ID: "h"}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i+1)), "n", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A live promise pins the horizon below it: the settled prefix summarises,
+	// the promise and everything after stay replayable detail.
+	if _, err := db.AppendTentative(k, []entity.Op{entity.Delta("balance", 100)}, stamp(5), "n", "p1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(6), "n", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	rec, err := Recover(Options{Node: "test-node", Shards: 2, Backend: openTestTiered(t, dir, nil)},
+		accountType(), orderType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	st, err := rec.AsOf(k, stamp(1000))
+	if err != nil {
+		t.Fatalf("AsOf(now): %v", err)
+	}
+	if st.Fields["balance"] != 105.0 {
+		t.Fatalf("AsOf(now) balance = %v, want 105", st.Fields["balance"])
+	}
+	hist, err := rec.History(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The settled prefix (LSNs 1-4) lives in the summary; retained history is
+	// the promise and the record after it.
+	if len(hist.Versions) != 2 {
+		t.Fatalf("retained history %d versions, want 2", len(hist.Versions))
+	}
+}

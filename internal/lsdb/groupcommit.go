@@ -240,6 +240,12 @@ func (db *DB) commitBatch(s *shard, batch, live []*appendReq, states map[entity.
 	if err := db.logAppend(recs); err != nil {
 		for _, r := range live {
 			r.err = err
+			// The applied-but-never-installed state was private to this
+			// batch (never frozen, never shared); its copied chunks go back
+			// to the free list. Chained applies on one key already revoked
+			// the intermediates' ownership, so only truly private chunks
+			// are released.
+			r.next.Recycle()
 			r.next = nil
 		}
 		return live, nil

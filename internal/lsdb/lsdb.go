@@ -165,8 +165,14 @@ type Options struct {
 	// disables automatic checkpoints; Checkpoint can always be called
 	// explicitly. Automatic checkpoints run inline on the committing
 	// goroutine that crossed the threshold; a failure is remembered and
-	// returned by CheckpointErr.
+	// returned by CheckpointErr. With a tiered backend (storage.Tiered) the
+	// same threshold triggers a background flush instead — see flush.go.
 	CheckpointEvery int
+	// FlushBytes, with a tiered backend, additionally triggers a background
+	// flush once roughly this many bytes of record payload have been
+	// committed since the last flush. Zero uses a 4 MiB default; negative
+	// disables the byte trigger (the record-count trigger still applies).
+	FlushBytes int64
 }
 
 const (
@@ -205,6 +211,15 @@ type shard struct {
 	cache    map[entity.Key]*cached
 	archived map[entity.Key]*entity.State // summarised entities whose detail records were compacted away
 
+	// Tiered-storage bookkeeping (nil-safe no-ops without a tiered backend).
+	// dirty tracks keys mutated since the last flush capture; archivedAt is
+	// the LSN an archived summary folds in through (the flush horizon resumes
+	// there); cold maps evicted keys to the horizon of their disk-resident
+	// summary — a cold read warms the key back into archived on demand.
+	dirty      map[entity.Key]struct{}
+	archivedAt map[entity.Key]uint64
+	cold       map[entity.Key]uint64
+
 	// Group-commit queue (Options.GroupCommit): pending appends awaiting a
 	// leader drain. qmu only ever guards these two fields and is never held
 	// together with mu, so enqueueing stays cheap while a batch commits.
@@ -215,11 +230,14 @@ type shard struct {
 
 func newShard() *shard {
 	return &shard{
-		index:    map[entity.Key][]uint64{},
-		byTxn:    map[entity.Key]map[string]uint64{},
-		snaps:    map[entity.Key]snapshot{},
-		cache:    map[entity.Key]*cached{},
-		archived: map[entity.Key]*entity.State{},
+		index:      map[entity.Key][]uint64{},
+		byTxn:      map[entity.Key]map[string]uint64{},
+		snaps:      map[entity.Key]snapshot{},
+		cache:      map[entity.Key]*cached{},
+		archived:   map[entity.Key]*entity.State{},
+		dirty:      map[entity.Key]struct{}{},
+		archivedAt: map[entity.Key]uint64{},
+		cold:       map[entity.Key]uint64{},
 	}
 }
 
@@ -259,6 +277,20 @@ type DB struct {
 	ckptBusy  atomic.Bool
 	ckptMu    sync.Mutex
 	ckptErr   error
+	// ckptFailures counts failed automatic persistence passes (legacy
+	// checkpoints and tiered flushes alike); ckptReason is the typed degraded
+	// classification of the most recent failure ("" when the last pass
+	// succeeded). Both back the satellite observability for the old
+	// silently-retrying maybeCheckpoint path.
+	ckptFailures atomic.Uint64
+	ckptReason   string // guarded by ckptMu
+
+	// tiered is non-nil when Backend implements storage.Tiered; flush is the
+	// off-hot-path flush pipeline that replaces stop-the-world checkpoints.
+	tiered storage.Tiered
+	flush  *flusher
+	// coldReads counts reads that warmed a disk-resident summary back in.
+	coldReads atomic.Uint64
 }
 
 // Open creates an empty database.
@@ -279,6 +311,10 @@ func Open(opts Options) *DB {
 	}
 	for i := range db.shards {
 		db.shards[i] = newShard()
+	}
+	if t, ok := opts.Backend.(storage.Tiered); ok {
+		db.tiered = t
+		db.flush = newFlusher(db)
 	}
 	return db
 }
@@ -423,6 +459,10 @@ func (db *DB) SetCommitSink(fn func(records []Record) func() error) {
 // request must observe its batch predecessors exactly as it would have on the
 // serial path; both are nil outside a batch.
 func (db *DB) applyForAppendLocked(s *shard, typ *entity.Type, key entity.Key, ops []entity.Op, txnID string, tentative bool, batchStates map[entity.Key]*entity.State, batchTxns map[entity.Key]map[string]bool) (*entity.State, []entity.Warning, error) {
+	// A write to an evicted entity rolls up from its disk-resident summary.
+	if err := db.warmLocked(s, key); err != nil {
+		return nil, nil, err
+	}
 	if txnID != "" {
 		if _, dup := s.byTxn[key][txnID]; dup {
 			return nil, nil, fmt.Errorf("%w: %s on %s", ErrDuplicateTxn, txnID, key)
@@ -461,6 +501,9 @@ func (db *DB) applyForAppendLocked(s *shard, typ *entity.Type, key entity.Key, o
 // assigned rec.LSN. It returns the state for the caller's AppendResult.
 func (db *DB) commitAppendLocked(s *shard, rec *Record, next *entity.State) *entity.State {
 	s.appendRecordLocked(*rec, db.opts.SegmentSize)
+	if db.tiered != nil {
+		s.dirty[rec.Key] = struct{}{}
+	}
 	if rec.TxnID != "" {
 		if s.byTxn[rec.Key] == nil {
 			s.byTxn[rec.Key] = map[string]uint64{}
@@ -530,6 +573,9 @@ func (db *DB) MarkObsolete(key entity.Key, txnID string) error {
 		return err
 	}
 	rec.Obsolete = true
+	if db.tiered != nil {
+		s.dirty[key] = struct{}{}
+	}
 	// The materialised state folded the withdrawn record in; drop it so the
 	// next read rebuilds from the log. The snapshot only has to go if it
 	// already covers the withdrawn record — an older snapshot is still a
@@ -591,6 +637,9 @@ func (db *DB) Current(key entity.Key) (*entity.State, uint64, error) {
 	}
 	s := db.shardFor(key)
 	if db.opts.DisableStateCache {
+		if err := db.ensureWarm(s, key); err != nil {
+			return nil, 0, err
+		}
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		if len(s.index[key]) == 0 && s.archived[key] == nil {
@@ -607,7 +656,7 @@ func (db *DB) Current(key entity.Key) (*entity.State, uint64, error) {
 		}
 		return st, head, nil
 	}
-	if len(s.index[key]) == 0 && s.archived[key] == nil {
+	if _, isCold := s.cold[key]; !isCold && len(s.index[key]) == 0 && s.archived[key] == nil {
 		// Nonexistent entity: answer under the read lock so polling for a
 		// key that is not there never escalates to the shard's write lock.
 		s.mu.RUnlock()
@@ -622,6 +671,9 @@ func (db *DB) Current(key entity.Key) (*entity.State, uint64, error) {
 	if c, ok := s.cache[key]; ok { // raced with another rebuild
 		st, head = c.state, c.head
 	} else {
+		if err := db.warmLocked(s, key); err != nil {
+			return nil, 0, err
+		}
 		if len(s.index[key]) == 0 && s.archived[key] == nil {
 			return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
 		}
@@ -643,11 +695,15 @@ func headOf(lsns []uint64) uint64 {
 	return lsns[len(lsns)-1]
 }
 
-// Exists reports whether any live record (or archived summary) exists for key.
+// Exists reports whether any live record (or archived summary, in memory or
+// evicted to the tiered store) exists for key.
 func (db *DB) Exists(key entity.Key) bool {
 	s := db.shardFor(key)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if _, isCold := s.cold[key]; isCold {
+		return true
+	}
 	return len(s.index[key]) > 0 || s.archived[key] != nil
 }
 
@@ -658,11 +714,14 @@ func (db *DB) Exists(key entity.Key) bool {
 // snapshot or summary it started from.
 func (s *shard) rollupLocked(key entity.Key, typ *entity.Type) *entity.State {
 	base := entity.NewState(key)
+	// The archived summary folds in everything through archivedAt; index
+	// records at or below it (recovery can retain copies the summary already
+	// covers) must not re-apply.
+	startLSN := s.archivedAt[key]
 	if arch := s.archived[key]; arch != nil {
 		base = arch.Clone()
 	}
-	startLSN := uint64(0)
-	if snap, ok := s.snaps[key]; ok && snap.state != nil {
+	if snap, ok := s.snaps[key]; ok && snap.state != nil && snap.lsn >= startLSN {
 		base = snap.state.Clone()
 		startLSN = snap.lsn
 	}
@@ -696,6 +755,9 @@ func (db *DB) AsOf(key entity.Key, ts clock.Timestamp) (*entity.State, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
 	}
 	s := db.shardFor(key)
+	if err := db.ensureWarm(s, key); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	lsns := s.index[key]
@@ -708,6 +770,9 @@ func (db *DB) AsOf(key entity.Key, ts clock.Timestamp) (*entity.State, error) {
 	}
 	found := s.archived[key] != nil
 	for _, lsn := range lsns {
+		if lsn <= s.archivedAt[key] {
+			continue // already folded into the archived summary
+		}
 		rec := s.recordAtLocked(lsn)
 		if rec == nil || rec.Obsolete {
 			continue
@@ -740,6 +805,9 @@ func (db *DB) History(key entity.Key) (*entity.History, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownType, key.Type)
 	}
 	s := db.shardFor(key)
+	if err := db.ensureWarm(s, key); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	lsns := s.index[key]
@@ -753,6 +821,9 @@ func (db *DB) History(key entity.Key) (*entity.History, error) {
 	}
 	var seq uint64
 	for _, lsn := range lsns {
+		if lsn <= s.archivedAt[key] {
+			continue // already folded into the archived summary
+		}
 		rec := s.recordAtLocked(lsn)
 		if rec == nil {
 			continue
@@ -896,6 +967,9 @@ func (db *DB) Keys() []entity.Key {
 		for k := range s.archived {
 			seen[k] = true
 		}
+		for k := range s.cold {
+			seen[k] = true
+		}
 		s.mu.RUnlock()
 	}
 	out := make([]entity.Key, 0, len(seen))
@@ -952,6 +1026,9 @@ func (db *DB) Snapshot(key entity.Key) error {
 	s := db.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := db.warmLocked(s, key); err != nil {
+		return err
+	}
 	lsns := s.index[key]
 	if len(lsns) == 0 {
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
@@ -993,7 +1070,14 @@ func (db *DB) Compact(beforeLSN uint64) CompactStats {
 				if !ok {
 					continue
 				}
+				if err := db.warmLocked(s, key); err != nil {
+					continue // summary unreadable; keep the detail records
+				}
 				s.archived[key] = s.rollupLocked(key, typ).Freeze()
+				s.archivedAt[key] = headOf(lsns)
+				if db.tiered != nil {
+					s.dirty[key] = struct{}{}
+				}
 				drop[key] = true
 				stats.Summarised++
 			} else {
@@ -1067,10 +1151,16 @@ func (s *shard) lenLocked() int {
 // the simple variant — a fuzzy checkpoint that lets writers proceed is an
 // open ROADMAP item), which makes the cut exact: everything appended before
 // the checkpoint is inside it, everything after is in the replayable tail.
-// A no-op without a Backend.
+// A no-op without a Backend. With a tiered backend, Checkpoint is a
+// compatibility wrapper: it forces a synchronous flush of every dirty entity
+// instead — recovery then reads the newest tables plus the WAL tail, and
+// writers are never quiesced.
 func (db *DB) Checkpoint() error {
 	if db.opts.Backend == nil {
 		return nil
+	}
+	if db.flush != nil {
+		return db.flush.FlushNow()
 	}
 	// All shard locks, in shard order (the same order RecordsAfter uses).
 	// Read locks suffice: they exclude writers (appends, marks, compaction)
@@ -1119,6 +1209,10 @@ func (db *DB) Checkpoint() error {
 // goroutine that crossed the threshold, outside any shard lock; the gate
 // keeps concurrent committers from piling into Checkpoint together.
 func (db *DB) maybeCheckpoint() {
+	if db.flush != nil {
+		db.flush.maybeTrigger()
+		return
+	}
 	every := int64(db.opts.CheckpointEvery)
 	if every <= 0 || db.opts.Backend == nil || db.sinceCkpt.Load() < every {
 		return
@@ -1131,12 +1225,16 @@ func (db *DB) maybeCheckpoint() {
 		return
 	}
 	if err := db.Checkpoint(); err != nil {
-		db.setBackendErr(err)
+		db.setBackendFailure(err)
 		// Back off: without this reset a persistent failure (disk full
 		// mid-snapshot) would make every subsequent append retry a full
 		// stop-the-world checkpoint. Retry after another CheckpointEvery
-		// records instead; the failure stays visible via BackendErr.
+		// records instead; the failure stays visible via BackendErr — and,
+		// unlike the old silent retry loop, counted and classified by
+		// CheckpointFailure so health surfaces see the breadcrumb.
 		db.sinceCkpt.Store(0)
+	} else {
+		db.clearBackendFailure()
 	}
 }
 
@@ -1146,6 +1244,38 @@ func (db *DB) setBackendErr(err error) {
 	db.ckptMu.Lock()
 	db.ckptErr = err
 	db.ckptMu.Unlock()
+}
+
+// setBackendFailure records a failed automatic persistence pass: the error
+// for BackendErr, a failure count, and the typed degraded classification as
+// a breadcrumb for health surfaces.
+func (db *DB) setBackendFailure(err error) {
+	reason, _ := classifyStorageErr(err)
+	db.ckptFailures.Add(1)
+	db.ckptMu.Lock()
+	db.ckptErr = err
+	db.ckptReason = reason
+	db.ckptMu.Unlock()
+}
+
+// clearBackendFailure clears the breadcrumb after a successful pass (the
+// failure count is cumulative and stays).
+func (db *DB) clearBackendFailure() {
+	db.ckptMu.Lock()
+	db.ckptReason = ""
+	db.ckptErr = nil
+	db.ckptMu.Unlock()
+}
+
+// CheckpointFailure reports the automatic-persistence failure breadcrumb:
+// how many automatic checkpoints or flushes have failed since open, the
+// typed reason of the most recent failure ("" once a later pass succeeded),
+// and its error. The old behaviour was a silent retry loop; operators could
+// not tell a unit that checkpoints cleanly from one that fails every pass.
+func (db *DB) CheckpointFailure() (failures uint64, reason string, err error) {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	return db.ckptFailures.Load(), db.ckptReason, db.ckptErr
 }
 
 // BackendErr returns the most recent background backend failure — an
@@ -1173,6 +1303,13 @@ func (db *DB) Sync() error {
 func (db *DB) Close() error {
 	if db.opts.Backend == nil {
 		return nil
+	}
+	if db.flush != nil {
+		// Wait out any in-flight background flush so the backend is not
+		// closed under it (a clean shutdown also leaves the WAL tail as
+		// short as the last flush made it).
+		db.flush.mu.Lock()
+		defer db.flush.mu.Unlock()
 	}
 	return db.opts.Backend.Close()
 }

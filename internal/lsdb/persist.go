@@ -291,6 +291,14 @@ type SummaryEntry struct {
 // archive between them and the entity would appear in neither. The states
 // are frozen and shared; do not mutate them.
 func (db *DB) ExportCut() ([]SummaryEntry, []Record) {
+	if db.flush != nil {
+		// A concurrent flush could evict a summary between this cut's two
+		// halves; excluding it (and warming every cold summary back in
+		// first) keeps the cut complete.
+		db.flush.mu.Lock()
+		defer db.flush.mu.Unlock()
+		db.warmAll()
+	}
 	for _, s := range db.shards {
 		s.mu.RLock()
 	}
@@ -317,6 +325,10 @@ func (db *DB) RestoreSummary(key entity.Key, st *entity.State) {
 	s.mu.Lock()
 	s.archived[key] = st.Freeze()
 	delete(s.cache, key)
+	delete(s.cold, key)
+	if db.tiered != nil {
+		s.dirty[key] = struct{}{}
+	}
 	s.mu.Unlock()
 }
 
@@ -374,6 +386,9 @@ func (db *DB) LoadRecord(rec Record) {
 	s := db.shardFor(rec.Key)
 	s.mu.Lock()
 	s.appendRecordLocked(rec, db.opts.SegmentSize)
+	if db.tiered != nil {
+		s.dirty[rec.Key] = struct{}{}
+	}
 	db.lsn.AdvanceTo(rec.LSN)
 	if rec.TxnID != "" {
 		if s.byTxn[rec.Key] == nil {
@@ -537,7 +552,32 @@ func Recover(opts Options, types ...*entity.Type) (*DB, error) {
 			records = append(records, rec)
 		case storage.KindSummary:
 			s := db.shardFor(rec.Key)
+			if rec.Summary == nil {
+				// A tiered backend replays table summaries as light cold
+				// pointers (key + horizon, no state): the summary stays
+				// disk-resident until a read warms it. Newest-first replay
+				// can deliver several per key; the highest horizon wins and
+				// a warm always fetches the newest table's copy anyway.
+				if db.tiered != nil {
+					if rec.Horizon >= s.cold[rec.Key] {
+						s.cold[rec.Key] = rec.Horizon
+					}
+					break
+				}
+				break // nil summary without a tiered backend: nothing to install
+			}
 			s.archived[rec.Key] = rec.Summary // decoded frozen
+			if rec.Horizon > s.archivedAt[rec.Key] {
+				s.archivedAt[rec.Key] = rec.Horizon
+			}
+			delete(s.cold, rec.Key)
+			if db.tiered != nil {
+				// A full summary in the WAL is a legacy (pre-tiered)
+				// checkpoint snapshot; marking it dirty migrates it into the
+				// first flush's table, after which the snapshot can be
+				// pruned safely.
+				s.dirty[rec.Key] = struct{}{}
+			}
 		case storage.KindObsolete, storage.KindCompact:
 			marks = append(marks, anchoredMark{mark: rec, pos: maxSeen})
 		default:
@@ -549,6 +589,18 @@ func Recover(opts Options, types ...*entity.Type) (*DB, error) {
 		return nil, err
 	}
 	sort.SliceStable(records, func(i, j int) bool { return records[i].LSN < records[j].LSN })
+	// A record can arrive twice: once as table detail and once from the WAL
+	// tail past the flush boundary (segments prune at segment granularity,
+	// so the tail can reach slightly below the newest table's watermark).
+	// One copy per LSN installs.
+	dedup := records[:0]
+	for i := range records {
+		if len(dedup) > 0 && dedup[len(dedup)-1].LSN == records[i].LSN {
+			continue
+		}
+		dedup = append(dedup, records[i])
+	}
+	records = dedup
 	apply := func(m Record) error {
 		switch m.Kind {
 		case storage.KindObsolete:

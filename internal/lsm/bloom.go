@@ -1,0 +1,107 @@
+// Bloom-filter sidecars: one filter per SSTable so a point lookup can skip
+// tables that cannot hold the key without touching their index or data
+// blocks. The filter is standard double hashing (Kirsch–Mitzenmacher) over
+// FNV-64a, ~10 bits and 7 probes per key, which puts the false-positive rate
+// around 1%. Sidecars are advisory: a missing or corrupt .blm file is
+// rebuilt from the table's index block at open, never trusted blindly.
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+)
+
+const (
+	bloomBitsPerKey = 10
+	bloomProbes     = 7
+)
+
+var blmMagic = []byte("SOUPBLM\x01")
+
+type bloomFilter struct {
+	bits  []byte
+	nbits uint64
+	k     int
+}
+
+// newBloom sizes a filter for n keys.
+func newBloom(n int) *bloomFilter {
+	nbits := uint64(n * bloomBitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &bloomFilter{bits: make([]byte, (nbits+7)/8), nbits: nbits, k: bloomProbes}
+}
+
+// bloomHash derives the double-hashing pair for a key.
+func bloomHash(key string) (h1, h2 uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 = h.Sum64()
+	h2 = h1>>33 | h1<<31
+	h2 |= 1 // odd increment visits all probe positions
+	return h1, h2
+}
+
+func (b *bloomFilter) add(key string) {
+	h1, h2 := bloomHash(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nbits
+		b.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+func (b *bloomFilter) mayContain(key string) bool {
+	h1, h2 := bloomHash(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nbits
+		if b.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal serialises the filter: magic, geometry, bit array, CRC trailer.
+func (b *bloomFilter) marshal() []byte {
+	out := make([]byte, 0, len(blmMagic)+20+len(b.bits)+4)
+	out = append(out, blmMagic...)
+	out = binary.AppendUvarint(out, b.nbits)
+	out = binary.AppendUvarint(out, uint64(b.k))
+	out = append(out, b.bits...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// loadBloom reads a sidecar file; any defect is an error so the caller can
+// fall back to rebuilding the filter from the table itself.
+func loadBloom(path string) (*bloomFilter, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(blmMagic)+4 || string(raw[:len(blmMagic)]) != string(blmMagic) {
+		return nil, fmt.Errorf("lsm: bad bloom sidecar %s", path)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("lsm: bloom sidecar CRC mismatch %s", path)
+	}
+	rest := body[len(blmMagic):]
+	nbits, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("lsm: bad bloom geometry %s", path)
+	}
+	rest = rest[n:]
+	k, n := binary.Uvarint(rest)
+	if n <= 0 || k == 0 || k > 64 {
+		return nil, fmt.Errorf("lsm: bad bloom geometry %s", path)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) != (nbits+7)/8 {
+		return nil, fmt.Errorf("lsm: bloom bit array truncated %s", path)
+	}
+	return &bloomFilter{bits: rest, nbits: nbits, k: int(k)}, nil
+}

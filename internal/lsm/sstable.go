@@ -1,0 +1,637 @@
+// Immutable sorted-table files (SSTables).
+//
+// Layout of sst-%010d.sst:
+//
+//	8-byte magic "SOUPSST\x01"
+//	data block:  CRC frames (uint32 len | uint32 CRC32 | payload), payloads
+//	             are storage.EncodeRecord bytes, grouped per key — the key's
+//	             settled summary first (KindSummary, Horizon set), then its
+//	             detail records (KindAppend) in LSN order
+//	index block: one CRC frame whose payload is the per-key index — for each
+//	             key (ascending): type, id, flags, horizon, dataOff, dataLen,
+//	             detailCount — all length-prefixed / uvarint
+//	footer:      uint64 indexOff | uint64 indexLen | uint64 keyCount |
+//	             uint32 CRC32 of the previous 24 bytes | 8-byte magic
+//	             "SSTFOOT\x01"   (fixed 44 bytes, little-endian)
+//
+// A table is written to a .tmp name, fsynced, renamed and the directory
+// synced — a crash leaves either a complete table or an ignorable temp file.
+// After open only a sparse in-memory index survives (every 16th key plus its
+// byte offset into the index block) alongside the bloom sidecar; lookups
+// re-read one index slice and one data frame, recovery re-reads the index
+// block and the detail frames but never the summary payloads of cold keys.
+package lsm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/entity"
+	"repro/internal/storage"
+)
+
+var (
+	sstMagic    = []byte("SOUPSST\x01")
+	sstFootMag  = []byte("SSTFOOT\x01")
+	errNotFound = errors.New("lsm: key not in table")
+)
+
+const (
+	frameHeader = 8 // uint32 length + uint32 CRC
+	footerSize  = 8 + 8 + 8 + 4 + 8
+	// maxFrame mirrors the WAL's bound: a larger length prefix is corruption,
+	// not an allocation request.
+	maxFrame = 1 << 28
+	// sparseEvery is the in-memory index granularity: one retained entry per
+	// this many index-block entries.
+	sparseEvery = 16
+	// entryHasSummary flags an index entry whose first data frame is the
+	// key's settled summary; entries without it hold only detail records
+	// (a key whose every record is still a live tentative promise).
+	entryHasSummary = 1
+)
+
+// compositeKey is the sort and comparison form of an entity key: type and id
+// joined by a NUL, which sorts below every printable byte so distinct
+// (type, id) pairs order consistently and never collide.
+func compositeKey(k entity.Key) string { return k.Type + "\x00" + k.ID }
+
+func splitComposite(c string) entity.Key {
+	if i := strings.IndexByte(c, 0); i >= 0 {
+		return entity.Key{Type: c[:i], ID: c[i+1:]}
+	}
+	return entity.Key{Type: c}
+}
+
+// indexEntry is one parsed index-block entry.
+type indexEntry struct {
+	key         entity.Key
+	flags       uint64
+	horizon     uint64
+	dataOff     int64
+	dataLen     int64
+	detailCount uint64
+}
+
+func appendIndexEntry(b []byte, e *indexEntry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(e.key.Type)))
+	b = append(b, e.key.Type...)
+	b = binary.AppendUvarint(b, uint64(len(e.key.ID)))
+	b = append(b, e.key.ID...)
+	b = binary.AppendUvarint(b, e.flags)
+	b = binary.AppendUvarint(b, e.horizon)
+	b = binary.AppendUvarint(b, uint64(e.dataOff))
+	b = binary.AppendUvarint(b, uint64(e.dataLen))
+	b = binary.AppendUvarint(b, e.detailCount)
+	return b
+}
+
+// indexCursor walks index-block entries sequentially.
+type indexCursor struct {
+	b   []byte
+	off int // byte offset of the next entry within the block
+}
+
+func (c *indexCursor) next(e *indexEntry) (bool, error) {
+	if len(c.b) == 0 {
+		return false, nil
+	}
+	start := len(c.b)
+	str := func() (string, error) {
+		n, w := binary.Uvarint(c.b)
+		if w <= 0 || uint64(len(c.b)-w) < n {
+			return "", errors.New("lsm: corrupt index entry")
+		}
+		s := string(c.b[w : w+int(n)])
+		c.b = c.b[w+int(n):]
+		return s, nil
+	}
+	uv := func() (uint64, error) {
+		v, w := binary.Uvarint(c.b)
+		if w <= 0 {
+			return 0, errors.New("lsm: corrupt index entry")
+		}
+		c.b = c.b[w:]
+		return v, nil
+	}
+	var err error
+	if e.key.Type, err = str(); err != nil {
+		return false, err
+	}
+	if e.key.ID, err = str(); err != nil {
+		return false, err
+	}
+	var dataOff, dataLen uint64
+	for _, dst := range []*uint64{&e.flags, &e.horizon, &dataOff, &dataLen, &e.detailCount} {
+		if *dst, err = uv(); err != nil {
+			return false, err
+		}
+	}
+	e.dataOff, e.dataLen = int64(dataOff), int64(dataLen)
+	c.off += start - len(c.b)
+	return true, nil
+}
+
+// appendFrame wraps an encoded record payload in the WAL's len+CRC framing.
+func appendFrame(b []byte, rec *storage.WALRecord) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b, err := storage.EncodeRecord(b, rec)
+	if err != nil {
+		return nil, err
+	}
+	payload := b[start+frameHeader:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.ChecksumIEEE(payload))
+	return b, nil
+}
+
+// tableWriter streams key-grouped records into a new table file. Records
+// must arrive sorted by composite key, each key's summary (if any) first and
+// its details in LSN order — the flush capture and the compaction merge both
+// produce exactly that order.
+type tableWriter struct {
+	dir, name string
+	tmp       string
+	f         *os.File
+	bw        *bufio.Writer
+	off       int64 // bytes written so far (file offset)
+	scratch   []byte
+	index     []byte
+	keys      []string // composite keys, for the bloom sidecar
+	cur       indexEntry
+	curKey    string // composite of cur; "" before the first record
+	minKey    string
+	maxKey    string
+	watermark uint64
+}
+
+func newTableWriter(dir, name string) (*tableWriter, error) {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	w := &tableWriter{dir: dir, name: name, tmp: tmp, f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	if _, err := w.bw.Write(sstMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	w.off = int64(len(sstMagic))
+	return w, nil
+}
+
+func (w *tableWriter) add(rec *storage.WALRecord) error {
+	ck := compositeKey(rec.Key)
+	if ck != w.curKey {
+		if w.curKey != "" && ck <= w.curKey {
+			return fmt.Errorf("lsm: records out of key order (%q after %q)", ck, w.curKey)
+		}
+		w.flushKey()
+		w.curKey = ck
+		w.cur = indexEntry{key: rec.Key, dataOff: w.off}
+		if w.minKey == "" {
+			w.minKey = ck
+		}
+		w.maxKey = ck
+		w.keys = append(w.keys, ck)
+	}
+	switch rec.Kind {
+	case storage.KindSummary:
+		if w.cur.flags&entryHasSummary != 0 || w.cur.detailCount > 0 {
+			return fmt.Errorf("lsm: summary for %q must be the key's first record", ck)
+		}
+		w.cur.flags |= entryHasSummary
+		w.cur.horizon = rec.Horizon
+		if rec.Horizon > w.watermark {
+			w.watermark = rec.Horizon
+		}
+	case storage.KindAppend:
+		w.cur.detailCount++
+		if rec.LSN > w.watermark {
+			w.watermark = rec.LSN
+		}
+	default:
+		return fmt.Errorf("lsm: record kind %d does not belong in a table", rec.Kind)
+	}
+	var err error
+	if w.scratch, err = appendFrame(w.scratch[:0], rec); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	w.off += int64(len(w.scratch))
+	return nil
+}
+
+func (w *tableWriter) flushKey() {
+	if w.curKey == "" {
+		return
+	}
+	w.cur.dataLen = w.off - w.cur.dataOff
+	w.index = appendIndexEntry(w.index, &w.cur)
+}
+
+// finish writes the index block, footer and bloom sidecar, fsyncs and
+// renames the table into place. beforeRename, when non-nil, runs after the
+// data is durable in the temp file but before the rename — the crash-test
+// hook point for a flush that died mid-install.
+func (w *tableWriter) finish(beforeRename func() error) (TableMeta, error) {
+	w.flushKey()
+	indexOff := w.off
+	frame := make([]byte, frameHeader, frameHeader+len(w.index))
+	binary.LittleEndian.PutUint32(frame, uint32(len(w.index)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(w.index))
+	frame = append(frame, w.index...)
+	if _, err := w.bw.Write(frame); err != nil {
+		w.abort()
+		return TableMeta{}, fmt.Errorf("lsm: %w", err)
+	}
+	w.off += int64(len(frame))
+	footer := make([]byte, 0, footerSize)
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(indexOff))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(len(frame)))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(len(w.keys)))
+	footer = binary.LittleEndian.AppendUint32(footer, crc32.ChecksumIEEE(footer))
+	footer = append(footer, sstFootMag...)
+	if _, err := w.bw.Write(footer); err != nil {
+		w.abort()
+		return TableMeta{}, fmt.Errorf("lsm: %w", err)
+	}
+	w.off += int64(len(footer))
+	if err := w.bw.Flush(); err != nil {
+		w.abort()
+		return TableMeta{}, fmt.Errorf("lsm: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.abort()
+		return TableMeta{}, fmt.Errorf("lsm: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return TableMeta{}, fmt.Errorf("lsm: %w", err)
+	}
+	w.f = nil
+	// The bloom sidecar is advisory (rebuilt if missing), so it needs no
+	// fsync ceremony — but write it before the rename so a completed table
+	// normally has its filter ready.
+	bl := newBloom(len(w.keys))
+	for _, k := range w.keys {
+		bl.add(k)
+	}
+	blmPath := filepath.Join(w.dir, bloomName(w.name))
+	os.WriteFile(blmPath, bl.marshal(), 0o644)
+	if beforeRename != nil {
+		if err := beforeRename(); err != nil {
+			os.Remove(w.tmp)
+			os.Remove(blmPath)
+			return TableMeta{}, err
+		}
+	}
+	if err := os.Rename(w.tmp, filepath.Join(w.dir, w.name)); err != nil {
+		os.Remove(w.tmp)
+		return TableMeta{}, fmt.Errorf("lsm: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		return TableMeta{}, err
+	}
+	return TableMeta{
+		Name:      w.name,
+		MinKey:    w.minKey,
+		MaxKey:    w.maxKey,
+		Keys:      uint64(len(w.keys)),
+		Bytes:     w.off,
+		Watermark: w.watermark,
+	}, nil
+}
+
+func (w *tableWriter) abort() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	os.Remove(w.tmp)
+}
+
+// bloomName maps sst-0000000007.sst to sst-0000000007.blm.
+func bloomName(table string) string { return strings.TrimSuffix(table, ".sst") + ".blm" }
+
+// table is one open, immutable SSTable: a read-only file handle, the sparse
+// index and the bloom filter.
+type table struct {
+	meta     TableMeta
+	f        *os.File
+	indexOff int64 // file offset of the index frame
+	indexLen int64 // bytes of the index frame (header + payload)
+	count    uint64
+	sparse   []sparseSlot
+	bloom    *bloomFilter
+}
+
+// sparseSlot anchors a run of sparseEvery index entries: the composite key
+// of the run's first entry and its byte offset within the index payload.
+type sparseSlot struct {
+	key string
+	off int
+}
+
+// openTable validates the footer and index block, builds the sparse index
+// and loads (or rebuilds) the bloom sidecar.
+func openTable(dir string, meta TableMeta) (*table, error) {
+	path := filepath.Join(dir, meta.Name)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	t := &table{meta: meta, f: f}
+	if err := t.init(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *table) init(dir string) error {
+	info, err := t.f.Stat()
+	if err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	if info.Size() < int64(len(sstMagic))+footerSize {
+		return fmt.Errorf("lsm: table %s truncated", t.meta.Name)
+	}
+	head := make([]byte, len(sstMagic))
+	if _, err := t.f.ReadAt(head, 0); err != nil || !bytes.Equal(head, sstMagic) {
+		return fmt.Errorf("lsm: table %s: bad magic", t.meta.Name)
+	}
+	footer := make([]byte, footerSize)
+	if _, err := t.f.ReadAt(footer, info.Size()-footerSize); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	if !bytes.Equal(footer[28:], sstFootMag) {
+		return fmt.Errorf("lsm: table %s: bad footer magic", t.meta.Name)
+	}
+	if crc32.ChecksumIEEE(footer[:24]) != binary.LittleEndian.Uint32(footer[24:28]) {
+		return fmt.Errorf("lsm: table %s: footer CRC mismatch", t.meta.Name)
+	}
+	t.indexOff = int64(binary.LittleEndian.Uint64(footer))
+	t.indexLen = int64(binary.LittleEndian.Uint64(footer[8:]))
+	t.count = binary.LittleEndian.Uint64(footer[16:])
+	if t.indexOff < int64(len(sstMagic)) || t.indexOff+t.indexLen+footerSize != info.Size() {
+		return fmt.Errorf("lsm: table %s: footer geometry out of range", t.meta.Name)
+	}
+	payload, err := t.indexPayload()
+	if err != nil {
+		return err
+	}
+	cur := indexCursor{b: payload}
+	var e indexEntry
+	var i uint64
+	for {
+		off := cur.off
+		ok, err := cur.next(&e)
+		if err != nil {
+			return fmt.Errorf("lsm: table %s: %w", t.meta.Name, err)
+		}
+		if !ok {
+			break
+		}
+		if i%sparseEvery == 0 {
+			t.sparse = append(t.sparse, sparseSlot{key: compositeKey(e.key), off: off})
+		}
+		i++
+	}
+	if i != t.count {
+		return fmt.Errorf("lsm: table %s: index holds %d entries, footer says %d", t.meta.Name, i, t.count)
+	}
+	if bl, err := loadBloom(filepath.Join(dir, bloomName(t.meta.Name))); err == nil {
+		t.bloom = bl
+	} else {
+		// Sidecar missing or damaged: rebuild from the index block we just
+		// validated and rewrite it for the next open.
+		bl = newBloom(int(t.count))
+		cur = indexCursor{b: payload}
+		for {
+			ok, err := cur.next(&e)
+			if err != nil || !ok {
+				break
+			}
+			bl.add(compositeKey(e.key))
+		}
+		t.bloom = bl
+		os.WriteFile(filepath.Join(dir, bloomName(t.meta.Name)), bl.marshal(), 0o644)
+	}
+	return nil
+}
+
+// indexPayload reads and CRC-verifies the index frame, returning its payload.
+func (t *table) indexPayload() ([]byte, error) {
+	frame := make([]byte, t.indexLen)
+	if _, err := t.f.ReadAt(frame, t.indexOff); err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	if t.indexLen < frameHeader {
+		return nil, fmt.Errorf("lsm: table %s: index frame truncated", t.meta.Name)
+	}
+	length := binary.LittleEndian.Uint32(frame)
+	sum := binary.LittleEndian.Uint32(frame[4:])
+	if int64(length)+frameHeader != t.indexLen {
+		return nil, fmt.Errorf("lsm: table %s: index frame length mismatch", t.meta.Name)
+	}
+	payload := frame[frameHeader:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("lsm: table %s: index CRC mismatch", t.meta.Name)
+	}
+	return payload, nil
+}
+
+func (t *table) close() {
+	if t.f != nil {
+		t.f.Close()
+		t.f = nil
+	}
+}
+
+// findEntry locates key's index entry via the sparse index, reading only the
+// covering run of the index block. Returns errNotFound for an absent key.
+func (t *table) findEntry(ck string) (indexEntry, error) {
+	if len(t.sparse) == 0 || ck < t.sparse[0].key {
+		return indexEntry{}, errNotFound
+	}
+	// Greatest sparse slot whose first key <= ck.
+	lo, hi := 0, len(t.sparse)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.sparse[mid].key <= ck {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	slot := t.sparse[lo-1]
+	end := int(t.indexLen - frameHeader)
+	if lo < len(t.sparse) {
+		end = t.sparse[lo].off
+	}
+	run := make([]byte, end-slot.off)
+	if _, err := t.f.ReadAt(run, t.indexOff+frameHeader+int64(slot.off)); err != nil {
+		return indexEntry{}, fmt.Errorf("lsm: %w", err)
+	}
+	cur := indexCursor{b: run}
+	var e indexEntry
+	for {
+		ok, err := cur.next(&e)
+		if err != nil {
+			return indexEntry{}, fmt.Errorf("lsm: table %s: %w", t.meta.Name, err)
+		}
+		if !ok {
+			return indexEntry{}, errNotFound
+		}
+		switch c := compositeKey(e.key); {
+		case c == ck:
+			return e, nil
+		case c > ck:
+			return indexEntry{}, errNotFound
+		}
+	}
+}
+
+// readFrameAt decodes the single record frame starting at off.
+func (t *table) readFrameAt(off int64) (storage.WALRecord, int64, error) {
+	hdr := make([]byte, frameHeader)
+	if _, err := t.f.ReadAt(hdr, off); err != nil {
+		return storage.WALRecord{}, 0, fmt.Errorf("lsm: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr)
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if length > maxFrame {
+		return storage.WALRecord{}, 0, fmt.Errorf("lsm: table %s: implausible frame length at %d", t.meta.Name, off)
+	}
+	payload := make([]byte, length)
+	if _, err := t.f.ReadAt(payload, off+frameHeader); err != nil {
+		return storage.WALRecord{}, 0, fmt.Errorf("lsm: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return storage.WALRecord{}, 0, fmt.Errorf("lsm: table %s: data CRC mismatch at %d", t.meta.Name, off)
+	}
+	rec, err := storage.DecodeRecord(payload)
+	if err != nil {
+		return storage.WALRecord{}, 0, fmt.Errorf("lsm: table %s: %w", t.meta.Name, err)
+	}
+	return rec, off + frameHeader + int64(length), nil
+}
+
+// lookupSummary returns the key's settled summary record, errNotFound when
+// the table holds no summary for it (absent key or detail-only entry).
+func (t *table) lookupSummary(key entity.Key) (storage.WALRecord, error) {
+	e, err := t.findEntry(compositeKey(key))
+	if err != nil {
+		return storage.WALRecord{}, err
+	}
+	if e.flags&entryHasSummary == 0 {
+		return storage.WALRecord{}, errNotFound
+	}
+	rec, _, err := t.readFrameAt(e.dataOff)
+	if err != nil {
+		return storage.WALRecord{}, err
+	}
+	if rec.Kind != storage.KindSummary {
+		return storage.WALRecord{}, fmt.Errorf("lsm: table %s: entry for %s/%s does not start with its summary", t.meta.Name, key.Type, key.ID)
+	}
+	return rec, nil
+}
+
+// replay streams the table's recovery view: per key a light summary pointer
+// (KindSummary with Horizon but a nil Summary state — the payload stays on
+// disk until a cold read warms it) and every detail record in full.
+func (t *table) replay(fn func(storage.WALRecord) error) error {
+	payload, err := t.indexPayload()
+	if err != nil {
+		return err
+	}
+	cur := indexCursor{b: payload}
+	var e indexEntry
+	for {
+		ok, err := cur.next(&e)
+		if err != nil {
+			return fmt.Errorf("lsm: table %s: %w", t.meta.Name, err)
+		}
+		if !ok {
+			return nil
+		}
+		off := e.dataOff
+		if e.flags&entryHasSummary != 0 {
+			if err := fn(storage.WALRecord{Kind: storage.KindSummary, Key: e.key, Horizon: e.horizon}); err != nil {
+				return err
+			}
+			// Skip the summary frame without decoding its payload.
+			hdr := make([]byte, frameHeader)
+			if _, err := t.f.ReadAt(hdr, off); err != nil {
+				return fmt.Errorf("lsm: %w", err)
+			}
+			off += frameHeader + int64(binary.LittleEndian.Uint32(hdr))
+		}
+		for i := uint64(0); i < e.detailCount; i++ {
+			rec, next, err := t.readFrameAt(off)
+			if err != nil {
+				return err
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			off = next
+		}
+	}
+}
+
+// scan streams every record in the table in key order — the compaction
+// merge's input iterator, reading data frames sequentially.
+func (t *table) scan(fn func(e indexEntry, rec storage.WALRecord) error) error {
+	payload, err := t.indexPayload()
+	if err != nil {
+		return err
+	}
+	cur := indexCursor{b: payload}
+	var e indexEntry
+	for {
+		ok, err := cur.next(&e)
+		if err != nil {
+			return fmt.Errorf("lsm: table %s: %w", t.meta.Name, err)
+		}
+		if !ok {
+			return nil
+		}
+		off := e.dataOff
+		end := e.dataOff + e.dataLen
+		for off < end {
+			rec, next, err := t.readFrameAt(off)
+			if err != nil {
+				return err
+			}
+			if err := fn(e, rec); err != nil {
+				return err
+			}
+			off = next
+		}
+	}
+}
+
+// syncDir fsyncs a directory so renames and creations in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	return nil
+}

@@ -282,7 +282,14 @@ func EncodeRecord(b []byte, rec *WALRecord) ([]byte, error) {
 	case KindSummary:
 		b = appendString(b, rec.Key.Type)
 		b = appendString(b, rec.Key.ID)
-		return appendState(b, rec.Summary)
+		b, err := appendState(b, rec.Summary)
+		if err != nil {
+			return nil, err
+		}
+		// Horizon (the highest LSN the summary folds in) trails the state so
+		// pre-tiered snapshots — which end at the state — still decode: the
+		// decoder reads it only when bytes remain.
+		return appendUvarint(b, rec.Horizon), nil
 	}
 	b = appendUvarint(b, rec.LSN)
 	b = appendString(b, rec.Key.Type)
@@ -398,7 +405,13 @@ func DecodeRecord(payload []byte) (WALRecord, error) {
 		if rec.Key.ID, err = d.string(); err != nil {
 			return rec, err
 		}
-		rec.Summary, err = d.state(rec.Key)
+		if rec.Summary, err = d.state(rec.Key); err != nil {
+			return rec, err
+		}
+		// Trailing horizon, absent in pre-tiered snapshots.
+		if len(d.b) > 0 {
+			rec.Horizon, err = d.uvarint()
+		}
 		return rec, err
 	case KindAppend:
 	default:

@@ -172,6 +172,13 @@ type WAL struct {
 	seg      *os.File
 	segSize  int64
 	buf      []byte // frame scratch, reused across batches
+	// next is a pre-created segment (magic written, creation durable) a
+	// background goroutine prepared so rotation swaps to a ready file
+	// instead of paying the create+fsync+dirsync on the append path.
+	next      *os.File
+	nextIndex uint64
+	preparing bool
+	prepCond  *sync.Cond // signalled when a background preparation finishes
 }
 
 // OpenWAL opens (or initialises) the segmented WAL in dir, taking the
@@ -195,6 +202,14 @@ func OpenWAL(opts WALOptions) (*WAL, error) {
 		return nil, err
 	}
 	w := &WAL{opts: opts, lock: lock}
+	w.prepCond = sync.NewCond(&w.mu)
+	// Sweep staged segments a crashed process left behind — they are
+	// scratch files, never part of the log until renamed into place.
+	if strays, err := filepath.Glob(filepath.Join(opts.Dir, "preseg-*.tmp")); err == nil {
+		for _, s := range strays {
+			os.Remove(s)
+		}
+	}
 	raw, err := os.ReadFile(filepath.Join(opts.Dir, manifestName))
 	switch {
 	case err == nil:
@@ -337,45 +352,148 @@ func (w *WAL) ensureActiveLocked() error {
 	return nil
 }
 
-// createSegmentLocked starts segment i: magic written and the creation made
-// durable before any record lands in it.
-func (w *WAL) createSegmentLocked(i uint64) error {
-	path := filepath.Join(w.opts.Dir, segName(i))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+// preSegName is the staging name for a pre-created segment. The prefix is
+// deliberately not "wal-": segments() must never list a staged file (the
+// torn-tail contract says only the final *segment* may be incomplete, and a
+// staged file after the active segment would break that), and the lax
+// Sscanf match would accept any "wal-…" name.
+func preSegName(i uint64) string { return fmt.Sprintf("preseg-%010d.tmp", i) }
+
+// writeSegmentFile creates a segment-shaped file at path: magic written,
+// file fsynced, directory fsynced — durable before any frame may be
+// acknowledged out of it, otherwise power loss after rotation could leave a
+// headerless file under durable frames. On failure the partial file is
+// removed.
+func writeSegmentFile(dir, name string) (*os.File, error) {
+	path := filepath.Join(dir, name)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("storage: %w", err)
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	fail := func(err error) (*os.File, error) {
+		f.Close()
+		os.Remove(path)
+		return nil, err
 	}
 	if _, err := f.Write(segMagic); err != nil {
-		f.Close()
-		return fmt.Errorf("storage: %w", err)
+		return fail(fmt.Errorf("storage: %w", err))
 	}
-	// The magic must be durable before any frame is acknowledged out of this
-	// segment; otherwise power loss after rotation could leave a headerless
-	// file under durable frames.
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("storage: %w", err)
+		return fail(fmt.Errorf("storage: %w", err))
 	}
-	if err := syncDir(w.opts.Dir); err != nil {
-		f.Close()
+	if err := syncDir(dir); err != nil {
+		return fail(err)
+	}
+	return f, nil
+}
+
+// createSegmentLocked makes segment i the active one. The common case
+// renames the segment a background goroutine pre-created into place — one
+// rename syscall on the append path instead of create+fsync+dirsync (the
+// staged file's content is already durable; SyncAlways additionally syncs
+// the directory so the new *name* is durable before a frame is acked out of
+// it, while SyncOS never promised durability at ack time). When no staged
+// segment is ready the creation happens inline under the final name — the
+// staging name is distinct, so an in-flight preparation can never collide
+// with it, and must NOT be waited for: cond-Wait would release w.mu
+// mid-rotation and let an append land in a segment the caller already
+// decided is sealed. A stale staging that finishes later is detected by
+// index and dropped. Either way the next segment's preparation is kicked
+// off before returning (a no-op while one is still in flight).
+func (w *WAL) createSegmentLocked(i uint64) error {
+	if w.next != nil {
+		f, idx := w.next, w.nextIndex
+		w.next = nil
+		if idx == i {
+			if err := os.Rename(filepath.Join(w.opts.Dir, preSegName(i)),
+				filepath.Join(w.opts.Dir, segName(i))); err == nil {
+				if w.opts.Sync == SyncAlways {
+					if err := syncDir(w.opts.Dir); err != nil {
+						f.Close()
+						return err
+					}
+				}
+				w.seg, w.segIndex, w.segSize = f, i, int64(len(segMagic))
+				w.prepareNextLocked(i + 1)
+				return nil
+			}
+			// Rename failed: fall through to inline creation.
+			f.Close()
+		} else {
+			// Stale staging (index moved some other way): drop it.
+			f.Close()
+			os.Remove(filepath.Join(w.opts.Dir, preSegName(idx)))
+		}
+	}
+	f, err := writeSegmentFile(w.opts.Dir, segName(i))
+	if err != nil {
 		return err
 	}
 	w.seg, w.segIndex, w.segSize = f, i, int64(len(segMagic))
+	w.prepareNextLocked(i + 1)
 	return nil
+}
+
+// prepareNextLocked starts background staging of segment i so the next
+// rotation finds a ready file. A preparation failure is silent — rotation
+// simply falls back to inline creation and reports the error there.
+func (w *WAL) prepareNextLocked(i uint64) {
+	if w.preparing || w.next != nil || w.closed {
+		return
+	}
+	w.preparing = true
+	go func() {
+		f, err := writeSegmentFile(w.opts.Dir, preSegName(i))
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		w.preparing = false
+		w.prepCond.Broadcast()
+		if err != nil {
+			return
+		}
+		if w.closed {
+			f.Close()
+			os.Remove(filepath.Join(w.opts.Dir, preSegName(i)))
+			return
+		}
+		w.next, w.nextIndex = f, i
+	}()
 }
 
 // rotateLocked seals the active segment (always fsynced — a sealed segment
 // is immutable and must not lose its tail to a later crash) and starts the
 // next one.
 func (w *WAL) rotateLocked() error {
-	if err := w.seg.Sync(); err != nil {
-		w.poisoned = true
-		return fmt.Errorf("storage: seal sync: %w: %v", ErrPoisoned, err)
-	}
-	if err := w.seg.Close(); err != nil {
-		return fmt.Errorf("storage: seal close: %w", err)
-	}
+	old := w.seg
 	w.seg = nil
+	if w.opts.Sync == SyncAlways {
+		// Every acked frame was already fsynced, so the pages are clean and
+		// this sync is cheap; doing it inline preserves strict fail-stop
+		// reporting on the appending goroutine.
+		if err := old.Sync(); err != nil {
+			w.poisoned = true
+			return fmt.Errorf("storage: seal sync: %w: %v", ErrPoisoned, err)
+		}
+		if err := old.Close(); err != nil {
+			return fmt.Errorf("storage: seal close: %w", err)
+		}
+	} else {
+		// SyncOS never promised durability at ack time, so the sealed
+		// segment's flush is a background durability checkpoint, not part of
+		// the append: draining a full segment's pages inline would stall the
+		// hot path for a multi-ms data fsync at every rotation. A sync
+		// failure poisons the WAL exactly as an inline failure would.
+		go func() {
+			if err := old.Sync(); err != nil {
+				old.Close()
+				w.mu.Lock()
+				w.poisoned = true
+				w.mu.Unlock()
+				return
+			}
+			old.Close()
+		}()
+	}
 	return w.createSegmentLocked(w.segIndex + 1)
 }
 
@@ -411,6 +529,19 @@ func (w *WAL) Close() error {
 		w.lock.release()
 		w.lock = nil
 	}()
+	// Wait out an in-flight segment preparation before dropping the
+	// directory lock: its create must not land after another process has
+	// taken ownership of the directory.
+	for w.preparing {
+		w.prepCond.Wait()
+	}
+	if w.next != nil {
+		// The staged segment was never renamed into place: remove the
+		// scratch file. A crash leaves it behind; OpenWAL sweeps strays.
+		w.next.Close()
+		os.Remove(filepath.Join(w.opts.Dir, preSegName(w.nextIndex)))
+		w.next = nil
+	}
 	if w.seg == nil {
 		return nil
 	}
@@ -626,6 +757,125 @@ func (w *WAL) Checkpoint(watermark uint64, fill func(put func(WALRecord) error) 
 	return nil
 }
 
+// SealActive rotates the active segment so everything appended so far lives
+// in sealed, immutable segments, and returns the index of the last sealed
+// segment — the boundary a tiered flush may later prune through
+// (TruncateThrough). An active segment holding no frames is left alone:
+// sealing nothing would only litter the directory with empty files.
+func (w *WAL) SealActive() (uint64, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if w.poisoned {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("storage: seal: %w", ErrPoisoned)
+	}
+	if w.broken {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("storage: seal: %w (unerasable partial append)", ErrFailStopped)
+	}
+	if err := w.ensureActiveLocked(); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	if w.segSize <= int64(len(segMagic)) {
+		boundary := w.segIndex - 1
+		w.mu.Unlock()
+		return boundary, nil // empty active: all durable frames are already sealed
+	}
+	// Swap a fresh active segment in under the lock, then fsync and close the
+	// sealed one outside it: the sealed file is immutable the moment the swap
+	// lands, so appends proceed into the new segment while its predecessor's
+	// pages drain to disk — a seal never stalls the hot path for a data
+	// fsync. (createSegmentLocked keeps its own small magic+dir syncs under
+	// the lock: the new segment must exist durably before a frame is acked
+	// out of it.)
+	old := w.seg
+	if err := w.createSegmentLocked(w.segIndex + 1); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	boundary := w.segIndex - 1
+	w.mu.Unlock()
+	if err := old.Sync(); err != nil {
+		old.Close()
+		w.mu.Lock()
+		w.poisoned = true
+		w.mu.Unlock()
+		return 0, fmt.Errorf("storage: seal sync: %w: %v", ErrPoisoned, err)
+	}
+	if err := old.Close(); err != nil {
+		return 0, fmt.Errorf("storage: seal close: %w", err)
+	}
+	return boundary, nil
+}
+
+// TruncateThrough advances the manifest past sealed segments whose records a
+// tiered flush has made durable elsewhere: the replayable tail now begins at
+// segment through+1 and the covered segments (and any superseded checkpoint
+// snapshot) are pruned. watermark is the highest LSN the covering tables
+// hold; once no snapshot backs the manifest, StreamAfter cuts below the
+// watermark answer ErrCompacted. When replication is active and the
+// standby's durable watermark trails the flush, nothing is pruned — catch-up
+// may still need to stream these segments, and the next flush retries.
+func (w *WAL) TruncateThrough(watermark, through uint64) error {
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return ErrClosed
+		}
+		if w.man.Replicated > 0 && w.man.Replicated < watermark {
+			w.mu.Unlock()
+			return nil // a lagging standby still needs this tail: retain it
+		}
+		man := w.man
+		man.Seq++
+		man.Snapshot = ""
+		if watermark > man.Watermark {
+			man.Watermark = watermark
+		}
+		if through+1 > man.Segment {
+			man.Segment = through + 1
+			man.Offset = int64(len(segMagic))
+		}
+		base := w.man.Seq
+		w.mu.Unlock()
+
+		// Stage the new manifest durably off the append lock: its data fsync
+		// queues behind the flush's own table and sealed-segment syncs, so
+		// holding w.mu across it would stall every append for the disk's
+		// journal latency. The staging name is distinct from the locked
+		// installer's, so the two never collide on a temp file.
+		tmp, err := w.stageManifest(man, ".prune")
+		if err != nil {
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			os.Remove(tmp)
+			return ErrClosed
+		}
+		if w.man.Seq != base {
+			// A concurrent install (replication watermark update) advanced
+			// the manifest while the lock was down: recompute against it
+			// rather than clobbering its fields with stale copies.
+			w.mu.Unlock()
+			os.Remove(tmp)
+			continue
+		}
+		err = w.commitManifestLocked(tmp, man)
+		if err == nil {
+			w.pruneLocked()
+		}
+		w.mu.Unlock()
+		return err
+	}
+}
+
 // writeSnapshotLocked streams fill's records into a temp snapshot file and
 // atomically renames it into place.
 func (w *WAL) writeSnapshotLocked(name string, fill func(put func(WALRecord) error) error) error {
@@ -672,33 +922,39 @@ func (w *WAL) writeSnapshotLocked(name string, fill func(put func(WALRecord) err
 	return syncDir(w.opts.Dir)
 }
 
-// installManifestLocked atomically replaces the manifest.
-func (w *WAL) installManifestLocked(man manifest) error {
+// stageManifest writes man durably to a temp file named by suffix and
+// returns its path. The manifest bytes must be durable before a rename makes
+// them current: pruning runs right after an install, so a garbage manifest
+// with the old snapshot already deleted would leave the node unable to
+// start. Safe to call without w.mu as long as each caller uses a distinct
+// suffix.
+func (w *WAL) stageManifest(man manifest, suffix string) (string, error) {
 	raw, err := json.Marshal(man)
 	if err != nil {
-		return fmt.Errorf("storage: %w", err)
+		return "", fmt.Errorf("storage: %w", err)
 	}
-	path := filepath.Join(w.opts.Dir, manifestName)
-	tmp := path + ".tmp"
-	// The manifest bytes must be durable before the rename makes them
-	// current: pruning runs right after, so a garbage manifest with the old
-	// snapshot already deleted would leave the node unable to start.
+	tmp := filepath.Join(w.opts.Dir, manifestName) + suffix
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("storage: %w", err)
+		return "", fmt.Errorf("storage: %w", err)
 	}
 	if _, err := f.Write(raw); err != nil {
 		f.Close()
-		return fmt.Errorf("storage: %w", err)
+		return "", fmt.Errorf("storage: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("storage: %w", err)
+		return "", fmt.Errorf("storage: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("storage: %w", err)
+		return "", fmt.Errorf("storage: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	return tmp, nil
+}
+
+// commitManifestLocked renames a staged manifest into place and adopts it.
+func (w *WAL) commitManifestLocked(tmp string, man manifest) error {
+	if err := os.Rename(tmp, filepath.Join(w.opts.Dir, manifestName)); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
 	if err := syncDir(w.opts.Dir); err != nil {
@@ -706,6 +962,15 @@ func (w *WAL) installManifestLocked(man manifest) error {
 	}
 	w.man, w.hasMan = man, true
 	return nil
+}
+
+// installManifestLocked atomically replaces the manifest.
+func (w *WAL) installManifestLocked(man manifest) error {
+	tmp, err := w.stageManifest(man, ".tmp")
+	if err != nil {
+		return err
+	}
+	return w.commitManifestLocked(tmp, man)
 }
 
 // ReplicationWatermark returns the manifest's replication watermark.
@@ -762,7 +1027,13 @@ func (w *WAL) StreamAfter(after uint64, fn func(WALRecord) error) error {
 		}
 		return fn(rec)
 	}
-	if w.hasMan && w.man.Snapshot != "" && after < w.man.Watermark {
+	if w.hasMan && after < w.man.Watermark {
+		if w.man.Snapshot == "" {
+			// Tiered pruning (TruncateThrough) dropped the detail below the
+			// watermark without leaving a snapshot: the stream cannot be
+			// reconstructed from this log alone.
+			return ErrCompacted
+		}
 		path := filepath.Join(w.opts.Dir, w.man.Snapshot)
 		if err := scanFile(path, ckptMagic, int64(len(ckptMagic)), false, filter); err != nil {
 			return err

@@ -786,3 +786,116 @@ func TestWALMidLogCorruptionStaysTypedAcrossOffsets(t *testing.T) {
 		off += frameHeader + int64(length)
 	}
 }
+
+// TestSealTruncatePrunesTieredHistory pins the tiered-pruning primitives:
+// SealActive rotates the active segment and returns the sealed boundary,
+// TruncateThrough prunes through it once a flush covers the records, replay
+// afterwards yields only the tail, and replication cuts below the tiered
+// watermark answer ErrCompacted.
+func TestSealTruncatePrunesTieredHistory(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALOptions{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := w.AppendBatch([]WALRecord{appendRec(uint64(i), "a")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boundary, err := w.SealActive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boundary == 0 {
+		t.Fatal("seal returned no boundary despite durable frames")
+	}
+	// Sealing an already-empty active segment must not rotate again.
+	again, err := w.SealActive()
+	if err != nil || again != boundary {
+		t.Fatalf("idempotent seal: %d, %v, want %d", again, err, boundary)
+	}
+	// Records after the seal land above the boundary and must survive pruning.
+	for i := 21; i <= 23; i++ {
+		if err := w.AppendBatch([]WALRecord{appendRec(uint64(i), "b")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.TruncateThrough(20, boundary); err != nil {
+		t.Fatal(err)
+	}
+	got, watermark := collect(t, w)
+	if watermark != 20 {
+		t.Fatalf("replay watermark %d after truncate, want 20", watermark)
+	}
+	if len(got) != 3 || got[0].LSN != 21 || got[2].LSN != 23 {
+		t.Fatalf("tail after truncate: %d records, first %d", len(got), got[0].LSN)
+	}
+	if segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(segs) != 1 {
+		t.Fatalf("sealed segments not pruned: %v", segs)
+	}
+	// No snapshot backs the manifest, so a cut below the watermark is gone.
+	if err := w.StreamAfter(5, func(WALRecord) error { return nil }); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("StreamAfter(5) = %v, want ErrCompacted", err)
+	}
+	// A cut at the watermark streams the tail.
+	var tail []uint64
+	if err := w.StreamAfter(20, func(rec WALRecord) error { tail = append(tail, rec.LSN); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 3 || tail[0] != 21 {
+		t.Fatalf("StreamAfter(20) tail %v", tail)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The truncation survives reopen.
+	w2, err := OpenWAL(WALOptions{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, watermark2 := collect(t, w2)
+	if watermark2 != 20 || len(got2) != 3 {
+		t.Fatalf("after reopen: watermark %d, %d records", watermark2, len(got2))
+	}
+	w2.Close()
+}
+
+// TestTruncateThroughRetainsForLaggingStandby: when replication trails the
+// flush watermark, pruning is refused so catch-up can still stream the tail.
+func TestTruncateThroughRetainsForLaggingStandby(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALOptions{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 1; i <= 10; i++ {
+		if err := w.AppendBatch([]WALRecord{appendRec(uint64(i), "a")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.SetReplicationWatermark(4); err != nil {
+		t.Fatal(err)
+	}
+	boundary, err := w.SealActive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncateThrough(10, boundary); err != nil {
+		t.Fatal(err)
+	}
+	// The standby only acked LSN 4: everything must still replay.
+	got, _ := collect(t, w)
+	if len(got) != 10 {
+		t.Fatalf("lagging-standby tail pruned: %d records left", len(got))
+	}
+	var streamed []uint64
+	if err := w.StreamAfter(4, func(rec WALRecord) error { streamed = append(streamed, rec.LSN); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != 6 || streamed[0] != 5 {
+		t.Fatalf("catch-up stream %v", streamed)
+	}
+}

@@ -3,9 +3,12 @@
 # shutdown flush), restart it from the data directory alone, and verify the
 # states and a backup/restore round trip. This is the end-to-end check that
 # the storage engine's crash story holds outside the Go test harness.
-# A second act runs the replicated failover story: a primary shipping its WAL
+# A second act exercises the tiered (LSM) layout: forced flushes build
+# level-0 SSTables, the background compactor merges them, and a kill -9 node
+# recovers from the newest tables plus the WAL tail.
+# A third act runs the replicated failover story: a primary shipping its WAL
 # to two standbys is killed -9 and one standby is promoted in its place.
-# A third act runs the node out of disk on a small tmpfs: writes must shed
+# A final act runs the node out of disk on a small tmpfs: writes must shed
 # with 503 while reads keep serving, and freeing space must re-arm the node
 # without a restart. (Skipped gracefully where tmpfs cannot be mounted.)
 set -euo pipefail
@@ -94,6 +97,71 @@ if [ "${balance}" != "100" ]; then
   exit 1
 fi
 echo "ok: backup/restore round trip (balance=${balance})"
+
+echo "== tiered storage: flushes + background compaction survive kill -9"
+kill -9 "${PID}"
+wait "${PID}" 2>/dev/null || true
+rm -rf "${DATA}"
+"${WORK}/soupsd" -addr "127.0.0.1:${PORT}" -units 2 -groupcommit \
+  -data-dir "${DATA}" -fsync-mode always \
+  -flush-bytes 2048 -compaction-after 2 >"${WORK}/lsm1.log" 2>&1 &
+PID=$!
+wait_up
+
+ctl set Account A-4 owner=dave >/dev/null
+for i in $(seq 1 25); do
+  ctl delta Account A-4 balance=3 >/dev/null
+done
+# Force a flush boundary, keep writing, force another: at least two level-0
+# tables accumulate, which is exactly the backlog -compaction-after 2 hands
+# to the background compactor.
+ctl checkpoint >/dev/null
+for i in $(seq 1 25); do
+  ctl delta Account A-4 balance=3 >/dev/null
+done
+ctl checkpoint >/dev/null
+# One more write so recovery also replays a WAL tail on top of the tables.
+ctl delta Account A-4 balance=3 >/dev/null
+
+tables="$( (ctl metrics | grep -o 'lsm.tables [0-9]*' | grep -o '[0-9]*$') || true)"
+if [ "${tables:-0}" -lt 1 ]; then
+  echo "FAIL: no SSTables after two forced flushes (lsm.tables=${tables:-0})" >&2
+  ctl metrics >&2 || true
+  exit 1
+fi
+compactions=""
+for _ in $(seq 1 50); do
+  compactions="$( (ctl metrics | grep -o 'lsm.compactions [0-9]*' | grep -o '[0-9]*$') || true)"
+  if [ "${compactions:-0}" -ge 1 ]; then break; fi
+  sleep 0.1
+done
+if [ "${compactions:-0}" -lt 1 ]; then
+  echo "FAIL: background compactor never ran (lsm.compactions=${compactions:-0})" >&2
+  ctl metrics >&2 || true
+  exit 1
+fi
+
+echo "== kill -9 the tiered node, restart, recover from tables + WAL tail"
+kill -9 "${PID}"
+wait "${PID}" 2>/dev/null || true
+"${WORK}/soupsd" -addr "127.0.0.1:${PORT}" -units 2 -groupcommit \
+  -data-dir "${DATA}" -fsync-mode always \
+  -flush-bytes 2048 -compaction-after 2 >"${WORK}/lsm2.log" 2>&1 &
+PID=$!
+wait_up
+
+balance="$(ctl get Account A-4 | grep -o '"balance": [0-9]*' | grep -o '[0-9]*')"
+if [ "${balance}" != "153" ]; then
+  echo "FAIL: balance after tiered recovery = '${balance}', want 153" >&2
+  exit 1
+fi
+tables="$( (ctl metrics | grep -o 'lsm.tables [0-9]*' | grep -o '[0-9]*$') || true)"
+if [ "${tables:-0}" -lt 1 ]; then
+  echo "FAIL: recovered tiered node reports no SSTables (lsm.tables=${tables:-0})" >&2
+  ctl metrics >&2 || true
+  exit 1
+fi
+echo "ok: tiered recovery from tables + tail (balance=${balance}, tables=${tables}, compactions=${compactions})"
 
 echo "== three-node failover: primary + two standbys, kill -9, promote"
 kill -9 "${PID}"
@@ -211,7 +279,9 @@ else
     echo "FAIL: read refused while degraded (reads must keep serving)" >&2
     exit 1
   fi
-  if ! ctl status | grep -q 'DEGRADED'; then
+  # grep without -q drains the whole stream: -q exits on first match and can
+  # SIGPIPE soupsctl mid-write, which pipefail then reads as a miss.
+  if ! ctl status | grep 'DEGRADED' >/dev/null; then
     echo "FAIL: soupsctl status does not report the degraded unit" >&2
     ctl status >&2 || true
     exit 1
@@ -250,7 +320,7 @@ else
     echo "FAIL: balance after re-arm = '${balance}', want ${want}" >&2
     exit 1
   fi
-  if ctl status | grep -q 'DEGRADED'; then
+  if ctl status | grep 'DEGRADED' >/dev/null; then
     echo "FAIL: unit still degraded after a successful probe write" >&2
     exit 1
   fi
