@@ -591,6 +591,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "lsm.compaction_failures %d\n", ts.CompactFailures)
 		fmt.Fprintf(w, "lsm.compaction_backlog %d\n", ts.CompactionBacklog)
 		fmt.Fprintf(w, "lsm.wal_prune_skips %d\n", ts.WALPruneSkips)
+		fmt.Fprintf(w, "lsm.wal_prune_errors %d\n", ts.WALPruneErrors)
 		fmt.Fprintf(w, "lsm.flushes %d\n", fs.Flushes)
 		fmt.Fprintf(w, "lsm.flush_failures %d\n", fs.Failures)
 		fmt.Fprintf(w, "lsm.flush_stalls %d\n", fs.Stalls)

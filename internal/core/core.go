@@ -1341,6 +1341,7 @@ func (k *Kernel) TieredStats() (storage.TieredStats, lsdb.FlushStats, bool) {
 		ts.CompactFailures += s.CompactFailures
 		ts.CompactionBacklog += s.CompactionBacklog
 		ts.WALPruneSkips += s.WALPruneSkips
+		ts.WALPruneErrors += s.WALPruneErrors
 		f := u.db.FlushStats()
 		fs.Flushes += f.Flushes
 		fs.Failures += f.Failures

@@ -131,8 +131,11 @@ func (f *flusher) flushOnce() error {
 		return fmt.Errorf("lsdb: flush seal: %w", err)
 	}
 	watermark := db.lsn.Peek()
-	f.bytes.Store(0)
-	db.sinceCkpt.Store(0)
+	// Swap, not Store: the captured backlog is restored on a failed flush so
+	// the triggers re-fire on the very next commit instead of waiting for a
+	// whole fresh trigger's worth.
+	capBytes := f.bytes.Swap(0)
+	capRecs := db.sinceCkpt.Swap(0)
 
 	var entries []storage.WALRecord
 	var scratch []*entity.State // private rollups to recycle after the write
@@ -192,7 +195,12 @@ func (f *flusher) flushOnce() error {
 	}
 	if err != nil {
 		// Re-arm every captured key: the table never landed, so the next
-		// pass must cover them again (union with keys dirtied since).
+		// pass must cover them again (union with keys dirtied since). Restore
+		// the trigger counters too — zeroed at capture, they would otherwise
+		// leave maybeTrigger waiting for an entire new trigger's worth of
+		// commits before retrying (forever, on a now-idle store).
+		f.bytes.Add(capBytes)
+		db.sinceCkpt.Add(capRecs)
 		for si, s := range db.shards {
 			if captured[si] == nil {
 				continue

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/entity"
 	"repro/internal/lsm"
@@ -244,6 +246,62 @@ func TestCheckpointFailureBreadcrumb(t *testing.T) {
 	}
 	warmEverything(t, db)
 	db.Close()
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFailedFlushRetriesOnNextCommit: a failed automatic flush restores the
+// trigger backlog it captured, so the very next commit re-fires the flush —
+// instead of waiting for an entire fresh trigger's worth of commits, which on
+// a then-idle store would mean the flush is never retried and the WAL never
+// pruned until an explicit Checkpoint.
+func TestFailedFlushRetriesOnNextCommit(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("flush volume detached")
+	var armed atomic.Bool
+	armed.Store(true)
+	hooks := &lsm.Hooks{FlushErr: func() error {
+		if armed.Load() {
+			return boom
+		}
+		return nil
+	}}
+	db := newTestDB(t, Options{Shards: 2, Backend: openTestTiered(t, dir, hooks), CheckpointEvery: 4})
+	defer db.Close()
+	k := entity.Key{Type: "Account", ID: "retry"}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(int64(i+1)), "n", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 4th commit crossed the record trigger and armed a background flush;
+	// wait for its injected failure to be counted.
+	waitUntil(t, "failed flush breadcrumb", func() bool {
+		failures, _, _ := db.CheckpointFailure()
+		return failures >= 1
+	})
+	if got := db.sinceCkpt.Load(); got < 4 {
+		t.Fatalf("record-trigger backlog after failed flush = %d, want the captured 4 restored", got)
+	}
+	armed.Store(false)
+	// One commit — not a whole new trigger's worth — must re-fire the flush.
+	if _, err := db.Append(k, []entity.Op{entity.Delta("balance", 1)}, stamp(5), "n", ""); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "flush retry after re-arm", func() bool {
+		return db.FlushStats().Flushes >= 1
+	})
 }
 
 // TestLegacySnapshotMigratesToTiered: a store written by the monolithic

@@ -278,9 +278,15 @@ func (s *Store) mergeKey(w *tableWriter, parts []*mergeIter) error {
 		}
 	}
 	// Surviving detail: above the winning horizon, not obsolete, one copy
-	// per LSN.
+	// per LSN. An LSN's copies can disagree across tables — only the table
+	// whose flush saw the MarkObsolete carries the flag, an older table holds
+	// the pre-mark live copy — so obsolescence is collected across every part
+	// first and applied to whichever copy was kept. Keying the decision on
+	// iteration order instead would let the older live copy resurrect a
+	// withdrawn promise whose covering WAL mark has already been pruned.
 	var details []storage.WALRecord
 	seen := map[uint64]bool{}
+	obsolete := map[uint64]bool{}
 	for _, p := range parts {
 		off := p.e.dataOff
 		end := p.e.dataOff + p.e.dataLen
@@ -293,16 +299,29 @@ func (s *Store) mergeKey(w *tableWriter, parts []*mergeIter) error {
 			if rec.Kind != storage.KindAppend {
 				continue
 			}
-			if rec.LSN <= horizon || rec.Obsolete || seen[rec.LSN] {
+			if rec.LSN <= horizon {
+				continue
+			}
+			if rec.Obsolete {
+				obsolete[rec.LSN] = true
+				continue
+			}
+			if seen[rec.LSN] {
 				continue
 			}
 			seen[rec.LSN] = true
 			details = append(details, rec)
 		}
 	}
-	sort.Slice(details, func(a, b int) bool { return details[a].LSN < details[b].LSN })
+	live := details[:0]
 	for i := range details {
-		if err := w.add(&details[i]); err != nil {
+		if !obsolete[details[i].LSN] {
+			live = append(live, details[i])
+		}
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].LSN < live[b].LSN })
+	for i := range live {
+		if err := w.add(&live[i]); err != nil {
 			return err
 		}
 	}

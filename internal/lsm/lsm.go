@@ -45,7 +45,9 @@ import (
 type WALBackend interface {
 	storage.Backend
 	SealActive() (uint64, error)
-	TruncateThrough(watermark, through uint64) error
+	// TruncateThrough prunes the log through a sealed boundary; false with a
+	// nil error means the tail was deliberately retained (lagging standby).
+	TruncateThrough(watermark, through uint64) (bool, error)
 }
 
 // Hooks are test seams for the table file I/O, in the spirit of
@@ -100,7 +102,7 @@ type Store struct {
 	bloomHits, bloomSkips, bloomFalse atomic.Uint64
 	flushes, flushFailures            atomic.Uint64
 	compactions, compactFailures      atomic.Uint64
-	pruneSkips                        atomic.Uint64
+	pruneSkips, pruneErrors           atomic.Uint64
 
 	compactCh chan struct{}
 	stopCh    chan struct{}
@@ -319,7 +321,9 @@ func (s *Store) FlushTable(entries []storage.WALRecord, watermark, boundary uint
 	l0 := s.l0CountLocked()
 	s.mu.Unlock()
 	s.flushes.Add(1)
-	if err := s.inner.TruncateThrough(meta.Watermark, boundary); err != nil {
+	if pruned, err := s.inner.TruncateThrough(meta.Watermark, boundary); err != nil {
+		s.pruneErrors.Add(1)
+	} else if !pruned {
 		s.pruneSkips.Add(1)
 	}
 	if l0 >= s.opts.CompactAfter {
@@ -409,6 +413,7 @@ func (s *Store) TieredStats() storage.TieredStats {
 		Compactions:     s.compactions.Load(),
 		CompactFailures: s.compactFailures.Load(),
 		WALPruneSkips:   s.pruneSkips.Load(),
+		WALPruneErrors:  s.pruneErrors.Load(),
 	}
 	levels := map[int]bool{}
 	for _, t := range s.tables {

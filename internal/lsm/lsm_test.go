@@ -396,6 +396,58 @@ func TestCompactionMergeRules(t *testing.T) {
 	}
 }
 
+// TestCompactionDoesNotResurrectWithdrawnPromise: the obsolete flag of a
+// withdrawn promise can live only in the newer table's copy of the LSN — the
+// older table holds the pre-mark live copy, both retained as detail because
+// an earlier live tentative record blocks the horizon. The merge must
+// eliminate every copy of that LSN regardless of which copy it encounters
+// first; letting the older live copy through would permanently resurrect the
+// withdrawn promise, since the covering MarkObsolete WAL record is pruned.
+func TestCompactionDoesNotResurrectWithdrawnPromise(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{CompactAfter: 100})
+	defer s.Close()
+	k := testKey(1)
+	older := []storage.WALRecord{
+		summaryRec(k, 10, 10),
+		detailRec(k, 11, true, false), // live tentative: blocks the horizon
+		detailRec(k, 12, true, false), // the promise, before its withdrawal
+	}
+	if err := s.FlushTable(older, 12, 0); err != nil {
+		t.Fatal(err)
+	}
+	newer := []storage.WALRecord{
+		summaryRec(k, 10, 10),         // horizon still blocked at 10 by LSN 11
+		detailRec(k, 11, true, false), // still live
+		detailRec(k, 12, true, true),  // the withdrawal reached this flush
+	}
+	if err := s.FlushTable(newer, 12, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompactNow(); err != nil {
+		t.Fatalf("CompactNow: %v", err)
+	}
+	s.mu.Lock()
+	merged := s.tables[0]
+	s.mu.Unlock()
+	var lsns []uint64
+	obsoleteSurvived := false
+	if err := merged.scan(func(_ indexEntry, rec storage.WALRecord) error {
+		if rec.Kind == storage.KindAppend {
+			lsns = append(lsns, rec.LSN)
+			if rec.Obsolete {
+				obsoleteSurvived = true
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 1 || lsns[0] != 11 || obsoleteSurvived {
+		t.Fatalf("surviving detail %v (obsolete kept: %v), want only the live promise [11]", lsns, obsoleteSurvived)
+	}
+}
+
 // TestFlushFailureInjection: an injected flush error counts, leaves no table
 // behind, and the next clean flush succeeds.
 func TestFlushFailureInjection(t *testing.T) {

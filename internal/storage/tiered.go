@@ -57,5 +57,6 @@ type TieredStats struct {
 	Compactions       uint64 // successful compaction passes
 	CompactFailures   uint64 // compaction passes that failed (inputs retained)
 	CompactionBacklog int    // level-0 tables at or beyond the compaction trigger
-	WALPruneSkips     uint64 // flushes that landed but could not prune the log (lagging standby or prune error)
+	WALPruneSkips     uint64 // flushes that landed but retained the log tail (lagging standby still streams it)
+	WALPruneErrors    uint64 // flushes that landed but whose prune attempt failed
 }

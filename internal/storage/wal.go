@@ -179,6 +179,18 @@ type WAL struct {
 	nextIndex uint64
 	preparing bool
 	prepCond  *sync.Cond // signalled when a background preparation finishes
+	// sealing counts sealed segments whose data fsync runs on a background
+	// goroutine (SyncOS rotation); sealCond is signalled as each completes.
+	// Sync() waits the count out — it must not report success while a sealed
+	// segment's pages are still draining.
+	sealing  int
+	sealCond *sync.Cond
+	// dirDirty records a staged-segment rename whose directory entry is not
+	// yet durable (SyncOS rotation skips the dirsync on the append path).
+	// Until a directory fsync lands, a crash leaves the segment under its
+	// preseg- staging name — which OpenWAL sweeps — so Sync() and SealActive
+	// settle the debt before promising durability or a prune boundary.
+	dirDirty bool
 }
 
 // OpenWAL opens (or initialises) the segmented WAL in dir, taking the
@@ -203,6 +215,7 @@ func OpenWAL(opts WALOptions) (*WAL, error) {
 	}
 	w := &WAL{opts: opts, lock: lock}
 	w.prepCond = sync.NewCond(&w.mu)
+	w.sealCond = sync.NewCond(&w.mu)
 	// Sweep staged segments a crashed process left behind — they are
 	// scratch files, never part of the log until renamed into place.
 	if strays, err := filepath.Glob(filepath.Join(opts.Dir, "preseg-*.tmp")); err == nil {
@@ -412,6 +425,12 @@ func (w *WAL) createSegmentLocked(i uint64) error {
 						f.Close()
 						return err
 					}
+				} else {
+					// The rename is not durable yet: until a directory fsync
+					// lands, a crash leaves this segment under its staging
+					// name and the open-time stray sweep would delete its
+					// frames. Sync()/SealActive settle the debt.
+					w.dirDirty = true
 				}
 				w.seg, w.segIndex, w.segSize = f, i, int64(len(segMagic))
 				w.prepareNextLocked(i + 1)
@@ -482,30 +501,47 @@ func (w *WAL) rotateLocked() error {
 		// segment's flush is a background durability checkpoint, not part of
 		// the append: draining a full segment's pages inline would stall the
 		// hot path for a multi-ms data fsync at every rotation. A sync
-		// failure poisons the WAL exactly as an inline failure would.
+		// failure poisons the WAL exactly as an inline failure would. The
+		// sealing count lets Sync() wait the drain out instead of reporting
+		// success while the sealed segment's pages are still in flight.
+		w.sealing++
 		go func() {
-			if err := old.Sync(); err != nil {
-				old.Close()
-				w.mu.Lock()
-				w.poisoned = true
-				w.mu.Unlock()
-				return
-			}
+			err := old.Sync()
 			old.Close()
+			w.mu.Lock()
+			w.sealing--
+			if err != nil {
+				w.poisoned = true
+			}
+			w.sealCond.Broadcast()
+			w.mu.Unlock()
 		}()
 	}
 	return w.createSegmentLocked(w.segIndex + 1)
 }
 
-// Sync forces the active segment to stable storage.
+// Sync forces everything appended so far to stable storage: it waits out any
+// just-sealed segment's background data fsync, makes staged-rename directory
+// entries durable (SyncOS rotation defers that dirsync off the append path)
+// and fsyncs the active segment. Success means every acked frame — and the
+// segment name it lives under — survives a crash.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
 	}
+	for w.sealing > 0 {
+		w.sealCond.Wait()
+	}
+	if w.closed {
+		return ErrClosed
+	}
 	if w.poisoned {
 		return fmt.Errorf("storage: sync: %w", ErrPoisoned)
+	}
+	if err := w.settleDirLocked(); err != nil {
+		return err
 	}
 	if w.seg == nil {
 		return nil
@@ -514,6 +550,19 @@ func (w *WAL) Sync() error {
 		w.poisoned = true
 		return fmt.Errorf("storage: sync: %w: %v", ErrPoisoned, err)
 	}
+	return nil
+}
+
+// settleDirLocked performs the directory fsync a SyncOS staged rename
+// deferred, making every renamed-in segment durable under its final name.
+func (w *WAL) settleDirLocked() error {
+	if !w.dirDirty {
+		return nil
+	}
+	if err := syncDir(w.opts.Dir); err != nil {
+		return err
+	}
+	w.dirDirty = false
 	return nil
 }
 
@@ -531,9 +580,16 @@ func (w *WAL) Close() error {
 	}()
 	// Wait out an in-flight segment preparation before dropping the
 	// directory lock: its create must not land after another process has
-	// taken ownership of the directory.
+	// taken ownership of the directory. Same for a sealed segment's
+	// background data fsync.
 	for w.preparing {
 		w.prepCond.Wait()
+	}
+	for w.sealing > 0 {
+		w.sealCond.Wait()
+	}
+	if err := w.settleDirLocked(); err != nil {
+		return err
 	}
 	if w.next != nil {
 		// The staged segment was never renamed into place: remove the
@@ -782,7 +838,13 @@ func (w *WAL) SealActive() (uint64, error) {
 	}
 	if w.segSize <= int64(len(segMagic)) {
 		boundary := w.segIndex - 1
+		// The sealed prefix may be pruned through the boundary once a flush
+		// covers it, so every retained segment's name must be durable first.
+		err := w.settleDirLocked()
 		w.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
 		return boundary, nil // empty active: all durable frames are already sealed
 	}
 	// Swap a fresh active segment in under the lock, then fsync and close the
@@ -809,40 +871,74 @@ func (w *WAL) SealActive() (uint64, error) {
 	if err := old.Close(); err != nil {
 		return 0, fmt.Errorf("storage: seal close: %w", err)
 	}
+	// Settle the staged-rename directory debt (the swap above just created
+	// one for the new active segment, and the sealed one may carry an older
+	// one) before reporting the boundary: a flush prunes through it on the
+	// strength of this return, and a crash must not be able to demote a
+	// retained segment back to a swept preseg- stray.
+	w.mu.Lock()
+	err := w.settleDirLocked()
+	w.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
 	return boundary, nil
 }
 
 // TruncateThrough advances the manifest past sealed segments whose records a
 // tiered flush has made durable elsewhere: the replayable tail now begins at
 // segment through+1 and the covered segments (and any superseded checkpoint
-// snapshot) are pruned. watermark is the highest LSN the covering tables
-// hold; once no snapshot backs the manifest, StreamAfter cuts below the
-// watermark answer ErrCompacted. When replication is active and the
-// standby's durable watermark trails the flush, nothing is pruned — catch-up
-// may still need to stream these segments, and the next flush retries.
-func (w *WAL) TruncateThrough(watermark, through uint64) error {
+// snapshot) are pruned. The manifest watermark — the cutoff below which
+// StreamAfter answers ErrCompacted once no snapshot backs it — advances only
+// to the highest LSN the pruned segments actually contained, which the
+// covered prefix is scanned for: the flush's own watermark can cover records
+// still in the retained tail (the active segment, frames above the seal
+// boundary), and adopting it would force a full resync on any standby whose
+// cut the retained segments still serve. watermark is that flush capture
+// watermark; it gates retention only. When replication is active and the
+// standby's durable watermark trails it, nothing is pruned — catch-up may
+// still need to stream these segments, and the next flush retries; the false
+// return reports that skip.
+func (w *WAL) TruncateThrough(watermark, through uint64) (bool, error) {
+	prunedMax, scanned := uint64(0), false
 	for {
 		w.mu.Lock()
 		if w.closed {
 			w.mu.Unlock()
-			return ErrClosed
+			return false, ErrClosed
 		}
 		if w.man.Replicated > 0 && w.man.Replicated < watermark {
 			w.mu.Unlock()
-			return nil // a lagging standby still needs this tail: retain it
+			return false, nil // a lagging standby still needs this tail: retain it
 		}
 		man := w.man
+		base := w.man.Seq
+		firstSeg, firstOff, hasMan := w.man.Segment, w.man.Offset, w.hasMan
+		w.mu.Unlock()
+
+		// Find the true compaction cutoff: the highest append LSN in the
+		// segments this prune covers. Scanning them costs one read of files
+		// about to be deleted, off the append lock and off the hot path (the
+		// flusher goroutine is the only caller). The scan is reused across
+		// retries of the optimistic-commit loop — a concurrent manifest
+		// install only ever changes replication fields, not the segment span.
+		if !scanned {
+			var err error
+			prunedMax, err = w.maxLSNThrough(firstSeg, firstOff, hasMan, through)
+			if err != nil {
+				return false, err
+			}
+			scanned = true
+		}
 		man.Seq++
 		man.Snapshot = ""
-		if watermark > man.Watermark {
-			man.Watermark = watermark
+		if prunedMax > man.Watermark {
+			man.Watermark = prunedMax
 		}
 		if through+1 > man.Segment {
 			man.Segment = through + 1
 			man.Offset = int64(len(segMagic))
 		}
-		base := w.man.Seq
-		w.mu.Unlock()
 
 		// Stage the new manifest durably off the append lock: its data fsync
 		// queues behind the flush's own table and sealed-segment syncs, so
@@ -851,13 +947,13 @@ func (w *WAL) TruncateThrough(watermark, through uint64) error {
 		// installer's, so the two never collide on a temp file.
 		tmp, err := w.stageManifest(man, ".prune")
 		if err != nil {
-			return err
+			return false, err
 		}
 		w.mu.Lock()
 		if w.closed {
 			w.mu.Unlock()
 			os.Remove(tmp)
-			return ErrClosed
+			return false, ErrClosed
 		}
 		if w.man.Seq != base {
 			// A concurrent install (replication watermark update) advanced
@@ -872,8 +968,48 @@ func (w *WAL) TruncateThrough(watermark, through uint64) error {
 			w.pruneLocked()
 		}
 		w.mu.Unlock()
-		return err
+		return err == nil, err
 	}
+}
+
+// maxLSNThrough scans the sealed segments a TruncateThrough(_, through) call
+// is about to prune — from the manifest position to segment through — and
+// returns the highest append LSN they contain: the exact boundary below which
+// the log can no longer serve a replication stream.
+func (w *WAL) maxLSNThrough(firstSeg uint64, firstOff int64, hasMan bool, through uint64) (uint64, error) {
+	segs, err := w.segments()
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, i := range segs {
+		if i > through {
+			continue
+		}
+		start := int64(len(segMagic))
+		if hasMan {
+			if i < firstSeg {
+				continue // already covered by the previous manifest position
+			}
+			if i == firstSeg {
+				start = firstOff
+			}
+		}
+		path := filepath.Join(w.opts.Dir, segName(i))
+		if info, err := os.Stat(path); err != nil || info.Size() <= start {
+			continue
+		}
+		err := scanFile(path, segMagic, start, false, func(rec WALRecord) error {
+			if rec.Kind == KindAppend && rec.LSN > max {
+				max = rec.LSN
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return max, nil
 }
 
 // writeSnapshotLocked streams fill's records into a temp snapshot file and

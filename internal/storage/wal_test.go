@@ -821,8 +821,8 @@ func TestSealTruncatePrunesTieredHistory(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := w.TruncateThrough(20, boundary); err != nil {
-		t.Fatal(err)
+	if pruned, err := w.TruncateThrough(20, boundary); err != nil || !pruned {
+		t.Fatalf("TruncateThrough = %v, %v, want pruned", pruned, err)
 	}
 	got, watermark := collect(t, w)
 	if watermark != 20 {
@@ -862,6 +862,61 @@ func TestSealTruncatePrunesTieredHistory(t *testing.T) {
 	w2.Close()
 }
 
+// TestTruncateThroughCutoffIsPrunedMax: the ErrCompacted cutoff a tiered
+// prune installs is the highest LSN the pruned segments actually contained,
+// not the flush capture watermark — the capture can cover records still
+// sitting in the retained active segment, and a standby whose cut those
+// retained frames serve must stream instead of being forced into a resync.
+func TestTruncateThroughCutoffIsPrunedMax(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALOptions{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 1; i <= 20; i++ {
+		if err := w.AppendBatch([]WALRecord{appendRec(uint64(i), "a")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boundary, err := w.SealActive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records 21..23 land above the seal, in the retained active segment; the
+	// flush watermark (23) covers them anyway — a capture races ahead of the
+	// seal boundary by design.
+	for i := 21; i <= 23; i++ {
+		if err := w.AppendBatch([]WALRecord{appendRec(uint64(i), "b")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pruned, err := w.TruncateThrough(23, boundary); err != nil || !pruned {
+		t.Fatalf("TruncateThrough = %v, %v, want pruned", pruned, err)
+	}
+	// A standby at LSN 21: the retained segments hold 22 and 23, so the
+	// stream must serve them, not answer ErrCompacted.
+	var streamed []uint64
+	if err := w.StreamAfter(21, func(rec WALRecord) error { streamed = append(streamed, rec.LSN); return nil }); err != nil {
+		t.Fatalf("StreamAfter(21) = %v, want the retained tail", err)
+	}
+	if len(streamed) != 2 || streamed[0] != 22 || streamed[1] != 23 {
+		t.Fatalf("StreamAfter(21) tail %v, want [22 23]", streamed)
+	}
+	// A cut at the true pruned max streams the whole retained tail.
+	streamed = nil
+	if err := w.StreamAfter(20, func(rec WALRecord) error { streamed = append(streamed, rec.LSN); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != 3 || streamed[0] != 21 {
+		t.Fatalf("StreamAfter(20) tail %v, want [21 22 23]", streamed)
+	}
+	// A cut genuinely below the pruned prefix is gone.
+	if err := w.StreamAfter(19, func(WALRecord) error { return nil }); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("StreamAfter(19) = %v, want ErrCompacted", err)
+	}
+}
+
 // TestTruncateThroughRetainsForLaggingStandby: when replication trails the
 // flush watermark, pruning is refused so catch-up can still stream the tail.
 func TestTruncateThroughRetainsForLaggingStandby(t *testing.T) {
@@ -883,8 +938,12 @@ func TestTruncateThroughRetainsForLaggingStandby(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.TruncateThrough(10, boundary); err != nil {
+	pruned, err := w.TruncateThrough(10, boundary)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if pruned {
+		t.Fatal("TruncateThrough reported a prune despite the lagging standby")
 	}
 	// The standby only acked LSN 4: everything must still replay.
 	got, _ := collect(t, w)
