@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-append bench-io bench-storage bench-pool bench-replication bench-lsm lsm-race replication-faults storage-faults recovery-smoke linkcheck tables clean
+.PHONY: build test vet race bench bench-append bench-io bench-storage bench-pool bench-replication bench-lsm bench-slo lsm-race replication-faults storage-faults recovery-smoke slo-smoke linkcheck tables clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,20 @@ bench-lsm:
 	$(GO) test -run xxx -bench 'BenchmarkE22' -benchtime 200x .
 	$(GO) run ./cmd/benchharness -only E22 -json BENCH_E22.json
 
+# The E23 end-to-end SLO run (see docs/BENCHMARKING.md): the open-loop load
+# harness drives the four business scenarios against a managed soupsd over a
+# million-entity key space, injects a full network partition mid-run, and
+# regenerates the BENCH_E23.json trajectory file — latency scoreboard,
+# pacing health, acked-write audit and the /metrics cross-check.
+bench-slo:
+	$(GO) build -o soupsd ./cmd/soupsd
+	$(GO) run ./cmd/soupsbench -soupsd ./soupsd \
+		-scenarios crm,banking,inventory,bookstore -entities 1000000 \
+		-rate 1000 -arrival poisson -seed 7 \
+		-warmup 5s -steady 20s -fault-window 5s -recovery 10s \
+		-fault partition -check-every 64 \
+		-assert-convergence -json BENCH_E23.json
+
 # The tiered-storage suites under the race detector: the LSM store unit
 # tests, the lsdb flush/recovery/cold-read suites, the kill-9 crash matrix
 # over every mid-flush/mid-compaction site, and the chunk-pool ownership
@@ -84,6 +98,13 @@ storage-faults:
 recovery-smoke:
 	./scripts/recovery-smoke.sh
 
+# Bounded end-to-end SLO check: the load harness against a real soupsd with
+# a partition and a kill -9 injected mid-run, asserting the p999 bound,
+# Retry-After on every 503, the measured RTO, and audit convergence (zero
+# lost acked writes). Small enough for CI; `make bench-slo` is the full run.
+slo-smoke:
+	./scripts/slo-smoke.sh
+
 # Verify every relative markdown link in the docs resolves to a real file.
 linkcheck:
 	./scripts/linkcheck.sh
@@ -95,4 +116,4 @@ tables:
 
 clean:
 	$(GO) clean ./...
-	rm -f soupsd soupsctl benchharness
+	rm -f soupsd soupsctl benchharness soupsbench

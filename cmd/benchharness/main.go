@@ -17,7 +17,6 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,17 +53,6 @@ var (
 	jsonOut = flag.String("json", "", "also write the tables as JSON to this file")
 )
 
-// tableJSON is the serialized shape of one experiment table in a
-// BENCH_*.json trajectory file. Rows carry the already-formatted cell
-// strings (durations rounded, floats trimmed) so a diff between two PRs'
-// files reads the same as a diff between their plain-text tables.
-type tableJSON struct {
-	Experiment string     `json:"experiment"`
-	Title      string     `json:"title"`
-	Columns    []string   `json:"columns"`
-	Rows       [][]string `json:"rows"`
-}
-
 func main() {
 	flag.Parse()
 	experiments := []struct {
@@ -76,7 +64,7 @@ func main() {
 		{"E13", e13}, {"E14", e14}, {"E15", e15}, {"E16", e16}, {"E17", e17},
 		{"E18", e18}, {"E19", e19}, {"E22", e22},
 	}
-	var collected []tableJSON
+	var collected []metrics.TableJSON
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.name) {
 			continue
@@ -84,20 +72,11 @@ func main() {
 		tbl := ex.run(*ops)
 		fmt.Println(tbl.String())
 		if *jsonOut != "" {
-			collected = append(collected, tableJSON{
-				Experiment: ex.name,
-				Title:      tbl.Title,
-				Columns:    tbl.Columns,
-				Rows:       tbl.Rows(),
-			})
+			collected = append(collected, metrics.TableAsJSON(ex.name, tbl))
 		}
 	}
 	if *jsonOut != "" {
-		raw, err := json.MarshalIndent(collected, "", "  ")
-		if err != nil {
-			log.Fatalf("marshal tables: %v", err)
-		}
-		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+		if err := metrics.WriteTablesJSON(*jsonOut, collected); err != nil {
 			log.Fatalf("write %s: %v", *jsonOut, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d table(s) to %s\n", len(collected), *jsonOut)

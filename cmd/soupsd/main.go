@@ -79,6 +79,7 @@ var (
 	noTiered        = flag.Bool("no-tiered-storage", false, "disable the LSM tier: bare WAL with stop-the-world checkpoints (E22 baseline)")
 	maxDepth        = flag.Int("max-queue-depth", 4096, "admission control: shed event submits past this per-unit queue depth with 503 (0 = unbounded)")
 	retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint on 503 backpressure/degraded responses")
+	faultInjection  = flag.Bool("fault-injection", false, "benchmark harness only: run each unit on an in-memory fault-injecting backend and expose POST /fault (incompatible with -data-dir)")
 )
 
 // server is one soupsd node: in the primary role kernel is set; in the
@@ -135,7 +136,7 @@ func openKernel() (*repro.Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return repro.Bootstrap(repro.Options{
+	opts := repro.Options{
 		Node: "soupsd", Units: *units, Consistency: mode, Workers: *workers,
 		GroupCommit: *groupCommit, MaxAppendBatch: *maxBatch,
 		DataDir: *dataDir, Fsync: sync, CheckpointEvery: *ckptEvery,
@@ -143,8 +144,27 @@ func openKernel() (*repro.Kernel, error) {
 		CompactThrottle: *compactThrottle, DisableTiered: *noTiered,
 		MaxQueueDepth: *maxDepth,
 		Replication:   repl,
-	}, repro.StandardTypes()...)
+	}
+	if *faultInjection {
+		if *dataDir != "" {
+			return nil, errors.New("-fault-injection is in-memory only; it cannot wrap a -data-dir store")
+		}
+		faultBackends = faultBackends[:0]
+		backends := make([]storage.Backend, *units)
+		for i := range backends {
+			fb := storage.NewFaultBackend(storage.NewMemory())
+			faultBackends = append(faultBackends, fb)
+			backends[i] = fb
+		}
+		opts.UnitBackends = backends
+	}
+	return repro.Bootstrap(opts, repro.StandardTypes()...)
 }
+
+// faultBackends is populated by openKernel when -fault-injection is set;
+// handleFault drives it. Written once at bootstrap before the listener
+// starts (or under server.mu on promotion), read by the handler.
+var faultBackends []*storage.FaultBackend
 
 func main() {
 	flag.Parse()
@@ -177,6 +197,7 @@ func main() {
 	mux.HandleFunc("/history/", s.handleHistory)
 	mux.HandleFunc("/warnings", s.handleWarnings)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/fault", s.handleFault)
 	mux.HandleFunc("/backup", s.handleBackup)
 	mux.HandleFunc("/restore", s.handleRestore)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
@@ -600,6 +621,51 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "lsm.cold_reads %d\n", fs.ColdReads)
 	}
 	s.replicationMetrics(w, k, nil)
+}
+
+// faultRequest is the POST /fault body: action "enospc" opens a retryable
+// append-failure window on every unit's backend (appends bounds it, default
+// unbounded until healed), action "heal" closes it.
+type faultRequest struct {
+	Action  string `json:"action"`
+	Appends int    `json:"appends,omitempty"`
+}
+
+// handleFault drives the -fault-injection backends so an external benchmark
+// driver (cmd/soupsbench) can align storage fault windows with its load
+// phases. 404 unless the server was started with -fault-injection.
+func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
+	if len(faultBackends) == 0 {
+		http.Error(w, "fault injection not enabled (start soupsd with -fault-injection)", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req faultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch strings.ToLower(req.Action) {
+	case "enospc":
+		n := req.Appends
+		if n <= 0 {
+			n = int(^uint(0) >> 1) // until healed
+		}
+		for _, fb := range faultBackends {
+			fb.FailAppends(n)
+		}
+	case "heal":
+		for _, fb := range faultBackends {
+			fb.Heal()
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown action %q (want enospc or heal)", req.Action), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok", "action": strings.ToLower(req.Action)})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -1,0 +1,189 @@
+package main
+
+// Error mapping under concurrent overload: many clients hitting the HTTP
+// surface at once must each get a coherent answer — 202 or 503+Retry-After,
+// never a torn response or a miscounted shed — and the counters the load
+// harness cross-checks (queue_shed, writes_refused) must equal the 503s the
+// clients actually observed. Run with -race; the point of these tests is the
+// interleavings.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEventSubmitShedsExactlyPastDepthUnderConcurrency floods /events from
+// many goroutines against a tiny admission window. The lanes are not started,
+// so the queue cannot drain mid-test: exactly depth submissions may be
+// accepted, every other one must shed with 503 + Retry-After, and the
+// server-side shed counter must equal the client-observed 503s — the same
+// invariant the SLO harness asserts against /metrics.
+func TestEventSubmitShedsExactlyPastDepthUnderConcurrency(t *testing.T) {
+	const depth, clients = 3, 64
+	s, _ := newTestServer(t, depth)
+
+	var accepted, shed, other atomic.Uint64
+	var missingRetryAfter atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := doJSON(t, s.handleEvents, "POST", "/events", `{"name":"noop","type":"Account","id":"A1"}`)
+			switch w.Code {
+			case http.StatusAccepted:
+				accepted.Add(1)
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+				if w.Header().Get("Retry-After") == "" {
+					missingRetryAfter.Add(1)
+				}
+				if !strings.Contains(w.Body.String(), "overloaded") {
+					other.Add(1)
+				}
+			default:
+				other.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := accepted.Load(); got != depth {
+		t.Fatalf("accepted %d of %d concurrent submits, want exactly the queue depth %d", got, clients, depth)
+	}
+	if got := shed.Load(); got != clients-depth {
+		t.Fatalf("shed %d, want %d", got, clients-depth)
+	}
+	if n := missingRetryAfter.Load(); n != 0 {
+		t.Fatalf("%d shed responses were missing Retry-After", n)
+	}
+	if n := other.Load(); n != 0 {
+		t.Fatalf("%d responses were neither a clean 202 nor a well-formed 503", n)
+	}
+	if h := s.k().Health(); h.QueueShed != uint64(clients-depth) {
+		t.Fatalf("server queue_shed = %d, want %d (must match client-observed 503s)", h.QueueShed, clients-depth)
+	}
+
+	// Draining the queue reopens admission.
+	s.k().Start()
+	s.k().Drain()
+	if w := doJSON(t, s.handleEvents, "POST", "/events", `{"name":"noop","type":"Account","id":"A1"}`); w.Code != http.StatusAccepted {
+		t.Fatalf("submit after drain = %d %s, want 202", w.Code, w.Body)
+	}
+}
+
+// TestDegradedStorageConcurrentWriteStormMapsEveryRefusal trips degraded
+// read-only mode while a storm of writers and readers is in flight: every
+// write must come back 503 + Retry-After naming the degradation, every read
+// must keep serving the pre-fault state, the probes (/readyz vs /healthz)
+// must disagree in exactly the documented way, and writes_refused must equal
+// the write 503s the clients saw — including the write that tripped the
+// degradation.
+func TestDegradedStorageConcurrentWriteStormMapsEveryRefusal(t *testing.T) {
+	const writers, readers = 32, 16
+	s, fb := newTestServer(t, 0)
+
+	seed := doJSON(t, s.handleEntity, "POST", "/entities/Account/A1", `{"delta":{"balance":10}}`)
+	if seed.Code != http.StatusOK {
+		t.Fatalf("seed write = %d %s", seed.Code, seed.Body)
+	}
+	fb.FailAppends(1 << 30)
+
+	// Trip the degradation deterministically before the storm so every
+	// concurrent probe observes the degraded posture, not the transition.
+	trip := doJSON(t, s.handleEntity, "POST", "/entities/Account/A1", `{"delta":{"balance":5}}`)
+	if trip.Code != http.StatusServiceUnavailable || trip.Header().Get("Retry-After") == "" {
+		t.Fatalf("tripping write = %d (Retry-After %q), want 503 with hint", trip.Code, trip.Header().Get("Retry-After"))
+	}
+
+	var refused, badWrite, badRead atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := doJSON(t, s.handleEntity, "POST", "/entities/Account/A1", `{"delta":{"balance":5}}`)
+			if w.Code != http.StatusServiceUnavailable ||
+				w.Header().Get("Retry-After") == "" ||
+				!strings.Contains(w.Body.String(), "degraded") {
+				badWrite.Add(1)
+				return
+			}
+			refused.Add(1)
+		}()
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := doJSON(t, s.handleEntity, "GET", "/entities/Account/A1", "")
+			var st struct {
+				Fields map[string]interface{} `json:"fields"`
+			}
+			if r.Code != http.StatusOK ||
+				json.Unmarshal(r.Body.Bytes(), &st) != nil ||
+				st.Fields["balance"] != 10.0 {
+				badRead.Add(1)
+			}
+		}()
+	}
+	// Probes poll concurrently with the storm: readiness must fail while
+	// liveness stays green, with no window where either flips the other way.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if w := doJSON(t, s.handleReadyz, "GET", "/readyz", ""); w.Code != http.StatusServiceUnavailable {
+				badRead.Add(1)
+			}
+			if w := doJSON(t, s.handleHealthz, "GET", "/healthz", ""); w.Code != http.StatusOK {
+				badRead.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := badWrite.Load(); n != 0 {
+		t.Fatalf("%d degraded writes were not mapped to 503 + Retry-After naming the degradation", n)
+	}
+	if n := badRead.Load(); n != 0 {
+		t.Fatalf("%d reads/probes misbehaved during the write storm", n)
+	}
+	if got := refused.Load(); got != writers {
+		t.Fatalf("refused %d of %d concurrent writes, want all of them", got, writers)
+	}
+	if h := s.k().Health(); h.WritesRefused != writers+1 {
+		t.Fatalf("server writes_refused = %d, want %d (tripping write + storm, matching client-observed 503s)", h.WritesRefused, writers+1)
+	}
+
+	// Heal and repair; the write path reopens for everyone at once.
+	fb.Heal()
+	if err := s.k().RepairUnit(0, nil); err != nil {
+		t.Fatalf("RepairUnit: %v", err)
+	}
+	var failedAfterRepair atomic.Uint64
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if w := doJSON(t, s.handleEntity, "POST", "/entities/Account/A1", `{"delta":{"balance":1}}`); w.Code != http.StatusOK {
+				failedAfterRepair.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := failedAfterRepair.Load(); n != 0 {
+		t.Fatalf("%d writes still refused after heal + repair", n)
+	}
+	r := doJSON(t, s.handleEntity, "GET", "/entities/Account/A1", "")
+	var st struct {
+		Fields map[string]interface{} `json:"fields"`
+	}
+	if err := json.Unmarshal(r.Body.Bytes(), &st); err != nil || st.Fields["balance"] != 10.0+writers {
+		t.Fatalf("balance after recovery = %v (err %v), want %d — a refused write must never half-apply", st.Fields["balance"], err, 10+writers)
+	}
+}

@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Every value must land in a bucket whose upper bound is >= the value and
+// within the advertised ~1.6% relative error.
+func TestHistBucketErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 100000; n++ {
+		v := rng.Int63n(int64(10 * time.Minute))
+		i := histIndex(v)
+		upper := int64(histUpper(i))
+		if upper < v {
+			t.Fatalf("value %d landed in bucket %d with upper %d < value", v, i, upper)
+		}
+		if v >= histSubCount {
+			if float64(upper-v) > float64(v)/float64(histSubCount)+1 {
+				t.Fatalf("value %d bucket upper %d: relative error too large", v, upper)
+			}
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	// 1..1000 microseconds, exact percentile positions known.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.Min(); got != time.Microsecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := h.Max(); got != time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{0.999, 999 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want {
+			t.Fatalf("q%.3f = %v, below true value %v", c.q, got, c.want)
+		}
+		if float64(got-c.want) > float64(c.want)*0.02 {
+			t.Fatalf("q%.3f = %v, more than 2%% above true value %v", c.q, got, c.want)
+		}
+	}
+	if got, want := h.Mean(), 500500*time.Nanosecond; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistQuantileNeverExceedsMax(t *testing.T) {
+	h := NewHist()
+	h.Record(3 * time.Second)
+	for _, q := range []float64{0.5, 0.99, 0.999, 1.0} {
+		if got := h.Quantile(q); got != 3*time.Second {
+			t.Fatalf("q%v = %v with a single 3s sample", q, got)
+		}
+	}
+}
+
+func TestHistNegativeClampsToZero(t *testing.T) {
+	h := NewHist()
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample not clamped: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	a.Record(time.Millisecond)
+	b.Record(10 * time.Millisecond)
+	b.Record(100 * time.Microsecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 100*time.Microsecond || a.Max() != 10*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	h := NewHist()
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d after concurrent records", h.Count())
+	}
+}

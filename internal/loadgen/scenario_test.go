@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenariosParse(t *testing.T) {
+	all, err := Scenarios("crm,banking,inventory,bookstore", 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("got %d scenarios", len(all))
+	}
+	if _, err := Scenarios("warehouse", 10, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Scenarios("", 10, 1); err == nil {
+		t.Fatal("empty scenario list accepted")
+	}
+}
+
+// Scenario streams must be pure functions of (seed, index): two instances
+// with the same seed produce identical requests, which is what makes a run
+// replayable and lets concurrent workers share nothing.
+func TestScenariosDeterministic(t *testing.T) {
+	a, _ := Scenarios("crm,banking,inventory,bookstore", 1<<20, 99)
+	b, _ := Scenarios("crm,banking,inventory,bookstore", 1<<20, 99)
+	for s := range a {
+		for i := uint64(0); i < 2000; i++ {
+			ra, rb := a[s].Request(i), b[s].Request(i)
+			if ra != rb {
+				t.Fatalf("%s request %d differs between identical instances", a[s].Name(), i)
+			}
+		}
+	}
+}
+
+func TestScenarioRequestsWellFormed(t *testing.T) {
+	all, _ := Scenarios("crm,banking,inventory,bookstore", 1<<20, 5)
+	for _, sc := range all {
+		var submits, reads, queries int
+		for i := uint64(0); i < 5000; i++ {
+			r := sc.Request(i)
+			if r.Scenario != sc.Name() {
+				t.Fatalf("%s labelled request %q", sc.Name(), r.Scenario)
+			}
+			switch r.Class {
+			case Submit:
+				submits++
+				if r.Method != "POST" || r.Body == "" {
+					t.Fatalf("%s submit %d: method %s body %q", sc.Name(), i, r.Method, r.Body)
+				}
+				if !strings.HasPrefix(r.Path, "/entities/") {
+					t.Fatalf("%s submit path %q", sc.Name(), r.Path)
+				}
+			case Read:
+				reads++
+				if r.Method != "GET" || r.Body != "" || !strings.HasPrefix(r.Path, "/entities/") {
+					t.Fatalf("%s read %d malformed: %+v", sc.Name(), i, r)
+				}
+			case Query:
+				queries++
+				if r.Method != "GET" || !strings.HasPrefix(r.Path, "/history/") {
+					t.Fatalf("%s query %d malformed: %+v", sc.Name(), i, r)
+				}
+			}
+		}
+		if submits == 0 || reads == 0 || queries == 0 {
+			t.Fatalf("%s mix degenerate: %d/%d/%d", sc.Name(), submits, reads, queries)
+		}
+		if submits < reads {
+			t.Fatalf("%s is write-heavy by design but got %d submits vs %d reads", sc.Name(), submits, reads)
+		}
+	}
+}
+
+// Reads must target indexes at or below their own, so they land on keys an
+// earlier submit plausibly created.
+func TestReadIndexStaysBehind(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		r := i * 2654435761
+		if j := readIndex(r, i); j > i {
+			t.Fatalf("readIndex(%d) = %d, ahead of writer", i, j)
+		}
+	}
+}
+
+func TestClassForRatios(t *testing.T) {
+	var submit, read, query int
+	for r := uint64(0); r < 100; r++ {
+		switch classFor(r, 70, 25) {
+		case Submit:
+			submit++
+		case Read:
+			read++
+		case Query:
+			query++
+		}
+	}
+	if submit != 70 || read != 25 || query != 5 {
+		t.Fatalf("classFor split %d/%d/%d, want 70/25/5", submit, read, query)
+	}
+}

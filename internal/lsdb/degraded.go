@@ -146,6 +146,10 @@ func (db *DB) degradeLocked(cause error, now time.Time) error {
 		db.degradedEvents.Add(1)
 	}
 	db.degraded.Store(d)
+	// The append that trips (or re-trips) degraded mode is itself a refused
+	// write: count it, so the counter matches the ErrDegraded responses
+	// callers observe — external monitors cross-check exactly that.
+	db.writesRefused.Add(1)
 	// Both sentinels stay visible: errors.Is(err, ErrDegraded) for the mode,
 	// errors.Is/As on the cause for the storage-level diagnosis.
 	return fmt.Errorf("%w (%s): %w", ErrDegraded, reason, cause)

@@ -17,7 +17,7 @@ import (
 // openTestTiered builds the production stack for tests: a segmented WAL with
 // small segments wrapped in an LSM store with a quiet auto-compactor (tests
 // drive CompactNow explicitly).
-func openTestTiered(t *testing.T, dir string, hooks *lsm.Hooks) *lsm.Store {
+func openTestTiered(t testing.TB, dir string, hooks *lsm.Hooks) *lsm.Store {
 	t.Helper()
 	wal := openTestWAL(t, dir, storage.SyncOS)
 	s, err := lsm.Open(wal, lsm.Options{Dir: filepath.Join(dir, "sst"), CompactAfter: 100, Hooks: hooks})

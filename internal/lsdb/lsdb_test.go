@@ -38,7 +38,7 @@ func orderType() *entity.Type {
 	}
 }
 
-func newTestDB(t *testing.T, opts Options) *DB {
+func newTestDB(t testing.TB, opts Options) *DB {
 	t.Helper()
 	if opts.Node == "" {
 		opts.Node = "test-node"

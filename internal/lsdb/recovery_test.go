@@ -17,7 +17,7 @@ import (
 
 // openTestWAL opens a segmented WAL in dir with small segments so rotation
 // and checkpoint-skipping are exercised even by small tests.
-func openTestWAL(t *testing.T, dir string, sync storage.SyncMode) *storage.WAL {
+func openTestWAL(t testing.TB, dir string, sync storage.SyncMode) *storage.WAL {
 	t.Helper()
 	w, err := storage.OpenWAL(storage.WALOptions{Dir: dir, SegmentBytes: 4096, Sync: sync})
 	if err != nil {

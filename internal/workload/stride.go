@@ -1,0 +1,56 @@
+package workload
+
+// Key-space striding: the SLO harness simulates millions of entities
+// without holding any per-entity client state by deriving each request's
+// entity purely from the request index. Stride walks the whole key space
+// in a fixed pseudo-random permutation — successive requests land on
+// well-separated keys (no accidental hot run), every key is visited before
+// any repeats, and request i always maps to the same key, so a reader can
+// target the key an earlier writer used by just reusing a smaller index.
+
+// strideMultiplier is a large constant ≡ 1 (mod 4) — the 64-bit golden-ratio
+// mix constant, as used by splitmix64. With an odd increment, v → v*m+1
+// (mod 2^k) then satisfies the Hull–Dobell conditions and is a single
+// full-period cycle over any power-of-two space, which Stride's
+// cycle-walking fold depends on for termination.
+const strideMultiplier = 0x9e3779b97f4a7c15
+
+// Stride maps request index i onto a key index in [0, space). Space is
+// rounded up to a power of two internally so the multiplicative walk is a
+// true permutation; indices landing in the rounded-up tail fold back with a
+// second step, preserving determinism.
+func Stride(i uint64, space uint64) uint64 {
+	if space == 0 {
+		return 0
+	}
+	// Round space up to a power of two for the permutation walk.
+	pow := uint64(1)
+	for pow < space {
+		pow <<= 1
+	}
+	mask := pow - 1
+	// Cycle-walking: apply one full-cycle permutation until the value lands
+	// inside [0, space). Using the same map for the first step and the fold
+	// makes the composite a true bijection on [0, space); the map being a
+	// single full cycle guarantees the walk reaches a value < space. (Pure
+	// multiplication would not: it preserves 2-adic valuation, so it has
+	// cycles that never leave the rounded-up tail.)
+	step := func(v uint64) uint64 { return (v*strideMultiplier + 1) & mask }
+	v := step(i)
+	for v >= space {
+		v = step(v)
+	}
+	return v
+}
+
+// Mix is splitmix64: a stateless, high-quality 64-bit mixer. The harness
+// derives every per-request random decision (operation class, amounts,
+// read targets) from Mix(seed, i), so request i is fully determined by the
+// run's seed — no shared generator state between concurrent workers, and a
+// replay with the same seed issues the identical request stream.
+func Mix(seed, i uint64) uint64 {
+	z := seed + (i+1)*strideMultiplier
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,62 @@
+package workload
+
+import "testing"
+
+// Stride must be a bijection on [0, space) — every simulated entity is
+// visited exactly once per pass — including spaces that are not powers of
+// two (the cycle-walking fold).
+func TestStrideIsPermutation(t *testing.T) {
+	for _, space := range []uint64{1, 2, 10, 16, 1000, 1024, 4097} {
+		seen := make(map[uint64]bool, space)
+		for i := uint64(0); i < space; i++ {
+			v := Stride(i, space)
+			if v >= space {
+				t.Fatalf("space %d: Stride(%d) = %d out of range", space, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("space %d: Stride(%d) = %d repeats before full pass", space, i, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// Successive indexes must land on well-separated keys, not an ascending run:
+// the whole point of striding is to avoid accidental locality.
+func TestStrideScatters(t *testing.T) {
+	const space = 1 << 20
+	adjacent := 0
+	for i := uint64(1); i < 1000; i++ {
+		a, b := Stride(i-1, space), Stride(i, space)
+		d := a - b
+		if b > a {
+			d = b - a
+		}
+		if d < 2 {
+			adjacent++
+		}
+	}
+	if adjacent > 5 {
+		t.Fatalf("%d of 1000 successive strides were adjacent keys", adjacent)
+	}
+}
+
+func TestMixDeterministicAndSeedSensitive(t *testing.T) {
+	if Mix(1, 42) != Mix(1, 42) {
+		t.Fatal("Mix is not deterministic")
+	}
+	if Mix(1, 42) == Mix(2, 42) {
+		t.Fatal("Mix ignores the seed")
+	}
+	if Mix(1, 42) == Mix(1, 43) {
+		t.Fatal("Mix ignores the index")
+	}
+	// Cheap avalanche check: low bits should not be constant across indexes.
+	var ones int
+	for i := uint64(0); i < 64; i++ {
+		ones += int(Mix(7, i) & 1)
+	}
+	if ones < 16 || ones > 48 {
+		t.Fatalf("low bit heavily biased: %d/64 ones", ones)
+	}
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# SLO smoke test: a bounded end-to-end run of the open-loop load harness
+# (cmd/soupsbench) against a real soupsd, with a fault injected mid-run and
+# the SLO assertions turned on. Two acts:
+#
+#   1. Network partition mid-run: warmup -> steady -> full partition ->
+#      recovery, asserting the steady-state submit p999 bound, that every 503
+#      carried Retry-After, and that the acked-write audit converges (no
+#      acked write lost, client-side fault errors never applied).
+#   2. kill -9 mid-run: the harness SIGKILLs its managed soupsd inside the
+#      fault window, restarts it from the data directory, measures RTO from
+#      kill to the first ready probe, and re-runs the audit across the crash.
+#
+# The per-run knobs are deliberately small (seconds, hundreds of req/s) so
+# the whole script stays under a minute on a CI runner; `make bench-slo` is
+# the full-size version that regenerates BENCH_E23.json.
+set -euo pipefail
+
+PORT="${PORT:-18491}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+# CI runners are noisy neighbours: the p999 bound is an existence proof that
+# the assertion machinery trips on real regressions, not a latency promise.
+# Local hardware comfortably holds two orders of magnitude below this.
+P999_BOUND="${P999_BOUND:-1s}"
+RTO_BOUND="${RTO_BOUND:-15s}"
+RATE="${RATE:-300}"
+
+echo "== build"
+go build -o "${WORK}/soupsd" ./cmd/soupsd
+go build -o "${WORK}/soupsbench" ./cmd/soupsbench
+
+echo "== act 1: partition mid-run (p999 + Retry-After + audit convergence)"
+"${WORK}/soupsbench" \
+  -soupsd "${WORK}/soupsd" -addr "127.0.0.1:${PORT}" \
+  -scenarios crm,banking,inventory,bookstore -entities 1000000 \
+  -rate "${RATE}" -arrival poisson -seed 7 \
+  -warmup 2s -steady 6s -fault-window 3s -recovery 5s \
+  -fault partition -check-every 32 \
+  -assert-p999 "${P999_BOUND}" -assert-convergence \
+  -json "${WORK}/BENCH_E23.json"
+
+if ! grep -q '"experiment": "E23"' "${WORK}/BENCH_E23.json"; then
+  echo "FAIL: soupsbench did not write E23 trajectory tables" >&2
+  exit 1
+fi
+
+echo "== act 2: kill -9 mid-run (RTO + audit convergence across the crash)"
+"${WORK}/soupsbench" \
+  -soupsd "${WORK}/soupsd" -addr "127.0.0.1:$((PORT + 1))" \
+  -data-dir "${WORK}/data" \
+  -scenarios banking -entities 1000000 \
+  -rate "${RATE}" -arrival poisson -seed 11 \
+  -warmup 2s -steady 4s -fault-window 4s -recovery 5s \
+  -fault kill9 -check-every 32 \
+  -assert-rto "${RTO_BOUND}" -assert-convergence
+
+echo "PASS"
